@@ -1,0 +1,31 @@
+#!/bin/sh
+# Appendix E.1: run alive-mutate over every IR file in tests/, saving all
+# mutants to tmp/ (mutants for test.ll are named test_<seed>.ll).
+# Extra arguments are passed through to alive-mutate, e.g.:
+#     ./run.sh --passes instcombine -n 50
+set -eu
+cd "$(dirname "$0")"
+mkdir -p tmp
+
+if [ -z "$(ls tests/*.ll 2>/dev/null || true)" ]; then
+    echo "tests/ is empty; generating a starter corpus..."
+    python3 -c "
+from repro.fuzz import generate_corpus
+for name, text in generate_corpus(10, seed=0):
+    open('tests/' + name, 'w').write(text)
+print('wrote 10 files to tests/')
+"
+fi
+
+# Fall back to module invocation when the console script is not on PATH.
+if command -v alive-mutate >/dev/null 2>&1; then
+    ALIVE_MUTATE="alive-mutate"
+else
+    ALIVE_MUTATE="python3 -m repro.cli.alive_mutate"
+fi
+
+for file in tests/*.ll; do
+    echo "== $file =="
+    $ALIVE_MUTATE "$file" -n 10 --saveAll --save-dir tmp "$@" || true
+done
+echo "mutants written to $(pwd)/tmp"

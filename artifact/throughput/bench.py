@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Appendix E.2: the throughput experiment over artifact/throughput/tests/.
+
+Runs both workflows (integrated alive-mutate vs. discrete tools) on every
+IR file in tests/ and writes res.txt in the paper's Listing-20 format.
+
+Usage:  python bench.py [COUNT]
+
+COUNT is the number of mutants per file per workflow (the paper's global
+COUNT variable, set to 1000 in the paper's runs; the default here is 40
+so a first run finishes quickly).
+"""
+
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+TESTS = os.path.join(HERE, "tests")
+RESULT = os.path.join(HERE, "res.txt")
+
+COUNT = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+
+
+def ensure_corpus():
+    os.makedirs(TESTS, exist_ok=True)
+    existing = [f for f in os.listdir(TESTS) if f.endswith(".ll")]
+    if existing:
+        return
+    from repro.fuzz import generate_corpus
+
+    print("tests/ is empty; generating a starter corpus...")
+    for name, text in generate_corpus(8, seed=42):
+        with open(os.path.join(TESTS, name), "w") as stream:
+            stream.write(text)
+
+
+def main():
+    ensure_corpus()
+    from repro.fuzz import ThroughputConfig, run_throughput_experiment
+
+    corpus = []
+    for file_name in sorted(os.listdir(TESTS)):
+        if not file_name.endswith(".ll"):
+            continue
+        with open(os.path.join(TESTS, file_name)) as stream:
+            corpus.append((file_name, stream.read()))
+
+    print(f"measuring {len(corpus)} files x {COUNT} mutants per workflow...")
+    report = run_throughput_experiment(
+        corpus, ThroughputConfig(count=COUNT, max_inputs=8))
+    text = report.render_res_txt()
+    with open(RESULT, "w") as stream:
+        stream.write(text)
+    print(text)
+    print(f"results written to {RESULT}")
+
+
+if __name__ == "__main__":
+    main()

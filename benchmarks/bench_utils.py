@@ -1,0 +1,14 @@
+"""Helpers shared by the benchmark modules."""
+
+import os
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def write_report(name: str, text: str) -> str:
+    """Persist a rendered report under benchmarks/out/."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, name)
+    with open(path, "w") as stream:
+        stream.write(text)
+    return path

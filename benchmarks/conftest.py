@@ -1,0 +1,12 @@
+"""Pytest configuration for the benchmark harness.
+
+Each bench regenerates one of the paper's evaluation artifacts (see
+DESIGN.md's per-experiment index); rendered reports are written under
+``benchmarks/out/`` by :mod:`bench_utils`.
+"""
+
+import os
+import sys
+
+# Make bench_utils importable regardless of how pytest was invoked.
+sys.path.insert(0, os.path.dirname(__file__))

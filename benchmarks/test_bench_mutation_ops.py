@@ -1,0 +1,114 @@
+"""E6 — per-mutation-class throughput and applicability (paper §IV mix).
+
+Benchmarks each of the eight mutation operators in isolation and reports
+how often each applies across the corpus — the data behind the engine's
+default operator weights.
+"""
+
+import pytest
+
+from repro.analysis.overlay import MutantOverlay, OriginalFunctionInfo
+from repro.fuzz import generate_corpus
+from repro.ir import is_valid_module, parse_module
+from repro.mutate import MutationRNG, Mutator, MutatorConfig
+from repro.mutate.mutations import MUTATIONS
+
+from bench_utils import write_report
+
+SEED_TEXT = """
+declare void @clobber(ptr)
+
+define void @helper(ptr %ptr) {
+  store i32 42, ptr %ptr
+  ret void
+}
+
+define i32 @test9(ptr %p, ptr %q) {
+  %a = load i32, ptr %q
+  call void @clobber(ptr %p)
+  %b = load i32, ptr %q
+  %c = sub i32 %a, %b
+  %d = add nsw i32 %c, 16
+  %e = icmp ult i32 %d, 144
+  %r = select i1 %e, i32 %d, i32 %c
+  ret i32 %r
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    module = parse_module(SEED_TEXT)
+    infos = {fn.name: OriginalFunctionInfo(fn)
+             for fn in module.definitions()}
+    return module, infos
+
+
+@pytest.mark.parametrize("mutation_name", sorted(MUTATIONS))
+def test_bench_single_mutation(benchmark, prepared, mutation_name):
+    """Clone + one mutation attempt of a single class."""
+    module, infos = prepared
+    mutation = MUTATIONS[mutation_name]
+    counter = iter(range(10**9))
+
+    def mutate_once():
+        seed = next(counter)
+        clone = module.clone()
+        mutant = clone.get_function("test9")
+        overlay = MutantOverlay(mutant, infos["test9"])
+        mutation(overlay, MutationRNG(seed))
+
+    benchmark(mutate_once)
+
+
+def test_bench_mutation_applicability(benchmark):
+    """How often each operator applies over the whole corpus."""
+    corpus = generate_corpus(27, seed=13)
+    holder = {}
+
+    def survey():
+        rates = {}
+        for mutation_name, mutation in MUTATIONS.items():
+            applied = attempts = 0
+            for name, text in corpus:
+                module = parse_module(text, name)
+                infos = {fn.name: OriginalFunctionInfo(fn)
+                         for fn in module.definitions()}
+                for seed in range(6):
+                    clone = module.clone()
+                    for fn_name, info in infos.items():
+                        overlay = MutantOverlay(
+                            clone.get_function(fn_name), info)
+                        attempts += 1
+                        if mutation(overlay, MutationRNG(seed * 977 + 1)):
+                            applied += 1
+                    assert is_valid_module(clone)
+            rates[mutation_name] = applied / attempts
+        holder["rates"] = rates
+        return rates
+
+    benchmark.pedantic(survey, rounds=1, iterations=1)
+    rates = holder["rates"]
+    lines = ["applicability across the corpus (share of attempts that fired):"]
+    for name in sorted(rates, key=rates.get, reverse=True):
+        lines.append(f"  {name:12s} {100 * rates[name]:5.1f}%")
+    report = "\n".join(lines) + "\n"
+    write_report("mutation_mix.txt", report)
+    print("\n" + report)
+
+    # Arithmetic and use mutations — the aggressive defaults of §IV-E/F —
+    # must be near-universally applicable.
+    assert rates["arithmetic"] > 0.5
+    assert rates["uses"] > 0.8
+
+
+def test_bench_full_engine_throughput(benchmark):
+    """Whole-engine mutant creation rate (all operators, weighted)."""
+    mutator = Mutator(parse_module(SEED_TEXT),
+                      MutatorConfig(max_mutations=3))
+    counter = iter(range(10**9))
+
+    def create():
+        mutator.create_mutant(next(counter))
+
+    benchmark(create)

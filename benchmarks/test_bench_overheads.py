@@ -1,0 +1,128 @@
+"""E4 — overhead decomposition (paper Figure 2).
+
+Figure 2 annotates the discrete workflow's overheads: process creation
+and destruction, dynamic loading, parsing, printing, and file I/O — all
+absent from the integrated tool's critical path.  This bench measures
+each overhead class directly and reports where the discrete workflow's
+time goes.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.fuzz import FuzzConfig, FuzzDriver, generate_corpus
+from repro.ir import parse_module, print_module
+from repro.mutate import MutatorConfig
+from repro.tv import RefinementConfig
+
+from bench_utils import write_report
+
+
+@pytest.fixture(scope="module")
+def sample():
+    name, text = generate_corpus(4, seed=21)[1]
+    return name, text
+
+
+def test_bench_process_spawn_overhead(benchmark):
+    """Cost of one no-op tool process (spawn + interpreter + teardown)."""
+
+    def spawn():
+        subprocess.run([sys.executable, "-c", "import repro"],
+                       capture_output=True)
+
+    benchmark.pedantic(spawn, rounds=5, iterations=1)
+
+
+def test_bench_parse_overhead(benchmark, sample):
+    _, text = sample
+
+    def parse():
+        parse_module(text)
+
+    benchmark(parse)
+
+
+def test_bench_print_overhead(benchmark, sample):
+    _, text = sample
+    module = parse_module(text)
+
+    def render():
+        print_module(module)
+
+    benchmark(render)
+
+
+def test_bench_file_io_overhead(benchmark, sample, tmp_path):
+    _, text = sample
+    path = tmp_path / "roundtrip.ll"
+
+    def roundtrip():
+        path.write_text(text)
+        path.read_text()
+
+    benchmark(roundtrip)
+
+
+def test_bench_stage_decomposition(benchmark, sample):
+    """In-process per-stage time (mutate / optimize / verify) plus the
+    overhead classes a discrete iteration adds on top."""
+    name, text = sample
+    driver = FuzzDriver(
+        parse_module(text, name),
+        FuzzConfig(pipeline="O2", mutator=MutatorConfig(max_mutations=3),
+                   tv=RefinementConfig(max_inputs=8)),
+        file_name=name)
+
+    def run_batch():
+        driver.run(iterations=50)
+        return driver.report
+
+    benchmark.pedantic(run_batch, rounds=1, iterations=1)
+    report = driver.report
+    iterations = max(report.iterations, 1)
+
+    # Measure the discrete-only overheads once each.
+    begin = time.perf_counter()
+    subprocess.run([sys.executable, "-c", "import repro"],
+                   capture_output=True)
+    spawn = time.perf_counter() - begin
+
+    module = parse_module(text)
+    begin = time.perf_counter()
+    for _ in range(20):
+        parse_module(text)
+    parse = (time.perf_counter() - begin) / 20
+    begin = time.perf_counter()
+    for _ in range(20):
+        print_module(module)
+    render = (time.perf_counter() - begin) / 20
+
+    per_iter = report.timings.total / iterations
+    # One discrete iteration spawns 3 processes; each parses its input and
+    # two of them print output.
+    discrete_overhead = 3 * spawn + 3 * parse + 2 * render
+    lines = [
+        "in-process per-iteration stage times:",
+        f"  mutate:   {1e3 * report.timings.mutate / iterations:8.3f} ms",
+        f"  optimize: {1e3 * report.timings.optimize / iterations:8.3f} ms",
+        f"  verify:   {1e3 * report.timings.verify / iterations:8.3f} ms",
+        f"  total:    {1e3 * per_iter:8.3f} ms",
+        "discrete-only overheads per iteration (Figure 2's bold boxes):",
+        f"  3x process create/destroy + load: {3e3 * spawn:8.1f} ms",
+        f"  3x parse:                         {3e3 * parse:8.3f} ms",
+        f"  2x print:                         {2e3 * render:8.3f} ms",
+        f"  total overhead:                   {1e3 * discrete_overhead:8.1f} ms",
+        f"overhead / useful work ratio: {discrete_overhead / per_iter:.1f}x",
+    ]
+    text_report = "\n".join(lines) + "\n"
+    write_report("overheads.txt", text_report)
+    print("\n" + text_report)
+
+    # The core claim behind Figure 2: the overhead the discrete workflow
+    # pays per iteration dwarfs the useful mutate/optimize/verify work.
+    assert discrete_overhead > per_iter

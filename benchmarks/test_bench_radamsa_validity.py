@@ -1,0 +1,71 @@
+"""E3 — the structure-blind-mutation study (paper §II).
+
+The paper's pilot: mutating LLVM IR with Radamsa produced files that were
+(a) almost always invalid and (b) almost always boring when loadable,
+while alive-mutate produces valid IR 100% of the time.  This bench runs
+both mutators over the same corpus and prints the comparison.
+"""
+
+import pytest
+
+from repro.fuzz import generate_corpus, run_validity_study
+from repro.fuzz.radamsa import classify_mutant
+from repro.ir import is_valid_module, parse_module
+from repro.mutate import Mutator, MutatorConfig
+
+from bench_utils import write_report
+
+FILES = 12
+MUTANTS_PER_FILE = 40
+
+
+def test_bench_radamsa_validity_study(benchmark):
+    corpus = generate_corpus(FILES, seed=11)
+    holder = {}
+
+    def study():
+        holder["stats"] = run_validity_study(
+            corpus, mutants_per_file=MUTANTS_PER_FILE, seed=0)
+        return holder["stats"]
+
+    benchmark.pedantic(study, rounds=1, iterations=1)
+    stats = holder["stats"]
+
+    # Alive-mutate on the same corpus: count valid mutants.
+    total = valid = 0
+    for name, text in corpus:
+        mutator = Mutator(parse_module(text, name),
+                          MutatorConfig(max_mutations=3))
+        for seed in range(MUTANTS_PER_FILE):
+            mutant, _ = mutator.create_mutant(seed)
+            total += 1
+            valid += int(is_valid_module(mutant))
+
+    report = (
+        f"structure-blind (radamsa-style): {stats}\n"
+        f"  invalid: {100 * stats.rate('invalid'):.1f}%  "
+        f"boring: {100 * stats.rate('boring'):.1f}%  "
+        f"interesting: {100 * stats.rate('interesting'):.1f}%\n"
+        f"alive-mutate: {valid}/{total} valid "
+        f"({100 * valid / total:.1f}%; paper claims 100%)\n"
+    )
+    write_report("radamsa_study.txt", report)
+    print("\n" + report)
+
+    # Paper §II shape: radamsa output is mostly unusable; ours is 100%.
+    assert stats.rate("invalid") > 0.5
+    assert stats.rate("interesting") < 0.25
+    assert valid == total
+
+
+def test_bench_radamsa_mutation_rate(benchmark):
+    """Raw byte-mutation speed (for context in the study writeup)."""
+    from repro.fuzz.radamsa import radamsa_mutate
+
+    _, text = generate_corpus(2, seed=11)[0]
+    counter = iter(range(10**9))
+
+    def mutate_once():
+        radamsa_mutate(text, next(counter))
+
+    benchmark(mutate_once)

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""The paper's repeatability workflow (§III-E).
+
+    "In a typical workflow, we run alive-mutate without saving files, to
+     make fuzzing as fast as possible.  Then, when an error is
+     discovered, we re-run with the same seed but with file-saving turned
+     on, in order to capture the IR file that triggers whatever bug had
+     been previously encountered."
+
+This example does exactly that: a fast first pass with no disk I/O, then
+a replay of only the failing seed with saving enabled, then a
+delta-style shrink of the mutation count to the smallest set that still
+reproduces the finding.
+
+Run:  python examples/bug_replay.py
+"""
+
+import os
+import tempfile
+
+from repro.fuzz import FuzzConfig, FuzzDriver
+from repro.ir import parse_module, print_module
+from repro.mutate import MutatorConfig
+from repro.tv import RefinementConfig
+
+SEED_TEST = """
+define i32 @clamp101(i32 %x, i32 %y) {
+  %c = icmp ult i32 %x, 100
+  %r = select i1 %c, i32 %x, i32 101
+  %s = add i32 %r, %y
+  ret i32 %s
+}
+"""
+
+BUG = "53252"  # Table I: canonicalizeClampLike predicate bug
+
+
+def make_driver(save_dir=None):
+    return FuzzDriver(
+        parse_module(SEED_TEST, "clamp101.ll"),
+        FuzzConfig(pipeline="O2",
+                   enabled_bugs=(BUG,),
+                   mutator=MutatorConfig(max_mutations=3),
+                   tv=RefinementConfig(max_inputs=24),
+                   save_dir=save_dir),
+        file_name="clamp101.ll")
+
+
+def main():
+    # Phase 1: fast fuzzing, nothing written to disk.
+    print("phase 1: fuzzing with file-saving OFF (the fast path)...")
+    driver = make_driver()
+    report = driver.run(iterations=400)
+    print(f"  {report.summary()}")
+    if not report.findings:
+        print("  no finding; increase the iteration budget")
+        return
+    finding = report.findings[0]
+    print(f"  first finding: {finding.summary()}")
+
+    # Phase 2: replay only that seed with saving enabled.
+    print(f"\nphase 2: replaying seed {finding.seed} with saving ON...")
+    with tempfile.TemporaryDirectory() as save_dir:
+        replay_driver = make_driver(save_dir=save_dir)
+        replayed = replay_driver.run_one(finding.seed)
+        assert replayed, "replay must reproduce the finding"
+        saved = os.listdir(save_dir)
+        print(f"  reproduced: {replayed[0].summary()}")
+        print(f"  captured mutant file: {saved[0]}")
+        with open(os.path.join(save_dir, saved[0])) as stream:
+            print("\n" + stream.read())
+
+    # Phase 3: reduce — shrink the captured mutant with delta debugging
+    # while the miscompilation keeps reproducing.
+    print("phase 3: reducing the captured mutant...")
+    from repro.fuzz import reduce_module
+    from repro.opt import OptContext, OptimizerCrash, PassManager
+    from repro.tv import Verdict, check_refinement
+
+    mutant = driver.recreate(finding.seed)
+
+    def still_miscompiled(candidate):
+        optimized = candidate.clone()
+        try:
+            PassManager(["O2"], OptContext({BUG})).run(optimized)
+        except OptimizerCrash:
+            return False
+        source = candidate.get_function("clamp101")
+        target = optimized.get_function("clamp101")
+        if source is None or target is None or target.is_declaration():
+            return False
+        verdict = check_refinement(
+            source, target, candidate, optimized,
+            RefinementConfig(max_inputs=24)).verdict
+        return verdict == Verdict.UNSOUND
+
+    result = reduce_module(mutant, still_miscompiled)
+    print(f"  {result.summary()}")
+    print("\nminimal reproducer:")
+    print(print_module(result.module))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Fuzzing your own optimization pass — the downstream-user story.
+
+The paper's workflow applies to out-of-tree passes too ("this can be a
+sequence of built-in passes, an out-of-tree pass loaded from a shared
+library...", §III-C).  This example writes a small peephole pass with a
+deliberate poison-flag bug, registers it, and lets alive-mutate find the
+bug; then it fixes the pass and shows the campaign come back clean.
+
+Run:  python examples/custom_pass.py
+"""
+
+from repro.fuzz import FuzzConfig, FuzzDriver
+from repro.ir import BinaryOperator, ConstantInt, parse_module
+from repro.mutate import MutatorConfig
+from repro.opt import FunctionPass, register_pass
+from repro.tv import RefinementConfig
+
+
+@register_pass("my-shrink-adds")
+class ShrinkAddChains(FunctionPass):
+    """(x + C1) + C2  ->  x + (C1 + C2).
+
+    BUG (for demonstration): the rewritten add keeps the outer add's nsw
+    flag.  The combined constant can overflow differently, so the folded
+    add may be poison where the original chain was well-defined.
+    """
+
+    keep_flags = True  # flip to False for the fixed version
+
+    def run_on_function(self, function, ctx):
+        changed = False
+        for block in function.blocks:
+            for inst in list(block.instructions):
+                if not (isinstance(inst, BinaryOperator)
+                        and inst.opcode == "add"
+                        and isinstance(inst.rhs, ConstantInt)):
+                    continue
+                inner = inst.lhs
+                if not (isinstance(inner, BinaryOperator)
+                        and inner.opcode == "add"
+                        and inner.num_uses() == 1
+                        and isinstance(inner.rhs, ConstantInt)):
+                    continue
+                total = (inner.rhs.value + inst.rhs.value) & inst.type.mask
+                inst.set_operand(0, inner.lhs)
+                inst.set_operand(1, ConstantInt(inst.type, total))
+                if not self.keep_flags:
+                    inst.nuw = inst.nsw = False
+                inner.erase_from_parent()
+                changed = True
+        return changed
+
+
+# The seed chain carries no flags, so the pass's rewrite is sound on the
+# unmutated test — LLVM's own regression suite would pass.  The bug only
+# shows once a mutant toggles nsw onto the outer add (paper §IV-E), which
+# is exactly the corner the flag-toggling mutation explores.
+SEED = """
+define i8 @chain(i8 %x) {
+  %a = add i8 %x, 100
+  %b = add i8 %a, 100
+  ret i8 %b
+}
+"""
+
+
+def fuzz_the_pass(label):
+    driver = FuzzDriver(
+        parse_module(SEED, "chain.ll"),
+        FuzzConfig(pipeline="my-shrink-adds",
+                   mutator=MutatorConfig(max_mutations=2),
+                   tv=RefinementConfig(max_inputs=32)),
+        file_name="chain.ll")
+    report = driver.run(iterations=150)
+    print(f"{label}: {report.summary()}")
+    for finding in report.findings[:2]:
+        print(f"  {finding.summary()}")
+        print(f"    {finding.detail}")
+    return report
+
+
+def main():
+    print("fuzzing the buggy version of the custom pass...")
+    buggy = fuzz_the_pass("buggy")
+    assert buggy.findings, "the flag bug should be found quickly"
+
+    print("\napplying the fix (drop flags on the folded add)...")
+    ShrinkAddChains.keep_flags = False
+    fixed = fuzz_the_pass("fixed")
+    assert not fixed.findings, "the fixed pass must verify everywhere"
+    print("\nthe fixed pass survives the same fuzzing budget — ship it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure 1 flow, end to end.
+
+1. Parse one of "LLVM's" unit tests (Listing 1).
+2. Mutate it (Listing 2's neighborhood) with the alive-mutate engine.
+3. Optimize the mutant.
+4. Translation-validate: optimized-vs-mutant refinement.
+
+With a clean optimizer every mutant verifies.  To see a *bug* get
+caught, the script then re-optimizes one mutant with the seeded version
+of LLVM issue 53252 (the real canonicalizeClampLike miscompilation from
+Table I) enabled, and prints the counterexample the validator produces.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.ir import parse_module, print_module
+from repro.mutate import Mutator, MutatorConfig
+from repro.opt import OptContext, PassManager
+from repro.tv import RefinementConfig, Verdict, check_refinement
+
+# Listing 1 of the paper: a real InstCombine unit test.
+LISTING_1 = """
+define i32 @t1_ult_slt_0(i32 %x, i32 %low, i32 %high) {
+  %t0 = icmp slt i32 %x, -16
+  %t1 = select i1 %t0, i32 %low, i32 %high
+  %t2 = add i32 %x, 16
+  %t3 = icmp ult i32 %t2, 144
+  %r = select i1 %t3, i32 %x, i32 %t1
+  ret i32 %r
+}
+"""
+
+
+# A test that comes *close* to bug 53252's trigger but misses it — the
+# select's false arm is 101 where the clamp shape needs 100.  This is the
+# paper's core hypothesis verbatim: "it is a fairly common occurrence for
+# an existing test case to come close to triggering a bug, but to miss
+# the mark somehow".  One constant-replacement mutation closes the gap.
+NEAR_MISS = """
+define i32 @clamp101(i32 %x) {
+  %c = icmp ult i32 %x, 100
+  %r = select i1 %c, i32 %x, i32 101
+  ret i32 %r
+}
+"""
+
+
+def mutate_optimize_verify(module, seed, enabled_bugs=()):
+    """One iteration of the paper's core loop (Figure 3)."""
+    mutator = Mutator(module, MutatorConfig(max_mutations=3))
+    mutant, record = mutator.create_mutant(seed)
+
+    optimized = mutant.clone()
+    ctx = OptContext(enabled_bugs)
+    PassManager(["O2"], ctx).run(optimized)
+
+    function_name = module.definitions()[0].name
+    result = check_refinement(
+        mutant.get_function(function_name),
+        optimized.get_function(function_name),
+        mutant, optimized,
+        RefinementConfig(max_inputs=32),
+    )
+    return mutant, optimized, record, result
+
+
+def main():
+    module = parse_module(LISTING_1)
+    print("=== original test (paper Listing 1) ===")
+    print(print_module(module))
+
+    print("=== mutants through a CLEAN optimizer ===")
+    for seed in range(5):
+        mutant, _, record, result = mutate_optimize_verify(module, seed)
+        print(f"seed {seed}: {record.describe():60s} -> {result.verdict.value}")
+
+    print()
+    print("=== one mutant, shown in full (compare with Listing 2) ===")
+    mutant, optimized, record, result = mutate_optimize_verify(module, 3)
+    print(print_module(mutant))
+
+    print("=== hunting a real Table-I bug (seeded LLVM issue 53252) ===")
+    print("(canonicalizeClampLike 'didn't update predicate')")
+    print("seed test: one constant away from the buggy pattern\n")
+    near_miss = parse_module(NEAR_MISS)
+    print(print_module(near_miss))
+    found = False
+    for seed in range(200):
+        mutant, optimized, record, result = mutate_optimize_verify(
+            near_miss, seed, enabled_bugs=("53252",))
+        if result.verdict == Verdict.UNSOUND:
+            found = True
+            print(f"caught at seed {seed} after mutations: {record.describe()}")
+            print("\n--- mutant (the fuzzer's input to the optimizer) ---")
+            print(print_module(mutant))
+            print("--- miscompiled output ---")
+            print(print_module(optimized))
+            print("--- the validator's counterexample ---")
+            print(result.counterexample)
+            break
+    if not found:
+        print("no finding in 200 mutants (unexpected; try more seeds)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""The paper's throughput experiment (§V-B) at example scale.
+
+For each corpus file, the same seeded mutation-testing workload runs two
+ways — the integrated in-process loop vs. discrete tools communicating
+through files and processes — and the per-file speedups are printed in
+the artifact's res.txt format (paper Listing 20).
+
+Run:  python examples/throughput_experiment.py [files] [mutants_per_file]
+"""
+
+import sys
+
+from repro.fuzz import ThroughputConfig, generate_corpus, \
+    run_throughput_experiment
+
+
+def main():
+    files = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else 25
+
+    corpus = generate_corpus(files, seed=42)
+    print(f"measuring {files} files x {count} mutants per workflow "
+          f"(paper: 194 files x 1000 mutants)...\n")
+
+    report = run_throughput_experiment(
+        corpus, ThroughputConfig(count=count, max_inputs=8))
+
+    print(report.render_res_txt())
+    print(f"average speedup: {report.average_perf:.1f}x   (paper: ~12x)")
+    print(f"best speedup:    {report.best_perf:.1f}x   (paper: 786x)")
+    print(f"worst speedup:   {report.worst_perf:.2f}x   (paper: ~1.01x)")
+    print("\n(the absolute ratios differ from the paper's C++ setting; the"
+          "\n shape matches: in-process wins everywhere, and the most"
+          "\n verification-bound file shows the smallest speedup)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro: a reproduction of "High-Throughput, Formal-Methods-Assisted
+Fuzzing for LLVM" (Fan & Regehr, CGO 2024) as a self-contained Python
+library.
+
+Subpackages
+-----------
+``repro.ir``       -- LLVM-like IR: types, SSA values, parser, printer,
+                      verifier.
+``repro.analysis`` -- dominators, the two-level mutant overlay, known bits.
+``repro.opt``      -- pass manager, InstCombine-style passes, seeded bugs.
+``repro.tv``       -- bounded translation validation (the Alive2 analog).
+``repro.mutate``   -- the alive-mutate mutation engine (the contribution).
+``repro.fuzz``     -- in-process/discrete fuzzing harnesses + experiments.
+``repro.cli``      -- alive-mutate / repro-opt / alive-tv command lines.
+
+Quick start
+-----------
+>>> from repro.fuzz import FuzzDriver
+>>> driver = FuzzDriver.from_text(open("test.ll").read())
+>>> report = driver.run(iterations=100)
+>>> print(report.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

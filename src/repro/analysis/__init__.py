@@ -1,0 +1,8 @@
+"""Analyses over the IR: CFG, dominance, overlays, value tracking."""
+
+from .cfg import (postorder, predecessor_map, reachable_blocks,
+                  reverse_postorder)
+from .domtree import DominatorTree
+
+__all__ = ["postorder", "predecessor_map", "reachable_blocks",
+           "reverse_postorder", "DominatorTree"]

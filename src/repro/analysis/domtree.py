@@ -1,0 +1,144 @@
+"""Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+
+The mutation engine's central primitive — "pick a dominating, type-compatible
+SSA value for this program point" (paper §IV-F) — and the verifier's SSA
+check are both built on this analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction, PhiNode
+from ..ir.values import Argument, Constant, Value
+from .cfg import predecessor_map, reverse_postorder
+
+
+class DominatorTree:
+    """Immediate-dominator tree for the reachable part of a function."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self._idom: Dict[int, Optional[BasicBlock]] = {}
+        self._rpo_index: Dict[int, int] = {}
+        self._blocks: List[BasicBlock] = []
+        self._compute()
+
+    def _compute(self) -> None:
+        order = reverse_postorder(self.function)
+        self._blocks = order
+        self._rpo_index = {id(block): i for i, block in enumerate(order)}
+        if not order:
+            return
+        preds = predecessor_map(self.function)
+        entry = order[0]
+        idom: Dict[int, BasicBlock] = {id(entry): entry}
+        changed = True
+        while changed:
+            changed = False
+            for block in order[1:]:
+                new_idom: Optional[BasicBlock] = None
+                for pred in preds[id(block)]:
+                    if id(pred) not in self._rpo_index:
+                        continue  # unreachable predecessor
+                    if id(pred) not in idom:
+                        continue  # not processed yet this round
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = self._intersect(pred, new_idom, idom)
+                if new_idom is not None and idom.get(id(block)) is not new_idom:
+                    idom[id(block)] = new_idom
+                    changed = True
+        self._idom = {}
+        for block in order:
+            if block is entry:
+                self._idom[id(block)] = None
+            else:
+                self._idom[id(block)] = idom.get(id(block))
+
+    def _intersect(self, a: BasicBlock, b: BasicBlock,
+                   idom: Dict[int, BasicBlock]) -> BasicBlock:
+        index = self._rpo_index
+        while a is not b:
+            while index[id(a)] > index[id(b)]:
+                a = idom[id(a)]
+            while index[id(b)] > index[id(a)]:
+                b = idom[id(b)]
+        return a
+
+    # -- queries ---------------------------------------------------------------
+
+    def is_reachable(self, block: BasicBlock) -> bool:
+        return id(block) in self._rpo_index
+
+    def immediate_dominator(self, block: BasicBlock) -> Optional[BasicBlock]:
+        return self._idom.get(id(block))
+
+    def dominates_block(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """Does block ``a`` dominate block ``b``?  (Reflexive.)"""
+        if not self.is_reachable(a) or not self.is_reachable(b):
+            return False
+        runner: Optional[BasicBlock] = b
+        while runner is not None:
+            if runner is a:
+                return True
+            runner = self._idom.get(id(runner))
+        return False
+
+    def strictly_dominates_block(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates_block(a, b)
+
+    def dominates(self, definition: Value, point_block: BasicBlock,
+                  point_index: int) -> bool:
+        """Is ``definition`` available at instruction slot ``point_index`` of
+        ``point_block``?
+
+        Constants and arguments dominate everything.  An instruction
+        dominates points strictly after it in its own block, and every point
+        in blocks its block strictly dominates.
+        """
+        if isinstance(definition, (Constant, Argument)):
+            return True
+        if isinstance(definition, Instruction):
+            def_block = definition.parent
+            if def_block is None:
+                return False
+            if def_block is point_block:
+                return def_block.index_of(definition) < point_index
+            return self.strictly_dominates_block(def_block, point_block)
+        return False
+
+    def dominates_use(self, definition: Value, user: Instruction,
+                      operand_index: int) -> bool:
+        """SSA validity for one use: does the def dominate the use?
+
+        Phi uses are checked at the end of the corresponding incoming block.
+        """
+        use_block = user.parent
+        if use_block is None:
+            return False
+        if isinstance(user, PhiNode) and operand_index % 2 == 0:
+            incoming_block = user.operands[operand_index + 1]
+            if not isinstance(incoming_block, BasicBlock):
+                return False
+            return self.dominates(definition, incoming_block,
+                                  len(incoming_block.instructions))
+        return self.dominates(definition, use_block, use_block.index_of(user))
+
+    def children(self, block: BasicBlock) -> List[BasicBlock]:
+        return [b for b in self._blocks
+                if self._idom.get(id(b)) is block]
+
+    def dominance_depth(self, block: BasicBlock) -> int:
+        depth = 0
+        runner = self._idom.get(id(block))
+        while runner is not None:
+            depth += 1
+            runner = self._idom.get(id(runner))
+        return depth
+
+    def blocks_in_rpo(self) -> List[BasicBlock]:
+        return list(self._blocks)

@@ -1,0 +1,367 @@
+"""KnownBits and related value tracking, modeled on LLVM's ValueTracking.
+
+The InstCombine-style peephole rules use this to justify transforms
+("the top bits are known zero, so this zext-of-trunc is a no-op").
+Soundness of this analysis is property-tested against the concrete
+interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.instructions import (BinaryOperator, CallInst, CastInst, FreezeInst,
+                               ICmpInst, Instruction, PhiNode, SelectInst)
+from ..ir.types import IntType
+from ..ir.values import Argument, ConstantInt, PoisonValue, UndefValue, Value
+
+MAX_DEPTH = 6
+
+
+@dataclass
+class KnownBits:
+    """Bit-level facts: ``zero`` has a 1 where the bit is known 0, ``one``
+    where it is known 1.  ``zero & one == 0`` always holds."""
+
+    width: int
+    zero: int = 0
+    one: int = 0
+
+    def __post_init__(self) -> None:
+        mask = (1 << self.width) - 1
+        self.zero &= mask
+        self.one &= mask
+        if self.zero & self.one:
+            raise ValueError("conflicting known bits")
+
+    @classmethod
+    def unknown(cls, width: int) -> "KnownBits":
+        return cls(width)
+
+    @classmethod
+    def constant(cls, width: int, value: int) -> "KnownBits":
+        mask = (1 << width) - 1
+        value &= mask
+        return cls(width, zero=~value & mask, one=value)
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    def is_constant(self) -> bool:
+        return (self.zero | self.one) == self.mask
+
+    def constant_value(self) -> int:
+        if not self.is_constant():
+            raise ValueError("bits not fully known")
+        return self.one
+
+    def is_known_zero(self) -> bool:
+        return self.zero == self.mask
+
+    def is_non_zero(self) -> bool:
+        return self.one != 0
+
+    def is_non_negative(self) -> bool:
+        return bool(self.zero >> (self.width - 1))
+
+    def is_negative(self) -> bool:
+        return bool(self.one >> (self.width - 1))
+
+    def min_unsigned(self) -> int:
+        return self.one
+
+    def max_unsigned(self) -> int:
+        return self.mask & ~self.zero
+
+    def admits(self, value: int) -> bool:
+        """Does a concrete value agree with these known bits?"""
+        value &= self.mask
+        return (value & self.zero) == 0 and (value & self.one) == self.one
+
+    def count_leading_known_zeros(self) -> int:
+        count = 0
+        for bit in range(self.width - 1, -1, -1):
+            if self.zero >> bit & 1:
+                count += 1
+            else:
+                break
+        return count
+
+    def __and__(self, other: "KnownBits") -> "KnownBits":
+        return KnownBits(self.width,
+                         zero=self.zero | other.zero,
+                         one=self.one & other.one)
+
+    def __or__(self, other: "KnownBits") -> "KnownBits":
+        return KnownBits(self.width,
+                         zero=self.zero & other.zero,
+                         one=self.one | other.one)
+
+    def __xor__(self, other: "KnownBits") -> "KnownBits":
+        known = (self.zero | self.one) & (other.zero | other.one)
+        ones = (self.one ^ other.one) & known
+        return KnownBits(self.width, zero=known & ~ones, one=ones)
+
+    def intersect(self, other: "KnownBits") -> "KnownBits":
+        """Facts true on both paths (for select/phi merging)."""
+        return KnownBits(self.width,
+                         zero=self.zero & other.zero,
+                         one=self.one & other.one)
+
+
+def compute_known_bits(value: Value, depth: int = 0) -> KnownBits:
+    """Conservative known-bits for an integer-typed SSA value."""
+    if not isinstance(value.type, IntType):
+        raise ValueError("known bits only defined for integers")
+    width = value.type.width
+    if isinstance(value, ConstantInt):
+        return KnownBits.constant(width, value.value)
+    if isinstance(value, (UndefValue, PoisonValue)):
+        # Undef/poison may be folded to anything; claim nothing.
+        return KnownBits.unknown(width)
+    if depth >= MAX_DEPTH or not isinstance(value, Instruction):
+        return KnownBits.unknown(width)
+    return _known_bits_instruction(value, depth)
+
+
+def _known_bits_instruction(inst: Instruction, depth: int) -> KnownBits:
+    width = inst.type.width
+    recurse = lambda v: compute_known_bits(v, depth + 1)
+
+    if isinstance(inst, BinaryOperator):
+        opcode = inst.opcode
+        if opcode == "and":
+            return recurse(inst.lhs) & recurse(inst.rhs)
+        if opcode == "or":
+            return recurse(inst.lhs) | recurse(inst.rhs)
+        if opcode == "xor":
+            return recurse(inst.lhs) ^ recurse(inst.rhs)
+        if opcode in ("add", "sub"):
+            return _known_bits_addsub(opcode, recurse(inst.lhs),
+                                      recurse(inst.rhs), width)
+        if opcode == "mul":
+            return _known_bits_mul(recurse(inst.lhs), recurse(inst.rhs), width)
+        if opcode == "shl" and isinstance(inst.rhs, ConstantInt):
+            shift = inst.rhs.value
+            if shift >= width:
+                return KnownBits.unknown(width)  # poison; claim nothing
+            known = recurse(inst.lhs)
+            mask = (1 << width) - 1
+            return KnownBits(width,
+                             zero=((known.zero << shift) | ((1 << shift) - 1)) & mask,
+                             one=(known.one << shift) & mask)
+        if opcode == "lshr" and isinstance(inst.rhs, ConstantInt):
+            shift = inst.rhs.value
+            if shift >= width:
+                return KnownBits.unknown(width)
+            known = recurse(inst.lhs)
+            mask = (1 << width) - 1
+            high_zeros = mask & ~(mask >> shift)
+            return KnownBits(width,
+                             zero=(known.zero >> shift) | high_zeros,
+                             one=known.one >> shift)
+        if opcode == "ashr" and isinstance(inst.rhs, ConstantInt):
+            shift = inst.rhs.value
+            if shift >= width:
+                return KnownBits.unknown(width)
+            known = recurse(inst.lhs)
+            sign_known_zero = bool(known.zero >> (width - 1))
+            sign_known_one = bool(known.one >> (width - 1))
+            mask = (1 << width) - 1
+            zero = known.zero >> shift
+            one = known.one >> shift
+            high = mask & ~(mask >> shift)
+            if sign_known_zero:
+                zero |= high
+            elif sign_known_one:
+                one |= high
+            return KnownBits(width, zero=zero, one=one)
+        if opcode in ("udiv", "urem") and isinstance(inst.rhs, ConstantInt) \
+                and inst.rhs.value != 0:
+            if opcode == "urem":
+                # Result < divisor: high bits above divisor's top bit are 0.
+                divisor = inst.rhs.value
+                top = divisor.bit_length()
+                mask = (1 << width) - 1
+                return KnownBits(width, zero=mask & ~((1 << top) - 1))
+            return KnownBits.unknown(width)
+        return KnownBits.unknown(width)
+
+    if isinstance(inst, CastInst):
+        if inst.opcode == "zext":
+            src = compute_known_bits(inst.value, depth + 1)
+            mask = (1 << width) - 1
+            high = mask & ~src.mask
+            return KnownBits(width, zero=src.zero | high, one=src.one)
+        if inst.opcode == "trunc":
+            src = compute_known_bits(inst.value, depth + 1)
+            mask = (1 << width) - 1
+            return KnownBits(width, zero=src.zero & mask, one=src.one & mask)
+        if inst.opcode == "sext":
+            src = compute_known_bits(inst.value, depth + 1)
+            src_width = src.width
+            mask = (1 << width) - 1
+            high = mask & ~src.mask
+            if src.zero >> (src_width - 1) & 1:
+                return KnownBits(width, zero=src.zero | high, one=src.one)
+            if src.one >> (src_width - 1) & 1:
+                return KnownBits(width, zero=src.zero, one=src.one | high)
+            return KnownBits(width, zero=src.zero & (src.mask >> 1),
+                             one=src.one & (src.mask >> 1))
+        return KnownBits.unknown(width)
+
+    if isinstance(inst, SelectInst):
+        true_known = compute_known_bits(inst.true_value, depth + 1)
+        false_known = compute_known_bits(inst.false_value, depth + 1)
+        return true_known.intersect(false_known)
+
+    if isinstance(inst, FreezeInst) and isinstance(inst.value.type, IntType):
+        # freeze only narrows nondeterminism; facts about the input hold
+        # for non-poison inputs, but a poison input may become anything,
+        # so claim nothing.
+        return KnownBits.unknown(width)
+
+    if isinstance(inst, PhiNode):
+        merged: Optional[KnownBits] = None
+        for incoming_value, _ in inst.incoming():
+            if depth + 1 >= MAX_DEPTH:
+                return KnownBits.unknown(width)
+            known = compute_known_bits(incoming_value, depth + 1)
+            merged = known if merged is None else merged.intersect(known)
+        return merged if merged is not None else KnownBits.unknown(width)
+
+    if isinstance(inst, ICmpInst):
+        return KnownBits.unknown(width)
+
+    if isinstance(inst, CallInst):
+        base = inst.intrinsic_name()
+        if base in ("llvm.umin", "llvm.umax") and len(inst.args) == 2:
+            lhs = compute_known_bits(inst.args[0], depth + 1)
+            rhs = compute_known_bits(inst.args[1], depth + 1)
+            # Common leading bits of both bounds are preserved only in
+            # special cases; keep it simple and sound: intersect.
+            return lhs.intersect(rhs)
+        if base == "llvm.ctpop":
+            top = inst.type.width.bit_length()
+            mask = (1 << width) - 1
+            return KnownBits(width, zero=mask & ~((1 << top) - 1))
+        return KnownBits.unknown(width)
+
+    return KnownBits.unknown(width)
+
+
+def _known_bits_addsub(opcode: str, lhs: KnownBits, rhs: KnownBits,
+                       width: int) -> KnownBits:
+    """Ripple known bits through add/sub from the bottom until uncertain."""
+    mask = (1 << width) - 1
+    if opcode == "sub":
+        # a - b == a + ~b + 1; rewrite rhs and start with carry-in 1.
+        rhs = KnownBits(width, zero=rhs.one, one=rhs.zero)
+        carry = True
+    else:
+        carry = False
+    zero = one = 0
+    carry_known = True
+    for bit in range(width):
+        lhs_known = bool((lhs.zero | lhs.one) >> bit & 1)
+        rhs_known = bool((rhs.zero | rhs.one) >> bit & 1)
+        if not (lhs_known and rhs_known and carry_known):
+            carry_known = False
+            continue
+        lhs_bit = bool(lhs.one >> bit & 1)
+        rhs_bit = bool(rhs.one >> bit & 1)
+        total = int(lhs_bit) + int(rhs_bit) + int(carry)
+        if total & 1:
+            one |= 1 << bit
+        else:
+            zero |= 1 << bit
+        carry = total >= 2
+    return KnownBits(width, zero=zero & mask, one=one & mask)
+
+
+def _known_bits_mul(lhs: KnownBits, rhs: KnownBits, width: int) -> KnownBits:
+    """Low-bit tracking: trailing zeros add; a fully-known product folds."""
+    if lhs.is_constant() and rhs.is_constant():
+        return KnownBits.constant(width, lhs.constant_value() * rhs.constant_value())
+    trailing = _trailing_known_zeros(lhs) + _trailing_known_zeros(rhs)
+    trailing = min(trailing, width)
+    return KnownBits(width, zero=(1 << trailing) - 1)
+
+
+def _trailing_known_zeros(known: KnownBits) -> int:
+    count = 0
+    for bit in range(known.width):
+        if known.zero >> bit & 1:
+            count += 1
+        else:
+            break
+    return count
+
+
+# -- derived predicates -------------------------------------------------------
+
+
+def is_known_non_zero(value: Value, depth: int = 0) -> bool:
+    if isinstance(value, ConstantInt):
+        return value.value != 0
+    if not isinstance(value.type, IntType):
+        return False
+    known = compute_known_bits(value, depth)
+    if known.is_non_zero():
+        return True
+    if isinstance(value, BinaryOperator) and value.opcode == "or":
+        return (is_known_non_zero(value.lhs, depth + 1)
+                or is_known_non_zero(value.rhs, depth + 1))
+    return False
+
+
+def is_known_non_negative(value: Value, depth: int = 0) -> bool:
+    if not isinstance(value.type, IntType):
+        return False
+    if isinstance(value, CastInst) and value.opcode == "zext":
+        return True
+    return compute_known_bits(value, depth).is_non_negative()
+
+
+def compute_num_sign_bits(value: Value, depth: int = 0) -> int:
+    """Lower bound on the number of identical top (sign) bits."""
+    if not isinstance(value.type, IntType):
+        return 1
+    width = value.type.width
+    if isinstance(value, ConstantInt):
+        signed = value.signed_value()
+        if signed < 0:
+            signed = ~signed
+        return width - signed.bit_length()
+    if depth >= MAX_DEPTH or not isinstance(value, Instruction):
+        return 1
+    if isinstance(value, CastInst):
+        if value.opcode == "sext":
+            gained = width - value.src_type.width
+            return gained + compute_num_sign_bits(value.value, depth + 1)
+        if value.opcode == "zext":
+            gained = width - value.src_type.width
+            return max(1, gained)
+        return 1
+    if isinstance(value, BinaryOperator) and value.opcode == "ashr" \
+            and isinstance(value.rhs, ConstantInt) and value.rhs.value < width:
+        base = compute_num_sign_bits(value.lhs, depth + 1)
+        return min(width, base + value.rhs.value)
+    if isinstance(value, SelectInst):
+        return min(compute_num_sign_bits(value.true_value, depth + 1),
+                   compute_num_sign_bits(value.false_value, depth + 1))
+    known = compute_known_bits(value, depth)
+    count = 1
+    top = width - 1
+    if known.zero >> top & 1:
+        count = known.count_leading_known_zeros()
+    elif known.one >> top & 1:
+        count = 0
+        for bit in range(width - 1, -1, -1):
+            if known.one >> bit & 1:
+                count += 1
+            else:
+                break
+    return max(1, count)

@@ -1,0 +1,67 @@
+"""SSA use trees and root-to-leaf paths (paper §IV-H, Figures 4 and 5).
+
+The bitwidth-change mutation picks a *path* through a value's use tree —
+rather than the whole tree — and re-creates just the instructions on that
+path at a new width, truncating/extending at the frontier.  Only fully
+bitwidth-polymorphic instructions are eligible to be on a path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir.function import Function
+from ..ir.instructions import (BITWIDTH_POLYMORPHIC_OPCODES, BinaryOperator,
+                               Instruction)
+from ..ir.types import IntType
+from ..ir.values import Value
+
+
+def is_width_polymorphic(inst: Instruction) -> bool:
+    """Can this instruction be re-created at any integer width?"""
+    return (isinstance(inst, BinaryOperator)
+            and inst.opcode in BITWIDTH_POLYMORPHIC_OPCODES
+            and isinstance(inst.type, IntType))
+
+
+def polymorphic_users(value: Value) -> List[Instruction]:
+    """Width-polymorphic instructions that use ``value`` directly."""
+    result = []
+    seen = set()
+    for use in value.uses:
+        user = use.user
+        if isinstance(user, Instruction) and is_width_polymorphic(user):
+            if id(user) not in seen:
+                seen.add(id(user))
+                result.append(user)
+    return result
+
+
+def use_path_from(root: Instruction, choose) -> List[Instruction]:
+    """A root-to-leaf path through width-polymorphic users.
+
+    ``choose(candidates)`` picks the next hop (injected so the mutation
+    engine can drive it from its seeded PRNG).  The path starts at ``root``
+    and extends while some user of the current node is width-polymorphic,
+    stopping at a leaf (a node none of whose users are eligible).
+    """
+    if not is_width_polymorphic(root):
+        return []
+    path = [root]
+    on_path = {id(root)}
+    current: Instruction = root
+    while True:
+        candidates = [user for user in polymorphic_users(current)
+                      if id(user) not in on_path]
+        if not candidates:
+            return path
+        nxt = choose(candidates)
+        path.append(nxt)
+        on_path.add(id(nxt))
+        current = nxt
+
+
+def width_change_roots(function: Function) -> List[Instruction]:
+    """All instructions eligible as roots of a bitwidth-change path."""
+    return [inst for inst in function.instructions()
+            if is_width_polymorphic(inst)]

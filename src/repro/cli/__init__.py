@@ -1,0 +1,1 @@
+"""Command-line tools: alive-mutate, repro-opt, alive-tv."""

@@ -1,0 +1,122 @@
+"""The ``alive-mutate`` command-line tool.
+
+Default mode runs the integrated in-process fuzzing loop of the paper:
+mutate, optimize, and translation-validate inside one process.
+
+``--mutate-only`` runs just the mutation stage and writes the mutant to a
+file — the standalone-mutator configuration used as stage 1 of the
+discrete-tools baseline in the throughput experiment (§V-B).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..fuzz.driver import FuzzConfig, FuzzDriver
+from ..ir.bitcode import BitcodeError, load_module_file, write_bitcode
+from ..ir.parser import ParseError, parse_module
+from ..ir.printer import print_module
+from ..mutate import Mutator, MutatorConfig
+from ..tv import RefinementConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="alive-mutate",
+        description="mutation-based fuzzing for the LLVM-like IR with "
+                    "integrated translation validation")
+    parser.add_argument("input", help="input .ll file")
+    parser.add_argument("-n", "--num-mutants", type=int, default=10,
+                        help="number of mutants to generate (default 10)")
+    parser.add_argument("-t", "--time", type=float, default=None,
+                        help="time budget in seconds (overrides -n)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base PRNG seed (mutant i uses seed base+i)")
+    parser.add_argument("--passes", default="O2",
+                        help="pipeline or comma-separated pass list "
+                             "(default O2)")
+    parser.add_argument("--save-dir", default=None,
+                        help="directory for saving mutants")
+    parser.add_argument("--saveAll", action="store_true",
+                        help="save every mutant, not only failing ones")
+    parser.add_argument("--enable-bug", action="append", default=[],
+                        metavar="ID", help="enable a seeded bug by issue id")
+    parser.add_argument("--max-mutations", type=int, default=3,
+                        help="max mutations applied per function")
+    parser.add_argument("--max-inputs", type=int, default=24,
+                        help="inputs per refinement check")
+    parser.add_argument("--log", default=None, help="findings log (JSONL)")
+    parser.add_argument("--mutate-only", action="store_true",
+                        help="generate one mutant and exit (discrete mode)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output file for --mutate-only")
+    parser.add_argument("--emit-bitcode", action="store_true",
+                        help="write the mutant in the compact binary format")
+    parser.add_argument("--verify-mutants", action="store_true",
+                        help="run the IR verifier on every mutant")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        module = load_module_file(args.input)
+    except OSError as exc:
+        print(f"alive-mutate: cannot read {args.input}: {exc}",
+              file=sys.stderr)
+        return 2
+    except (ParseError, BitcodeError) as exc:
+        print(f"alive-mutate: cannot load module: {exc}", file=sys.stderr)
+        return 2
+
+    mutator_config = MutatorConfig(max_mutations=args.max_mutations,
+                                   verify_mutants=args.verify_mutants)
+
+    if args.mutate_only:
+        mutator = Mutator(module, mutator_config)
+        mutant, record = mutator.create_mutant(args.seed)
+        if args.emit_bitcode:
+            if not args.output:
+                print("alive-mutate: --emit-bitcode requires -o",
+                      file=sys.stderr)
+                return 2
+            with open(args.output, "wb") as stream:
+                stream.write(write_bitcode(mutant))
+            return 0
+        output = print_module(mutant)
+        if args.output:
+            with open(args.output, "w") as stream:
+                stream.write(output)
+        else:
+            sys.stdout.write(output)
+        return 0
+
+    config = FuzzConfig(
+        pipeline=args.passes,
+        enabled_bugs=tuple(args.enable_bug),
+        mutator=mutator_config,
+        tv=RefinementConfig(max_inputs=args.max_inputs),
+        base_seed=args.seed,
+        save_dir=args.save_dir,
+        save_all=args.saveAll and args.save_dir is not None,
+        log_path=args.log,
+    )
+    driver = FuzzDriver(module, config, file_name=args.input)
+    for name, reason in driver.report.dropped_functions.items():
+        print(f"alive-mutate: dropping @{name}: {reason}", file=sys.stderr)
+    if not driver.target_functions:
+        print("alive-mutate: no processable functions", file=sys.stderr)
+        return 2
+    report = driver.run(
+        iterations=None if args.time is not None else args.num_mutants,
+        time_budget=args.time)
+    print(report.summary())
+    for finding in report.findings:
+        print("  " + finding.summary())
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

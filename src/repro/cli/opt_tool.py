@@ -1,0 +1,69 @@
+"""The ``repro-opt`` command-line tool (the standalone ``opt`` analog).
+
+Stage 2 of the discrete-tools baseline: parse a file, run a pass
+pipeline, print the result.  A seeded crash bug terminates the process
+with a nonzero exit code, like an assertion failure in ``opt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..ir.bitcode import BitcodeError, load_module_file
+from ..ir.parser import ParseError, parse_module
+from ..ir.printer import print_module
+from ..opt import OptContext, OptimizerCrash, PassManager, available_passes
+from ..opt.pipelines import available_pipelines
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-opt",
+        description="run optimization passes over a .ll file")
+    parser.add_argument("input", help="input .ll file")
+    parser.add_argument("-p", "--passes", default="O2",
+                        help="pipeline name or comma-separated pass list")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output file (default stdout)")
+    parser.add_argument("--enable-bug", action="append", default=[],
+                        metavar="ID", help="enable a seeded bug by issue id")
+    parser.add_argument("--list-passes", action="store_true",
+                        help="list passes and pipelines, then exit")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-pass statistics to stderr")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_passes:
+        print("passes:", ", ".join(available_passes()))
+        print("pipelines:", ", ".join(available_pipelines()))
+        return 0
+    try:
+        module = load_module_file(args.input)
+    except (OSError, ParseError, BitcodeError) as exc:
+        print(f"repro-opt: {exc}", file=sys.stderr)
+        return 2
+    ctx = OptContext(args.enable_bug)
+    try:
+        PassManager([args.passes], ctx).run(module)
+    except OptimizerCrash as exc:
+        print(f"repro-opt: optimizer crashed: {exc}", file=sys.stderr)
+        return 134  # SIGABRT-like, as an assertion failure would exit
+    if args.stats:
+        for stat, count in sorted(ctx.stats.items()):
+            print(f"{count:8d} {stat}", file=sys.stderr)
+    output = print_module(module)
+    if args.output:
+        with open(args.output, "w") as stream:
+            stream.write(output)
+    else:
+        sys.stdout.write(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

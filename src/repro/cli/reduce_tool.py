@@ -1,0 +1,108 @@
+"""The ``alive-reduce`` command-line tool.
+
+Shrinks a failing module while its finding keeps reproducing: either an
+optimizer crash (``--expect crash``) or a translation-validation failure
+(``--expect miscompilation``) under the given pipeline and seeded bugs.
+The llvm-reduce analog for the replay workflow's captured mutants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..fuzz.reduce import reduce_module
+from ..ir.bitcode import BitcodeError, load_module_file
+from ..ir.parser import ParseError
+from ..ir.printer import print_module
+from ..opt import OptContext, OptimizerCrash, PassManager
+from ..tv import RefinementConfig, Verdict, check_refinement
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="alive-reduce",
+        description="shrink a failing module while the bug reproduces")
+    parser.add_argument("input", help="failing .ll/.bc file")
+    parser.add_argument("-o", "--output", default=None,
+                        help="reduced output file (default stdout)")
+    parser.add_argument("-p", "--passes", default="O2",
+                        help="pipeline used to reproduce the failure")
+    parser.add_argument("--enable-bug", action="append", default=[],
+                        metavar="ID", help="seeded bug id(s) to enable")
+    parser.add_argument("--expect", choices=["crash", "miscompilation"],
+                        default="miscompilation",
+                        help="failure kind to preserve while reducing")
+    parser.add_argument("--function", default=None,
+                        help="function to validate (miscompilation mode; "
+                             "default: every definition)")
+    parser.add_argument("--max-inputs", type=int, default=24,
+                        help="inputs per refinement check")
+    parser.add_argument("--max-rounds", type=int, default=12)
+    parser.add_argument("-q", "--quiet", action="store_true")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        module = load_module_file(args.input)
+    except (OSError, ParseError, BitcodeError) as exc:
+        print(f"alive-reduce: {exc}", file=sys.stderr)
+        return 2
+
+    def optimize(candidate):
+        optimized = candidate.clone()
+        PassManager([args.passes], OptContext(args.enable_bug)).run(optimized)
+        return optimized
+
+    if args.expect == "crash":
+        def is_interesting(candidate) -> bool:
+            try:
+                optimize(candidate)
+            except OptimizerCrash:
+                return True
+            return False
+    else:
+        config = RefinementConfig(max_inputs=args.max_inputs)
+
+        def is_interesting(candidate) -> bool:
+            try:
+                optimized = optimize(candidate)
+            except OptimizerCrash:
+                return False
+            names = ([args.function] if args.function
+                     else [f.name for f in candidate.definitions()])
+            for name in names:
+                source = candidate.get_function(name)
+                target = optimized.get_function(name)
+                if source is None or target is None \
+                        or target.is_declaration():
+                    continue
+                result = check_refinement(source, target, candidate,
+                                          optimized, config)
+                if result.verdict == Verdict.UNSOUND:
+                    return True
+            return False
+
+    if not is_interesting(module):
+        print("alive-reduce: the input does not reproduce the expected "
+              "failure", file=sys.stderr)
+        return 2
+
+    result = reduce_module(module, is_interesting,
+                           max_rounds=args.max_rounds)
+    if not args.quiet:
+        print(f"alive-reduce: {result.summary()}", file=sys.stderr)
+    output = print_module(result.module)
+    if args.output:
+        with open(args.output, "w") as stream:
+            stream.write(output)
+    else:
+        sys.stdout.write(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Fuzzing harnesses: in-process driver, discrete baseline, corpus,
+radamsa study, bug campaign, and the throughput experiment."""
+
+from .campaign import (BugOutcome, CampaignConfig, CampaignReport,
+                       run_campaign)
+from .corpus import (ARCHETYPES, corpus_modules, generate_corpus,
+                     generate_large_corpus)
+from .discrete import DiscreteConfig, DiscreteReport, run_discrete_workflow
+from .driver import FuzzConfig, FuzzDriver, FuzzReport, StageTimings
+from .findings import CRASH, MISCOMPILATION, BugLog, Finding
+from .radamsa import (BORING, INTERESTING, INVALID, ValidityStats,
+                      classify_mutant, radamsa_mutate, run_validity_study)
+from .reduce import ReductionResult, reduce_module
+from .throughput import (FileTiming, ThroughputConfig, ThroughputReport,
+                         run_throughput_experiment)
+
+__all__ = [
+    "BugOutcome", "CampaignConfig", "CampaignReport", "run_campaign",
+    "ARCHETYPES", "corpus_modules", "generate_corpus",
+    "generate_large_corpus",
+    "DiscreteConfig", "DiscreteReport", "run_discrete_workflow",
+    "FuzzConfig", "FuzzDriver", "FuzzReport", "StageTimings",
+    "CRASH", "MISCOMPILATION", "BugLog", "Finding",
+    "BORING", "INTERESTING", "INVALID", "ValidityStats", "classify_mutant",
+    "radamsa_mutate", "run_validity_study",
+    "ReductionResult", "reduce_module",
+    "FileTiming", "ThroughputConfig", "ThroughputReport",
+    "run_throughput_experiment",
+]

@@ -1,0 +1,158 @@
+"""The bug-finding campaign (paper §V-A, Table I).
+
+Enables the full seeded-bug registry, fuzzes a corpus with the in-process
+driver, attributes findings to seeded bugs, and renders a Table-I-style
+report: issue id, component, status, type, description, plus whether (and
+after how many iterations) the campaign rediscovered each bug.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.parser import ParseError, parse_module
+from ..mutate import MutatorConfig
+from ..opt.bugs import SeededBug, all_bug_ids, all_bugs
+from ..tv import RefinementConfig
+from .corpus import generate_corpus
+from .driver import FuzzConfig, FuzzDriver
+from .findings import Finding
+
+
+@dataclass
+class CampaignConfig:
+    corpus_size: int = 48
+    corpus_seed: int = 0
+    mutants_per_file: int = 60
+    # The paper ran two campaigns: LLVM's middle-end via -O2, and the
+    # AArch64 backend (our codegen pass).  Each file is fuzzed under every
+    # pipeline listed here.
+    pipelines: Sequence[str] = ("O2", "backend", "O2+backend")
+    base_seed: int = 0
+    max_inputs: int = 16
+    enabled_bugs: Optional[Sequence[str]] = None   # None = all 33
+    time_budget: Optional[float] = None             # per-file cap, seconds
+    # Confirm each attribution by replaying the seed with ONLY that bug
+    # enabled (the paper's re-run-with-same-seed triage workflow).
+    confirm_attributions: bool = True
+
+
+@dataclass
+class BugOutcome:
+    bug: SeededBug
+    found: bool = False
+    first_file: str = ""
+    first_seed: int = -1
+    findings: int = 0
+
+
+@dataclass
+class CampaignReport:
+    outcomes: Dict[str, BugOutcome] = field(default_factory=dict)
+    total_iterations: int = 0
+    total_findings: int = 0
+    unattributed: List[Finding] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    def found_bugs(self) -> List[BugOutcome]:
+        return [o for o in self.outcomes.values() if o.found]
+
+    def found_by_kind(self) -> Tuple[int, int]:
+        miscompilations = sum(1 for o in self.found_bugs()
+                              if o.bug.kind == "miscompilation")
+        crashes = sum(1 for o in self.found_bugs() if o.bug.kind == "crash")
+        return miscompilations, crashes
+
+    def table(self) -> str:
+        """Render the Table-I analog."""
+        header = (f"{'Issue ID':<9} {'Component':<26} {'Status':<7} "
+                  f"{'Type':<15} {'Found':<7} Description")
+        rows = [header, "-" * len(header)]
+        for outcome in self.outcomes.values():
+            bug = outcome.bug
+            found = "yes" if outcome.found else "no"
+            rows.append(f"{bug.issue_id:<9} {bug.component:<26} "
+                        f"{bug.status:<7} {bug.kind:<15} {found:<7} "
+                        f"{bug.description}")
+        miscompilations, crashes = self.found_by_kind()
+        rows.append("-" * len(header))
+        rows.append(f"found {len(self.found_bugs())} bugs: "
+                    f"{miscompilations} miscompilations, {crashes} crashes "
+                    f"(paper: 33 = 19 + 14)")
+        return "\n".join(rows)
+
+
+def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignReport:
+    config = config or CampaignConfig()
+    enabled = list(config.enabled_bugs if config.enabled_bugs is not None
+                   else all_bug_ids())
+    report = CampaignReport(outcomes={
+        bug.issue_id: BugOutcome(bug=bug) for bug in all_bugs()
+        if bug.issue_id in enabled
+    })
+    started = time.perf_counter()
+    corpus = generate_corpus(config.corpus_size, config.corpus_seed)
+    jobs = [(file_name, text, pipeline)
+            for file_name, text in corpus
+            for pipeline in config.pipelines]
+    for job_index, (file_name, text, pipeline) in enumerate(jobs):
+        try:
+            module = parse_module(text, file_name)
+        except ParseError:
+            continue
+        fuzz_config = FuzzConfig(
+            pipeline=pipeline,
+            enabled_bugs=enabled,
+            mutator=MutatorConfig(max_mutations=3),
+            tv=RefinementConfig(max_inputs=config.max_inputs,
+                                seed=config.base_seed + job_index),
+            base_seed=config.base_seed + job_index * 1_000_003,
+        )
+        driver = FuzzDriver(module, fuzz_config, file_name=file_name)
+        if not driver.target_functions:
+            continue
+        result = driver.run(iterations=config.mutants_per_file,
+                            time_budget=config.time_budget)
+        report.total_iterations += result.iterations
+        report.total_findings += len(result.findings)
+        confirm_cache: Dict[str, FuzzDriver] = {}
+        for finding in result.findings:
+            if not finding.bug_ids:
+                report.unattributed.append(finding)
+                continue
+            for bug_id in finding.bug_ids:
+                outcome = report.outcomes.get(bug_id)
+                if outcome is None:
+                    continue
+                if config.confirm_attributions and len(finding.bug_ids) > 1:
+                    if not _confirm(module, file_name, bug_id, finding,
+                                    fuzz_config, confirm_cache):
+                        continue
+                outcome.findings += 1
+                if not outcome.found:
+                    outcome.found = True
+                    outcome.first_file = file_name
+                    outcome.first_seed = finding.seed
+    report.elapsed = time.perf_counter() - started
+    return report
+
+
+def _confirm(module, file_name: str, bug_id: str, finding: Finding,
+             base_config: FuzzConfig,
+             cache: Dict[str, FuzzDriver]) -> bool:
+    """Replay the finding's seed with only ``bug_id`` enabled."""
+    driver = cache.get(bug_id)
+    if driver is None:
+        solo_config = FuzzConfig(
+            pipeline=base_config.pipeline,
+            enabled_bugs=[bug_id],
+            mutator=base_config.mutator,
+            tv=base_config.tv,
+            base_seed=base_config.base_seed,
+        )
+        driver = FuzzDriver(module, solo_config, file_name=file_name)
+        cache[bug_id] = driver
+    replayed = driver.run_one(finding.seed)
+    return any(bug_id in f.bug_ids for f in replayed)

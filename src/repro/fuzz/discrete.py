@@ -1,0 +1,105 @@
+"""The discrete-tools baseline workflow (paper Figure 2, §V-B).
+
+Runs the same mutate→optimize→verify work as the in-process driver, but
+as three separate processes communicating through files:
+
+  1. ``alive-mutate --mutate-only`` writes a mutant ``.ll`` file;
+  2. ``repro-opt`` reads it, optimizes, writes the optimized file;
+  3. ``alive-tv`` reads both files and checks refinement.
+
+Every iteration therefore pays process creation/destruction, dynamic
+loading, parsing, printing, and file I/O — the overheads the integrated
+tool amortizes away.  Seeding matches the in-process driver (mutant ``i``
+uses ``base_seed + i``), so both workflows perform identical work.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .findings import CRASH, MISCOMPILATION, Finding
+
+
+@dataclass
+class DiscreteConfig:
+    pipeline: str = "O2"
+    enabled_bugs: Sequence[str] = ()
+    base_seed: int = 0
+    max_mutations: int = 3
+    max_inputs: int = 24
+    work_dir: Optional[str] = None   # default: a fresh temp dir
+
+
+@dataclass
+class DiscreteReport:
+    iterations: int = 0
+    findings: List[Finding] = field(default_factory=list)
+    elapsed: float = 0.0
+
+
+def _tool(module: str, args: List[str]) -> List[str]:
+    """Command line for one of our tools, independent of PATH."""
+    return [sys.executable, "-m", module] + args
+
+
+def run_discrete_workflow(input_path: str, iterations: int,
+                          config: Optional[DiscreteConfig] = None
+                          ) -> DiscreteReport:
+    """Run ``iterations`` mutate/opt/tv cycles through subprocesses."""
+    config = config or DiscreteConfig()
+    report = DiscreteReport()
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory() as default_dir:
+        work_dir = config.work_dir or default_dir
+        os.makedirs(work_dir, exist_ok=True)
+        mutant_path = os.path.join(work_dir, "mutant.ll")
+        optimized_path = os.path.join(work_dir, "optimized.ll")
+        bug_flags: List[str] = []
+        for bug_id in config.enabled_bugs:
+            bug_flags.extend(["--enable-bug", bug_id])
+
+        for i in range(iterations):
+            seed = config.base_seed + i
+            # Stage 1: standalone mutation.
+            mutate = subprocess.run(
+                _tool("repro.cli.alive_mutate",
+                      ["--mutate-only", "--seed", str(seed),
+                       "--max-mutations", str(config.max_mutations),
+                       "-o", mutant_path, input_path]),
+                capture_output=True)
+            if mutate.returncode != 0:
+                report.findings.append(Finding(
+                    kind=CRASH, seed=seed, file=input_path,
+                    detail="mutator failed: "
+                           + mutate.stderr.decode(errors="replace")))
+                continue
+            # Stage 2: standalone optimization.
+            optimize = subprocess.run(
+                _tool("repro.cli.opt_tool",
+                      ["-p", config.pipeline, "-o", optimized_path,
+                       mutant_path] + bug_flags),
+                capture_output=True)
+            if optimize.returncode != 0:
+                report.findings.append(Finding(
+                    kind=CRASH, seed=seed, file=input_path,
+                    detail=optimize.stderr.decode(errors="replace").strip()))
+                continue
+            # Stage 3: standalone translation validation.
+            validate = subprocess.run(
+                _tool("repro.cli.alive_tv",
+                      ["--max-inputs", str(config.max_inputs),
+                       mutant_path, optimized_path]),
+                capture_output=True)
+            if validate.returncode == 1:
+                report.findings.append(Finding(
+                    kind=MISCOMPILATION, seed=seed, file=input_path,
+                    detail=validate.stdout.decode(errors="replace").strip()))
+            report.iterations += 1
+    report.elapsed = time.perf_counter() - started
+    return report

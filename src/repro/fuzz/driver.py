@@ -1,0 +1,237 @@
+"""The in-process fuzzing driver (paper §III, Figure 3).
+
+Everything — mutation, optimization, and translation validation — runs in
+one process over in-memory IR.  The mutate→optimize→verify loop therefore
+pays no parsing, printing, file-I/O, or process-management cost, which is
+the source of the paper's 12x throughput claim; per-stage timings are
+recorded so the overhead experiment (Figure 2 analog) can read them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.function import Function
+from ..ir.module import Module
+from ..ir.parser import parse_module
+from ..ir.printer import print_module
+from ..mutate import Mutator, MutatorConfig
+from ..opt import OptContext, OptimizerCrash, PassManager
+from ..tv import RefinementConfig, Verdict, check_function_supported, \
+    check_refinement
+from .findings import CRASH, MISCOMPILATION, BugLog, Finding
+
+
+@dataclass
+class FuzzConfig:
+    pipeline: str = "O2"
+    enabled_bugs: Sequence[str] = ()
+    mutator: MutatorConfig = field(default_factory=MutatorConfig)
+    tv: RefinementConfig = field(default_factory=RefinementConfig)
+    base_seed: int = 0
+    # Saving mutants to disk is off by default — the paper's fast path.
+    save_dir: Optional[str] = None
+    save_all: bool = False
+    log_path: Optional[str] = None
+    stop_on_first_finding: bool = False
+
+
+@dataclass
+class StageTimings:
+    """Per-stage wall-clock totals (seconds)."""
+
+    mutate: float = 0.0
+    optimize: float = 0.0
+    verify: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.mutate + self.optimize + self.verify
+
+
+@dataclass
+class FuzzReport:
+    iterations: int = 0
+    findings: List[Finding] = field(default_factory=list)
+    dropped_functions: Dict[str, str] = field(default_factory=dict)
+    timings: StageTimings = field(default_factory=StageTimings)
+    inconclusive: int = 0
+    # How many times each mutation operator fired across all iterations.
+    mutation_counts: Dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (f"{self.iterations} iterations, "
+                f"{len(self.findings)} findings "
+                f"({sum(1 for f in self.findings if f.kind == MISCOMPILATION)}"
+                f" miscompilations, "
+                f"{sum(1 for f in self.findings if f.kind == CRASH)} crashes)"
+                f" in {self.timings.total:.2f}s")
+
+
+class FuzzDriver:
+    """Owns one seed module and fuzzes it in-process."""
+
+    def __init__(self, module: Module, config: Optional[FuzzConfig] = None,
+                 file_name: str = "") -> None:
+        self.config = config or FuzzConfig()
+        self.file_name = file_name or module.name
+        self.log = BugLog(self.config.log_path)
+        self.report = FuzzReport()
+        self.module = module
+        self._preprocess()
+        self.mutator = Mutator(module, self._mutator_config())
+
+    @classmethod
+    def from_text(cls, text: str, config: Optional[FuzzConfig] = None,
+                  file_name: str = "") -> "FuzzDriver":
+        return cls(parse_module(text, file_name or "input"), config,
+                   file_name)
+
+    def _mutator_config(self) -> MutatorConfig:
+        base = self.config.mutator
+        return MutatorConfig(
+            min_mutations=base.min_mutations,
+            max_mutations=base.max_mutations,
+            enabled_mutations=base.enabled_mutations,
+            verify_mutants=base.verify_mutants,
+            only_functions=list(self._targets),
+        )
+
+    # -- preprocessing (paper §III-A) ---------------------------------------
+
+    def _preprocess(self) -> None:
+        """Drop functions the validator cannot handle, and functions whose
+        *un-mutated* form already fails validation (no point mutating)."""
+        self._targets: List[str] = []
+        for function in self.module.definitions():
+            reason = check_function_supported(function)
+            if reason is not None:
+                self.report.dropped_functions[function.name] = reason
+                continue
+            baseline = self._baseline_ok(function)
+            if baseline is not None:
+                self.report.dropped_functions[function.name] = baseline
+                continue
+            self._targets.append(function.name)
+
+    def _baseline_ok(self, function: Function) -> Optional[str]:
+        optimized = self.module.clone()
+        ctx = OptContext(self.config.enabled_bugs)
+        try:
+            PassManager([self.config.pipeline], ctx).run(optimized)
+        except OptimizerCrash:
+            return None  # crashes on the seed itself still count as fuzz food
+        target = optimized.get_function(function.name)
+        if target is None or target.is_declaration():
+            return "function vanished during baseline optimization"
+        result = check_refinement(function, target, self.module, optimized,
+                                  self.config.tv)
+        if result.verdict == Verdict.UNSOUND and not ctx.triggered_bugs:
+            return "un-mutated form already fails translation validation"
+        return None
+
+    @property
+    def target_functions(self) -> List[str]:
+        return list(self._targets)
+
+    # -- the loop (paper §III-B..E) ---------------------------------------------
+
+    def run(self, iterations: Optional[int] = None,
+            time_budget: Optional[float] = None) -> FuzzReport:
+        """Fuzz until the iteration count or the time budget is exhausted."""
+        if iterations is None and time_budget is None:
+            raise ValueError("specify iterations and/or time_budget")
+        if not self._targets:
+            raise ValueError(
+                "no processable functions (all were dropped during "
+                f"preprocessing: {self.report.dropped_functions})")
+        started = time.perf_counter()
+        i = 0
+        while True:
+            if iterations is not None and i >= iterations:
+                break
+            if time_budget is not None \
+                    and time.perf_counter() - started >= time_budget:
+                break
+            finding = self.run_one(self.config.base_seed + i)
+            i += 1
+            if finding and self.config.stop_on_first_finding:
+                break
+        self.report.iterations = i
+        return self.report
+
+    def run_one(self, seed: int) -> List[Finding]:
+        """One mutate→optimize→verify iteration; returns its findings."""
+        timings = self.report.timings
+        found: List[Finding] = []
+
+        begin = time.perf_counter()
+        mutant, record = self.mutator.create_mutant(seed)
+        timings.mutate += time.perf_counter() - begin
+        for _, operator in record.applied:
+            self.report.mutation_counts[operator] = \
+                self.report.mutation_counts.get(operator, 0) + 1
+
+        if self.config.save_all:
+            self._save(mutant, seed)
+
+        begin = time.perf_counter()
+        optimized = mutant.clone()
+        ctx = OptContext(self.config.enabled_bugs)
+        crash: Optional[OptimizerCrash] = None
+        try:
+            PassManager([self.config.pipeline], ctx).run(optimized)
+        except OptimizerCrash as exc:
+            crash = exc
+        timings.optimize += time.perf_counter() - begin
+
+        if crash is not None:
+            finding = Finding(kind=CRASH, seed=seed, file=self.file_name,
+                              detail=str(crash), bug_ids=[crash.bug_id])
+            self.log.record(finding)
+            self.report.findings.append(finding)
+            found.append(finding)
+            if self.config.save_dir and not self.config.save_all:
+                self._save(mutant, seed)
+            return found
+
+        begin = time.perf_counter()
+        for name in self._targets:
+            source = mutant.get_function(name)
+            target = optimized.get_function(name)
+            if source is None or target is None or target.is_declaration():
+                continue
+            result = check_refinement(source, target, mutant, optimized,
+                                      self.config.tv)
+            self.report.inconclusive += result.inconclusive_inputs
+            if result.verdict == Verdict.UNSOUND:
+                detail = str(result.counterexample) if result.counterexample \
+                    else "refinement failure"
+                finding = Finding(kind=MISCOMPILATION, seed=seed,
+                                  file=self.file_name, function=name,
+                                  detail=detail,
+                                  bug_ids=sorted(ctx.triggered_bugs))
+                self.log.record(finding)
+                self.report.findings.append(finding)
+                found.append(finding)
+                if self.config.save_dir and not self.config.save_all:
+                    self._save(mutant, seed)
+        timings.verify += time.perf_counter() - begin
+        return found
+
+    def recreate(self, seed: int) -> Module:
+        """Replay a logged seed (re-run with file saving, per §III-E)."""
+        return self.mutator.recreate_mutant(seed)
+
+    def _save(self, mutant: Module, seed: int) -> None:
+        directory = self.config.save_dir
+        if not directory:
+            return
+        os.makedirs(directory, exist_ok=True)
+        stem = os.path.splitext(os.path.basename(self.file_name or "mutant"))[0]
+        path = os.path.join(directory, f"{stem}_{seed}.ll")
+        with open(path, "w") as stream:
+            stream.write(print_module(mutant))

@@ -1,0 +1,87 @@
+"""Findings and logs produced by a fuzzing run.
+
+Mirrors the paper's workflow (§III-D/E): refinement failures and optimizer
+crashes are logged with the PRNG seed that created the offending mutant,
+so any finding can be re-created exactly (run again with the same seed and
+file-saving turned on).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+MISCOMPILATION = "miscompilation"
+CRASH = "crash"
+
+
+@dataclass
+class Finding:
+    kind: str                      # miscompilation | crash
+    seed: int
+    file: str = ""
+    function: str = ""
+    detail: str = ""
+    bug_ids: List[str] = field(default_factory=list)  # attributed seeded bugs
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "kind": self.kind,
+            "seed": self.seed,
+            "file": self.file,
+            "function": self.function,
+            "detail": self.detail,
+            "bug_ids": self.bug_ids,
+        })
+
+    @classmethod
+    def from_json(cls, line: str) -> "Finding":
+        data = json.loads(line)
+        return cls(kind=data["kind"], seed=data["seed"],
+                   file=data.get("file", ""),
+                   function=data.get("function", ""),
+                   detail=data.get("detail", ""),
+                   bug_ids=list(data.get("bug_ids", [])))
+
+    def summary(self) -> str:
+        where = self.function or self.file or "?"
+        attribution = f" [{','.join(self.bug_ids)}]" if self.bug_ids else ""
+        return f"{self.kind} in {where} (seed {self.seed}){attribution}"
+
+
+class BugLog:
+    """Append-only JSONL log of findings, with optional file backing."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+
+    def record(self, finding: Finding) -> None:
+        self.findings.append(finding)
+        if self.path:
+            with open(self.path, "a") as stream:
+                stream.write(finding.to_json() + "\n")
+
+    def miscompilations(self) -> List[Finding]:
+        return [f for f in self.findings if f.kind == MISCOMPILATION]
+
+    def crashes(self) -> List[Finding]:
+        return [f for f in self.findings if f.kind == CRASH]
+
+    def attributed_bug_ids(self) -> Dict[str, List[Finding]]:
+        by_bug: Dict[str, List[Finding]] = {}
+        for finding in self.findings:
+            for bug_id in finding.bug_ids:
+                by_bug.setdefault(bug_id, []).append(finding)
+        return by_bug
+
+    @classmethod
+    def load(cls, path: str) -> "BugLog":
+        log = cls()
+        with open(path) as stream:
+            for line in stream:
+                line = line.strip()
+                if line:
+                    log.findings.append(Finding.from_json(line))
+        return log

@@ -1,0 +1,190 @@
+"""A structure-blind mutator in the style of Radamsa (paper §II).
+
+The paper's preliminary study found that byte-level mutation of LLVM IR
+text produces mutants that are (a) almost always invalid, and (b) almost
+always boring when valid (a renamed variable, whitespace churn).  This
+module implements the classic Radamsa-style heuristics so the study can
+be reproduced against our parser/verifier, alongside a classifier for the
+invalid / boring / interesting trichotomy.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..ir.parser import ParseError, parse_module
+from ..ir.printer import print_module
+from ..ir.verifier import is_valid_module
+
+_NUMBER = re.compile(rb"-?\d+")
+_TOKEN = re.compile(rb"[%@]?[A-Za-z_.][A-Za-z0-9_.]*|-?\d+|[^\sA-Za-z0-9]")
+
+
+def _flip_bit(data: bytearray, rng: random.Random) -> None:
+    if not data:
+        return
+    index = rng.randrange(len(data))
+    data[index] ^= 1 << rng.randrange(8)
+
+
+def _drop_byte(data: bytearray, rng: random.Random) -> None:
+    if not data:
+        return
+    del data[rng.randrange(len(data))]
+
+
+def _insert_byte(data: bytearray, rng: random.Random) -> None:
+    index = rng.randrange(len(data) + 1)
+    data.insert(index, rng.randrange(256))
+
+
+def _repeat_byte(data: bytearray, rng: random.Random) -> None:
+    if not data:
+        return
+    index = rng.randrange(len(data))
+    count = rng.choice([2, 4, 8, 16])
+    data[index:index] = bytes([data[index]]) * count
+
+
+def _mutate_number(data: bytearray, rng: random.Random) -> None:
+    """Radamsa's signature trick: perturb a textual integer."""
+    matches = list(_NUMBER.finditer(bytes(data)))
+    if not matches:
+        return
+    match = rng.choice(matches)
+    value = int(match.group())
+    mutated = rng.choice([
+        value + 1, value - 1, value * 2, -value,
+        2 ** rng.choice([7, 8, 15, 16, 31, 32, 63, 64]) - rng.choice([0, 1]),
+        rng.randrange(-(2 ** 32), 2 ** 32),
+    ])
+    data[match.start():match.end()] = str(mutated).encode()
+
+
+def _swap_lines(data: bytearray, rng: random.Random) -> None:
+    lines = bytes(data).split(b"\n")
+    if len(lines) < 2:
+        return
+    i, j = rng.randrange(len(lines)), rng.randrange(len(lines))
+    lines[i], lines[j] = lines[j], lines[i]
+    data[:] = b"\n".join(lines)
+
+
+def _duplicate_line(data: bytearray, rng: random.Random) -> None:
+    lines = bytes(data).split(b"\n")
+    index = rng.randrange(len(lines))
+    lines.insert(index, lines[index])
+    data[:] = b"\n".join(lines)
+
+
+def _drop_line(data: bytearray, rng: random.Random) -> None:
+    lines = bytes(data).split(b"\n")
+    if len(lines) < 2:
+        return
+    del lines[rng.randrange(len(lines))]
+    data[:] = b"\n".join(lines)
+
+
+def _swap_tokens(data: bytearray, rng: random.Random) -> None:
+    matches = list(_TOKEN.finditer(bytes(data)))
+    if len(matches) < 2:
+        return
+    a, b = rng.sample(matches, 2)
+    if a.start() > b.start():
+        a, b = b, a
+    raw = bytes(data)
+    data[:] = (raw[:a.start()] + raw[b.start():b.end()]
+               + raw[a.end():b.start()] + raw[a.start():a.end()]
+               + raw[b.end():])
+
+
+MUTATORS: Sequence[Callable[[bytearray, random.Random], None]] = (
+    _flip_bit, _drop_byte, _insert_byte, _repeat_byte,
+    _mutate_number, _mutate_number,          # numbers get extra weight
+    _swap_lines, _duplicate_line, _drop_line, _swap_tokens,
+)
+
+
+def radamsa_mutate(text: str, seed: int, rounds: Optional[int] = None) -> str:
+    """Byte-mutate ``text`` with 1-4 random structure-blind operators."""
+    rng = random.Random(seed)
+    data = bytearray(text.encode())
+    for _ in range(rounds if rounds is not None else rng.randint(1, 4)):
+        rng.choice(MUTATORS)(data, rng)
+    return bytes(data).decode(errors="replace")
+
+
+# ---------------------------------------------------------------------------
+# Classification for the §II study.
+# ---------------------------------------------------------------------------
+
+INVALID = "invalid"
+BORING = "boring"
+INTERESTING = "interesting"
+
+
+@dataclass
+class ValidityStats:
+    invalid: int = 0
+    boring: int = 0
+    interesting: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.invalid + self.boring + self.interesting
+
+    def rate(self, kind: str) -> float:
+        count = getattr(self, kind)
+        return count / self.total if self.total else 0.0
+
+    def __str__(self) -> str:
+        return (f"{self.total} mutants: {self.invalid} invalid "
+                f"({100 * self.rate('invalid'):.1f}%), {self.boring} boring, "
+                f"{self.interesting} interesting")
+
+
+def classify_mutant(original_text: str, mutated_text: str) -> str:
+    """invalid (won't load), boring (loads but is the same program modulo
+    names/whitespace), or interesting (a genuinely different program)."""
+    try:
+        mutated = parse_module(mutated_text)
+    except (ParseError, RecursionError):
+        return INVALID
+    if not is_valid_module(mutated):
+        return INVALID
+    try:
+        original = parse_module(original_text)
+    except ParseError:
+        return INTERESTING
+    if _canonical(mutated) == _canonical(original):
+        return BORING
+    return INTERESTING
+
+
+def _canonical(module) -> str:
+    """Name-insensitive rendering: strip user names so renames are boring."""
+    clone = module.clone()
+    for function in clone.definitions():
+        for argument in function.arguments:
+            argument.name = ""
+        for block in function.blocks:
+            block.name = ""
+            for inst in block.instructions:
+                inst.name = ""
+    return print_module(clone)
+
+
+def run_validity_study(corpus: Sequence[Tuple[str, str]],
+                       mutants_per_file: int,
+                       seed: int = 0) -> ValidityStats:
+    """The §II experiment: radamsa-mutate every file, classify mutants."""
+    stats = ValidityStats()
+    for file_index, (_, text) in enumerate(corpus):
+        for i in range(mutants_per_file):
+            mutated = radamsa_mutate(text, seed + file_index * 10007 + i)
+            kind = classify_mutant(text, mutated)
+            setattr(stats, kind, getattr(stats, kind) + 1)
+    return stats

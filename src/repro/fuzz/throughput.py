@@ -1,0 +1,142 @@
+"""The throughput experiment (paper §V-B, artifact appendix E.2/F.2).
+
+For each corpus file, perform the *same* amount of mutation testing two
+ways — the integrated in-process loop vs. the discrete-tools subprocess
+workflow — with matching PRNG seeds, and report per-file times and the
+performance ratio in the paper's ``res.txt`` format (Listing 20).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..ir.parser import ParseError, parse_module
+from ..mutate import MutatorConfig
+from ..tv import RefinementConfig
+from .discrete import DiscreteConfig, run_discrete_workflow
+from .driver import FuzzConfig, FuzzDriver
+
+
+@dataclass
+class ThroughputConfig:
+    count: int = 1000            # mutants per file (the paper's COUNT)
+    pipeline: str = "O2"
+    base_seed: int = 0
+    max_inputs: int = 8
+    max_mutations: int = 3
+
+
+@dataclass
+class FileTiming:
+    name: str
+    alive_mutate_seconds: float
+    discrete_seconds: float
+
+    @property
+    def perf(self) -> float:
+        """How many times faster the integrated tool is."""
+        if self.alive_mutate_seconds <= 0:
+            return float("inf")
+        return self.discrete_seconds / self.alive_mutate_seconds
+
+
+@dataclass
+class ThroughputReport:
+    timings: List[FileTiming] = field(default_factory=list)
+    not_verified: List[str] = field(default_factory=list)
+    invalid: List[str] = field(default_factory=list)
+
+    @property
+    def average_perf(self) -> float:
+        if not self.timings:
+            return 0.0
+        return sum(t.perf for t in self.timings) / len(self.timings)
+
+    @property
+    def best_perf(self) -> float:
+        return max((t.perf for t in self.timings), default=0.0)
+
+    @property
+    def worst_perf(self) -> float:
+        return min((t.perf for t in self.timings), default=0.0)
+
+    def render_res_txt(self) -> str:
+        """The artifact's res.txt format (paper Listing 20)."""
+        alive = [(t.alive_mutate_seconds, t.name) for t in self.timings]
+        discrete = [(t.discrete_seconds, t.name) for t in self.timings]
+        perf = [(t.perf, t.name) for t in self.timings]
+        lines = [
+            f"Total: {len(self.timings)}",
+            f"Alive-mutate lst:{alive!r}",
+            f"Discrete tools lst:{discrete!r}",
+            f"perf lst:{perf!r}",
+            f"Avg perf:{self.average_perf!r}",
+            f"Total not-verified:{len(self.not_verified)}",
+            f"Not-verified files:{self.not_verified!r}",
+            f"Total invalid file:{len(self.invalid)}",
+            f"Invalid files:{self.invalid!r}",
+        ]
+        return "\n".join(lines) + "\n"
+
+
+def run_throughput_experiment(corpus: Sequence[Tuple[str, str]],
+                              config: Optional[ThroughputConfig] = None
+                              ) -> ThroughputReport:
+    """Run both workflows over every (filename, text) corpus entry."""
+    config = config or ThroughputConfig()
+    report = ThroughputReport()
+    with tempfile.TemporaryDirectory() as work_dir:
+        for name, text in corpus:
+            timing = _measure_file(name, text, config, work_dir, report)
+            if timing is not None:
+                report.timings.append(timing)
+    return report
+
+
+def _measure_file(name: str, text: str, config: ThroughputConfig,
+                  work_dir: str, report: ThroughputReport
+                  ) -> Optional[FileTiming]:
+    try:
+        module = parse_module(text, name)
+    except ParseError:
+        report.invalid.append(name)
+        return None
+
+    fuzz_config = FuzzConfig(
+        pipeline=config.pipeline,
+        mutator=MutatorConfig(max_mutations=config.max_mutations),
+        tv=RefinementConfig(max_inputs=config.max_inputs),
+        base_seed=config.base_seed,
+    )
+    driver = FuzzDriver(module, fuzz_config, file_name=name)
+    if not driver.target_functions or driver.report.dropped_functions:
+        # The paper discarded files that triggered Alive2 errors (6/200).
+        report.invalid.append(name)
+        return None
+
+    begin = time.perf_counter()
+    result = driver.run(iterations=config.count)
+    alive_seconds = time.perf_counter() - begin
+    if result.findings:
+        report.not_verified.append(name)
+
+    input_path = os.path.join(work_dir, name)
+    with open(input_path, "w") as stream:
+        stream.write(text)
+    discrete_config = DiscreteConfig(
+        pipeline=config.pipeline,
+        base_seed=config.base_seed,
+        max_mutations=config.max_mutations,
+        max_inputs=config.max_inputs,
+        work_dir=os.path.join(work_dir, "scratch"),
+    )
+    begin = time.perf_counter()
+    run_discrete_workflow(input_path, config.count, discrete_config)
+    discrete_seconds = time.perf_counter() - begin
+
+    return FileTiming(name=name, alive_mutate_seconds=alive_seconds,
+                      discrete_seconds=discrete_seconds)

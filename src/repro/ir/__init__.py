@@ -1,0 +1,52 @@
+"""LLVM-like intermediate representation.
+
+Public surface re-exported here: types, values, instructions, module
+structure, builder, parser, printer, and verifier.
+"""
+
+from .attributes import (Attribute, AttributeSet, FUNCTION_ATTRIBUTES,
+                         PARAM_FLAG_ATTRIBUTES, PARAM_INT_ATTRIBUTES,
+                         POINTER_ONLY_PARAM_ATTRIBUTES)
+from .basicblock import BasicBlock
+from .builder import IRBuilder
+from .function import Function
+from .instructions import (AllocaInst, BINARY_OPCODES, BinaryOperator,
+                           BITWIDTH_POLYMORPHIC_OPCODES, BrInst, CallInst,
+                           CastInst, CAST_OPCODES, COMMUTATIVE_OPCODES,
+                           EXACT_FLAG_OPCODES, FreezeInst, GEPInst,
+                           ICMP_PREDICATES, ICmpInst, Instruction, LoadInst,
+                           OperandBundle, PhiNode, RetInst, SelectInst,
+                           StoreInst, SwitchInst, UnreachableInst,
+                           WRAPPING_FLAG_OPCODES)
+from .module import Module
+from .printer import print_function, print_instruction, print_module
+from .types import (FunctionType, I1, I8, I16, I32, I64, I128, IntType,
+                    LabelType, MAX_INT_BITS, PTR, PtrType, Type, VOID,
+                    VoidType, int_type)
+from .values import (Argument, Constant, ConstantInt, ConstantPointerNull,
+                     PoisonValue, UndefValue, Use, User, Value)
+from .verifier import (VerificationError, collect_function_errors,
+                       is_valid_module, verify_function, verify_module)
+from .parser import ParseError, parse_function, parse_module
+
+__all__ = [
+    "Attribute", "AttributeSet", "FUNCTION_ATTRIBUTES",
+    "PARAM_FLAG_ATTRIBUTES", "PARAM_INT_ATTRIBUTES",
+    "POINTER_ONLY_PARAM_ATTRIBUTES",
+    "BasicBlock", "IRBuilder", "Function",
+    "AllocaInst", "BINARY_OPCODES", "BinaryOperator",
+    "BITWIDTH_POLYMORPHIC_OPCODES", "BrInst", "CallInst", "CastInst",
+    "CAST_OPCODES", "COMMUTATIVE_OPCODES", "EXACT_FLAG_OPCODES",
+    "FreezeInst", "GEPInst", "ICMP_PREDICATES", "ICmpInst", "Instruction",
+    "LoadInst", "OperandBundle", "PhiNode", "RetInst", "SelectInst",
+    "StoreInst", "SwitchInst", "UnreachableInst", "WRAPPING_FLAG_OPCODES",
+    "Module", "print_function", "print_instruction", "print_module",
+    "FunctionType", "I1", "I8", "I16", "I32", "I64", "I128", "IntType",
+    "LabelType", "MAX_INT_BITS", "PTR", "PtrType", "Type", "VOID",
+    "VoidType", "int_type",
+    "Argument", "Constant", "ConstantInt", "ConstantPointerNull",
+    "PoisonValue", "UndefValue", "Use", "User", "Value",
+    "VerificationError", "collect_function_errors", "is_valid_module",
+    "verify_function", "verify_module",
+    "ParseError", "parse_function", "parse_module",
+]

@@ -1,0 +1,148 @@
+"""Function and parameter attributes.
+
+Attributes are assertions to the optimizer ("this parameter is never
+captured", "this function frees no memory").  They are a fruitful source of
+compiler bugs (paper §IV-A), so the mutation engine toggles them, and the
+translation-validation interpreter enforces a subset of their semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+
+# Attributes with no argument that may appear on a function.
+FUNCTION_ATTRIBUTES: FrozenSet[str] = frozenset({
+    "nofree",
+    "nosync",
+    "nounwind",
+    "willreturn",
+    "mustprogress",
+    "norecurse",
+    "readnone",
+    "readonly",
+    "writeonly",
+    "argmemonly",
+    "speculatable",
+    "alwaysinline",
+    "noinline",
+    "cold",
+    "hot",
+})
+
+# Attributes with no argument that may appear on a parameter.
+PARAM_FLAG_ATTRIBUTES: FrozenSet[str] = frozenset({
+    "nocapture",
+    "noundef",
+    "nonnull",
+    "readnone",
+    "readonly",
+    "writeonly",
+    "noalias",
+    "nofree",
+    "returned",
+    "zeroext",
+    "signext",
+})
+
+# Parameter attributes that carry an integer argument, e.g.
+# ``dereferenceable(8)`` or ``align 4``.
+PARAM_INT_ATTRIBUTES: FrozenSet[str] = frozenset({
+    "dereferenceable",
+    "dereferenceable_or_null",
+    "align",
+})
+
+# Attributes that only make sense on pointer-typed parameters.
+POINTER_ONLY_PARAM_ATTRIBUTES: FrozenSet[str] = frozenset({
+    "nocapture",
+    "nonnull",
+    "noalias",
+    "nofree",
+    "readnone",
+    "readonly",
+    "writeonly",
+    "dereferenceable",
+    "dereferenceable_or_null",
+    "align",
+})
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single attribute, optionally carrying an integer payload.
+
+    ``Attribute("nofree")`` or ``Attribute("dereferenceable", 8)``.
+    """
+
+    name: str
+    value: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return self.name
+        if self.name == "align":
+            return f"align {self.value}"
+        return f"{self.name}({self.value})"
+
+
+class AttributeSet:
+    """A mutable set of attributes keyed by attribute name.
+
+    At most one attribute per name is kept, mirroring LLVM's AttributeSet.
+    """
+
+    def __init__(self, attrs: Iterable[Attribute] = ()) -> None:
+        self._attrs: Dict[str, Attribute] = {}
+        for attr in attrs:
+            self.add(attr)
+
+    def add(self, attr: Attribute) -> None:
+        self._attrs[attr.name] = attr
+
+    def remove(self, name: str) -> None:
+        self._attrs.pop(name, None)
+
+    def has(self, name: str) -> bool:
+        return name in self._attrs
+
+    def get(self, name: str) -> Optional[Attribute]:
+        return self._attrs.get(name)
+
+    def get_int(self, name: str) -> Optional[int]:
+        attr = self._attrs.get(name)
+        return attr.value if attr is not None else None
+
+    def toggle(self, attr: Attribute) -> None:
+        """Add the attribute if absent, drop it if present (mutation helper)."""
+        if self.has(attr.name):
+            self.remove(attr.name)
+        else:
+            self.add(attr)
+
+    def names(self) -> Set[str]:
+        return set(self._attrs)
+
+    def copy(self) -> "AttributeSet":
+        return AttributeSet(self._attrs.values())
+
+    def __iter__(self):
+        return iter(sorted(self._attrs.values(), key=lambda a: a.name))
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __bool__(self) -> bool:
+        return bool(self._attrs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AttributeSet):
+            return NotImplemented
+        return self._attrs == other._attrs
+
+    def __str__(self) -> str:
+        return " ".join(str(a) for a in self)
+
+    def __repr__(self) -> str:
+        return f"AttributeSet([{', '.join(repr(a) for a in self)}])"

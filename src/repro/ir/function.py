@@ -1,0 +1,121 @@
+"""Functions: arguments, attribute sets, and a list of basic blocks."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, TYPE_CHECKING
+
+from .attributes import AttributeSet
+from .basicblock import BasicBlock
+from .instructions import Instruction
+from .types import FunctionType, PtrType, Type
+from .values import Argument, Constant
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .module import Module
+
+
+class Function(Constant):
+    """A function definition or declaration.
+
+    Functions are pointer-typed constants (so they can appear as call
+    targets and, in principle, as operands); their signature lives in
+    ``function_type``.
+    """
+
+    __slots__ = ("function_type", "arguments", "blocks", "attributes",
+                 "parent", "_next_temp")
+
+    def __init__(self, function_type: FunctionType, name: str,
+                 module: Optional["Module"] = None,
+                 arg_names: Optional[List[str]] = None) -> None:
+        super().__init__(PtrType())
+        self.name = name
+        self.function_type = function_type
+        self.parent = module
+        self.attributes = AttributeSet()
+        self.blocks: List[BasicBlock] = []
+        self.arguments: List[Argument] = []
+        self._next_temp = 0
+        for index, param_type in enumerate(function_type.param_types):
+            arg_name = arg_names[index] if arg_names else ""
+            self.arguments.append(Argument(param_type, arg_name, self, index))
+        if module is not None:
+            module.add_function(self)
+
+    # -- signature -----------------------------------------------------------
+
+    @property
+    def return_type(self) -> Type:
+        return self.function_type.return_type
+
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    def num_args(self) -> int:
+        return len(self.arguments)
+
+    def add_argument(self, type: Type, name: str = "") -> Argument:
+        """Append a fresh parameter (used by the use-mutation primitive)."""
+        argument = Argument(type, name, self, len(self.arguments))
+        self.arguments.append(argument)
+        self.function_type = FunctionType(
+            self.function_type.return_type,
+            tuple(arg.type for arg in self.arguments),
+            self.function_type.is_vararg,
+        )
+        return argument
+
+    # -- blocks ---------------------------------------------------------------
+
+    def append_block(self, block: BasicBlock) -> BasicBlock:
+        block.parent = self
+        self.blocks.append(block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        for i, existing in enumerate(self.blocks):
+            if existing is block:
+                del self.blocks[i]
+                block.parent = None
+                return
+        raise ValueError("block not in function")
+
+    def entry_block(self) -> Optional[BasicBlock]:
+        return self.blocks[0] if self.blocks else None
+
+    def block_named(self, name: str) -> Optional[BasicBlock]:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        return None
+
+    # -- traversal -------------------------------------------------------------
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def num_instructions(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    # -- naming ------------------------------------------------------------------
+
+    def next_temp_name(self) -> str:
+        """A fresh numeric name distinct from any existing value name."""
+        taken = {arg.name for arg in self.arguments}
+        for block in self.blocks:
+            taken.add(block.name)
+            for inst in block.instructions:
+                taken.add(inst.name)
+        while True:
+            candidate = str(self._next_temp)
+            self._next_temp += 1
+            if candidate not in taken:
+                return candidate
+
+    def __repr__(self) -> str:
+        kind = "declare" if self.is_declaration() else "define"
+        return f"<Function {kind} @{self.name}>"

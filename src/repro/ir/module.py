@@ -1,0 +1,161 @@
+"""Modules: ordered collections of functions, plus clone support.
+
+``Module.clone()`` is the workhorse of the fuzzing loop (paper §III-B):
+each iteration deep-copies the in-memory IR, mutates the copy, optimizes
+it, verifies refinement, and throws the copy away.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (BrInst, CallInst, Instruction, OperandBundle,
+                           PhiNode, SwitchInst)
+from .types import FunctionType
+from .values import Argument, Value
+
+
+class Module:
+    """A translation unit holding named functions."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self._functions: Dict[str, Function] = {}
+
+    # -- functions ----------------------------------------------------------
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self._functions:
+            raise ValueError(f"duplicate function @{function.name}")
+        function.parent = self
+        self._functions[function.name] = function
+        return function
+
+    def get_function(self, name: str) -> Optional[Function]:
+        return self._functions.get(name)
+
+    def remove_function(self, name: str) -> None:
+        function = self._functions.pop(name, None)
+        if function is not None:
+            function.parent = None
+
+    def functions(self) -> List[Function]:
+        return list(self._functions.values())
+
+    def definitions(self) -> List[Function]:
+        return [f for f in self._functions.values() if not f.is_declaration()]
+
+    def declarations(self) -> List[Function]:
+        return [f for f in self._functions.values() if f.is_declaration()]
+
+    def get_or_insert_function(self, name: str,
+                               function_type: FunctionType) -> Function:
+        existing = self._functions.get(name)
+        if existing is not None:
+            return existing
+        return Function(function_type, name, self)
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self._functions.values())
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    # -- cloning --------------------------------------------------------------
+
+    def clone(self) -> "Module":
+        """Deep-copy the module, remapping all intra-module references."""
+        cloned = Module(self.name)
+        value_map: Dict[int, Value] = {}
+
+        # Create all function shells first so calls can be remapped.
+        for function in self._functions.values():
+            shell = Function(function.function_type, function.name, cloned,
+                             arg_names=[a.name for a in function.arguments])
+            shell.attributes = function.attributes.copy()
+            for old_arg, new_arg in zip(function.arguments, shell.arguments):
+                new_arg.attributes = old_arg.attributes.copy()
+                value_map[id(old_arg)] = new_arg
+            value_map[id(function)] = shell
+
+        for function in self._functions.values():
+            if function.is_declaration():
+                continue
+            _clone_function_body(function, value_map[id(function)], value_map)
+        return cloned
+
+    def __repr__(self) -> str:
+        return f"<Module {self.name!r}: {len(self._functions)} functions>"
+
+
+def _clone_function_body(source: Function, dest: Function,
+                         value_map: Dict[int, Value]) -> None:
+    """Clone blocks and instructions of ``source`` into the shell ``dest``.
+
+    Cloning is two-pass: instructions are created first (possibly still
+    pointing at originals, e.g. phi incoming values defined in later
+    blocks), then every operand is remapped once the full map exists.
+    """
+    for block in source.blocks:
+        new_block = BasicBlock(block.name, dest)
+        value_map[id(block)] = new_block
+
+    def remap(value: Value) -> Value:
+        return value_map.get(id(value), value)
+
+    cloned_instructions = []
+    for block in source.blocks:
+        new_block = value_map[id(block)]
+        for inst in block.instructions:
+            new_inst = _clone_instruction(inst, remap)
+            new_inst.name = inst.name
+            new_block.append(new_inst)
+            value_map[id(inst)] = new_inst
+            cloned_instructions.append(new_inst)
+
+    for inst in cloned_instructions:
+        for index, operand in enumerate(inst.operands):
+            replacement = remap(operand)
+            if replacement is not operand:
+                inst.set_operand(index, replacement)
+        if isinstance(inst, CallInst):
+            inst.callee = remap(inst.callee)
+
+
+def _clone_instruction(inst: Instruction, remap) -> Instruction:
+    """Clone one instruction, remapping operands through ``remap``.
+
+    Instructions are cloned with their original operands and then patched,
+    because ``Instruction.clone`` captures operand identity.
+    """
+    if isinstance(inst, CallInst):
+        cloned = CallInst(remap(inst.callee), [remap(a) for a in inst.args])
+        for bundle in inst.bundles:
+            cloned.add_bundle(OperandBundle(
+                bundle.tag, [remap(v) for v in inst.bundle_operands(bundle)]))
+        cloned.attributes = inst.attributes.copy()
+        return cloned
+    if isinstance(inst, PhiNode):
+        cloned = PhiNode(inst.type)
+        for value, block in inst.incoming():
+            cloned.add_incoming(remap(value), remap(block))
+        return cloned
+    if isinstance(inst, BrInst):
+        if inst.is_conditional():
+            return BrInst(remap(inst.operands[0]), remap(inst.operands[1]),
+                          remap(inst.operands[2]))
+        return BrInst(remap(inst.operands[0]))
+    if isinstance(inst, SwitchInst):
+        return SwitchInst(remap(inst.value), remap(inst.default),
+                          [(remap(v), remap(b)) for v, b in inst.cases()])
+    cloned = inst.clone()
+    for index, operand in enumerate(cloned.operands):
+        replacement = remap(operand)
+        if replacement is not operand:
+            cloned.set_operand(index, replacement)
+    return cloned

@@ -1,0 +1,7 @@
+"""Textual IR parsing."""
+
+from .lexer import LexError, Token, TokenStream, tokenize
+from .parser import ParseError, parse_function, parse_module
+
+__all__ = ["LexError", "Token", "TokenStream", "tokenize",
+           "ParseError", "parse_function", "parse_module"]

@@ -1,0 +1,181 @@
+"""Tokenizer for the ``.ll``-style textual IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+class LexError(Exception):
+    """Raised on malformed input characters."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}:{column}")
+        self.line = line
+        self.column = column
+
+
+# Token kinds.
+WORD = "word"          # keywords, opcodes, type names: define, i32, add, ...
+LOCAL = "local"        # %name
+GLOBAL = "global"      # @name
+ATTR_GROUP = "attr_group"  # #0
+INT = "int"            # integer literal (may be negative)
+STRING = "string"      # "..." (operand bundle tags)
+PUNCT = "punct"        # ( ) { } [ ] = , * : ...
+METADATA = "metadata"  # !name or !0
+EOF = "eof"
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ$._")
+_IDENT_CONT = _IDENT_START | set("0123456789-")
+_PUNCT_CHARS = set("(){}[]=,*:")
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize the whole input, dropping comments."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def make(kind: str, text: str) -> None:
+        tokens.append(Token(kind, text, line, start_col))
+
+    while i < n:
+        ch = source[i]
+        start_col = col
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == ";":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch in "%@#!":
+            sigil = ch
+            j = i + 1
+            if j < n and source[j] == '"':
+                # Quoted name: %"spaced name"
+                j += 1
+                start = j
+                while j < n and source[j] != '"':
+                    j += 1
+                if j >= n:
+                    raise LexError("unterminated quoted name", line, start_col)
+                name = source[start:j]
+                j += 1
+            else:
+                start = j
+                while j < n and source[j] in _IDENT_CONT:
+                    j += 1
+                name = source[start:j]
+            if not name:
+                raise LexError(f"empty name after {sigil!r}", line, start_col)
+            kind = {"%": LOCAL, "@": GLOBAL, "#": ATTR_GROUP, "!": METADATA}[sigil]
+            col += j - i
+            i = j
+            make(kind, name)
+            continue
+        if ch == '"':
+            j = i + 1
+            start = j
+            while j < n and source[j] != '"':
+                j += 1
+            if j >= n:
+                raise LexError("unterminated string", line, start_col)
+            text = source[start:j]
+            col += (j + 1) - i
+            i = j + 1
+            make(STRING, text)
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and source[i + 1].isdigit()):
+            j = i + 1
+            while j < n and source[j].isdigit():
+                j += 1
+            text = source[i:j]
+            col += j - i
+            i = j
+            make(INT, text)
+            continue
+        if ch in _IDENT_START:
+            j = i
+            while j < n and (source[j] in _IDENT_START or source[j].isdigit()):
+                j += 1
+            text = source[i:j]
+            col += j - i
+            i = j
+            make(WORD, text)
+            continue
+        if ch == "." and source[i:i + 3] == "...":
+            col += 3
+            i += 3
+            make(PUNCT, "...")
+            continue
+        if ch in _PUNCT_CHARS:
+            i += 1
+            col += 1
+            make(PUNCT, ch)
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, start_col)
+
+    tokens.append(Token(EOF, "", line, col))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with peek/expect helpers."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != EOF:
+            self._pos += 1
+        return token
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.peek()
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if not self.at(kind, text):
+            wanted = text if text is not None else kind
+            raise SyntaxError(
+                f"expected {wanted!r}, found {token.text!r} "
+                f"at line {token.line}:{token.column}")
+        return self.next()
+
+    def at_eof(self) -> bool:
+        return self.peek().kind == EOF

@@ -1,0 +1,254 @@
+"""Core SSA value classes: values, uses, constants, and arguments.
+
+Every operand edge in the IR is a :class:`Use` that is registered on the
+used value, so ``replace_all_uses_with`` and the mutation engine's
+"who uses this value" queries are O(uses), like LLVM's use lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
+
+from .types import IntType, PtrType, Type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .instructions import Instruction
+
+
+class Use:
+    """One operand slot of a user pointing at a used value."""
+
+    __slots__ = ("user", "index")
+
+    def __init__(self, user: "User", index: int) -> None:
+        self.user = user
+        self.index = index
+
+    def get(self) -> "Value":
+        return self.user.operands[self.index]
+
+    def set(self, value: "Value") -> None:
+        self.user.set_operand(self.index, value)
+
+    def __repr__(self) -> str:
+        return f"Use({self.user!r}[{self.index}])"
+
+
+class Value:
+    """Base class of everything that can be used as an operand."""
+
+    __slots__ = ("type", "name", "_uses")
+
+    def __init__(self, type: Type, name: str = "") -> None:
+        self.type = type
+        self.name = name
+        self._uses: List[Use] = []
+
+    @property
+    def uses(self) -> List[Use]:
+        return list(self._uses)
+
+    def users(self) -> List["User"]:
+        return [use.user for use in self._uses]
+
+    def num_uses(self) -> int:
+        return len(self._uses)
+
+    def has_uses(self) -> bool:
+        return bool(self._uses)
+
+    def _add_use(self, use: Use) -> None:
+        self._uses.append(use)
+
+    def _remove_use(self, use: Use) -> None:
+        for i, existing in enumerate(self._uses):
+            if existing is use:
+                del self._uses[i]
+                return
+        raise ValueError("use not found on value")
+
+    def replace_all_uses_with(self, new_value: "Value") -> None:
+        """Redirect every use of this value to ``new_value``."""
+        if new_value is self:
+            return
+        for use in list(self._uses):
+            use.set(new_value)
+
+    def is_constant(self) -> bool:
+        return isinstance(self, Constant)
+
+    def short_name(self) -> str:
+        """A human-readable handle for diagnostics."""
+        return f"%{self.name}" if self.name else f"<{type(self).__name__}>"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.type}, {self.short_name()})"
+
+
+class User(Value):
+    """A value that has operands (instructions, mostly)."""
+
+    __slots__ = ("operands", "_operand_uses")
+
+    def __init__(self, type: Type, name: str = "") -> None:
+        super().__init__(type, name)
+        self.operands: List[Value] = []
+        self._operand_uses: List[Use] = []
+
+    def _append_operand(self, value: Value) -> None:
+        use = Use(self, len(self.operands))
+        self.operands.append(value)
+        self._operand_uses.append(use)
+        value._add_use(use)
+
+    def set_operand(self, index: int, value: Value) -> None:
+        old = self.operands[index]
+        use = self._operand_uses[index]
+        if old is value:
+            return
+        old._remove_use(use)
+        self.operands[index] = value
+        value._add_use(use)
+
+    def get_operand(self, index: int) -> Value:
+        return self.operands[index]
+
+    def num_operands(self) -> int:
+        return len(self.operands)
+
+    def drop_all_references(self) -> None:
+        """Detach this user from all of its operands' use lists."""
+        for operand, use in zip(self.operands, self._operand_uses):
+            operand._remove_use(use)
+        self.operands.clear()
+        self._operand_uses.clear()
+
+    def operand_values(self) -> Iterator[Value]:
+        return iter(self.operands)
+
+
+class Constant(Value):
+    """Base class for constants (which have no defining instruction)."""
+
+    __slots__ = ()
+
+
+class ConstantInt(Constant):
+    """An integer constant, stored canonically as an unsigned value.
+
+    ``value`` is always in ``[0, 2**width)``; use :meth:`signed_value` for
+    the two's-complement interpretation.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, type: IntType, value: int) -> None:
+        if not isinstance(type, IntType):
+            raise TypeError(f"ConstantInt requires an integer type, got {type}")
+        super().__init__(type)
+        self.value = value & type.mask
+
+    @classmethod
+    def get(cls, type: IntType, value: int) -> "ConstantInt":
+        return cls(type, value)
+
+    @classmethod
+    def true(cls) -> "ConstantInt":
+        return cls(IntType(1), 1)
+
+    @classmethod
+    def false(cls) -> "ConstantInt":
+        return cls(IntType(1), 0)
+
+    def signed_value(self) -> int:
+        width = self.type.width
+        if self.value >= (1 << (width - 1)):
+            return self.value - (1 << width)
+        return self.value
+
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    def is_one(self) -> bool:
+        return self.value == 1
+
+    def is_all_ones(self) -> bool:
+        return self.value == self.type.mask
+
+    def __repr__(self) -> str:
+        return f"ConstantInt({self.type}, {self.signed_value()})"
+
+
+class UndefValue(Constant):
+    """``undef``: an unspecified-but-fixed-per-use bit pattern."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return f"UndefValue({self.type})"
+
+
+class PoisonValue(Constant):
+    """``poison``: the result of a violated operation precondition."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return f"PoisonValue({self.type})"
+
+
+class ConstantPointerNull(Constant):
+    """The ``null`` pointer constant."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(PtrType())
+
+    def __repr__(self) -> str:
+        return "ConstantPointerNull()"
+
+
+class Argument(Value):
+    """A formal function parameter."""
+
+    __slots__ = ("parent", "index", "attributes")
+
+    def __init__(self, type: Type, name: str = "", parent=None, index: int = -1) -> None:
+        from .attributes import AttributeSet
+
+        super().__init__(type, name)
+        self.parent = parent
+        self.index = index
+        self.attributes = AttributeSet()
+
+    def __repr__(self) -> str:
+        return f"Argument({self.type}, %{self.name})"
+
+
+def same_value(a: "Value", b: "Value") -> bool:
+    """Identity, or structural equality for constants.
+
+    Constants are not interned, so pattern matchers must treat two
+    ``ConstantInt`` objects with the same type and value as the same value.
+    """
+    if a is b:
+        return True
+    if isinstance(a, ConstantInt) and isinstance(b, ConstantInt):
+        return a.type is b.type and a.value == b.value
+    if isinstance(a, ConstantPointerNull) and isinstance(b, ConstantPointerNull):
+        return True
+    return False
+
+
+def constant_to_key(value: Constant):
+    """A hashable structural key for a constant (used by GVN/CSE)."""
+    if isinstance(value, ConstantInt):
+        return ("int", value.type.width, value.value)
+    if isinstance(value, UndefValue):
+        return ("undef", str(value.type))
+    if isinstance(value, PoisonValue):
+        return ("poison", str(value.type))
+    if isinstance(value, ConstantPointerNull):
+        return ("null",)
+    return ("const", id(value))

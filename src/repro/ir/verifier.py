@@ -1,0 +1,256 @@
+"""IR verifier: structural, type, and SSA-dominance checks.
+
+The mutation engine's core guarantee — mutants are valid IR 100% of the
+time (paper §II) — is checked against this verifier in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (AllocaInst, BinaryOperator, BrInst, CallInst,
+                           CastInst, EXACT_FLAG_OPCODES, FreezeInst, GEPInst,
+                           ICmpInst, Instruction, LoadInst, PhiNode, RetInst,
+                           SelectInst, StoreInst, SwitchInst,
+                           WRAPPING_FLAG_OPCODES)
+from .intrinsics import intrinsic_base_name, lookup as lookup_intrinsic
+from .module import Module
+from .types import IntType
+from .values import ConstantInt, Value
+
+
+class VerificationError(Exception):
+    """Raised when a module or function violates an IR invariant."""
+
+    def __init__(self, errors: List[str]) -> None:
+        super().__init__("; ".join(errors))
+        self.errors = errors
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function definition; raise on the first bad function."""
+    errors: List[str] = []
+    for function in module.definitions():
+        errors.extend(collect_function_errors(function))
+    if errors:
+        raise VerificationError(errors)
+
+
+def verify_function(function: Function) -> None:
+    errors = collect_function_errors(function)
+    if errors:
+        raise VerificationError(errors)
+
+
+def is_valid_module(module: Module) -> bool:
+    try:
+        verify_module(module)
+    except VerificationError:
+        return False
+    return True
+
+
+def collect_function_errors(function: Function) -> List[str]:
+    """All invariant violations found in one function definition."""
+    errors: List[str] = []
+    where = f"@{function.name}"
+    if not function.blocks:
+        return [f"{where}: definition has no blocks"]
+
+    entry = function.entry_block()
+    if entry.predecessors():
+        errors.append(f"{where}: entry block has predecessors")
+
+    for block in function.blocks:
+        block_name = block.name or "<anon>"
+        if not block.instructions:
+            errors.append(f"{where}/{block_name}: empty block")
+            continue
+        terminator = block.terminator()
+        if terminator is None:
+            errors.append(f"{where}/{block_name}: missing terminator")
+        for i, inst in enumerate(block.instructions):
+            if inst.parent is not block:
+                errors.append(f"{where}/{block_name}: instruction with wrong parent")
+            if inst.is_terminator() and i != len(block.instructions) - 1:
+                errors.append(f"{where}/{block_name}: terminator mid-block")
+            if isinstance(inst, PhiNode) and i > block.first_non_phi_index():
+                errors.append(f"{where}/{block_name}: phi after non-phi")
+            errors.extend(_check_instruction(function, block, inst))
+
+    # Imported here: the analysis package itself imports repro.ir.
+    from ..analysis.domtree import DominatorTree
+
+    domtree = DominatorTree(function)
+    errors.extend(_check_ssa(function, domtree))
+    errors.extend(_check_phis(function, domtree))
+    return errors
+
+
+# ---------------------------------------------------------------------------
+
+
+def _check_instruction(function: Function, block: BasicBlock,
+                       inst: Instruction) -> List[str]:
+    errors: List[str] = []
+    where = f"@{function.name}: {inst.opcode} %{inst.name or '?'}"
+
+    def err(message: str) -> None:
+        errors.append(f"{where}: {message}")
+
+    if isinstance(inst, BinaryOperator):
+        if not isinstance(inst.type, IntType):
+            err("binary operator on non-integer type")
+        elif inst.lhs.type is not inst.type or inst.rhs.type is not inst.type:
+            err("operand types do not match result type")
+        if (inst.nuw or inst.nsw) and inst.opcode not in WRAPPING_FLAG_OPCODES:
+            err(f"nuw/nsw flag on '{inst.opcode}'")
+        if inst.exact and inst.opcode not in EXACT_FLAG_OPCODES:
+            err(f"exact flag on '{inst.opcode}'")
+    elif isinstance(inst, ICmpInst):
+        if inst.lhs.type is not inst.rhs.type:
+            err("icmp operand types differ")
+        if not (inst.lhs.type.is_integer() or inst.lhs.type.is_pointer()):
+            err("icmp on non-integer, non-pointer type")
+    elif isinstance(inst, SelectInst):
+        if not (isinstance(inst.condition.type, IntType)
+                and inst.condition.type.width == 1):
+            err("select condition is not i1")
+        if inst.true_value.type is not inst.false_value.type:
+            err("select arms have different types")
+        if inst.type is not inst.true_value.type:
+            err("select result type mismatch")
+    elif isinstance(inst, CastInst):
+        src, dst = inst.src_type, inst.type
+        if not (isinstance(src, IntType) and isinstance(dst, IntType)):
+            err("cast between non-integer types")
+        elif inst.opcode == "trunc" and not src.width > dst.width:
+            err("trunc must narrow")
+        elif inst.opcode in ("zext", "sext") and not src.width < dst.width:
+            err(f"{inst.opcode} must widen")
+    elif isinstance(inst, LoadInst):
+        if not inst.pointer.type.is_pointer():
+            err("load pointer operand is not a pointer")
+        if not inst.type.is_first_class():
+            err("load of non-first-class type")
+    elif isinstance(inst, StoreInst):
+        if not inst.pointer.type.is_pointer():
+            err("store pointer operand is not a pointer")
+        if not inst.value.type.is_first_class():
+            err("store of non-first-class type")
+    elif isinstance(inst, GEPInst):
+        if not inst.pointer.type.is_pointer():
+            err("gep pointer operand is not a pointer")
+        for index in inst.indices:
+            if not isinstance(index.type, IntType):
+                err("gep index is not an integer")
+    elif isinstance(inst, CallInst):
+        errors.extend(_check_call(function, inst))
+    elif isinstance(inst, RetInst):
+        if function.return_type.is_void():
+            if inst.return_value is not None:
+                err("ret with value in void function")
+        elif inst.return_value is None:
+            err("ret void in non-void function")
+        elif inst.return_value.type is not function.return_type:
+            err("ret value type does not match function return type")
+    elif isinstance(inst, BrInst):
+        if inst.is_conditional():
+            condition = inst.condition
+            if not (isinstance(condition.type, IntType)
+                    and condition.type.width == 1):
+                err("br condition is not i1")
+        for successor in inst.successors():
+            if not isinstance(successor, BasicBlock):
+                err("br target is not a block")
+            elif successor.parent is not function:
+                err("br target belongs to a different function")
+    elif isinstance(inst, SwitchInst):
+        if not isinstance(inst.value.type, IntType):
+            err("switch on non-integer value")
+        seen = set()
+        for case_value, case_block in inst.cases():
+            if not isinstance(case_value, ConstantInt):
+                err("switch case value is not a constant int")
+                continue
+            if case_value.type is not inst.value.type:
+                err("switch case type mismatch")
+            if case_value.value in seen:
+                err("duplicate switch case")
+            seen.add(case_value.value)
+            if case_block.parent is not function:
+                err("switch target belongs to a different function")
+    return errors
+
+
+def _check_call(function: Function, inst: CallInst) -> List[str]:
+    errors: List[str] = []
+    callee = inst.callee
+    where = f"@{function.name}: call @{callee.name}"
+    params = callee.function_type.param_types
+    args = inst.args
+    if len(args) != len(params) and not callee.function_type.is_vararg:
+        errors.append(f"{where}: expects {len(params)} args, got {len(args)}")
+    else:
+        for i, (arg, param_type) in enumerate(zip(args, params)):
+            if arg.type is not param_type:
+                errors.append(
+                    f"{where}: arg {i} has type {arg.type}, expected {param_type}")
+    if callee.name.startswith("llvm."):
+        base = intrinsic_base_name(callee.name)
+        if lookup_intrinsic(callee.name) is None:
+            errors.append(f"{where}: unknown intrinsic")
+        elif lookup_intrinsic(callee.name).num_args != len(args):
+            errors.append(f"{where}: wrong intrinsic arity")
+        _ = base
+    return errors
+
+
+def _check_ssa(function: Function, domtree: DominatorTree) -> List[str]:
+    """Every use must be dominated by its definition (reachable code only)."""
+    errors: List[str] = []
+    for block in function.blocks:
+        if not domtree.is_reachable(block):
+            continue
+        for inst in block.instructions:
+            for operand_index, operand in enumerate(inst.operands):
+                if isinstance(operand, Instruction):
+                    if operand.parent is None or operand.function is not function:
+                        errors.append(
+                            f"@{function.name}: %{inst.name or '?'} uses a "
+                            "detached or foreign instruction")
+                        continue
+                    if not domtree.dominates_use(operand, inst, operand_index):
+                        errors.append(
+                            f"@{function.name}: use of %{operand.name or '?'} in "
+                            f"%{inst.name or inst.opcode} is not dominated by "
+                            "its definition")
+                elif isinstance(operand, BasicBlock):
+                    if operand.parent is not function:
+                        errors.append(
+                            f"@{function.name}: reference to foreign block")
+    return errors
+
+
+def _check_phis(function: Function, domtree: DominatorTree) -> List[str]:
+    errors: List[str] = []
+    for block in function.blocks:
+        if not domtree.is_reachable(block):
+            continue
+        preds = block.predecessors()
+        pred_ids = {id(p) for p in preds}
+        for phi in block.phis():
+            incoming = phi.incoming()
+            incoming_ids = {id(b) for _, b in incoming}
+            if incoming_ids != pred_ids:
+                errors.append(
+                    f"@{function.name}: phi %{phi.name or '?'} incoming blocks "
+                    "do not match predecessors")
+            for value, _ in incoming:
+                if value.type is not phi.type:
+                    errors.append(
+                        f"@{function.name}: phi %{phi.name or '?'} incoming "
+                        "value type mismatch")
+    return errors

@@ -1,0 +1,16 @@
+"""The mutation engine: the paper's primary contribution."""
+
+from .engine import (MutantInvalidError, MutantRecord, Mutator,
+                     MutatorConfig)
+from .mutations import DEFAULT_WEIGHTS, MUTATIONS
+from .primitives import (random_constant, random_dominating_value,
+                         replace_operand_with_dominating)
+from .rng import MutationRNG
+
+__all__ = [
+    "MutantInvalidError", "MutantRecord", "Mutator", "MutatorConfig",
+    "DEFAULT_WEIGHTS", "MUTATIONS",
+    "random_constant", "random_dominating_value",
+    "replace_operand_with_dominating",
+    "MutationRNG",
+]

@@ -1,0 +1,37 @@
+"""The mutation operator catalog (paper §IV)."""
+
+from typing import Callable, Dict
+
+from ...analysis.overlay import MutantOverlay
+from ..rng import MutationRNG
+from . import (arithmetic, attributes, bitwidth, inlining, move,
+               remove_calls, shuffle, uses)
+
+MutationFn = Callable[[MutantOverlay, MutationRNG], bool]
+
+# Name -> operator, in the paper's §IV order.
+MUTATIONS: Dict[str, MutationFn] = {
+    "attributes": attributes.apply,        # §IV-A
+    "inlining": inlining.apply,            # §IV-B
+    "remove-call": remove_calls.apply,     # §IV-C
+    "shuffle": shuffle.apply,              # §IV-D
+    "arithmetic": arithmetic.apply,        # §IV-E
+    "uses": uses.apply,                    # §IV-F
+    "move": move.apply,                    # §IV-G
+    "bitwidth": bitwidth.apply,            # §IV-H
+}
+
+# Relative selection weights: arithmetic and use mutations fire most often,
+# like the aggressive defaults described in §IV-E/F.
+DEFAULT_WEIGHTS: Dict[str, int] = {
+    "attributes": 1,
+    "inlining": 1,
+    "remove-call": 1,
+    "shuffle": 2,
+    "arithmetic": 4,
+    "uses": 3,
+    "move": 2,
+    "bitwidth": 2,
+}
+
+__all__ = ["MUTATIONS", "DEFAULT_WEIGHTS", "MutationFn"]

@@ -1,0 +1,101 @@
+"""Abusive inlining (paper §IV-B, Listing 6).
+
+The inliner is pointed at a function *other than* the intended callee —
+any defined function with a compatible signature — on the hypothesis that
+splicing a different body into the call site creates interesting IR.  The
+intended callee itself is also a valid (boring) choice when nothing else
+is compatible.
+
+Only single-block callees are inlined (no block splitting needed); that is
+the common shape of the helper functions in the corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ...analysis.overlay import MutantOverlay
+from ...ir.basicblock import BasicBlock
+from ...ir.function import Function
+from ...ir.instructions import CallInst, Instruction, RetInst
+from ...ir.module import Module, _clone_instruction
+from ...ir.values import Value
+from ..primitives import random_dominating_value
+from ..rng import MutationRNG
+
+
+def _inlinable(function: Function) -> bool:
+    if function.is_declaration() or len(function.blocks) != 1:
+        return False
+    terminator = function.blocks[0].terminator()
+    return isinstance(terminator, RetInst)
+
+
+def _signature_compatible(call: CallInst, candidate: Function) -> bool:
+    if len(candidate.arguments) != len(call.args):
+        return False
+    return all(arg.type is param.type
+               for arg, param in zip(call.args, candidate.arguments))
+
+
+def apply(overlay: MutantOverlay, rng: MutationRNG) -> bool:
+    function = overlay.mutant
+    module = function.parent
+    if module is None:
+        return False
+    calls = [inst for inst in function.instructions()
+             if isinstance(inst, CallInst) and not inst.is_intrinsic()]
+    call = rng.maybe_choice(calls)
+    if call is None:
+        return False
+    candidates = [f for f in module.definitions()
+                  if f is not function and _inlinable(f)
+                  and _signature_compatible(call, f)]
+    # Prefer a function other than the intended callee (that is the abuse).
+    others = [f for f in candidates if f is not call.callee]
+    chosen = rng.maybe_choice(others) or rng.maybe_choice(candidates)
+    if chosen is None:
+        return False
+    _inline_body(call, chosen, overlay, rng)
+    overlay.invalidate_positions()
+    return True
+
+
+def _inline_body(call: CallInst, callee: Function, overlay: MutantOverlay,
+                 rng: MutationRNG) -> None:
+    block = call.parent
+    value_map: Dict[int, Value] = {}
+    for argument, actual in zip(callee.arguments, call.args):
+        value_map[id(argument)] = actual
+
+    def remap(value: Value) -> Value:
+        return value_map.get(id(value), value)
+
+    insert_at = block.index_of(call)
+    return_value: Optional[Value] = None
+    for inst in callee.blocks[0].instructions:
+        if isinstance(inst, RetInst):
+            if inst.return_value is not None:
+                return_value = remap(inst.return_value)
+            break
+        cloned = _clone_instruction(inst, remap)
+        cloned.name = call.parent.parent.next_temp_name() \
+            if cloned.type.is_first_class() else ""
+        block.insert(insert_at, cloned)
+        insert_at += 1
+        value_map[id(inst)] = cloned
+
+    if call.type.is_void():
+        call.erase_from_parent()
+        return
+    if return_value is not None and return_value.type is call.type:
+        call.replace_all_uses_with(return_value)
+        call.erase_from_parent()
+        return
+    # Return type mismatch (the chosen body returns a different type than
+    # the call produced): substitute a dominating value for the call's
+    # users, then drop the call.
+    anchor = block.instructions[insert_at]
+    substitute = random_dominating_value(overlay, anchor, call.type, rng)
+    call.replace_all_uses_with(substitute)
+    call.erase_from_parent()

@@ -1,0 +1,34 @@
+"""Void-call removal (paper §IV-C, Listing 7).
+
+Dropping a call to a void function changes the program's memory behavior
+(the callee may have clobbered memory) but never breaks SSA — the call
+has no result to have users.
+"""
+
+from __future__ import annotations
+
+from ...analysis.overlay import MutantOverlay
+from ...ir.instructions import CallInst
+from ..rng import MutationRNG
+
+
+def apply(overlay: MutantOverlay, rng: MutationRNG) -> bool:
+    candidates = [inst for inst in overlay.mutant.instructions()
+                  if isinstance(inst, CallInst) and inst.type.is_void()
+                  and inst.intrinsic_name() != "llvm.assume"]
+    victim = rng.maybe_choice(candidates)
+    if victim is None:
+        return False
+    victim.erase_from_parent()
+    return True
+
+
+def apply_including_assumes(overlay: MutantOverlay, rng: MutationRNG) -> bool:
+    """Variant that may also drop llvm.assume calls (strictly weakening)."""
+    candidates = [inst for inst in overlay.mutant.instructions()
+                  if isinstance(inst, CallInst) and inst.type.is_void()]
+    victim = rng.maybe_choice(candidates)
+    if victim is None:
+        return False
+    victim.erase_from_parent()
+    return True

@@ -1,0 +1,42 @@
+"""Use mutation (paper §IV-F, Listings 10 and 11).
+
+Replaces a randomly-chosen SSA use with a value produced by the
+dominating-value primitive: an existing in-scope value, a fresh constant,
+a fresh random instruction, or a fresh function parameter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...analysis.overlay import MutantOverlay
+from ...ir.basicblock import BasicBlock
+from ...ir.instructions import BrInst, Instruction, PhiNode, SwitchInst
+from ..primitives import replace_operand_with_dominating
+from ..rng import MutationRNG
+
+
+def _use_sites(overlay: MutantOverlay) -> List[Tuple[Instruction, int]]:
+    sites: List[Tuple[Instruction, int]] = []
+    for inst in overlay.mutant.instructions():
+        if isinstance(inst, SwitchInst):
+            continue  # case constants / labels have structural constraints
+        for index, operand in enumerate(inst.operands):
+            if isinstance(operand, BasicBlock):
+                continue
+            if isinstance(inst, PhiNode) and index % 2 == 1:
+                continue
+            if isinstance(inst, BrInst) and index > 0:
+                continue
+            if not operand.type.is_first_class():
+                continue
+            sites.append((inst, index))
+    return sites
+
+
+def apply(overlay: MutantOverlay, rng: MutationRNG) -> bool:
+    sites = _use_sites(overlay)
+    if not sites:
+        return False
+    inst, index = rng.choice(sites)
+    return replace_operand_with_dominating(overlay, inst, index, rng)

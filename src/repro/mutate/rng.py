@@ -1,0 +1,71 @@
+"""Seeded PRNG wrapper with the repeatability contract of the paper.
+
+Alive-mutate "ensures that its runs are repeatable by logging an
+individual PRNG seed that led to the creation of each specific mutant"
+(§III-E).  :class:`MutationRNG` carries its seed so the fuzzing driver can
+log it per mutant and re-create any mutant exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class MutationRNG:
+    """A seeded random source; every draw is reproducible from the seed."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def spawn(self, salt: int) -> "MutationRNG":
+        """A child RNG with a derived (and thus loggable) seed."""
+        return MutationRNG((self.seed * 1000003 + salt) & 0x7FFFFFFFFFFFFFFF)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._random.randint(low, high)
+
+    def getrandbits(self, bits: int) -> int:
+        if bits <= 0:
+            return 0
+        return self._random.getrandbits(bits)
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def chance(self, probability: float) -> bool:
+        return self._random.random() < probability
+
+    def choice(self, options: Sequence[T]) -> T:
+        return options[self._random.randrange(len(options))]
+
+    def maybe_choice(self, options: Sequence[T]) -> Optional[T]:
+        if not options:
+            return None
+        return self.choice(options)
+
+    def sample(self, options: Sequence[T], count: int) -> List[T]:
+        count = min(count, len(options))
+        return self._random.sample(list(options), count)
+
+    def shuffled(self, options: Sequence[T]) -> List[T]:
+        items = list(options)
+        self._random.shuffle(items)
+        return items
+
+    def random_int_value(self, width: int,
+                         pool: Optional[Sequence[int]] = None) -> int:
+        """A mutation-friendly constant: pool values, corner values, or a
+        uniformly random bit pattern."""
+        mask = (1 << width) - 1
+        roll = self._random.random()
+        if pool and roll < 0.4:
+            return self.choice(list(pool)) & mask
+        if roll < 0.6:
+            corners = [0, 1, mask, 1 << (width - 1) if width > 1 else 0,
+                       (1 << (width - 1)) - 1 if width > 1 else 1]
+            return self.choice(corners) & mask
+        return self._random.getrandbits(width)

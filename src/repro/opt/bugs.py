@@ -1,0 +1,208 @@
+"""Seeded bug registry: the reproduction's analog of Table I.
+
+Each entry models one of the 33 real LLVM bugs alive-mutate found
+(19 miscompilations + 14 crashes).  We cannot fuzz 2022-era LLVM, so each
+bug is *seeded*: a deliberately wrong rule variant or an over-strong
+assertion inside our passes, guarded by the bug id.  The component/status/
+type/description columns are taken from the paper's Table I verbatim; the
+``host_pass`` column records where our seeded version lives (backend bugs
+are hosted in the ``codegen`` lowering pass, our architecture-independent
+backend substitute — a substitution documented in DESIGN.md).
+
+The bug-finding campaign (benchmarks/test_bench_table1_campaign.py)
+enables all 33, fuzzes a corpus with the mutation engine, and reports
+which bugs were rediscovered — regenerating Table I's shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+MISCOMPILATION = "miscompilation"
+CRASH = "crash"
+
+
+@dataclass(frozen=True)
+class SeededBug:
+    issue_id: str
+    component: str          # Table I component (paper's naming)
+    status: str             # fixed / open, per Table I
+    kind: str               # miscompilation / crash
+    description: str        # Table I description
+    host_pass: str          # which of our passes hosts the seeded variant
+    trigger: str            # the IR shape that reaches the buggy path
+
+
+_BUGS: Tuple[SeededBug, ...] = (
+    # -- miscompilations (19) ------------------------------------------------
+    SeededBug("53252", "InstCombine", "fixed", MISCOMPILATION,
+              "didn't update predicate in function 'canonicalizeClampLike'",
+              "instcombine",
+              "select (icmp ult/ugt x, C) over x and C"),
+    SeededBug("50693", "InstCombine", "fixed", MISCOMPILATION,
+              "missing a simplification of the opposite shifts of -1",
+              "instcombine",
+              "lshr (shl -1, x), x"),
+    SeededBug("53218", "NewGVN", "fixed", MISCOMPILATION,
+              "need to merge IR flags of the removed instruction into the leader",
+              "gvn",
+              "two identical binops differing only in nsw/nuw flags"),
+    SeededBug("55003", "AArch64 backend", "fixed", MISCOMPILATION,
+              "need to combine GSIL, GASHR, GSIL of undef shifts to undef",
+              "codegen",
+              "shl (shl x, C1), C2 with C1+C2 >= width"),
+    SeededBug("55201", "AArch64 backend", "fixed", MISCOMPILATION,
+              "when matching a disguised rotate by constant should apply "
+              "LHSMask/RHSmask",
+              "codegen",
+              "or (shl (and x, M), C), (lshr x, W-C)"),
+    SeededBug("55129", "AArch64 backend", "fixed", MISCOMPILATION,
+              "zero-width bitfield extracts to emit 0",
+              "codegen",
+              "lshr (zext i1 b), C with C >= 1"),
+    SeededBug("55271", "multiple backends", "fixed", MISCOMPILATION,
+              "missing a freeze to ISD::ABS expansion",
+              "codegen",
+              "llvm.abs(x, false) expansion at INT_MIN"),
+    SeededBug("55284", "AArch64 backend", "fixed", MISCOMPILATION,
+              "an or+and miscompile within GlobalISel",
+              "codegen",
+              "or (and x, C1), (and y, C2) with complementary masks"),
+    SeededBug("55287", "AArch64 backend", "fixed", MISCOMPILATION,
+              "an urem+udiv miscompilation within GlobalISel",
+              "codegen",
+              "urem x, 2**k"),
+    SeededBug("55296", "multiple backends", "fixed", MISCOMPILATION,
+              "didn't clear promoted bits before urem on shift amount",
+              "codegen",
+              "urem at a non-legal width (e.g. i26)"),
+    SeededBug("55342", "AArch64 backend", "fixed", MISCOMPILATION,
+              "sext and zext selection in promoted constant",
+              "codegen",
+              "sdiv/srem by constant at a non-legal width"),
+    SeededBug("55484", "multiple backends", "fixed", MISCOMPILATION,
+              "wrong match in in MatchBSwapHWordLow",
+              "codegen",
+              "or (shl x, C), (lshr x, 16-C) on i16 with C != 8"),
+    SeededBug("55490", "AArch64 backend", "fixed", MISCOMPILATION,
+              "another sext and zext selection in promoted constant",
+              "codegen",
+              "srem with non-constant divisor at a non-legal width"),
+    SeededBug("55627", "AArch64 backend", "fixed", MISCOMPILATION,
+              "refine sext and zext selection",
+              "codegen",
+              "sdiv at a non-legal width"),
+    SeededBug("55833", "AArch64 backend", "fixed", MISCOMPILATION,
+              "conflict between the selection code in tryBitfieldExtractOp "
+              "and isDef32",
+              "codegen",
+              "and (lshr x, C), low-bit-mask at the width boundary"),
+    SeededBug("58109", "AArch64 backend", "fixed", MISCOMPILATION,
+              "wrong code generation in usub.sat",
+              "codegen",
+              "llvm.usub.sat with a high-bit operand"),
+    SeededBug("58321", "AArch64 backend", "open", MISCOMPILATION,
+              "miscompilation of a frozen poison",
+              "codegen",
+              "freeze of a nuw/nsw/exact binary operator"),
+    SeededBug("58431", "AArch64 backend", "fixed", MISCOMPILATION,
+              "wrong GZEXT selection GISel",
+              "codegen",
+              "zext i1 to iN materialization"),
+    SeededBug("59836", "InstCombine", "fixed", MISCOMPILATION,
+              "precondition of a peephole optimization is too weak",
+              "instcombine",
+              "mul of (trunc (zext a)) operands marked nuw"),
+    # -- crashes (14) -----------------------------------------------------------
+    SeededBug("52884", "InstCombine", "fixed", CRASH,
+              'analysis got thwarted by having both "nuw" and "nsw" on the add',
+              "instcombine",
+              "llvm.smax/smin over add nuw nsw x, C"),
+    SeededBug("51618", "newGVN", "open", CRASH,
+              "PHI nodes with undef input",
+              "gvn",
+              "phi with an undef incoming value"),
+    SeededBug("56377", "VectorCombine", "fixed", CRASH,
+              "created shuffle for extract-extract pattern on scalable vector",
+              "codegen",
+              "llvm.fshl/fshr with a non-constant shift amount"),
+    SeededBug("56463", "InstCombine", "fixed", CRASH,
+              "calling a function with a bad signature",
+              "instcombine",
+              "call passing undef to a noundef parameter"),
+    SeededBug("56945", "ConstantFolding", "fixed", CRASH,
+              "the dyn_cast to a ConstantInt would fail with a poison input",
+              "constfold",
+              "intrinsic call with a poison argument"),
+    SeededBug("56968", "InstSimplify", "fixed", CRASH,
+              "uncovered condition in detecting a poison shift",
+              "instsimplify",
+              "shift with a constant amount >= bit width"),
+    SeededBug("56981", "ConstantFolding", "fixed", CRASH,
+              "assertion is too strong",
+              "constfold",
+              "select with a poison condition"),
+    SeededBug("58423", "AArch64 backend", "fixed", CRASH,
+              "CSEMIIRBuilder reuse removed instructions",
+              "codegen",
+              "two identical llvm.abs expansions where the first was erased"),
+    SeededBug("58425", "AArch64 backend", "fixed", CRASH,
+              "udiv did not reach the legalizer",
+              "codegen",
+              "udiv/sdiv at a non-legal width (e.g. i26)"),
+    SeededBug("59757", "TargetLibraryInfo", "fixed", CRASH,
+              "signature for printf is wrong",
+              "codegen",
+              "call to a printf-family declaration with a wrong signature"),
+    SeededBug("64687", "AlignmentFromAssumptions", "fixed", CRASH,
+              "missing a corner case",
+              "align-from-assumptions",
+              'assume with [ "align"(ptr p, i64 N) ] where N is not a power of 2'),
+    SeededBug("64661", "MoveAutoInit", "fixed", CRASH,
+              "the assertion is too strong",
+              "mem2reg",
+              "load from an alloca before any store"),
+    SeededBug("72035", "SROA", "open", CRASH,
+              "wrong code in AllocaSliceRewriter",
+              "mem2reg",
+              "type-punned load from an alloca"),
+    SeededBug("72034", "VectorCombine", "fixed", CRASH,
+              "wrong code in scalarizeVPItrinsic",
+              "codegen",
+              "llvm.sadd.sat/ssub.sat with identical operands"),
+)
+
+
+def all_bugs() -> List[SeededBug]:
+    return list(_BUGS)
+
+
+def all_bug_ids() -> List[str]:
+    return [bug.issue_id for bug in _BUGS]
+
+
+def bugs_by_id() -> Dict[str, SeededBug]:
+    return {bug.issue_id: bug for bug in _BUGS}
+
+
+def get_bug(issue_id: str) -> SeededBug:
+    bug = bugs_by_id().get(issue_id)
+    if bug is None:
+        raise KeyError(f"unknown seeded bug {issue_id}")
+    return bug
+
+
+def miscompilation_bugs() -> List[SeededBug]:
+    return [bug for bug in _BUGS if bug.kind == MISCOMPILATION]
+
+
+def crash_bugs() -> List[SeededBug]:
+    return [bug for bug in _BUGS if bug.kind == CRASH]
+
+
+def summarize() -> str:
+    """A Table-I-style summary header."""
+    return (f"{len(_BUGS)} seeded bugs: "
+            f"{len(miscompilation_bugs())} miscompilations, "
+            f"{len(crash_bugs())} crashes")

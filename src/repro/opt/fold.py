@@ -1,0 +1,238 @@
+"""Constant evaluation shared by the folding/simplification passes.
+
+Folding respects poison semantics: an operation whose flags are violated
+folds to ``poison``; operations whose misuse is *immediate UB* (division
+by zero, sdiv overflow) are never folded so the UB stays visible to the
+validator.  ``undef`` operands are left alone — per-use undef semantics
+make naive folding unsound.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.instructions import (BinaryOperator, CallInst, CastInst, ICmpInst,
+                               Instruction, SelectInst)
+from ..ir.types import IntType
+from ..ir.values import (Constant, ConstantInt, PoisonValue, UndefValue,
+                         Value)
+
+
+def _signed(value: int, width: int) -> int:
+    value &= (1 << width) - 1
+    if value >= 1 << (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def _unsigned(value: int, width: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+def _fits_signed(value: int, width: int) -> bool:
+    return -(1 << (width - 1)) <= value <= (1 << (width - 1)) - 1
+
+
+def fold_binary(opcode: str, lhs: Constant, rhs: Constant, width: int,
+                nuw: bool = False, nsw: bool = False,
+                exact: bool = False) -> Optional[Constant]:
+    """Fold a binary op over constants; None when it must not fold."""
+    int_ty = IntType(width)
+    if isinstance(lhs, PoisonValue) or isinstance(rhs, PoisonValue):
+        if opcode in ("udiv", "sdiv", "urem", "srem") \
+                and isinstance(rhs, PoisonValue):
+            return None  # division by poison divisor is UB, not poison
+        return PoisonValue(int_ty)
+    if not (isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt)):
+        return None
+
+    a, b = lhs.value, rhs.value
+    mask = (1 << width) - 1
+    if opcode == "add":
+        if nuw and a + b > mask:
+            return PoisonValue(int_ty)
+        if nsw and not _fits_signed(_signed(a, width) + _signed(b, width), width):
+            return PoisonValue(int_ty)
+        return ConstantInt(int_ty, a + b)
+    if opcode == "sub":
+        if nuw and a - b < 0:
+            return PoisonValue(int_ty)
+        if nsw and not _fits_signed(_signed(a, width) - _signed(b, width), width):
+            return PoisonValue(int_ty)
+        return ConstantInt(int_ty, a - b)
+    if opcode == "mul":
+        if nuw and a * b > mask:
+            return PoisonValue(int_ty)
+        if nsw and not _fits_signed(_signed(a, width) * _signed(b, width), width):
+            return PoisonValue(int_ty)
+        return ConstantInt(int_ty, a * b)
+    if opcode in ("udiv", "urem"):
+        if b == 0:
+            return None  # immediate UB; leave it for the interpreter
+        if opcode == "udiv":
+            if exact and a % b:
+                return PoisonValue(int_ty)
+            return ConstantInt(int_ty, a // b)
+        return ConstantInt(int_ty, a % b)
+    if opcode in ("sdiv", "srem"):
+        signed_a, signed_b = _signed(a, width), _signed(b, width)
+        if signed_b == 0:
+            return None
+        if signed_a == -(1 << (width - 1)) and signed_b == -1:
+            return None  # overflow is UB
+        quotient = abs(signed_a) // abs(signed_b)
+        if (signed_a < 0) != (signed_b < 0):
+            quotient = -quotient
+        if opcode == "sdiv":
+            if exact and signed_a != quotient * signed_b:
+                return PoisonValue(int_ty)
+            return ConstantInt(int_ty, _unsigned(quotient, width))
+        return ConstantInt(int_ty, _unsigned(signed_a - quotient * signed_b, width))
+    if opcode in ("shl", "lshr", "ashr"):
+        if b >= width:
+            return PoisonValue(int_ty)
+        if opcode == "shl":
+            full = a << b
+            if nuw and full > mask:
+                return PoisonValue(int_ty)
+            if nsw and _signed(full & mask, width) != _signed(a, width) * (1 << b):
+                return PoisonValue(int_ty)
+            return ConstantInt(int_ty, full)
+        if exact and a & ((1 << b) - 1):
+            return PoisonValue(int_ty)
+        if opcode == "lshr":
+            return ConstantInt(int_ty, a >> b)
+        return ConstantInt(int_ty, _unsigned(_signed(a, width) >> b, width))
+    if opcode == "and":
+        return ConstantInt(int_ty, a & b)
+    if opcode == "or":
+        return ConstantInt(int_ty, a | b)
+    if opcode == "xor":
+        return ConstantInt(int_ty, a ^ b)
+    return None
+
+
+def fold_icmp(predicate: str, lhs: Constant, rhs: Constant,
+              width: int) -> Optional[Constant]:
+    bool_ty = IntType(1)
+    if isinstance(lhs, PoisonValue) or isinstance(rhs, PoisonValue):
+        return PoisonValue(bool_ty)
+    if not (isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt)):
+        return None
+    a, b = lhs.value, rhs.value
+    if predicate in ("sgt", "sge", "slt", "sle"):
+        a, b = _signed(a, width), _signed(b, width)
+    result = {
+        "eq": a == b, "ne": a != b,
+        "ugt": a > b, "uge": a >= b, "ult": a < b, "ule": a <= b,
+        "sgt": a > b, "sge": a >= b, "slt": a < b, "sle": a <= b,
+    }[predicate]
+    return ConstantInt(bool_ty, int(result))
+
+
+def fold_cast(opcode: str, value: Constant, src_width: int,
+              dst_width: int) -> Optional[Constant]:
+    int_ty = IntType(dst_width)
+    if isinstance(value, PoisonValue):
+        return PoisonValue(int_ty)
+    if not isinstance(value, ConstantInt):
+        return None
+    if opcode == "trunc":
+        return ConstantInt(int_ty, value.value)
+    if opcode == "zext":
+        return ConstantInt(int_ty, value.value)
+    if opcode == "sext":
+        return ConstantInt(int_ty, _unsigned(_signed(value.value, src_width),
+                                             dst_width))
+    return None
+
+
+def fold_intrinsic(base_name: str, args, width: int) -> Optional[Constant]:
+    """Fold an integer intrinsic over fully-constant arguments."""
+    int_ty = IntType(width)
+    if any(isinstance(a, PoisonValue) for a in args):
+        return PoisonValue(int_ty)
+    if not all(isinstance(a, ConstantInt) for a in args):
+        return None
+    values = [a.value for a in args]
+    mask = (1 << width) - 1
+    if base_name in ("llvm.smax", "llvm.smin"):
+        a, b = _signed(values[0], width), _signed(values[1], width)
+        chosen = max(a, b) if base_name.endswith("smax") else min(a, b)
+        return ConstantInt(int_ty, _unsigned(chosen, width))
+    if base_name in ("llvm.umax", "llvm.umin"):
+        chosen = max(values[0], values[1]) if base_name.endswith("umax") \
+            else min(values[0], values[1])
+        return ConstantInt(int_ty, chosen)
+    if base_name == "llvm.abs":
+        signed = _signed(values[0], width)
+        if signed == -(1 << (width - 1)):
+            if values[1] == 1:
+                return PoisonValue(int_ty)
+            return ConstantInt(int_ty, values[0])
+        return ConstantInt(int_ty, abs(signed))
+    if base_name == "llvm.ctpop":
+        return ConstantInt(int_ty, bin(values[0]).count("1"))
+    if base_name == "llvm.ctlz":
+        if values[0] == 0:
+            if values[1] == 1:
+                return PoisonValue(int_ty)
+            return ConstantInt(int_ty, width)
+        return ConstantInt(int_ty, width - values[0].bit_length())
+    if base_name == "llvm.cttz":
+        if values[0] == 0:
+            if values[1] == 1:
+                return PoisonValue(int_ty)
+            return ConstantInt(int_ty, width)
+        return ConstantInt(int_ty, (values[0] & -values[0]).bit_length() - 1)
+    if base_name == "llvm.uadd.sat":
+        return ConstantInt(int_ty, min(values[0] + values[1], mask))
+    if base_name == "llvm.usub.sat":
+        return ConstantInt(int_ty, max(values[0] - values[1], 0))
+    if base_name == "llvm.sadd.sat":
+        total = _signed(values[0], width) + _signed(values[1], width)
+        return ConstantInt(int_ty, _unsigned(_clamp_signed(total, width), width))
+    if base_name == "llvm.ssub.sat":
+        total = _signed(values[0], width) - _signed(values[1], width)
+        return ConstantInt(int_ty, _unsigned(_clamp_signed(total, width), width))
+    return None
+
+
+def _clamp_signed(value: int, width: int) -> int:
+    low, high = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    return min(max(value, low), high)
+
+
+def fold_instruction(inst: Instruction) -> Optional[Constant]:
+    """Fold a whole instruction if its operands allow it."""
+    if isinstance(inst, BinaryOperator):
+        if isinstance(inst.lhs, Constant) and isinstance(inst.rhs, Constant):
+            return fold_binary(inst.opcode, inst.lhs, inst.rhs,
+                               inst.type.width, nuw=inst.nuw, nsw=inst.nsw,
+                               exact=inst.exact)
+        return None
+    if isinstance(inst, ICmpInst):
+        if isinstance(inst.lhs, Constant) and isinstance(inst.rhs, Constant) \
+                and isinstance(inst.lhs.type, IntType):
+            return fold_icmp(inst.predicate, inst.lhs, inst.rhs,
+                             inst.lhs.type.width)
+        return None
+    if isinstance(inst, CastInst):
+        if isinstance(inst.value, Constant):
+            return fold_cast(inst.opcode, inst.value, inst.src_type.width,
+                             inst.type.width)
+        return None
+    if isinstance(inst, SelectInst):
+        condition = inst.condition
+        if isinstance(condition, PoisonValue):
+            return PoisonValue(inst.type)
+        if isinstance(condition, ConstantInt):
+            chosen = inst.true_value if condition.value else inst.false_value
+            return chosen if isinstance(chosen, Constant) else None
+        return None
+    if isinstance(inst, CallInst) and inst.is_intrinsic() \
+            and isinstance(inst.type, IntType):
+        base = inst.intrinsic_name()
+        if all(isinstance(a, Constant) for a in inst.args):
+            return fold_intrinsic(base, inst.args, inst.type.width)
+    return None

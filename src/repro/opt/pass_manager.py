@@ -1,0 +1,96 @@
+"""Pass framework: function passes, the registry, and the pass manager.
+
+Mirrors how the paper drives LLVM: a pipeline is named on the command line
+(``-O2``, ``instcombine``, or a comma-separated list) and run over every
+function in the module (§III-C).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from ..ir.module import Module
+from ..ir.values import Value
+from .context import OptContext
+
+
+class FunctionPass:
+    """Base class: transform one function, report whether IR changed."""
+
+    name = "<unnamed>"
+
+    def run_on_function(self, function: Function, ctx: OptContext) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<pass {self.name}>"
+
+
+_REGISTRY: Dict[str, Callable[[], FunctionPass]] = {}
+
+
+def register_pass(name: str):
+    """Class decorator adding a pass to the registry."""
+    def decorate(cls):
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+    return decorate
+
+
+def create_pass(name: str) -> FunctionPass:
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(f"unknown pass {name!r} "
+                         f"(available: {', '.join(sorted(_REGISTRY))})")
+    return factory()
+
+
+def available_passes() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def replace_and_erase(inst: Instruction, replacement: Value) -> None:
+    """RAUW + erase: the standard way a rewrite retires an instruction."""
+    inst.replace_all_uses_with(replacement)
+    inst.erase_from_parent()
+
+
+class PassManager:
+    """Runs a sequence of function passes over a module."""
+
+    def __init__(self, pass_names: Sequence[str],
+                 ctx: Optional[OptContext] = None) -> None:
+        from . import pipelines  # late import: pipelines needs the registry
+
+        expanded: List[str] = []
+        for name in pass_names:
+            expanded.extend(pipelines.expand(name))
+        self.pass_names = expanded
+        self.ctx = ctx or OptContext()
+        self._passes = [create_pass(name) for name in expanded]
+
+    def run(self, module: Module) -> bool:
+        """Run the full pipeline; True if anything changed.
+
+        Seeded crash bugs raise :class:`OptimizerCrash` out of this method,
+        the analog of the optimizer process dying.
+        """
+        changed = False
+        for function_pass in self._passes:
+            for function in module.definitions():
+                if function_pass.run_on_function(function, self.ctx):
+                    changed = True
+                    self.ctx.count(f"pass.{function_pass.name}.changed")
+        return changed
+
+
+def optimize_module(module: Module, pipeline: Union[str, Sequence[str]] = "O2",
+                    ctx: Optional[OptContext] = None) -> OptContext:
+    """Convenience wrapper: optimize in place, return the context."""
+    names = [pipeline] if isinstance(pipeline, str) else list(pipeline)
+    manager = PassManager(names, ctx)
+    manager.run(module)
+    return manager.ctx

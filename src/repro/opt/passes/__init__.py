@@ -1,0 +1,13 @@
+"""Pass implementations.
+
+Importing this package registers every pass with the registry in
+:mod:`repro.opt.pass_manager`.
+"""
+
+from . import (align_from_assumptions, codegen, constant_fold, dce, dse,
+               early_cse, gvn, instcombine, instsimplify, licm, mem2reg,
+               reassociate, simplifycfg)
+
+__all__ = ["align_from_assumptions", "codegen", "constant_fold", "dce",
+           "dse", "early_cse", "gvn", "instcombine", "instsimplify",
+           "licm", "mem2reg", "reassociate", "simplifycfg"]

@@ -1,0 +1,59 @@
+"""AlignmentFromAssumptions: propagate ``assume align`` bundles.
+
+``call void @llvm.assume(i1 true) [ "align"(ptr %p, i64 N) ]`` lets the
+pass raise the alignment recorded on loads/stores through ``%p``.
+
+Hosts seeded crash bug 64687: per the LangRef, alignments in assume
+bundles are *not* required to be powers of two; the buggy pass asserts
+they are ("missing a corner case") and dies on e.g. ``align 123``.
+"""
+
+from __future__ import annotations
+
+from ...ir.function import Function
+from ...ir.instructions import CallInst, LoadInst, StoreInst
+from ...ir.values import ConstantInt
+from ..context import OptContext
+from ..pass_manager import FunctionPass, register_pass
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@register_pass("align-from-assumptions")
+class AlignmentFromAssumptions(FunctionPass):
+    def run_on_function(self, function: Function, ctx: OptContext) -> bool:
+        changed = False
+        for inst in function.instructions():
+            if not (isinstance(inst, CallInst)
+                    and inst.intrinsic_name() == "llvm.assume"):
+                continue
+            for bundle in inst.bundles:
+                if bundle.tag != "align":
+                    continue
+                operands = inst.bundle_operands(bundle)
+                if len(operands) != 2:
+                    continue
+                pointer, align_value = operands
+                if not isinstance(align_value, ConstantInt):
+                    continue
+                align = align_value.value
+                if not _is_power_of_two(align):
+                    if ctx.bug_enabled("64687"):
+                        ctx.crash("64687", "AlignmentFromAssumptions assumed "
+                                           "all alignments are powers of two")
+                    continue  # the fixed behavior: skip the odd alignment
+                for use in pointer.uses:
+                    user = use.user
+                    if isinstance(user, LoadInst) and user.pointer is pointer:
+                        if user.align < align:
+                            user.align = align
+                            ctx.count("align-assume.load")
+                            changed = True
+                    elif isinstance(user, StoreInst) and user.pointer is pointer:
+                        if user.align < align:
+                            user.align = align
+                            ctx.count("align-assume.store")
+                            changed = True
+        return changed

@@ -1,0 +1,52 @@
+"""Constant-folding pass (plus the ConstantFolding seeded crash bugs)."""
+
+from __future__ import annotations
+
+from ...ir.function import Function
+from ...ir.instructions import CallInst, SelectInst
+from ...ir.values import Constant, ConstantInt, PoisonValue
+from ..context import OptContext
+from ..fold import fold_instruction
+from ..pass_manager import FunctionPass, register_pass, replace_and_erase
+
+
+@register_pass("constfold")
+class ConstantFolding(FunctionPass):
+    """Folds instructions whose operands are all constants.
+
+    Hosts two seeded crash bugs from Table I:
+
+    * 56945 — "the dyn_cast to a ConstantInt would fail with a poison
+      input": with the bug enabled, folding an intrinsic whose argument is
+      ``poison`` unconditionally treats it as a ConstantInt and dies.
+    * 56981 — "assertion is too strong": an over-eager internal assert that
+      select conditions seen by the folder are never constant-foldable
+      booleans from icmp chains wider than i1 — modeled as asserting the
+      folded select condition is 0 or 1 *after* poison substitution.
+    """
+
+    def run_on_function(self, function: Function, ctx: OptContext) -> bool:
+        changed = True
+        any_change = False
+        while changed:
+            changed = False
+            for block in function.blocks:
+                for inst in list(block.instructions):
+                    if inst.parent is None:
+                        continue
+                    if ctx.bug_enabled("56945") and isinstance(inst, CallInst) \
+                            and inst.is_intrinsic() \
+                            and any(isinstance(a, PoisonValue) for a in inst.args):
+                        ctx.crash("56945",
+                                  "dyn_cast<ConstantInt> on poison operand")
+                    if ctx.bug_enabled("56981") and isinstance(inst, SelectInst) \
+                            and isinstance(inst.condition, PoisonValue):
+                        ctx.crash("56981",
+                                  "assert(isa<ConstantInt>(Cond)) is too strong")
+                    folded = fold_instruction(inst)
+                    if folded is not None:
+                        replace_and_erase(inst, folded)
+                        ctx.count("constfold.folded")
+                        changed = True
+                        any_change = True
+        return any_change

@@ -1,0 +1,125 @@
+"""InstCombine: the peephole-rewrite workhorse.
+
+Like LLVM's InstCombine, this pass runs a worklist to fixpoint, applying
+constant folding, InstSimplify, and a library of pattern-based rewrite
+rules.  InstCombine was the single buggiest LLVM component found both by
+Csmith (2011) and by alive-mutate (Table I), and the seeded versions of
+those bugs live in these rule modules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ....ir.builder import IRBuilder
+from ....ir.function import Function
+from ....ir.instructions import Instruction
+from ....ir.module import Module
+from ....ir.values import Value
+from ...context import OptContext
+from ...pass_manager import FunctionPass, register_pass, replace_and_erase
+from ..instsimplify import simplify_instruction
+
+# A rule inspects one instruction and either returns a replacement Value,
+# or performs an in-place change and returns the instruction itself, or
+# returns None when it does not apply.
+Rule = Callable[[Instruction, "CombineContext"], Optional[Value]]
+
+
+class CombineContext:
+    """What a rule gets to work with."""
+
+    def __init__(self, function: Function, ctx: OptContext) -> None:
+        self.function = function
+        self.ctx = ctx
+
+    def builder_before(self, inst: Instruction) -> IRBuilder:
+        builder = IRBuilder()
+        builder.set_insert_before(inst)
+        return builder
+
+    @property
+    def module(self) -> Optional[Module]:
+        return self.function.parent
+
+
+def _load_rules() -> List[Tuple[str, Rule]]:
+    from . import (rules_addsub, rules_bitwise, rules_casts, rules_icmp,
+                   rules_intrinsics, rules_logic_icmp, rules_muldiv,
+                   rules_select, rules_select_binop, rules_shifts)
+
+    rules: List[Tuple[str, Rule]] = []
+    for module in (rules_addsub, rules_muldiv, rules_shifts, rules_bitwise,
+                   rules_icmp, rules_logic_icmp, rules_select,
+                   rules_select_binop, rules_casts, rules_intrinsics):
+        rules.extend(module.RULES)
+    return rules
+
+
+_RULES: Optional[List[Tuple[str, Rule]]] = None
+
+
+def all_rules() -> List[Tuple[str, Rule]]:
+    global _RULES
+    if _RULES is None:
+        _RULES = _load_rules()
+    return _RULES
+
+
+MAX_ITERATIONS = 8
+
+
+@register_pass("instcombine")
+class InstCombine(FunctionPass):
+    def run_on_function(self, function: Function, ctx: OptContext) -> bool:
+        combine = CombineContext(function, ctx)
+        rules = all_rules()
+        any_change = False
+        for _ in range(MAX_ITERATIONS):
+            changed = False
+            for block in function.blocks:
+                for inst in list(block.instructions):
+                    if inst.parent is None:
+                        continue
+                    if inst.is_terminator():
+                        continue
+                    simplified = None
+                    if not inst.type.is_void():
+                        simplified = simplify_instruction(inst, ctx)
+                    if simplified is not None and simplified is not inst:
+                        replace_and_erase(inst, simplified)
+                        ctx.count("instcombine.simplified")
+                        changed = True
+                        continue
+                    for rule_name, rule in rules:
+                        result = rule(inst, combine)
+                        if result is None:
+                            continue
+                        ctx.count(f"instcombine.rule.{rule_name}")
+                        changed = True
+                        if result is not inst:
+                            replace_and_erase(inst, result)
+                        break
+            if changed:
+                # Like LLVM's InstCombine, retire instructions its rewrites
+                # have made dead before the next sweep.
+                self._erase_trivially_dead(function, ctx)
+            any_change = any_change or changed
+            if not changed:
+                break
+        return any_change
+
+    @staticmethod
+    def _erase_trivially_dead(function: Function, ctx: OptContext) -> None:
+        from ..dce import is_trivially_dead
+
+        worklist = list(function.instructions())
+        while worklist:
+            inst = worklist.pop()
+            if inst.parent is None or not is_trivially_dead(inst):
+                continue
+            operands = [op for op in inst.operands
+                        if isinstance(op, Instruction)]
+            inst.erase_from_parent()
+            ctx.count("instcombine.dead")
+            worklist.extend(operands)

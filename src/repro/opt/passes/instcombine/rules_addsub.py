@@ -1,0 +1,122 @@
+"""InstCombine rules for add/sub."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ....ir.instructions import BinaryOperator
+from ....ir.values import ConstantInt, Value
+from ...matchers import Capture, is_one_use, m_any, m_neg, m_not
+
+
+def rule_add_self_to_shl(inst, combine) -> Optional[Value]:
+    """add x, x  ->  shl x, 1 (flags carry over: both compute 2*x)."""
+    if not (isinstance(inst, BinaryOperator) and inst.opcode == "add"):
+        return None
+    if inst.lhs is not inst.rhs:
+        return None
+    if inst.type.width == 1:
+        return None  # shl i1 x, 1 would be poison
+    builder = combine.builder_before(inst)
+    return builder.shl(inst.lhs, ConstantInt(inst.type, 1),
+                       nuw=inst.nuw, nsw=inst.nsw)
+
+
+def rule_add_of_not_is_neg_like(inst, combine) -> Optional[Value]:
+    """add (xor x, -1), 1  ->  sub 0, x  (i.e. ~x + 1 == -x)."""
+    if not (isinstance(inst, BinaryOperator) and inst.opcode == "add"):
+        return None
+    inner = Capture()
+    matched = None
+    if m_not(m_any(inner))(inst.lhs) and isinstance(inst.rhs, ConstantInt) \
+            and inst.rhs.is_one():
+        matched = inner.value
+    elif m_not(m_any(inner))(inst.rhs) and isinstance(inst.lhs, ConstantInt) \
+            and inst.lhs.is_one():
+        matched = inner.value
+    if matched is None:
+        return None
+    builder = combine.builder_before(inst)
+    return builder.sub(ConstantInt(inst.type, 0), matched)
+
+
+def rule_sub_of_sub_constant(inst, combine) -> Optional[Value]:
+    """sub C1, (sub C2, x)  ->  add x, (C1 - C2); flags dropped."""
+    if not (isinstance(inst, BinaryOperator) and inst.opcode == "sub"):
+        return None
+    if not isinstance(inst.lhs, ConstantInt):
+        return None
+    inner = inst.rhs
+    if not (isinstance(inner, BinaryOperator) and inner.opcode == "sub"
+            and is_one_use(inner) and isinstance(inner.lhs, ConstantInt)):
+        return None
+    difference = (inst.lhs.value - inner.lhs.value) & inst.type.mask
+    builder = combine.builder_before(inst)
+    return builder.add(inner.rhs, ConstantInt(inst.type, difference))
+
+
+def rule_sub_neg_to_add(inst, combine) -> Optional[Value]:
+    """sub a, (sub 0, b)  ->  add a, b (flags dropped: -b may be poisoned
+    differently)."""
+    if not (isinstance(inst, BinaryOperator) and inst.opcode == "sub"):
+        return None
+    negated = Capture()
+    if not m_neg(m_any(negated))(inst.rhs):
+        return None
+    if not (isinstance(inst.rhs, BinaryOperator) and is_one_use(inst.rhs)):
+        return None
+    builder = combine.builder_before(inst)
+    return builder.add(inst.lhs, negated.value)
+
+
+def rule_add_sub_cancel(inst, combine) -> Optional[Value]:
+    """add (sub a, b), b  ->  a   (also the commuted form).
+
+    Flags on the sub do not matter: when the sub does not overflow both
+    sides equal a; when it does, the sub was poison and a refines poison.
+    """
+    if not (isinstance(inst, BinaryOperator) and inst.opcode == "add"):
+        return None
+    for first, second in ((inst.lhs, inst.rhs), (inst.rhs, inst.lhs)):
+        if isinstance(first, BinaryOperator) and first.opcode == "sub" \
+                and first.rhs is second:
+            return first.lhs
+    return None
+
+
+def rule_sub_add_cancel(inst, combine) -> Optional[Value]:
+    """sub (add a, b), a  ->  b (either position of a)."""
+    if not (isinstance(inst, BinaryOperator) and inst.opcode == "sub"):
+        return None
+    inner = inst.lhs
+    if isinstance(inner, BinaryOperator) and inner.opcode == "add":
+        if inner.lhs is inst.rhs:
+            return inner.rhs
+        if inner.rhs is inst.rhs:
+            return inner.lhs
+    return None
+
+
+def rule_sub_constant_to_add(inst, combine) -> Optional[Value]:
+    """sub x, C  ->  add x, -C (canonicalization; nsw is dropped because
+    negating C can overflow at the type's minimum)."""
+    if not (isinstance(inst, BinaryOperator) and inst.opcode == "sub"):
+        return None
+    if not isinstance(inst.rhs, ConstantInt) or isinstance(inst.lhs, ConstantInt):
+        return None
+    if inst.rhs.is_zero():
+        return None
+    builder = combine.builder_before(inst)
+    negated = (-inst.rhs.value) & inst.type.mask
+    return builder.add(inst.lhs, ConstantInt(inst.type, negated))
+
+
+RULES = [
+    ("add-self-to-shl", rule_add_self_to_shl),
+    ("add-not-one-to-neg", rule_add_of_not_is_neg_like),
+    ("sub-of-sub-const", rule_sub_of_sub_constant),
+    ("sub-neg-to-add", rule_sub_neg_to_add),
+    ("add-sub-cancel", rule_add_sub_cancel),
+    ("sub-add-cancel", rule_sub_add_cancel),
+    ("sub-const-to-add", rule_sub_constant_to_add),
+]

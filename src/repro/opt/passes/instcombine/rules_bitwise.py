@@ -1,0 +1,128 @@
+"""InstCombine rules for and/or/xor."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ....analysis.knownbits import compute_known_bits
+from ....ir.instructions import BinaryOperator, ICmpInst
+from ....ir.types import IntType
+from ....ir.values import ConstantInt, Value
+from ...matchers import is_one_use
+
+
+def rule_xor_of_icmp_inverts(inst, combine) -> Optional[Value]:
+    """xor (icmp pred a, b), true  ->  icmp !pred a, b.
+
+    This is the canonicalization that turns the paper's Listing 2
+    ``xor %t2, true`` into an inverted compare during optimization.
+    """
+    if not (isinstance(inst, BinaryOperator) and inst.opcode == "xor"):
+        return None
+    if not (isinstance(inst.type, IntType) and inst.type.width == 1):
+        return None
+    for compare, other in ((inst.lhs, inst.rhs), (inst.rhs, inst.lhs)):
+        if isinstance(compare, ICmpInst) and is_one_use(compare) \
+                and isinstance(other, ConstantInt) and other.is_one():
+            builder = combine.builder_before(inst)
+            return builder.icmp(compare.inverted_predicate(),
+                                compare.lhs, compare.rhs)
+    return None
+
+
+def rule_demorgan(inst, combine) -> Optional[Value]:
+    """and (xor a, -1), (xor b, -1)  ->  xor (or a, b), -1 (and dual)."""
+    if not (isinstance(inst, BinaryOperator)
+            and inst.opcode in ("and", "or")):
+        return None
+    lhs, rhs = inst.lhs, inst.rhs
+
+    def inverted(value):
+        if isinstance(value, BinaryOperator) and value.opcode == "xor" \
+                and isinstance(value.rhs, ConstantInt) \
+                and value.rhs.is_all_ones() and is_one_use(value):
+            return value.lhs
+        return None
+
+    a = inverted(lhs)
+    b = inverted(rhs)
+    if a is None or b is None:
+        return None
+    builder = combine.builder_before(inst)
+    dual = "or" if inst.opcode == "and" else "and"
+    combined = builder.binop(dual, a, b)
+    return builder.xor(combined, ConstantInt(inst.type, inst.type.mask))
+
+
+def rule_and_or_absorb(inst, combine) -> Optional[Value]:
+    """and x, (or x, y)  ->  x   and   or x, (and x, y)  ->  x."""
+    if not (isinstance(inst, BinaryOperator)
+            and inst.opcode in ("and", "or")):
+        return None
+    dual = "or" if inst.opcode == "and" else "and"
+    for first, second in ((inst.lhs, inst.rhs), (inst.rhs, inst.lhs)):
+        if isinstance(second, BinaryOperator) and second.opcode == dual:
+            if second.lhs is first or second.rhs is first:
+                return first
+    return None
+
+
+def rule_and_with_known_mask(inst, combine) -> Optional[Value]:
+    """and x, C  ->  x when known bits prove C covers every possibly-set
+    bit of x."""
+    if not (isinstance(inst, BinaryOperator) and inst.opcode == "and"):
+        return None
+    if not isinstance(inst.rhs, ConstantInt):
+        return None
+    known = compute_known_bits(inst.lhs)
+    possibly_set = known.mask & ~known.zero
+    if possibly_set & ~inst.rhs.value:
+        return None
+    if inst.rhs.is_all_ones():
+        return None  # instsimplify handles it
+    return inst.lhs
+
+
+def rule_or_disjoint_to_add(inst, combine) -> Optional[Value]:
+    """add x, y  ->  or x, y when their set bits are provably disjoint.
+
+    (The canonical LLVM direction; `or` exposes more bitwise facts.)
+    """
+    if not (isinstance(inst, BinaryOperator) and inst.opcode == "add"):
+        return None
+    if inst.nuw or inst.nsw:
+        return None  # keep flag-carrying adds for other rules
+    lhs_known = compute_known_bits(inst.lhs)
+    rhs_known = compute_known_bits(inst.rhs)
+    lhs_possible = lhs_known.mask & ~lhs_known.zero
+    rhs_possible = rhs_known.mask & ~rhs_known.zero
+    if lhs_possible & rhs_possible:
+        return None
+    if isinstance(inst.lhs, ConstantInt) or isinstance(inst.rhs, ConstantInt):
+        if lhs_possible == 0 or rhs_possible == 0:
+            return None  # add x, 0 is instsimplify's job
+    builder = combine.builder_before(inst)
+    return builder.or_(inst.lhs, inst.rhs)
+
+
+def rule_xor_icmp_pair(inst, combine) -> Optional[Value]:
+    """xor (icmp eq a, b), (icmp ne a, b)  ->  true."""
+    if not (isinstance(inst, BinaryOperator) and inst.opcode == "xor"):
+        return None
+    lhs, rhs = inst.lhs, inst.rhs
+    if not (isinstance(lhs, ICmpInst) and isinstance(rhs, ICmpInst)):
+        return None
+    if lhs.lhs is rhs.lhs and lhs.rhs is rhs.rhs \
+            and lhs.inverted_predicate() == rhs.predicate:
+        return ConstantInt(IntType(1), 1)
+    return None
+
+
+RULES = [
+    ("xor-icmp-invert", rule_xor_of_icmp_inverts),
+    ("demorgan", rule_demorgan),
+    ("and-or-absorb", rule_and_or_absorb),
+    ("and-known-mask", rule_and_with_known_mask),
+    ("or-disjoint-add", rule_or_disjoint_to_add),
+    ("xor-icmp-pair", rule_xor_icmp_pair),
+]

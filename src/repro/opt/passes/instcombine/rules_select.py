@@ -1,0 +1,156 @@
+"""InstCombine rules for select.
+
+Hosts seeded bug 53252 (miscompilation): "didn't update predicate in
+function 'canonicalizeClampLike'" — the clamp-to-min/max canonicalization
+emits a *signed* min/max even when the guarding compare was unsigned.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ....ir.instructions import BinaryOperator, ICmpInst, SelectInst
+from ....ir.intrinsics import declare_intrinsic, supports_width
+from ....ir.types import IntType
+from ....ir.values import ConstantInt, Value, same_value
+from ...matchers import is_one_use
+
+
+def rule_select_inverted_condition(inst, combine) -> Optional[Value]:
+    """select (xor c, true), x, y  ->  select c, y, x."""
+    if not isinstance(inst, SelectInst):
+        return None
+    condition = inst.condition
+    if not (isinstance(condition, BinaryOperator) and condition.opcode == "xor"
+            and is_one_use(condition)
+            and isinstance(condition.rhs, ConstantInt)
+            and condition.rhs.is_one()
+            and condition.type.width == 1):
+        return None
+    builder = combine.builder_before(inst)
+    return builder.select(condition.lhs, inst.false_value, inst.true_value)
+
+
+def rule_select_bool_constant_arms(inst, combine) -> Optional[Value]:
+    """select c, true, C  ->  or c, C  /  select c, C, false  ->  and c, C.
+
+    Only with a *constant* other arm: with an arbitrary value the or/and
+    form would let poison flow where select blocked it.
+    """
+    if not isinstance(inst, SelectInst):
+        return None
+    if not (isinstance(inst.type, IntType) and inst.type.width == 1):
+        return None
+    builder = combine.builder_before(inst)
+    if isinstance(inst.true_value, ConstantInt) and inst.true_value.is_one() \
+            and isinstance(inst.false_value, ConstantInt):
+        return builder.or_(inst.condition, inst.false_value)
+    if isinstance(inst.false_value, ConstantInt) and inst.false_value.is_zero() \
+            and isinstance(inst.true_value, ConstantInt):
+        return builder.and_(inst.condition, inst.true_value)
+    return None
+
+
+_MINMAX_FOR_PREDICATE = {
+    # select (x PRED C) ? x : C  canonicalizes to this intrinsic.
+    "slt": "llvm.smin",
+    "sgt": "llvm.smax",
+    "ult": "llvm.umin",
+    "ugt": "llvm.umax",
+}
+
+
+def rule_canonicalize_clamp_like(inst, combine) -> Optional[Value]:
+    """Clamp patterns become min/max intrinsics:
+
+        select (icmp slt x, C), x, C  ->  smin(x, C)
+        select (icmp slt x, C), C, x  ->  smax(x, C)
+
+    Bug 53252: the buggy version keeps the *signed* intrinsic even when
+    the predicate was unsigned — "didn't update the predicate".
+    """
+    if not isinstance(inst, SelectInst):
+        return None
+    if not isinstance(inst.type, IntType) or inst.type.width == 1:
+        return None
+    compare = inst.condition
+    if not (isinstance(compare, ICmpInst) and is_one_use(compare)
+            and isinstance(compare.rhs, ConstantInt)):
+        return None
+    base = _MINMAX_FOR_PREDICATE.get(compare.predicate)
+    if base is None:
+        return None
+    x, c = compare.lhs, compare.rhs
+    if inst.true_value is x and same_value(inst.false_value, c):
+        chosen = base
+    elif same_value(inst.true_value, c) and inst.false_value is x:
+        chosen = {"llvm.smin": "llvm.smax", "llvm.smax": "llvm.smin",
+                  "llvm.umin": "llvm.umax", "llvm.umax": "llvm.umin"}[base]
+    else:
+        return None
+    if combine.ctx.bug_enabled("53252") and chosen.startswith("llvm.u"):
+        combine.ctx.note_bug_trigger("53252")
+        chosen = chosen.replace("llvm.u", "llvm.s")
+    module = combine.module
+    if module is None or not supports_width(chosen, inst.type.width):
+        return None
+    callee = declare_intrinsic(module, chosen, inst.type.width)
+    builder = combine.builder_before(inst)
+    return builder.call(callee, [x, c])
+
+
+def rule_select_same_compare_operands(inst, combine) -> Optional[Value]:
+    """select (icmp eq a, b), a, b  ->  b  (equal when taken, b otherwise)."""
+    if not isinstance(inst, SelectInst):
+        return None
+    compare = inst.condition
+    if not (isinstance(compare, ICmpInst) and compare.predicate == "eq"):
+        return None
+    if inst.true_value is compare.lhs and inst.false_value is compare.rhs:
+        return inst.false_value
+    if inst.true_value is compare.rhs and inst.false_value is compare.lhs:
+        return inst.false_value
+    return None
+
+
+def rule_select_of_selects(inst, combine) -> Optional[Value]:
+    """select c, (select c, x, y), z  ->  select c, x, z (same condition)."""
+    if not isinstance(inst, SelectInst):
+        return None
+    condition = inst.condition
+    true_value = inst.true_value
+    false_value = inst.false_value
+    builder = combine.builder_before(inst)
+    if isinstance(true_value, SelectInst) and true_value.condition is condition:
+        return builder.select(condition, true_value.true_value, false_value)
+    if isinstance(false_value, SelectInst) and false_value.condition is condition:
+        return builder.select(condition, true_value, false_value.false_value)
+    return None
+
+
+def rule_select_zext_arms(inst, combine) -> Optional[Value]:
+    """select c, 1, 0  ->  zext c (and select c, 0, 1 -> zext (xor c))."""
+    if not isinstance(inst, SelectInst):
+        return None
+    if not isinstance(inst.type, IntType) or inst.type.width <= 1:
+        return None
+    t, f = inst.true_value, inst.false_value
+    if not (isinstance(t, ConstantInt) and isinstance(f, ConstantInt)):
+        return None
+    builder = combine.builder_before(inst)
+    if t.is_one() and f.is_zero():
+        return builder.zext(inst.condition, inst.type)
+    if t.is_zero() and f.is_one():
+        inverted = builder.xor(inst.condition, ConstantInt(IntType(1), 1))
+        return builder.zext(inverted, inst.type)
+    return None
+
+
+RULES = [
+    ("select-inverted-cond", rule_select_inverted_condition),
+    ("select-bool-const-arms", rule_select_bool_constant_arms),
+    ("canonicalize-clamp-like", rule_canonicalize_clamp_like),
+    ("select-eq-operands", rule_select_same_compare_operands),
+    ("select-of-selects", rule_select_of_selects),
+    ("select-zext-arms", rule_select_zext_arms),
+]

@@ -1,0 +1,118 @@
+"""InstCombine rules for shifts.
+
+Hosts seeded bug 50693 (miscompilation): the "opposite shifts of -1"
+simplification.  ``lshr (shl -1, x), x`` equals ``lshr -1, x`` (a low-bit
+mask); the buggy version folds it to ``-1`` outright.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ....ir.instructions import BinaryOperator, CastInst
+from ....ir.values import ConstantInt, Value
+
+
+def rule_shl_shl_combine(inst, combine) -> Optional[Value]:
+    """shl (shl x, C1), C2  ->  shl x, C1+C2 (or 0 when C1+C2 >= width).
+
+    Flags are dropped: the combined shift has different overflow behavior.
+    """
+    if not (isinstance(inst, BinaryOperator) and inst.opcode == "shl"):
+        return None
+    inner = inst.lhs
+    if not (isinstance(inner, BinaryOperator) and inner.opcode == "shl"
+            and isinstance(inner.rhs, ConstantInt)
+            and isinstance(inst.rhs, ConstantInt)):
+        return None
+    width = inst.type.width
+    c1, c2 = inner.rhs.value, inst.rhs.value
+    if c1 >= width or c2 >= width:
+        return None  # already poison; leave it visible
+    total = c1 + c2
+    if total >= width:
+        return ConstantInt(inst.type, 0)
+    builder = combine.builder_before(inst)
+    return builder.shl(inner.lhs, ConstantInt(inst.type, total))
+
+
+def rule_lshr_lshr_combine(inst, combine) -> Optional[Value]:
+    """lshr (lshr x, C1), C2  ->  lshr x, C1+C2 (or 0)."""
+    if not (isinstance(inst, BinaryOperator) and inst.opcode == "lshr"):
+        return None
+    inner = inst.lhs
+    if not (isinstance(inner, BinaryOperator) and inner.opcode == "lshr"
+            and isinstance(inner.rhs, ConstantInt)
+            and isinstance(inst.rhs, ConstantInt)):
+        return None
+    width = inst.type.width
+    c1, c2 = inner.rhs.value, inst.rhs.value
+    if c1 >= width or c2 >= width:
+        return None
+    total = c1 + c2
+    if total >= width:
+        return ConstantInt(inst.type, 0)
+    builder = combine.builder_before(inst)
+    return builder.lshr(inner.lhs, ConstantInt(inst.type, total))
+
+
+def rule_shl_then_lshr_to_and(inst, combine) -> Optional[Value]:
+    """lshr (shl x, C), C  ->  and x, (-1 >> C) — masks the top C bits."""
+    if not (isinstance(inst, BinaryOperator) and inst.opcode == "lshr"):
+        return None
+    inner = inst.lhs
+    if not (isinstance(inner, BinaryOperator) and inner.opcode == "shl"
+            and isinstance(inner.rhs, ConstantInt)
+            and isinstance(inst.rhs, ConstantInt)
+            and inner.rhs.value == inst.rhs.value
+            and inner.num_uses() == 1):
+        return None
+    width = inst.type.width
+    shift = inst.rhs.value
+    if shift >= width:
+        return None
+    mask = inst.type.mask >> shift
+    builder = combine.builder_before(inst)
+    return builder.and_(inner.lhs, ConstantInt(inst.type, mask))
+
+
+def rule_opposite_shifts_of_allones(inst, combine) -> Optional[Value]:
+    """lshr (shl -1, x), x  ->  lshr -1, x.
+
+    Bug 50693: the buggy version returns -1, which is wrong for any
+    nonzero x.
+    """
+    if not (isinstance(inst, BinaryOperator) and inst.opcode == "lshr"):
+        return None
+    inner = inst.lhs
+    if not (isinstance(inner, BinaryOperator) and inner.opcode == "shl"
+            and isinstance(inner.lhs, ConstantInt)
+            and inner.lhs.is_all_ones()
+            and inner.rhs is inst.rhs):
+        return None
+    if combine.ctx.bug_enabled("50693"):
+        combine.ctx.note_bug_trigger("50693")
+        return ConstantInt(inst.type, inst.type.mask)
+    builder = combine.builder_before(inst)
+    return builder.lshr(ConstantInt(inst.type, inst.type.mask), inst.rhs)
+
+
+def rule_ashr_of_nonnegative_to_lshr(inst, combine) -> Optional[Value]:
+    """ashr (zext x), C  ->  lshr (zext x), C — the sign bit is zero."""
+    if not (isinstance(inst, BinaryOperator) and inst.opcode == "ashr"):
+        return None
+    lhs = inst.lhs
+    if not (isinstance(lhs, CastInst) and lhs.opcode == "zext"
+            and lhs.src_type.width < inst.type.width):
+        return None
+    builder = combine.builder_before(inst)
+    return builder.lshr(lhs, inst.rhs, exact=inst.exact)
+
+
+RULES = [
+    ("shl-shl", rule_shl_shl_combine),
+    ("lshr-lshr", rule_lshr_lshr_combine),
+    ("shl-lshr-to-and", rule_shl_then_lshr_to_and),
+    ("opposite-shifts-allones", rule_opposite_shifts_of_allones),
+    ("ashr-nonneg-to-lshr", rule_ashr_of_nonnegative_to_lshr),
+]

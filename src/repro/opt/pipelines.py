@@ -1,0 +1,65 @@
+"""Named pass pipelines (the ``-O1``/``-O2`` analogs)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .pass_manager import available_passes
+
+PIPELINES: Dict[str, List[str]] = {
+    "O0": [],
+    "O1": [
+        "mem2reg",
+        "constfold",
+        "instsimplify",
+        "instcombine",
+        "simplifycfg",
+        "early-cse",
+        "dce",
+    ],
+    "O2": [
+        "mem2reg",
+        "constfold",
+        "instsimplify",
+        "instcombine",
+        "simplifycfg",
+        "early-cse",
+        "gvn",
+        "licm",
+        "dse",
+        "reassociate",
+        "instcombine",
+        "align-from-assumptions",
+        "constfold",
+        "simplifycfg",
+        "adce",
+        "dce",
+    ],
+    # The paper's second configuration: -O2 followed by the (AArch64)
+    # backend; our codegen pass is the backend substitute.
+    "O2+backend": [],  # filled below from O2
+    "backend": ["codegen", "dce"],
+}
+
+PIPELINES["O2+backend"] = PIPELINES["O2"] + ["codegen", "dce"]
+
+
+def expand(name: str) -> List[str]:
+    """A pipeline or single pass name (possibly comma-separated) into a
+    flat pass list."""
+    names: List[str] = []
+    for part in name.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part.startswith("-"):
+            part = part.lstrip("-")
+        if part in PIPELINES:
+            names.extend(PIPELINES[part])
+        else:
+            names.append(part)
+    return names
+
+
+def available_pipelines() -> List[str]:
+    return sorted(PIPELINES)

@@ -1,0 +1,109 @@
+"""Runtime value domain for the translation-validation interpreter.
+
+Runtime values are plain Python data:
+
+* integers — canonical unsigned ints in ``[0, 2**width)``
+* pointers — :class:`Pointer` (logical block id + byte offset), or null
+* ``POISON`` — the poison marker
+* ``None`` — the absence of a value (void)
+
+``undef`` never exists at runtime: each *use* of an undef operand is
+resolved to a concrete value through the nondeterminism oracle, which
+matches LLVM's each-use-may-differ semantics under bounded enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+
+class _Poison:
+    """Singleton marker for a poisonous runtime value."""
+
+    _instance: "_Poison" = None
+
+    def __new__(cls) -> "_Poison":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "poison"
+
+
+POISON = _Poison()
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """A pointer into a logical memory block.
+
+    ``block`` is a logical id stable across source/target executions
+    (e.g. ``"arg:p"`` or ``"alloca:3"``), so pointers can be compared
+    between the two runs.  The null pointer is ``Pointer("null", 0)``.
+    """
+
+    block: str
+    offset: int
+
+    def is_null(self) -> bool:
+        return self.block == "null"
+
+    def __repr__(self) -> str:
+        return f"&{self.block}+{self.offset}"
+
+
+NULL_POINTER = Pointer("null", 0)
+
+RuntimeValue = Union[int, Pointer, _Poison, None]
+
+
+def is_poison(value: RuntimeValue) -> bool:
+    return value is POISON
+
+
+def to_signed(value: int, width: int) -> int:
+    value &= (1 << width) - 1
+    if value >= 1 << (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def to_unsigned(value: int, width: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+def interesting_values(width: int) -> List[int]:
+    """Corner values used both for input generation and undef choices."""
+    mask = (1 << width) - 1
+    values = [0, 1, mask]
+    if width > 1:
+        values.extend([
+            1 << (width - 1),          # signed minimum
+            (1 << (width - 1)) - 1,    # signed maximum
+            2 & mask,
+        ])
+    seen = set()
+    unique = []
+    for value in values:
+        value &= mask
+        if value not in seen:
+            seen.add(value)
+            unique.append(value)
+    return unique
+
+
+def describe(value: RuntimeValue, width: Optional[int] = None) -> str:
+    """Human-readable form for counterexample reports."""
+    if value is POISON:
+        return "poison"
+    if value is None:
+        return "void"
+    if isinstance(value, Pointer):
+        return repr(value)
+    if width is not None:
+        signed = to_signed(value, width)
+        if signed != value:
+            return f"{value} (i.e. {signed})"
+    return str(value)

@@ -1,0 +1,90 @@
+"""Nondeterminism oracles.
+
+LLVM IR has genuinely nondeterministic constructs: every *use* of ``undef``
+may see a different value, and ``freeze`` of poison picks an arbitrary one.
+The interpreter routes every such decision through an oracle.
+
+:class:`EnumerationOracle` explores the resulting decision tree
+breadth-first up to a budget, so the refinement checker can enumerate the
+behavior *sets* of both functions (bounded, like Alive2's bounded TV).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+class Oracle:
+    """Base oracle: resolves one nondeterministic choice."""
+
+    def choose(self, label: str, options: Sequence) -> object:
+        raise NotImplementedError
+
+
+class DeterministicOracle(Oracle):
+    """Always picks the first option (fast path for deterministic code)."""
+
+    def __init__(self) -> None:
+        self.choices_seen = 0
+
+    def choose(self, label: str, options: Sequence) -> object:
+        self.choices_seen += 1
+        return options[0]
+
+
+class PathOracle(Oracle):
+    """Replays a fixed path of option indices, recording domain sizes.
+
+    Used by :func:`enumerate_paths` to walk the decision tree: a run with a
+    partial path extends it with zeros; the recorded sizes tell the
+    enumerator how to advance to the lexicographically-next path.
+    """
+
+    def __init__(self, path: Sequence[int]) -> None:
+        self._path = list(path)
+        self.taken: List[int] = []
+        self.domain_sizes: List[int] = []
+        # True when some choice offered only a *sample* of its true domain
+        # (e.g. undef at a wide type).  Enumerating the tree then still
+        # under-approximates the behavior set.
+        self.domain_truncated = False
+
+    def choose(self, label: str, options: Sequence) -> object:
+        position = len(self.taken)
+        index = self._path[position] if position < len(self._path) else 0
+        index = min(index, len(options) - 1)
+        self.taken.append(index)
+        self.domain_sizes.append(len(options))
+        return options[index]
+
+    def note_truncated_domain(self) -> None:
+        self.domain_truncated = True
+
+
+def advance_path(taken: List[int], domain_sizes: List[int]) -> Optional[List[int]]:
+    """The next path in lexicographic order, or None when exhausted."""
+    path = list(taken)
+    for position in range(len(path) - 1, -1, -1):
+        if path[position] + 1 < domain_sizes[position]:
+            path[position] += 1
+            return path[:position + 1]
+        # This position wraps; carry into the previous one.
+    return None
+
+
+def enumerate_paths(run, max_runs: int):
+    """Enumerate executions of ``run(oracle)`` over the choice tree.
+
+    ``run`` is called with a :class:`PathOracle`; its return value is
+    yielded per execution.  Yields ``(result, exhausted_flag_so_far)``
+    tuples; after the generator finishes, the caller can tell whether the
+    tree was fully explored by checking the last flag.
+    """
+    path: Optional[List[int]] = []
+    runs = 0
+    while path is not None and runs < max_runs:
+        oracle = PathOracle(path)
+        result = run(oracle)
+        runs += 1
+        path = advance_path(oracle.taken, oracle.domain_sizes)
+        yield result, path is None

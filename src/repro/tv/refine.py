@@ -1,0 +1,459 @@
+"""Bounded refinement checking (the Alive2 analog).
+
+``check_refinement(src, tgt)`` decides whether the optimized function
+refines the original: for every input, every behavior of the target must
+be allowed by some behavior of the source, under the standard ordering
+
+    UB  ⊑  poison  ⊑  concrete value,
+
+applied to the return value and to every externally-visible memory byte.
+
+Instead of SMT solving, behavior sets are enumerated: inputs are
+exhaustively covered for small state spaces and sampled (corner values,
+literal-constant neighborhoods, aliasing patterns) otherwise, and
+nondeterminism (undef uses, freeze-of-poison) is enumerated through the
+oracle up to a budget.  Partial enumeration can only make the checker
+*miss* bugs or declare an input inconclusive — it never produces a false
+refinement failure.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.constants_pool import ConstantPool
+from ..ir.function import Function
+from ..ir.instructions import CallInst
+from ..ir.intrinsics import lookup as lookup_intrinsic
+from ..ir.module import Module
+from ..ir.types import IntType, PtrType
+from .domain import (NULL_POINTER, POISON, Pointer, RuntimeValue,
+                     interesting_values, is_poison)
+from .interp import (ExecutionLimits, Interpreter, StepLimitExceeded, UBError)
+from .memory import Memory, MemoryFault, POISON as _POISON_BYTE, UNDEF_BYTE
+from .oracle import PathOracle, advance_path
+
+
+class Verdict(Enum):
+    CORRECT = "correct"            # no refinement violation found (bounded)
+    UNSOUND = "unsound"            # definite counterexample found
+    INCONCLUSIVE = "inconclusive"  # nondeterminism budget exhausted
+    UNSUPPORTED = "unsupported"    # function outside the validator's scope
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """One observed behavior: status, return value, final visible memory."""
+
+    status: str                    # "ok" | "ub" | "timeout"
+    value: object = None
+    memory: Tuple[Tuple[str, Tuple], ...] = ()
+    detail: str = ""
+
+    def is_ub(self) -> bool:
+        return self.status == "ub"
+
+    def is_timeout(self) -> bool:
+        return self.status == "timeout"
+
+
+@dataclass(frozen=True)
+class PointerInput:
+    """Description of a pointer argument's target for one test input."""
+
+    block: str                     # logical block id ("" means null)
+    size: int = 0
+    contents: Tuple[int, ...] = ()
+
+    def is_null(self) -> bool:
+        return not self.block
+
+
+@dataclass(frozen=True)
+class TestInput:
+    """One concrete argument vector (pointer args described symbolically)."""
+
+    args: Tuple[object, ...]       # int | PointerInput
+
+    def describe(self, function: Function) -> str:
+        parts = []
+        for argument, value in zip(function.arguments, self.args):
+            name = f"%{argument.name}" if argument.name else "%?"
+            if isinstance(value, PointerInput):
+                if value.is_null():
+                    parts.append(f"{name} = null")
+                else:
+                    parts.append(f"{name} = &{value.block}[{value.size}]")
+            else:
+                parts.append(f"{name} = {value}")
+        return ", ".join(parts)
+
+
+@dataclass
+class Counterexample:
+    function_name: str
+    test_input: TestInput
+    input_description: str
+    src_outcomes: List[Outcome]
+    tgt_outcome: Outcome
+
+    def __str__(self) -> str:
+        src = "; ".join(_describe_outcome(o) for o in self.src_outcomes)
+        return (f"refinement failure in @{self.function_name} for "
+                f"[{self.input_description}]: source gives {{{src}}} but "
+                f"target gives {_describe_outcome(self.tgt_outcome)}")
+
+
+@dataclass
+class TVResult:
+    verdict: Verdict
+    counterexample: Optional[Counterexample] = None
+    inputs_checked: int = 0
+    inconclusive_inputs: int = 0
+    reason: str = ""
+
+    @property
+    def is_correct(self) -> bool:
+        return self.verdict == Verdict.CORRECT
+
+
+@dataclass
+class RefinementConfig:
+    max_inputs: int = 48
+    max_nondet_runs: int = 12
+    pointer_block_size: int = 16
+    limits: ExecutionLimits = field(default_factory=ExecutionLimits)
+    seed: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Preprocessing support check (paper §III-A).
+# ---------------------------------------------------------------------------
+
+
+def check_function_supported(function: Function) -> Optional[str]:
+    """Why the validator cannot handle this function, or None if it can."""
+    if function.function_type.is_vararg:
+        return "vararg function"
+    for argument in function.arguments:
+        if not (argument.type.is_integer() or argument.type.is_pointer()):
+            return f"unsupported parameter type {argument.type}"
+        if argument.type.is_integer() and argument.type.width > 64:
+            return "integer parameter wider than 64 bits"
+    if not (function.return_type.is_void() or function.return_type.is_integer()
+            or function.return_type.is_pointer()):
+        return f"unsupported return type {function.return_type}"
+    for inst in function.instructions():
+        if isinstance(inst, CallInst) and inst.callee.name.startswith("llvm."):
+            if lookup_intrinsic(inst.callee.name) is None:
+                return f"unknown intrinsic {inst.callee.name}"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Input generation.
+# ---------------------------------------------------------------------------
+
+
+def generate_inputs(function: Function, config: RefinementConfig) -> List[TestInput]:
+    """Concrete argument vectors: exhaustive when small, sampled otherwise."""
+    rng = random.Random(config.seed ^ 0x5EED)
+    pool = ConstantPool(function)
+    per_arg: List[List[object]] = []
+    for arg_index, argument in enumerate(function.arguments):
+        if isinstance(argument.type, IntType):
+            per_arg.append(_int_candidates(argument.type.width, pool, rng))
+        elif argument.type.is_pointer():
+            per_arg.append(_pointer_candidates(function, arg_index, config, rng))
+        else:
+            per_arg.append([0])
+
+    if not per_arg:
+        return [TestInput(())]
+
+    total = 1
+    for candidates in per_arg:
+        total *= len(candidates)
+    if total <= config.max_inputs:
+        return [TestInput(tuple(combo)) for combo in itertools.product(*per_arg)]
+
+    inputs: List[TestInput] = []
+    seen = set()
+    # Corner sweep: co-indexed walk ensures every candidate appears at
+    # least once before random sampling fills the budget.
+    longest = max(len(c) for c in per_arg)
+    for i in range(min(longest, config.max_inputs // 2)):
+        combo = tuple(candidates[i % len(candidates)] for candidates in per_arg)
+        if combo not in seen:
+            seen.add(combo)
+            inputs.append(TestInput(combo))
+    while len(inputs) < config.max_inputs:
+        combo = tuple(rng.choice(candidates) for candidates in per_arg)
+        if combo in seen:
+            # Random duplicates are fine to skip; bail if space is tiny.
+            if len(seen) >= total:
+                break
+            continue
+        seen.add(combo)
+        inputs.append(TestInput(combo))
+    return inputs
+
+
+def _int_candidates(width: int, pool: ConstantPool,
+                    rng: random.Random) -> List[int]:
+    mask = (1 << width) - 1
+    if width <= 4:
+        return list(range(1 << width))
+    values = list(interesting_values(width))
+    for constant in pool.values_for_width(width)[:8]:
+        for delta in (-1, 0, 1):
+            values.append((constant + delta) & mask)
+    for _ in range(6):
+        values.append(rng.getrandbits(width))
+    unique: List[int] = []
+    seen = set()
+    for value in values:
+        value &= mask
+        if value not in seen:
+            seen.add(value)
+            unique.append(value)
+    return unique
+
+
+def _pointer_candidates(function: Function, arg_index: int,
+                        config: RefinementConfig,
+                        rng: random.Random) -> List[PointerInput]:
+    argument = function.arguments[arg_index]
+    size = config.pointer_block_size
+    dereferenceable = argument.attributes.get_int("dereferenceable") or 0
+    size = max(size, dereferenceable)
+    arg_name = argument.name or str(arg_index)
+    contents_a = tuple(rng.randrange(256) for _ in range(size))
+    contents_b = tuple((7 * i + 3) & 0xFF for i in range(size))
+    candidates = [
+        PointerInput(f"arg:{arg_name}", size, contents_a),
+        PointerInput(f"arg:{arg_name}", size, contents_b),
+    ]
+    # Aliasing: point at the block of an earlier pointer argument, which is
+    # what load/store optimizations get wrong.
+    for earlier_index in range(arg_index):
+        earlier = function.arguments[earlier_index]
+        if earlier.type.is_pointer() and not argument.attributes.has("noalias") \
+                and not earlier.attributes.has("noalias"):
+            earlier_name = earlier.name or str(earlier_index)
+            candidates.append(PointerInput(f"arg:{earlier_name}", 0, ()))
+            break
+    if not argument.attributes.has("nonnull") and not dereferenceable:
+        candidates.append(PointerInput("", 0, ()))
+    return candidates
+
+
+# ---------------------------------------------------------------------------
+# Execution → behavior sets.
+# ---------------------------------------------------------------------------
+
+
+def _materialize(function: Function, test_input: TestInput,
+                 module: Module, oracle, limits: ExecutionLimits):
+    """Build a fresh interpreter + memory + runtime args for one run."""
+    interpreter = Interpreter(module, oracle, limits)
+    runtime_args: List[RuntimeValue] = []
+    observable: List[str] = []
+    created = set()
+    for argument, value in zip(function.arguments, test_input.args):
+        if isinstance(value, PointerInput):
+            if value.is_null():
+                runtime_args.append(NULL_POINTER)
+            else:
+                if value.block not in created:
+                    created.add(value.block)
+                    interpreter.memory.add_block(value.block, value.size,
+                                                 list(value.contents))
+                    observable.append(value.block)
+                runtime_args.append(Pointer(value.block, 0))
+        else:
+            runtime_args.append(value)
+    return interpreter, runtime_args, observable
+
+
+def behavior_set(function: Function, test_input: TestInput, module: Module,
+                 config: RefinementConfig) -> Tuple[List[Outcome], bool]:
+    """All observed outcomes for one input, plus an exhaustiveness flag."""
+    outcomes: List[Outcome] = []
+    seen = set()
+    path: Optional[List[int]] = []
+    runs = 0
+    exhausted = True
+    while path is not None:
+        if runs >= config.max_nondet_runs:
+            exhausted = False
+            break
+        oracle = PathOracle(path)
+        interpreter, runtime_args, observable = _materialize(
+            function, test_input, module, oracle, config.limits)
+        outcome = _run_once(interpreter, function, runtime_args, observable)
+        runs += 1
+        if oracle.domain_truncated:
+            # Some choice domain was sampled (wide undef, frozen poison,
+            # undef memory): the enumerated set under-approximates the
+            # true behavior set even if the tree is fully walked.
+            exhausted = False
+        if outcome not in seen:
+            seen.add(outcome)
+            outcomes.append(outcome)
+        path = advance_path(oracle.taken, oracle.domain_sizes)
+    return outcomes, exhausted
+
+
+def _run_once(interpreter: Interpreter, function: Function,
+              runtime_args, observable: List[str]) -> Outcome:
+    try:
+        value = interpreter.run(function, runtime_args)
+    except UBError as ub:
+        return Outcome("ub", detail=ub.reason)
+    except StepLimitExceeded:
+        return Outcome("timeout")
+    snapshot = interpreter.memory.snapshot(observable)
+    memory = tuple(sorted(snapshot.items()))
+    return Outcome("ok", value=value, memory=memory)
+
+
+# ---------------------------------------------------------------------------
+# Refinement between outcomes.
+# ---------------------------------------------------------------------------
+
+
+def value_refines(tgt_value: object, src_value: object) -> bool:
+    """May the target produce ``tgt_value`` where the source produced
+    ``src_value``?  Poison in the source is refined by anything."""
+    if src_value is POISON:
+        return True
+    if tgt_value is POISON:
+        return False
+    return tgt_value == src_value
+
+
+def _byte_refines(tgt_byte: object, src_byte: object) -> bool:
+    if src_byte is _POISON_BYTE or src_byte is UNDEF_BYTE:
+        return True
+    if tgt_byte is _POISON_BYTE or tgt_byte is UNDEF_BYTE:
+        return False
+    return tgt_byte == src_byte
+
+
+def memory_refines(tgt_memory, src_memory) -> bool:
+    src_blocks = dict(src_memory)
+    for block_id, tgt_bytes in tgt_memory:
+        src_bytes = src_blocks.get(block_id)
+        if src_bytes is None or len(src_bytes) != len(tgt_bytes):
+            return False
+        for tgt_byte, src_byte in zip(tgt_bytes, src_bytes):
+            if not _byte_refines(tgt_byte, src_byte):
+                return False
+    return True
+
+
+def outcome_refines(tgt: Outcome, src: Outcome) -> bool:
+    if src.is_ub():
+        return True
+    if tgt.is_ub():
+        return False
+    if src.is_timeout() or tgt.is_timeout():
+        # Not comparable; handled by the caller as inconclusive.
+        return False
+    return (value_refines(tgt.value, src.value)
+            and memory_refines(tgt.memory, src.memory))
+
+
+# ---------------------------------------------------------------------------
+# Top-level checks.
+# ---------------------------------------------------------------------------
+
+
+def check_refinement(src_function: Function, tgt_function: Function,
+                     src_module: Optional[Module] = None,
+                     tgt_module: Optional[Module] = None,
+                     config: Optional[RefinementConfig] = None) -> TVResult:
+    """Does ``tgt_function`` refine ``src_function``? (Bounded check.)"""
+    config = config or RefinementConfig()
+    src_module = src_module or src_function.parent
+    tgt_module = tgt_module or tgt_function.parent
+
+    reason = check_function_supported(src_function)
+    if reason is None:
+        reason = check_function_supported(tgt_function)
+    if reason is not None:
+        return TVResult(Verdict.UNSUPPORTED, reason=reason)
+    if len(src_function.arguments) != len(tgt_function.arguments):
+        return TVResult(Verdict.UNSUPPORTED, reason="signature changed")
+
+    inputs = generate_inputs(src_function, config)
+    inconclusive = 0
+    for test_input in inputs:
+        src_outcomes, src_exhausted = behavior_set(
+            src_function, test_input, src_module, config)
+        tgt_outcomes, _ = behavior_set(
+            tgt_function, test_input, tgt_module, config)
+
+        if any(o.is_ub() for o in src_outcomes):
+            # Some source nondeterminism hits UB; under the refinement
+            # ordering anything is then allowed for choices we cannot
+            # separate, so skip conservatively.
+            continue
+        if any(o.is_timeout() for o in src_outcomes + tgt_outcomes):
+            inconclusive += 1
+            continue
+        for tgt_outcome in tgt_outcomes:
+            if any(outcome_refines(tgt_outcome, src_outcome)
+                   for src_outcome in src_outcomes):
+                continue
+            if not src_exhausted:
+                inconclusive += 1
+                continue
+            counterexample = Counterexample(
+                function_name=src_function.name,
+                test_input=test_input,
+                input_description=test_input.describe(src_function),
+                src_outcomes=src_outcomes,
+                tgt_outcome=tgt_outcome,
+            )
+            return TVResult(Verdict.UNSOUND, counterexample,
+                            inputs_checked=len(inputs),
+                            inconclusive_inputs=inconclusive)
+    # No definite violation; inconclusive inputs are recorded but do not
+    # downgrade the verdict (bounded TV is inherently incomplete).
+    return TVResult(Verdict.CORRECT, inputs_checked=len(inputs),
+                    inconclusive_inputs=inconclusive)
+
+
+def check_module_refinement(src_module: Module, tgt_module: Module,
+                            config: Optional[RefinementConfig] = None
+                            ) -> Dict[str, TVResult]:
+    """Pair functions by name and check each definition."""
+    results: Dict[str, TVResult] = {}
+    for src_function in src_module.definitions():
+        tgt_function = tgt_module.get_function(src_function.name)
+        if tgt_function is None or tgt_function.is_declaration():
+            results[src_function.name] = TVResult(
+                Verdict.UNSUPPORTED, reason="function missing in target")
+            continue
+        results[src_function.name] = check_refinement(
+            src_function, tgt_function, src_module, tgt_module, config)
+    return results
+
+
+def _describe_outcome(outcome: Outcome) -> str:
+    if outcome.is_ub():
+        return f"UB({outcome.detail})" if outcome.detail else "UB"
+    if outcome.is_timeout():
+        return "timeout"
+    from .domain import describe
+
+    text = describe(outcome.value)
+    if outcome.memory:
+        text += " with memory effects"
+    return text

@@ -1,0 +1,62 @@
+"""Shared test utilities."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.ir import (Function, Module, parse_function, parse_module,
+                      print_module, verify_module)
+from repro.opt import OptContext, PassManager
+from repro.tv import (RefinementConfig, TVResult, Verdict, check_refinement)
+
+
+def parsed(text: str) -> Module:
+    """Parse and verify a module."""
+    module = parse_module(text)
+    verify_module(module)
+    return module
+
+
+def single_function(text: str) -> Function:
+    module = parsed(text)
+    definitions = module.definitions()
+    assert len(definitions) == 1
+    return definitions[0]
+
+
+def optimize(module: Module, pipeline: str = "O2",
+             bugs: Tuple[str, ...] = ()) -> Tuple[Module, OptContext]:
+    """Optimize a clone; returns (optimized module, context)."""
+    optimized = module.clone()
+    ctx = OptContext(bugs)
+    PassManager([pipeline], ctx).run(optimized)
+    return optimized, ctx
+
+
+def refine_after(module: Module, pipeline: str = "O2",
+                 bugs: Tuple[str, ...] = (),
+                 max_inputs: int = 32,
+                 function: Optional[str] = None) -> TVResult:
+    """Optimize and validate a module's (sole or named) function."""
+    optimized, _ = optimize(module, pipeline, bugs)
+    verify_module(optimized)
+    definitions = module.definitions()
+    if function is None:
+        assert len(definitions) == 1
+        function = definitions[0].name
+    return check_refinement(
+        module.get_function(function), optimized.get_function(function),
+        module, optimized, RefinementConfig(max_inputs=max_inputs))
+
+
+def assert_sound(module: Module, pipeline: str = "O2",
+                 function: Optional[str] = None) -> None:
+    result = refine_after(module, pipeline, function=function)
+    assert result.verdict == Verdict.CORRECT, str(result.counterexample)
+
+
+def round_trips(module: Module) -> bool:
+    text = print_module(module)
+    reparsed = parse_module(text)
+    verify_module(reparsed)
+    return print_module(reparsed) == text

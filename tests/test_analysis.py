@@ -1,0 +1,271 @@
+"""Tests for constant pool, shufflable ranges, use trees, and the
+two-level overlay cache (paper §III-A/B)."""
+
+import pytest
+
+from repro.analysis.constants_pool import ConstantPool
+from repro.analysis.overlay import MutantOverlay, OriginalFunctionInfo
+from repro.analysis.shuffle_ranges import (range_is_still_valid,
+                                           shufflable_ranges,
+                                           shufflable_ranges_in_block)
+from repro.analysis.use_tree import (is_width_polymorphic, polymorphic_users,
+                                     use_path_from, width_change_roots)
+from repro.ir import BrInst, IntType, parse_module
+
+from helpers import parsed
+
+
+class TestConstantPool:
+    def test_collects_literals(self):
+        fn = parsed("""
+define i32 @f(i32 %x) {
+  %a = add i32 %x, 100
+  %b = mul i32 %a, 7
+  %c = icmp ult i32 %b, 100
+  %r = select i1 %c, i32 %a, i32 %b
+  ret i32 %r
+}
+""").get_function("f")
+        pool = ConstantPool(fn)
+        values = pool.values_for_width(32)
+        assert 100 in values and 7 in values
+        assert len(pool) >= 2
+
+    def test_no_duplicates(self):
+        fn = parsed("""
+define i32 @f(i32 %x) {
+  %a = add i32 %x, 5
+  %b = add i32 %a, 5
+  ret i32 %b
+}
+""").get_function("f")
+        pool = ConstantPool(fn)
+        assert pool.all_values().count((32, 5)) == 1
+
+    def test_cross_width_truncation(self):
+        fn = parsed("""
+define i8 @f(i8 %x, i32 %y) {
+  %a = add i8 %x, 3
+  %w = add i32 %y, 300
+  ret i8 %a
+}
+""").get_function("f")
+        pool = ConstantPool(fn)
+        assert (300 & 0xFF) in pool.values_for_width(8)
+
+    def test_empty_pool(self):
+        fn = parsed("""
+define i32 @f(i32 %x) {
+  ret i32 %x
+}
+""").get_function("f")
+        assert not ConstantPool(fn)
+
+
+class TestShuffleRanges:
+    def test_independent_run_found(self):
+        fn = parsed("""
+declare void @clobber(ptr)
+
+define i32 @test9(ptr %p, ptr %q) {
+  %a = load i32, ptr %q
+  call void @clobber(ptr %p)
+  %b = load i32, ptr %q
+  %c = sub i32 %a, %b
+  ret i32 %c
+}
+""").get_function("test9")
+        ranges = shufflable_ranges(fn)
+        assert len(ranges) == 1
+        assert (ranges[0].start, ranges[0].end) == (0, 3)
+
+    def test_dependent_chain_has_no_range(self):
+        fn = parsed("""
+define i32 @f(i32 %x) {
+  %a = add i32 %x, 1
+  %b = mul i32 %a, 2
+  ret i32 %b
+}
+""").get_function("f")
+        assert shufflable_ranges(fn) == []
+
+    def test_phis_and_terminators_excluded(self):
+        fn = parsed("""
+define i32 @f(i1 %c, i32 %x, i32 %y) {
+entry:
+  br i1 %c, label %a, label %join
+a:
+  br label %join
+join:
+  %p = phi i32 [ %x, %entry ], [ %y, %a ]
+  %u = add i32 %x, 1
+  %v = add i32 %y, 2
+  ret i32 %p
+}
+""").get_function("f")
+        ranges = shufflable_ranges(fn)
+        assert len(ranges) == 1
+        join_range = ranges[0]
+        assert join_range.start == 1  # after the phi
+        assert join_range.end == 3    # before the terminator
+
+    def test_revalidation_catches_new_dependency(self):
+        module = parsed("""
+define i32 @f(i32 %x, i32 %y) {
+  %a = add i32 %x, 1
+  %b = add i32 %y, 2
+  %c = sub i32 %x, %y
+  ret i32 %c
+}
+""")
+        fn = module.get_function("f")
+        ranges = shufflable_ranges(fn)
+        assert ranges and ranges[0].length == 3
+        # Introduce a dependency: %b now uses %a.
+        block = fn.blocks[0]
+        block.instructions[1].set_operand(0, block.instructions[0])
+        assert not range_is_still_valid(block, ranges[0])
+
+
+class TestUseTree:
+    CHAIN = """
+define i32 @f(i32 %a, i32 %b) {
+  %r1 = add i32 %a, %b
+  %r2 = mul i32 %r1, %a
+  %r3 = xor i32 %r2, %b
+  %other = icmp eq i32 %r1, 0
+  %z = zext i1 %other to i32
+  ret i32 %r3
+}
+"""
+
+    def test_polymorphic_classification(self):
+        fn = parsed(self.CHAIN).get_function("f")
+        instructions = {i.name: i for i in fn.instructions() if i.name}
+        assert is_width_polymorphic(instructions["r1"])
+        assert not is_width_polymorphic(instructions["other"])
+        assert not is_width_polymorphic(instructions["z"])
+
+    def test_polymorphic_users(self):
+        fn = parsed(self.CHAIN).get_function("f")
+        instructions = {i.name: i for i in fn.instructions() if i.name}
+        users = polymorphic_users(instructions["r1"])
+        assert [u.name for u in users] == ["r2"]  # icmp is excluded
+
+    def test_path_walks_to_leaf(self):
+        fn = parsed(self.CHAIN).get_function("f")
+        instructions = {i.name: i for i in fn.instructions() if i.name}
+        path = use_path_from(instructions["r1"], lambda options: options[0])
+        assert [p.name for p in path] == ["r1", "r2", "r3"]
+
+    def test_roots(self):
+        fn = parsed(self.CHAIN).get_function("f")
+        roots = {r.name for r in width_change_roots(fn)}
+        assert roots == {"r1", "r2", "r3"}
+
+
+class TestOverlay:
+    DIAMOND = """
+define i32 @f(i1 %c, i32 %x) {
+entry:
+  %e = add i32 %x, 1
+  br i1 %c, label %left, label %right
+left:
+  %l = mul i32 %e, 2
+  br label %join
+right:
+  br label %join
+join:
+  %p = phi i32 [ %l, %left ], [ %e, %right ]
+  ret i32 %p
+}
+"""
+
+    def _make(self):
+        module = parsed(self.DIAMOND)
+        original = module.get_function("f")
+        info = OriginalFunctionInfo(original)
+        mutant_module = module.clone()
+        mutant = mutant_module.get_function("f")
+        return MutantOverlay(mutant, info), mutant
+
+    def test_original_level_answers_clean_queries(self):
+        overlay, mutant = self._make()
+        blocks = {b.name: b for b in mutant.blocks}
+        assert overlay.dominates_block(blocks["entry"], blocks["join"])
+        assert not overlay.dominates_block(blocks["left"], blocks["join"])
+        assert overlay.stats["original_hits"] >= 2
+        assert overlay.stats["mutant_computes"] == 0
+
+    def test_cfg_invalidation_switches_to_mutant_level(self):
+        overlay, mutant = self._make()
+        blocks = {b.name: b for b in mutant.blocks}
+        # Mutate the CFG: right now branches straight to a new ret block.
+        overlay.invalidate_cfg()
+        assert overlay.dominates_block(blocks["entry"], blocks["join"])
+        assert overlay.stats["mutant_computes"] == 1
+        assert overlay.stats["original_hits"] == 0
+
+    def test_same_block_ordering_read_live(self):
+        overlay, mutant = self._make()
+        entry = mutant.block_named("entry")
+        e = entry.instructions[0]
+        assert not overlay.dominates(e, entry, 0)
+        assert overlay.dominates(e, entry, 1)
+
+    def test_dominating_values_at(self):
+        overlay, mutant = self._make()
+        join = mutant.block_named("join")
+        values = overlay.dominating_values_at(join, 0, IntType(32))
+        names = {getattr(v, "name", "") for v in values}
+        assert "x" in names         # argument
+        assert "e" in names         # entry-block def dominates join
+        assert "l" not in names     # left does not dominate join
+
+    def test_constant_pool_passthrough(self):
+        overlay, _ = self._make()
+        assert 1 in overlay.constant_pool.values_for_width(32)
+
+    def test_shuffle_ranges_passthrough(self):
+        overlay, _ = self._make()
+        assert isinstance(overlay.shuffle_ranges, list)
+
+
+class TestSignatureFreezing:
+    def _overlay(self, text, name):
+        module = parsed(text)
+        info = OriginalFunctionInfo(module.get_function(name))
+        mutant_module = module.clone()
+        return MutantOverlay(mutant_module.get_function(name), info)
+
+    CALLED = """
+define void @helper(ptr %p) {
+  store i8 1, ptr %p
+  ret void
+}
+
+define void @main(ptr %p) {
+  call void @helper(ptr %p)
+  ret void
+}
+"""
+
+    def test_called_function_is_frozen(self):
+        overlay = self._overlay(self.CALLED, "helper")
+        assert overlay.signature_is_frozen()
+
+    def test_top_level_function_is_not_frozen(self):
+        overlay = self._overlay(self.CALLED, "main")
+        assert not overlay.signature_is_frozen()
+
+    def test_frozen_function_never_gains_parameters(self):
+        from repro.ir import is_valid_module, parse_module
+        from repro.mutate import Mutator, MutatorConfig
+
+        module = parsed(self.CALLED)
+        mutator = Mutator(module, MutatorConfig(max_mutations=3))
+        for seed in range(60):
+            mutant, _ = mutator.create_mutant(seed)
+            assert is_valid_module(mutant)
+            helper = mutant.get_function("helper")
+            assert helper.num_args() == 1

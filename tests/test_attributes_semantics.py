@@ -1,0 +1,115 @@
+"""Tests for attribute semantics end to end: mutation toggles them, the
+validator enforces them, and the optimizer respects them."""
+
+import pytest
+
+from repro.ir import Attribute, parse_module
+from repro.tv import RefinementConfig, Verdict, check_refinement
+
+from helpers import assert_sound, optimize, parsed
+
+
+class TestAttributeDrivenValidation:
+    def test_noalias_changes_verdict(self):
+        """The exact same (illegal-without-noalias) forwarding becomes
+        legal once the parameters promise not to alias."""
+        body = """
+  %a = load i8, ptr %q
+  store i8 77, ptr %p
+  %b = load i8, ptr %q
+  ret i8 %b
+"""
+        forwarded = """
+  %a = load i8, ptr %q
+  store i8 77, ptr %p
+  ret i8 %a
+"""
+        for attrs, expected in ((("", ""), Verdict.UNSOUND),
+                                (("noalias ", "noalias "), Verdict.CORRECT)):
+            src = parsed(f"define i8 @f(ptr {attrs[0]}%p, "
+                         f"ptr {attrs[1]}%q) {{{body}}}")
+            tgt = parsed(f"define i8 @f(ptr {attrs[0]}%p, "
+                         f"ptr {attrs[1]}%q) {{{forwarded}}}")
+            result = check_refinement(
+                src.get_function("f"), tgt.get_function("f"), src, tgt,
+                RefinementConfig(max_inputs=48))
+            assert result.verdict == expected, attrs
+
+    def test_nonnull_excludes_null_inputs(self):
+        """Dereferencing a nonnull pointer never sees the null-input UB
+        that an unannotated pointer would."""
+        src = parsed("""
+define i8 @f(ptr nonnull %p) {
+  %v = load i8, ptr %p
+  ret i8 %v
+}
+""")
+        result = check_refinement(src.get_function("f"),
+                                  src.clone().get_function("f"),
+                                  src, src.clone(),
+                                  RefinementConfig(max_inputs=24))
+        assert result.verdict == Verdict.CORRECT
+
+    def test_dereferenceable_sizes_input_blocks(self):
+        from repro.tv import generate_inputs
+        from repro.tv.refine import PointerInput
+
+        fn = parsed("""
+define i64 @f(ptr dereferenceable(64) %p) {
+  %v = load i64, ptr %p
+  ret i64 %v
+}
+""").get_function("f")
+        inputs = generate_inputs(fn, RefinementConfig(max_inputs=16))
+        for test_input in inputs:
+            pointer = test_input.args[0]
+            assert isinstance(pointer, PointerInput)
+            assert not pointer.is_null()
+            assert pointer.size >= 64
+
+
+class TestAttributeMutationRoundTrip:
+    def test_mutated_attributes_survive_printing(self):
+        from repro.analysis.overlay import MutantOverlay, OriginalFunctionInfo
+        from repro.ir import print_module
+        from repro.mutate import MutationRNG
+        from repro.mutate.mutations import attributes
+
+        module = parsed("""
+define i32 @f(ptr %p, i32 %x) {
+  %v = load i32, ptr %p
+  %r = add i32 %v, %x
+  ret i32 %r
+}
+""")
+        info = OriginalFunctionInfo(module.get_function("f"))
+        toggled = 0
+        for seed in range(40):
+            clone = module.clone()
+            overlay = MutantOverlay(clone.get_function("f"), info)
+            if attributes.apply(overlay, MutationRNG(seed)):
+                toggled += 1
+                text = print_module(clone)
+                reparsed = parse_module(text)
+                assert print_module(reparsed) == text
+        assert toggled >= 30
+
+    def test_fuzzing_with_attribute_mutations_only(self):
+        from repro.fuzz import FuzzConfig, FuzzDriver
+        from repro.mutate import MutatorConfig
+        from repro.tv import RefinementConfig as RC
+
+        module = parsed("""
+define i32 @f(ptr %p, i32 %x) {
+  %v = load i32, ptr %p
+  %r = add i32 %v, %x
+  ret i32 %r
+}
+""")
+        driver = FuzzDriver(module, FuzzConfig(
+            pipeline="O2",
+            mutator=MutatorConfig(enabled_mutations=["attributes"]),
+            tv=RC(max_inputs=12)))
+        report = driver.run(iterations=30)
+        # Attribute toggles alone never make a clean optimizer unsound.
+        assert report.findings == []

@@ -1,0 +1,173 @@
+"""Tests for the binary module codec."""
+
+import pytest
+
+from repro.fuzz.corpus import ARCHETYPES, generate_corpus
+from repro.ir import parse_module, print_module, verify_module
+from repro.ir.bitcode import (BitcodeError, load_module_file, read_bitcode,
+                              write_bitcode)
+from repro.ir.bitcode import _read_varint, _write_varint
+import io
+
+from helpers import parsed
+
+
+def round_trip(module):
+    data = write_bitcode(module)
+    decoded = read_bitcode(data)
+    verify_module(decoded)
+    assert print_module(decoded) == print_module(module)
+    return data
+
+
+class TestVarints:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**70])
+    def test_round_trip(self, value):
+        out = io.BytesIO()
+        _write_varint(out, value)
+        assert _read_varint(io.BytesIO(out.getvalue())) == value
+
+    def test_truncated(self):
+        with pytest.raises(BitcodeError):
+            _read_varint(io.BytesIO(b"\xFF"))
+
+
+class TestRoundTrips:
+    def test_simple_function(self):
+        round_trip(parsed("""
+define i32 @f(i32 %x) {
+  %r = add nuw nsw i32 %x, -7
+  ret i32 %r
+}
+"""))
+
+    def test_control_flow_and_phis(self):
+        round_trip(parsed("""
+define i32 @f(i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %next = add i32 %i, 1
+  br label %header
+exit:
+  ret i32 %i
+}
+"""))
+
+    def test_memory_and_calls(self):
+        round_trip(parsed("""
+declare void @clobber(ptr)
+
+define i32 @f(ptr %p, ptr %q) {
+  %a = load i32, ptr %q, align 4
+  call void @clobber(ptr %p)
+  %slot = alloca i32, align 8
+  store i32 %a, ptr %slot, align 2
+  %g = getelementptr inbounds i8, ptr %slot, i64 1
+  %b = load i32, ptr %slot
+  %c = sub i32 %a, %b
+  ret i32 %c
+}
+"""))
+
+    def test_bundles_attributes_switch(self):
+        round_trip(parsed("""
+declare void @llvm.assume(i1)
+
+define i8 @f(ptr nocapture dereferenceable(8) %p, i8 %x) nofree {
+entry:
+  call void @llvm.assume(i1 true) [ "align"(ptr %p, i64 16) ]
+  switch i8 %x, label %d [ i8 0, label %a i8 1, label %b ]
+a:
+  ret i8 1
+b:
+  ret i8 2
+d:
+  %v = load i8, ptr %p
+  ret i8 %v
+}
+"""))
+
+    def test_special_constants(self):
+        round_trip(parsed("""
+define i8 @f(ptr %p) {
+  %c = icmp eq ptr %p, null
+  %r = select i1 %c, i8 undef, i8 poison
+  %f = freeze i8 %r
+  ret i8 %f
+}
+"""))
+
+    def test_casts_and_odd_widths(self):
+        round_trip(parsed("""
+define i26 @f(i26 %a) {
+  %w = sext i26 %a to i64
+  %t = trunc i64 %w to i13
+  %z = zext i13 %t to i26
+  %r = mul i26 %z, %a
+  ret i26 %r
+}
+"""))
+
+    @pytest.mark.parametrize("index", range(len(ARCHETYPES)))
+    def test_whole_corpus_round_trips(self, index):
+        name, text = generate_corpus(len(ARCHETYPES), seed=7)[index]
+        round_trip(parsed(text))
+
+    def test_mutants_round_trip(self):
+        from repro.mutate import Mutator, MutatorConfig
+
+        name, text = generate_corpus(4, seed=3)[2]
+        mutator = Mutator(parse_module(text, name),
+                          MutatorConfig(max_mutations=3))
+        for seed in range(20):
+            mutant, _ = mutator.create_mutant(seed)
+            round_trip(mutant)
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(BitcodeError):
+            read_bitcode(b"NOPE....")
+
+    def test_truncated_body(self):
+        module = parsed("""
+define i32 @f(i32 %x) {
+  ret i32 %x
+}
+""")
+        data = write_bitcode(module)
+        with pytest.raises(BitcodeError):
+            read_bitcode(data[:len(data) // 2])
+
+
+class TestFileLoading:
+    def test_sniffs_text(self, tmp_path):
+        path = tmp_path / "m.ll"
+        path.write_text("""define i32 @f(i32 %x) {
+  ret i32 %x
+}
+""")
+        module = load_module_file(str(path))
+        assert module.get_function("f") is not None
+
+    def test_sniffs_binary(self, tmp_path):
+        module = parsed("""
+define i32 @f(i32 %x) {
+  ret i32 %x
+}
+""")
+        path = tmp_path / "m.bc"
+        path.write_bytes(write_bitcode(module))
+        loaded = load_module_file(str(path))
+        verify_module(loaded)
+        assert print_module(loaded) == print_module(module)
+
+    def test_binary_is_compact(self):
+        name, text = generate_corpus(2, seed=1)[0]
+        module = parse_module(text)
+        assert len(write_bitcode(module)) < len(text.encode())

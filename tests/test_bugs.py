@@ -1,0 +1,352 @@
+"""Tests for the seeded-bug registry: every Table-I bug must
+
+1. leave the optimizer *sound* when disabled (clean pipeline passes
+   translation validation on the trigger program), and
+2. produce a detectable finding when enabled (an optimizer crash for
+   crash bugs, a refinement failure for miscompilation bugs).
+
+Each trigger program below is the distilled IR shape from the registry's
+``trigger`` column.
+"""
+
+import pytest
+
+from repro.ir import parse_module, verify_module
+from repro.opt import (OptContext, OptimizerCrash, PassManager, all_bugs,
+                       bugs_by_id, crash_bugs, get_bug, miscompilation_bugs)
+from repro.tv import RefinementConfig, Verdict, check_refinement
+
+from helpers import parsed
+
+# bug id -> (trigger .ll, pipeline). The function under test must be @f.
+TRIGGERS = {
+    # -- miscompilations ------------------------------------------------
+    "53252": ("""
+define i32 @f(i32 %x) {
+  %c = icmp ult i32 %x, 100
+  %r = select i1 %c, i32 %x, i32 100
+  ret i32 %r
+}
+""", "instcombine"),
+    "50693": ("""
+define i8 @f(i8 %n, i8 %x) {
+  %m = shl i8 -1, %n
+  %r = lshr i8 %m, %n
+  %k = and i8 %r, %x
+  ret i8 %k
+}
+""", "instcombine"),
+    "53218": ("""
+define i16 @f(i16 %x, i16 %y, ptr %p) {
+  %a = add nsw i16 %x, %y
+  store i16 %a, ptr %p
+  %b = add i16 %x, %y
+  ret i16 %b
+}
+""", "gvn"),
+    "55003": ("""
+define i8 @f(i8 %x) {
+  %a = shl i8 %x, 5
+  %b = shl i8 %a, 5
+  %c = or i8 %b, 1
+  ret i8 %c
+}
+""", "backend"),
+    "55201": ("""
+define i16 @f(i16 %x) {
+  %t = and i16 %x, 255
+  %hi = shl i16 %t, 3
+  %lo = lshr i16 %x, 13
+  %r = or i16 %hi, %lo
+  ret i16 %r
+}
+""", "backend"),
+    "55129": ("""
+define i64 @f(i1 %b) {
+  %1 = zext i1 %b to i64
+  %2 = lshr i64 %1, 1
+  ret i64 %2
+}
+""", "backend"),
+    "55271": ("""
+declare i8 @llvm.abs.i8(i8, i1)
+
+define i8 @f(i8 %x) {
+  %r = call i8 @llvm.abs.i8(i8 %x, i1 false)
+  ret i8 %r
+}
+""", "backend"),
+    "55284": ("""
+define i8 @f(i8 %x, i8 %y) {
+  %lo = and i8 %x, 15
+  %hi = and i8 %y, -16
+  %r = or i8 %lo, %hi
+  ret i8 %r
+}
+""", "backend"),
+    "55287": ("""
+define i8 @f(i8 %x) {
+  %r = urem i8 %x, 16
+  ret i8 %r
+}
+""", "backend"),
+    "55296": ("""
+define i7 @f(i7 %x, i7 %y) {
+  %r = urem i7 %x, %y
+  ret i7 %r
+}
+""", "backend"),
+    "55342": ("""
+define i7 @f(i7 %x) {
+  %r = sdiv i7 %x, -3
+  ret i7 %r
+}
+""", "backend"),
+    "55484": ("""
+define i16 @f(i16 %x) {
+  %hi = shl i16 %x, 12
+  %lo = lshr i16 %x, 4
+  %r = or i16 %hi, %lo
+  ret i16 %r
+}
+""", "backend"),
+    "55490": ("""
+define i7 @f(i7 %x, i7 %y) {
+  %r = srem i7 %x, %y
+  ret i7 %r
+}
+""", "backend"),
+    "55627": ("""
+define i7 @f(i7 %x, i7 %y) {
+  %r = sdiv i7 %x, %y
+  ret i7 %r
+}
+""", "backend"),
+    "55833": ("""
+define i8 @f(i8 %x) {
+  %s = lshr i8 %x, 3
+  %r = and i8 %s, 15
+  ret i8 %r
+}
+""", "backend"),
+    "58109": ("""
+declare i8 @llvm.usub.sat.i8(i8, i8)
+
+define i8 @f(i8 %x, i8 %y) {
+  %r = call i8 @llvm.usub.sat.i8(i8 %x, i8 %y)
+  ret i8 %r
+}
+""", "backend"),
+    "58321": ("""
+define void @f(ptr %q) {
+  %p = freeze i3 poison
+  store i3 %p, ptr %q
+  ret void
+}
+""", "backend"),
+    "58431": ("""
+define i8 @f(i1 %b) {
+  %r = zext i1 %b to i8
+  ret i8 %r
+}
+""", "backend"),
+    "59836": ("""
+define i1 @f(i32 %x) {
+  %r = zext i32 %x to i64
+  %t = trunc i64 %r to i34
+  %m = mul i34 %t, %t
+  %e = zext i34 %m to i64
+  %res = icmp ule i64 %e, 4294967295
+  ret i1 %res
+}
+""", "instcombine"),
+    # -- crashes -----------------------------------------------------------
+    "52884": ("""
+declare i8 @llvm.smax.i8(i8, i8)
+
+define i8 @f(i8 %x) {
+  %1 = add nuw nsw i8 50, %x
+  %m = call i8 @llvm.smax.i8(i8 %1, i8 -124)
+  ret i8 %m
+}
+""", "instcombine"),
+    "51618": ("""
+define i8 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %join
+a:
+  br label %join
+join:
+  %p = phi i8 [ undef, %entry ], [ 3, %a ]
+  ret i8 %p
+}
+""", "gvn"),
+    "56377": ("""
+declare i8 @llvm.fshl.i8(i8, i8, i8)
+
+define i8 @f(i8 %x, i8 %y, i8 %z) {
+  %r = call i8 @llvm.fshl.i8(i8 %x, i8 %y, i8 %z)
+  ret i8 %r
+}
+""", "backend"),
+    "56463": ("""
+declare void @sink(i32)
+
+define void @f() {
+  call void @sink(i32 undef)
+  ret void
+}
+""", "instcombine"),
+    "56945": ("""
+declare i8 @llvm.smax.i8(i8, i8)
+
+define i8 @f() {
+  %m = call i8 @llvm.smax.i8(i8 poison, i8 4)
+  ret i8 %m
+}
+""", "constfold"),
+    "56968": ("""
+define i8 @f(i8 %x) {
+  %r = shl i8 %x, 9
+  ret i8 %r
+}
+""", "instsimplify"),
+    "56981": ("""
+define i8 @f() {
+  %r = select i1 poison, i8 1, i8 2
+  ret i8 %r
+}
+""", "constfold"),
+    "58423": ("""
+declare i8 @llvm.abs.i8(i8, i1)
+
+define i8 @f(i8 %x) {
+  %a = call i8 @llvm.abs.i8(i8 %x, i1 false)
+  %b = call i8 @llvm.abs.i8(i8 %x, i1 false)
+  %r = add i8 %a, %b
+  ret i8 %r
+}
+""", "backend"),
+    "58425": ("""
+define i26 @f(i26 %x, i26 %y) {
+  %r = udiv i26 %x, %y
+  ret i26 %r
+}
+""", "backend"),
+    "59757": ("""
+declare i64 @printf(ptr)
+
+define i64 @f(ptr %fmt) {
+  %r = call i64 @printf(ptr %fmt)
+  ret i64 %r
+}
+""", "backend"),
+    "64687": ("""
+declare void @llvm.assume(i1)
+
+define i8 @f(ptr %p) {
+  call void @llvm.assume(i1 true) [ "align"(ptr %p, i64 123) ]
+  %v = load i8, ptr %p
+  ret i8 %v
+}
+""", "align-from-assumptions"),
+    "64661": ("""
+define i8 @f(i8 %x) {
+  %slot = alloca i8
+  %v = load i8, ptr %slot
+  %r = add i8 %v, %x
+  ret i8 %r
+}
+""", "mem2reg"),
+    "72035": ("""
+define i8 @f(i32 %x) {
+  %slot = alloca i32
+  store i32 %x, ptr %slot
+  %v = load i8, ptr %slot
+  ret i8 %v
+}
+""", "mem2reg"),
+    "72034": ("""
+declare i8 @llvm.sadd.sat.i8(i8, i8)
+
+define i8 @f(i8 %x) {
+  %r = call i8 @llvm.sadd.sat.i8(i8 %x, i8 %x)
+  ret i8 %r
+}
+""", "backend"),
+}
+
+
+class TestRegistryIntegrity:
+    def test_33_bugs_total(self):
+        assert len(all_bugs()) == 33
+
+    def test_19_miscompilations_14_crashes(self):
+        assert len(miscompilation_bugs()) == 19
+        assert len(crash_bugs()) == 14
+
+    def test_unique_ids(self):
+        ids = [b.issue_id for b in all_bugs()]
+        assert len(set(ids)) == 33
+
+    def test_every_bug_has_trigger_program(self):
+        assert set(TRIGGERS) == {b.issue_id for b in all_bugs()}
+
+    def test_host_passes_exist(self):
+        from repro.opt import available_passes
+
+        passes = set(available_passes())
+        for bug in all_bugs():
+            assert bug.host_pass in passes, bug.issue_id
+
+    def test_get_bug(self):
+        assert get_bug("53252").component == "InstCombine"
+        with pytest.raises(KeyError):
+            get_bug("00000")
+
+    def test_paper_components_preserved(self):
+        components = {b.component for b in all_bugs()}
+        assert "InstCombine" in components
+        assert "AArch64 backend" in components
+        assert "AlignmentFromAssumptions" in components
+
+
+def _run(module, pipeline, bugs):
+    optimized = module.clone()
+    ctx = OptContext(bugs)
+    PassManager([pipeline], ctx).run(optimized)
+    verify_module(optimized)
+    return optimized, ctx
+
+
+@pytest.mark.parametrize("bug_id", sorted(TRIGGERS))
+def test_clean_pipeline_is_sound_on_trigger(bug_id):
+    text, pipeline = TRIGGERS[bug_id]
+    module = parsed(text)
+    optimized, ctx = _run(module, pipeline, set())
+    result = check_refinement(
+        module.get_function("f"), optimized.get_function("f"),
+        module, optimized, RefinementConfig(max_inputs=48))
+    assert result.verdict != Verdict.UNSOUND, str(result.counterexample)
+
+
+@pytest.mark.parametrize("bug", sorted(b.issue_id for b in crash_bugs()))
+def test_crash_bug_crashes_on_trigger(bug):
+    text, pipeline = TRIGGERS[bug]
+    module = parsed(text)
+    with pytest.raises(OptimizerCrash) as exc_info:
+        _run(module, pipeline, {bug})
+    assert exc_info.value.bug_id == bug
+
+
+@pytest.mark.parametrize("bug",
+                         sorted(b.issue_id for b in miscompilation_bugs()))
+def test_miscompilation_bug_fails_refinement_on_trigger(bug):
+    text, pipeline = TRIGGERS[bug]
+    module = parsed(text)
+    optimized, ctx = _run(module, pipeline, {bug})
+    assert bug in ctx.triggered_bugs, "buggy path did not execute"
+    result = check_refinement(
+        module.get_function("f"), optimized.get_function("f"),
+        module, optimized, RefinementConfig(max_inputs=64))
+    assert result.verdict == Verdict.UNSOUND

@@ -1,0 +1,124 @@
+"""Tests for the IRBuilder."""
+
+import pytest
+
+from repro.ir import (BasicBlock, ConstantInt, Function, FunctionType, I1,
+                      I8, I32, IRBuilder, Module, PTR, VOID, verify_function)
+
+
+def make_function(return_type=I32, params=(I32, I32)):
+    module = Module()
+    fn = Function(FunctionType(return_type, tuple(params)), "f", module)
+    for i, arg in enumerate(fn.arguments):
+        arg.name = "ab"[i] if i < 2 else f"p{i}"
+    block = BasicBlock("entry", fn)
+    builder = IRBuilder(block)
+    return fn, builder
+
+
+class TestArithmeticBuilders:
+    def test_basic_binops(self):
+        fn, b = make_function()
+        x, y = fn.arguments
+        result = b.add(x, y)
+        result = b.sub(result, x)
+        result = b.mul(result, y, nsw=True)
+        b.ret(result)
+        verify_function(fn)
+        assert [i.opcode for i in fn.blocks[0].instructions] == \
+            ["add", "sub", "mul", "ret"]
+        assert fn.blocks[0].instructions[2].nsw
+
+    def test_not_and_neg(self):
+        fn, b = make_function()
+        x, _ = fn.arguments
+        negged = b.neg(x)
+        notted = b.not_(negged)
+        b.ret(notted)
+        verify_function(fn)
+        assert fn.blocks[0].instructions[0].lhs.value == 0
+        assert fn.blocks[0].instructions[1].rhs.is_all_ones()
+
+    def test_auto_naming(self):
+        fn, b = make_function()
+        x, y = fn.arguments
+        first = b.add(x, y)
+        second = b.add(first, y)
+        assert first.name and second.name
+        assert first.name != second.name
+
+    def test_insert_before(self):
+        fn, b = make_function()
+        x, y = fn.arguments
+        add = b.add(x, y)
+        ret = b.ret(add)
+        b.set_insert_before(ret)
+        mul = b.mul(add, y)
+        ret.set_operand(0, mul)
+        verify_function(fn)
+        assert fn.blocks[0].index_of(mul) == 1
+
+    def test_no_insert_point(self):
+        builder = IRBuilder()
+        from repro.ir import Argument
+
+        with pytest.raises(ValueError):
+            builder.add(Argument(I32, "x"), Argument(I32, "y"))
+
+
+class TestOtherBuilders:
+    def test_icmp_select(self):
+        fn, b = make_function()
+        x, y = fn.arguments
+        cond = b.icmp("slt", x, y)
+        result = b.select(cond, x, y)
+        b.ret(result)
+        verify_function(fn)
+
+    def test_casts(self):
+        fn, b = make_function(I32, (I8,))
+        value = b.zext(fn.arguments[0], I32)
+        b.ret(value)
+        verify_function(fn)
+
+    def test_memory(self):
+        fn, b = make_function(VOID, (I32,))
+        slot = b.alloca(I32)
+        b.store(fn.arguments[0], slot)
+        loaded = b.load(I32, slot)
+        b.store(loaded, slot)
+        b.ret()
+        verify_function(fn)
+
+    def test_control_flow(self):
+        module = Module()
+        fn = Function(FunctionType(I32, (I1,)), "g", module)
+        fn.arguments[0].name = "c"
+        entry = BasicBlock("entry", fn)
+        then = BasicBlock("then", fn)
+        other = BasicBlock("other", fn)
+        b = IRBuilder(entry)
+        b.cond_br(fn.arguments[0], then, other)
+        b.set_insert_point(then)
+        b.ret(ConstantInt(I32, 1))
+        b.set_insert_point(other)
+        b.ret(ConstantInt(I32, 2))
+        verify_function(fn)
+
+    def test_phi(self):
+        module = Module()
+        fn = Function(FunctionType(I32, (I1,)), "g", module)
+        fn.arguments[0].name = "c"
+        entry = BasicBlock("entry", fn)
+        a = BasicBlock("a", fn)
+        join = BasicBlock("join", fn)
+        b = IRBuilder(entry)
+        b.cond_br(fn.arguments[0], a, join)
+        b.set_insert_point(a)
+        b.br(join)
+        b.set_insert_point(join)
+        phi = b.phi(I32)
+        phi.add_incoming(ConstantInt(I32, 1), entry)
+        phi.add_incoming(ConstantInt(I32, 2), a)
+        b.ret(phi)
+        verify_function(fn)

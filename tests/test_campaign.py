@@ -1,0 +1,50 @@
+"""Tests for the Table-I campaign harness."""
+
+import pytest
+
+from repro.fuzz import CampaignConfig, CampaignReport, run_campaign
+from repro.opt import all_bug_ids
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def small_report(self):
+        return run_campaign(CampaignConfig(
+            corpus_size=12, mutants_per_file=20, max_inputs=10))
+
+    def test_tracks_all_33_bugs(self, small_report):
+        assert len(small_report.outcomes) == 33
+
+    def test_finds_some_bugs_even_when_small(self, small_report):
+        assert len(small_report.found_bugs()) >= 3
+
+    def test_found_outcomes_have_repro_info(self, small_report):
+        for outcome in small_report.found_bugs():
+            assert outcome.first_seed >= 0
+            assert outcome.first_file
+            assert outcome.findings >= 1
+
+    def test_table_renders(self, small_report):
+        table = small_report.table()
+        assert "Issue ID" in table
+        assert "53252" in table
+        assert "paper: 33 = 19 + 14" in table
+
+    def test_found_by_kind_consistent(self, small_report):
+        miscompilations, crashes = small_report.found_by_kind()
+        assert miscompilations + crashes == len(small_report.found_bugs())
+
+    def test_restricted_bug_set(self):
+        report = run_campaign(CampaignConfig(
+            corpus_size=4, mutants_per_file=10, max_inputs=8,
+            enabled_bugs=["56968"], pipelines=("O2",)))
+        assert set(report.outcomes) == {"56968"}
+
+    def test_no_unattributed_findings_with_no_bugs(self):
+        """With no seeded bugs, the optimizer must produce no findings at
+        all — the strictest differential test of our own passes."""
+        report = run_campaign(CampaignConfig(
+            corpus_size=10, mutants_per_file=15, max_inputs=10,
+            enabled_bugs=[]))
+        assert report.total_findings == 0, [
+            f.detail for f in report.unattributed]

@@ -1,0 +1,137 @@
+"""End-to-end tests for the three command-line tools."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import alive_mutate, alive_tv, opt_tool
+
+CLEAN = """define i32 @f(i32 %x) {
+  %r = add i32 %x, 0
+  ret i32 %r
+}
+"""
+
+CLAMP = """define i32 @clamp(i32 %x) {
+  %c = icmp ult i32 %x, 100
+  %r = select i1 %c, i32 %x, i32 100
+  ret i32 %r
+}
+"""
+
+
+@pytest.fixture
+def input_file(tmp_path):
+    path = tmp_path / "input.ll"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+class TestOptTool:
+    def test_optimizes_to_stdout(self, input_file, capsys):
+        assert opt_tool.main([input_file, "-p", "instsimplify"]) == 0
+        output = capsys.readouterr().out
+        assert "add" not in output
+        assert "ret i32 %x" in output
+
+    def test_output_file(self, input_file, tmp_path, capsys):
+        out = tmp_path / "out.ll"
+        assert opt_tool.main([input_file, "-p", "O2", "-o", str(out)]) == 0
+        assert "define" in out.read_text()
+
+    def test_list_passes(self, capsys):
+        assert opt_tool.main(["--list-passes", "x"]) == 0
+        out = capsys.readouterr().out
+        assert "instcombine" in out and "O2" in out
+
+    def test_crash_bug_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "shift.ll"
+        path.write_text("""define i8 @f(i8 %x) {
+  %r = shl i8 %x, 9
+  ret i8 %r
+}
+""")
+        code = opt_tool.main([str(path), "-p", "instsimplify",
+                              "--enable-bug", "56968"])
+        assert code == 134
+
+    def test_parse_error_exit_code(self, tmp_path):
+        path = tmp_path / "bad.ll"
+        path.write_text("this is not IR")
+        assert opt_tool.main([str(path)]) == 2
+
+    def test_missing_file(self):
+        assert opt_tool.main(["/nonexistent/x.ll"]) == 2
+
+
+class TestAliveTV:
+    def test_verified(self, tmp_path, capsys):
+        src = tmp_path / "src.ll"
+        tgt = tmp_path / "tgt.ll"
+        src.write_text(CLEAN)
+        tgt.write_text(CLEAN.replace("add i32 %x, 0", "add i32 %x, 0"))
+        assert alive_tv.main([str(src), str(tgt)]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_not_verified(self, tmp_path, capsys):
+        src = tmp_path / "src.ll"
+        tgt = tmp_path / "tgt.ll"
+        src.write_text(CLEAN)
+        tgt.write_text(CLEAN.replace("add i32 %x, 0", "add i32 %x, 1"))
+        assert alive_tv.main([str(src), str(tgt)]) == 1
+        out = capsys.readouterr().out
+        assert "NOT verified" in out
+
+    def test_quiet(self, tmp_path, capsys):
+        src = tmp_path / "src.ll"
+        src.write_text(CLEAN)
+        assert alive_tv.main([str(src), str(src), "-q"]) == 0
+        assert capsys.readouterr().out == ""
+
+
+class TestAliveMutate:
+    def test_mutate_only_writes_valid_ir(self, input_file, tmp_path):
+        out = tmp_path / "mutant.ll"
+        code = alive_mutate.main([input_file, "--mutate-only",
+                                  "--seed", "3", "-o", str(out)])
+        assert code == 0
+        from repro.ir import is_valid_module, parse_module
+
+        assert is_valid_module(parse_module(out.read_text()))
+
+    def test_mutate_only_deterministic(self, input_file, tmp_path):
+        a = tmp_path / "a.ll"
+        b = tmp_path / "b.ll"
+        alive_mutate.main([input_file, "--mutate-only", "--seed", "3",
+                           "-o", str(a)])
+        alive_mutate.main([input_file, "--mutate-only", "--seed", "3",
+                           "-o", str(b)])
+        assert a.read_text() == b.read_text()
+
+    def test_fuzz_loop_clean(self, input_file, capsys):
+        code = alive_mutate.main([input_file, "-n", "10"])
+        assert code == 0
+        assert "10 iterations" in capsys.readouterr().out
+
+    def test_fuzz_loop_finds_seeded_bug(self, tmp_path, capsys):
+        path = tmp_path / "clamp.ll"
+        path.write_text(CLAMP)
+        code = alive_mutate.main([str(path), "-n", "120",
+                                  "--enable-bug", "53252"])
+        assert code == 1
+        assert "miscompilation" in capsys.readouterr().out
+
+    def test_save_dir(self, input_file, tmp_path):
+        save = tmp_path / "mutants"
+        alive_mutate.main([input_file, "-n", "5", "--saveAll",
+                           "--save-dir", str(save)])
+        assert len(list(save.iterdir())) == 5
+
+    def test_console_scripts_run_as_modules(self, input_file):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli.opt_tool", input_file,
+             "-p", "O0"],
+            capture_output=True)
+        assert result.returncode == 0
+        assert b"define" in result.stdout

@@ -1,0 +1,174 @@
+"""Tests for constant folding (repro.opt.fold)."""
+
+import pytest
+
+from repro.ir import ConstantInt, I1, I8, IntType, PoisonValue
+from repro.opt.fold import (fold_binary, fold_cast, fold_icmp,
+                            fold_instruction, fold_intrinsic)
+
+
+def c8(value):
+    return ConstantInt(I8, value)
+
+
+class TestFoldBinary:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("add", 200, 100, 44),
+        ("sub", 5, 10, 251),
+        ("mul", 20, 20, 144),
+        ("udiv", 200, 3, 66),
+        ("sdiv", 249, 2, 253),
+        ("urem", 200, 3, 2),
+        ("srem", 249, 2, 255),
+        ("shl", 3, 2, 12),
+        ("lshr", 128, 3, 16),
+        ("ashr", 128, 3, 0xF0),
+        ("and", 12, 10, 8),
+        ("or", 12, 10, 14),
+        ("xor", 12, 10, 6),
+    ])
+    def test_values(self, op, a, b, expected):
+        result = fold_binary(op, c8(a), c8(b), 8)
+        assert isinstance(result, ConstantInt)
+        assert result.value == expected
+
+    def test_division_by_zero_not_folded(self):
+        assert fold_binary("udiv", c8(1), c8(0), 8) is None
+        assert fold_binary("srem", c8(1), c8(0), 8) is None
+
+    def test_sdiv_overflow_not_folded(self):
+        assert fold_binary("sdiv", c8(128), c8(255), 8) is None
+
+    def test_nsw_overflow_folds_to_poison(self):
+        result = fold_binary("add", c8(127), c8(1), 8, nsw=True)
+        assert isinstance(result, PoisonValue)
+
+    def test_nuw_ok_folds_normally(self):
+        result = fold_binary("add", c8(100), c8(100), 8, nuw=True)
+        assert isinstance(result, ConstantInt) and result.value == 200
+
+    def test_shift_amount_oor_is_poison(self):
+        assert isinstance(fold_binary("shl", c8(1), c8(8), 8), PoisonValue)
+
+    def test_exact_violation_is_poison(self):
+        assert isinstance(fold_binary("lshr", c8(3), c8(1), 8, exact=True),
+                          PoisonValue)
+        result = fold_binary("lshr", c8(4), c8(1), 8, exact=True)
+        assert isinstance(result, ConstantInt) and result.value == 2
+
+    def test_poison_operand_propagates(self):
+        result = fold_binary("add", PoisonValue(I8), c8(1), 8)
+        assert isinstance(result, PoisonValue)
+
+    def test_poison_divisor_not_folded(self):
+        assert fold_binary("udiv", c8(1), PoisonValue(I8), 8) is None
+
+
+class TestFoldICmp:
+    @pytest.mark.parametrize("pred,a,b,expected", [
+        ("eq", 5, 5, 1), ("ne", 5, 6, 1),
+        ("ult", 200, 100, 0), ("slt", 200, 100, 1),
+        ("uge", 200, 200, 1), ("sge", 128, 127, 0),
+    ])
+    def test_values(self, pred, a, b, expected):
+        result = fold_icmp(pred, c8(a), c8(b), 8)
+        assert result.value == expected
+        assert result.type is I1
+
+    def test_poison(self):
+        assert isinstance(fold_icmp("eq", PoisonValue(I8), c8(0), 8),
+                          PoisonValue)
+
+
+class TestFoldCast:
+    def test_zext(self):
+        result = fold_cast("zext", c8(200), 8, 32)
+        assert result.value == 200
+
+    def test_sext(self):
+        result = fold_cast("sext", c8(200), 8, 32)
+        assert result.value == 0xFFFFFFC8
+
+    def test_trunc(self):
+        wide = ConstantInt(IntType(32), 0x12345678)
+        result = fold_cast("trunc", wide, 32, 8)
+        assert result.value == 0x78
+
+    def test_poison(self):
+        assert isinstance(fold_cast("zext", PoisonValue(I8), 8, 32),
+                          PoisonValue)
+
+
+class TestFoldIntrinsic:
+    def test_smax(self):
+        result = fold_intrinsic("llvm.smax", [c8(250), c8(3)], 8)
+        assert result.value == 3
+
+    def test_umin(self):
+        result = fold_intrinsic("llvm.umin", [c8(250), c8(3)], 8)
+        assert result.value == 3
+
+    def test_abs_poison_flag(self):
+        result = fold_intrinsic("llvm.abs", [c8(128), ConstantInt(I1, 1)], 8)
+        assert isinstance(result, PoisonValue)
+        result = fold_intrinsic("llvm.abs", [c8(128), ConstantInt(I1, 0)], 8)
+        assert result.value == 128
+
+    def test_ctpop_ctlz_cttz(self):
+        assert fold_intrinsic("llvm.ctpop", [c8(0b1011)], 8).value == 3
+        assert fold_intrinsic("llvm.ctlz",
+                              [c8(1), ConstantInt(I1, 0)], 8).value == 7
+        assert fold_intrinsic("llvm.cttz",
+                              [c8(8), ConstantInt(I1, 0)], 8).value == 3
+        assert isinstance(
+            fold_intrinsic("llvm.ctlz", [c8(0), ConstantInt(I1, 1)], 8),
+            PoisonValue)
+
+    def test_saturating(self):
+        assert fold_intrinsic("llvm.uadd.sat", [c8(250), c8(10)], 8).value == 255
+        assert fold_intrinsic("llvm.usub.sat", [c8(3), c8(10)], 8).value == 0
+        assert fold_intrinsic("llvm.sadd.sat", [c8(120), c8(10)], 8).value == 127
+        assert fold_intrinsic("llvm.ssub.sat", [c8(136), c8(10)], 8).value == 128
+
+    def test_poison_arg(self):
+        assert isinstance(
+            fold_intrinsic("llvm.smax", [PoisonValue(I8), c8(0)], 8),
+            PoisonValue)
+
+
+class TestFoldInstruction:
+    def test_folds_whole_instruction(self):
+        from helpers import single_function
+
+        fn = single_function("""
+define i8 @f() {
+  %r = add i8 2, 3
+  ret i8 %r
+}
+""")
+        inst = fn.blocks[0].instructions[0]
+        folded = fold_instruction(inst)
+        assert isinstance(folded, ConstantInt) and folded.value == 5
+
+    def test_leaves_non_constant_alone(self):
+        from helpers import single_function
+
+        fn = single_function("""
+define i8 @f(i8 %x) {
+  %r = add i8 %x, 3
+  ret i8 %r
+}
+""")
+        assert fold_instruction(fn.blocks[0].instructions[0]) is None
+
+    def test_select_constant_condition(self):
+        from helpers import single_function
+
+        fn = single_function("""
+define i8 @f() {
+  %r = select i1 true, i8 4, i8 5
+  ret i8 %r
+}
+""")
+        folded = fold_instruction(fn.blocks[0].instructions[0])
+        assert isinstance(folded, ConstantInt) and folded.value == 4

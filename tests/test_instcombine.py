@@ -1,0 +1,464 @@
+"""Tests for the InstCombine rule library.
+
+Every rewrite is checked both structurally (the expected shape appears)
+and semantically (the optimized function refines the original).
+"""
+
+import pytest
+
+from repro.ir import BinaryOperator, CallInst, CastInst, ICmpInst, parse_module
+from repro.tv import Verdict
+
+from helpers import assert_sound, optimize, parsed, refine_after
+
+
+def combined(text: str):
+    module = parsed(text)
+    optimized, ctx = optimize(module, "instcombine")
+    assert_sound(module, "instcombine")
+    return optimized.definitions()[0], ctx
+
+
+class TestAddSubRules:
+    def test_add_self_becomes_shl(self):
+        fn, _ = combined("""
+define i32 @f(i32 %x) {
+  %r = add i32 %x, %x
+  ret i32 %r
+}
+""")
+        assert fn.blocks[0].instructions[0].opcode == "shl"
+
+    def test_not_plus_one_is_neg(self):
+        fn, _ = combined("""
+define i32 @f(i32 %x) {
+  %n = xor i32 %x, -1
+  %r = add i32 %n, 1
+  ret i32 %r
+}
+""")
+        ret_value = fn.blocks[0].terminator().return_value
+        assert isinstance(ret_value, BinaryOperator)
+        assert ret_value.opcode == "sub"
+        assert ret_value.lhs.value == 0
+
+    def test_add_sub_cancel(self):
+        fn, _ = combined("""
+define i32 @f(i32 %a, i32 %b) {
+  %d = sub i32 %a, %b
+  %r = add i32 %d, %b
+  ret i32 %r
+}
+""")
+        assert fn.blocks[0].terminator().return_value is fn.arguments[0]
+
+    def test_sub_add_cancel(self):
+        fn, _ = combined("""
+define i32 @f(i32 %a, i32 %b) {
+  %s = add i32 %a, %b
+  %r = sub i32 %s, %a
+  ret i32 %r
+}
+""")
+        assert fn.blocks[0].terminator().return_value is fn.arguments[1]
+
+    def test_sub_const_canonicalizes_to_add(self):
+        fn, _ = combined("""
+define i32 @f(i32 %x) {
+  %r = sub i32 %x, 5
+  ret i32 %r
+}
+""")
+        inst = fn.blocks[0].instructions[0]
+        assert inst.opcode == "add"
+        assert inst.rhs.signed_value() == -5
+
+
+class TestMulDivRules:
+    def test_mul_pow2_to_shl(self):
+        fn, _ = combined("""
+define i32 @f(i32 %x) {
+  %r = mul i32 %x, 8
+  ret i32 %r
+}
+""")
+        inst = fn.blocks[0].instructions[0]
+        assert inst.opcode == "shl" and inst.rhs.value == 3
+
+    def test_mul_signed_min_constant_drops_nsw(self):
+        # Regression: mul nsw x, 0x80 (i8 signed minimum) must not become
+        # shl nsw x, 7 — found by the campaign's differential testing.
+        module = parsed("""
+define i8 @f(i8 %x) {
+  %r = mul nsw i8 %x, -128
+  ret i8 %r
+}
+""")
+        optimized, _ = optimize(module, "instcombine")
+        inst = optimized.definitions()[0].blocks[0].instructions[0]
+        assert inst.opcode == "shl"
+        assert not inst.nsw
+        assert_sound(module, "instcombine")
+
+    def test_udiv_pow2_to_lshr(self):
+        fn, _ = combined("""
+define i32 @f(i32 %x) {
+  %r = udiv i32 %x, 16
+  ret i32 %r
+}
+""")
+        inst = fn.blocks[0].instructions[0]
+        assert inst.opcode == "lshr" and inst.rhs.value == 4
+
+    def test_urem_pow2_to_and(self):
+        fn, _ = combined("""
+define i32 @f(i32 %x) {
+  %r = urem i32 %x, 16
+  ret i32 %r
+}
+""")
+        inst = fn.blocks[0].instructions[0]
+        assert inst.opcode == "and" and inst.rhs.value == 15
+
+    def test_mul_zext_zext_gets_nuw(self):
+        fn, _ = combined("""
+define i32 @f(i8 %a, i8 %b) {
+  %za = zext i8 %a to i32
+  %zb = zext i8 %b to i32
+  %r = mul i32 %za, %zb
+  ret i32 %r
+}
+""")
+        mul = [i for i in fn.instructions() if i.opcode == "mul"][0]
+        assert mul.nuw and mul.nsw
+
+    def test_mul_trunc_zext_not_marked_without_bug(self):
+        # The Listing 17 shape: sound InstCombine must NOT mark this nuw.
+        fn, _ = combined("""
+define i64 @f(i32 %x) {
+  %r = zext i32 %x to i64
+  %t = trunc i64 %r to i34
+  %m = mul i34 %t, %t
+  %e = zext i34 %m to i64
+  ret i64 %e
+}
+""")
+        muls = [i for i in fn.instructions() if i.opcode == "mul"]
+        assert muls and not muls[0].nuw
+
+
+class TestShiftRules:
+    def test_shl_shl_combines(self):
+        fn, _ = combined("""
+define i32 @f(i32 %x) {
+  %a = shl i32 %x, 3
+  %b = shl i32 %a, 4
+  ret i32 %b
+}
+""")
+        shls = [i for i in fn.instructions() if i.opcode == "shl"]
+        assert len(shls) == 1 and shls[0].rhs.value == 7
+
+    def test_shl_shl_overflow_becomes_zero(self):
+        fn, _ = combined("""
+define i8 @f(i8 %x) {
+  %a = shl i8 %x, 5
+  %b = shl i8 %a, 5
+  ret i8 %b
+}
+""")
+        assert fn.blocks[0].terminator().return_value.value == 0
+
+    def test_shl_lshr_to_mask(self):
+        fn, _ = combined("""
+define i8 @f(i8 %x) {
+  %a = shl i8 %x, 3
+  %b = lshr i8 %a, 3
+  ret i8 %b
+}
+""")
+        inst = [i for i in fn.instructions() if i.opcode == "and"]
+        assert inst and inst[0].rhs.value == 0x1F
+
+    def test_opposite_shifts_of_allones(self):
+        fn, _ = combined("""
+define i8 @f(i8 %n) {
+  %m = shl i8 -1, %n
+  %r = lshr i8 %m, %n
+  ret i8 %r
+}
+""")
+        ret_value = fn.blocks[0].terminator().return_value
+        assert isinstance(ret_value, BinaryOperator)
+        assert ret_value.opcode == "lshr"
+        assert ret_value.lhs.value == 0xFF
+
+
+class TestBitwiseRules:
+    def test_xor_icmp_inverts(self):
+        fn, _ = combined("""
+define i1 @f(i32 %x) {
+  %c = icmp ult i32 %x, 100
+  %r = xor i1 %c, true
+  ret i1 %r
+}
+""")
+        ret_value = fn.blocks[0].terminator().return_value
+        assert isinstance(ret_value, ICmpInst)
+        assert ret_value.predicate == "uge" or ret_value.predicate == "ugt"
+
+    def test_demorgan(self):
+        fn, _ = combined("""
+define i32 @f(i32 %a, i32 %b) {
+  %na = xor i32 %a, -1
+  %nb = xor i32 %b, -1
+  %r = and i32 %na, %nb
+  ret i32 %r
+}
+""")
+        ors = [i for i in fn.instructions() if i.opcode == "or"]
+        assert ors
+
+    def test_absorption(self):
+        fn, _ = combined("""
+define i32 @f(i32 %x, i32 %y) {
+  %o = or i32 %x, %y
+  %r = and i32 %x, %o
+  ret i32 %r
+}
+""")
+        assert fn.blocks[0].terminator().return_value is fn.arguments[0]
+
+    def test_disjoint_add_becomes_or(self):
+        fn, _ = combined("""
+define i8 @f(i8 %x, i8 %y) {
+  %lo = and i8 %x, 15
+  %hi = and i8 %y, -16
+  %r = add i8 %lo, %hi
+  ret i8 %r
+}
+""")
+        ret_value = fn.blocks[0].terminator().return_value
+        assert ret_value.opcode == "or"
+
+
+class TestICmpRules:
+    def test_nonstrict_to_strict(self):
+        fn, _ = combined("""
+define i1 @f(i32 %x) {
+  %r = icmp uge i32 %x, 10
+  ret i1 %r
+}
+""")
+        cmp = fn.blocks[0].instructions[0]
+        assert cmp.predicate == "ugt" and cmp.rhs.value == 9
+
+    def test_eq_add_const_shifts(self):
+        fn, _ = combined("""
+define i1 @f(i32 %x) {
+  %a = add i32 %x, 10
+  %r = icmp eq i32 %a, 30
+  ret i1 %r
+}
+""")
+        cmp = [i for i in fn.instructions() if isinstance(i, ICmpInst)][0]
+        assert cmp.rhs.value == 20
+        assert cmp.lhs is fn.arguments[0]
+
+    def test_ult_add_nuw_shifts(self):
+        fn, _ = combined("""
+define i1 @f(i32 %x) {
+  %a = add nuw i32 %x, 16
+  %r = icmp ult i32 %a, 144
+  ret i1 %r
+}
+""")
+        cmp = [i for i in fn.instructions() if isinstance(i, ICmpInst)][0]
+        assert cmp.rhs.value == 128
+
+    def test_icmp_zext_narrows(self):
+        fn, _ = combined("""
+define i1 @f(i8 %x) {
+  %z = zext i8 %x to i32
+  %r = icmp eq i32 %z, 300
+  ret i1 %r
+}
+""")
+        # 300 is out of i8 range: the compare folds to false.
+        assert fn.blocks[0].terminator().return_value.value == 0
+
+    def test_signed_compare_of_zext_goes_unsigned(self):
+        fn, _ = combined("""
+define i1 @f(i8 %x) {
+  %z = zext i8 %x to i32
+  %r = icmp sgt i32 %z, 10
+  ret i1 %r
+}
+""")
+        cmps = [i for i in fn.instructions() if isinstance(i, ICmpInst)]
+        assert cmps and cmps[0].is_unsigned()
+
+
+class TestSelectRules:
+    def test_clamp_to_umin(self):
+        fn, _ = combined("""
+define i32 @f(i32 %x) {
+  %c = icmp ult i32 %x, 100
+  %r = select i1 %c, i32 %x, i32 100
+  ret i32 %r
+}
+""")
+        calls = [i for i in fn.instructions() if isinstance(i, CallInst)]
+        assert calls and calls[0].intrinsic_name() == "llvm.umin"
+
+    def test_clamp_to_smax(self):
+        fn, _ = combined("""
+define i32 @f(i32 %x) {
+  %c = icmp sgt i32 %x, -5
+  %r = select i1 %c, i32 %x, i32 -5
+  ret i32 %r
+}
+""")
+        calls = [i for i in fn.instructions() if isinstance(i, CallInst)]
+        assert calls and calls[0].intrinsic_name() == "llvm.smax"
+
+    def test_inverted_condition_swaps_arms(self):
+        fn, _ = combined("""
+define i32 @f(i1 %c, i32 %a, i32 %b) {
+  %n = xor i1 %c, true
+  %r = select i1 %n, i32 %a, i32 %b
+  ret i32 %r
+}
+""")
+        from repro.ir import SelectInst
+
+        selects = [i for i in fn.instructions() if isinstance(i, SelectInst)]
+        assert selects
+        sel = selects[0]
+        assert sel.condition is fn.arguments[0]
+        assert sel.true_value is fn.arguments[2]
+
+    def test_select_zext_arms(self):
+        fn, _ = combined("""
+define i32 @f(i1 %c) {
+  %r = select i1 %c, i32 1, i32 0
+  ret i32 %r
+}
+""")
+        ret_value = fn.blocks[0].terminator().return_value
+        assert isinstance(ret_value, CastInst) and ret_value.opcode == "zext"
+
+
+class TestCastRules:
+    def test_trunc_of_zext_exact(self):
+        fn, _ = combined("""
+define i8 @f(i8 %x) {
+  %z = zext i8 %x to i32
+  %t = trunc i32 %z to i8
+  ret i8 %t
+}
+""")
+        assert fn.blocks[0].terminator().return_value is fn.arguments[0]
+
+    def test_zext_zext_collapses(self):
+        fn, _ = combined("""
+define i64 @f(i8 %x) {
+  %a = zext i8 %x to i32
+  %b = zext i32 %a to i64
+  ret i64 %b
+}
+""")
+        casts = [i for i in fn.instructions() if isinstance(i, CastInst)]
+        assert len(casts) == 1
+        assert casts[0].src_type.width == 8
+
+    def test_zext_trunc_same_width_to_and(self):
+        fn, _ = combined("""
+define i32 @f(i32 %x) {
+  %t = trunc i32 %x to i8
+  %z = zext i8 %t to i32
+  ret i32 %z
+}
+""")
+        ret_value = fn.blocks[0].terminator().return_value
+        assert ret_value.opcode == "and" and ret_value.rhs.value == 0xFF
+
+    def test_sext_of_nonneg_to_zext(self):
+        fn, _ = combined("""
+define i64 @f(i16 %x) {
+  %n = lshr i16 %x, 1
+  %r = sext i16 %n to i64
+  ret i64 %r
+}
+""")
+        casts = [i for i in fn.instructions() if isinstance(i, CastInst)]
+        assert all(c.opcode != "sext" for c in casts)
+
+
+class TestIntrinsicRules:
+    def test_minmax_identity(self):
+        fn, _ = combined("""
+declare i8 @llvm.smax.i8(i8, i8)
+
+define i8 @f(i8 %x) {
+  %r = call i8 @llvm.smax.i8(i8 %x, i8 -128)
+  ret i8 %r
+}
+""")
+        assert fn.blocks[0].terminator().return_value is fn.arguments[0]
+
+    def test_minmax_of_minmax(self):
+        fn, _ = combined("""
+declare i8 @llvm.umin.i8(i8, i8)
+
+define i8 @f(i8 %x) {
+  %a = call i8 @llvm.umin.i8(i8 %x, i8 30)
+  %r = call i8 @llvm.umin.i8(i8 %a, i8 20)
+  ret i8 %r
+}
+""")
+        calls = [i for i in fn.instructions() if isinstance(i, CallInst)]
+        assert len(calls) == 1
+        constant = [a for a in calls[0].args if not a is fn.arguments[0]][0]
+        assert constant.value == 20
+
+    def test_abs_of_nonneg(self):
+        fn, _ = combined("""
+declare i16 @llvm.abs.i16(i16, i1)
+
+define i16 @f(i8 %x) {
+  %z = zext i8 %x to i16
+  %r = call i16 @llvm.abs.i16(i16 %z, i1 true)
+  ret i16 %r
+}
+""")
+        calls = [i for i in fn.instructions() if isinstance(i, CallInst)]
+        assert not calls
+
+
+class TestFixpointBehavior:
+    def test_chains_of_rules_compose(self):
+        # sub x, C -> add; then (x+10)+20 folds through reassociation at
+        # the icmp; finally the compare canonicalizes.
+        module = parsed("""
+define i1 @f(i32 %x) {
+  %a = sub i32 %x, -10
+  %r = icmp eq i32 %a, 30
+  ret i1 %r
+}
+""")
+        optimized, _ = optimize(module, "instcombine")
+        fn = optimized.definitions()[0]
+        cmps = [i for i in fn.instructions() if isinstance(i, ICmpInst)]
+        assert cmps[0].rhs.value == 20
+        assert_sound(module, "instcombine")
+
+    def test_terminates_on_fixpoint(self):
+        module = parsed("""
+define i32 @f(i32 %x, i32 %y) {
+  %r = add i32 %x, %y
+  ret i32 %r
+}
+""")
+        optimized, ctx = optimize(module, "instcombine")
+        assert ctx.stats.get("pass.instcombine.changed", 0) == 0

@@ -1,0 +1,188 @@
+"""Tests for InstSimplify (existing-value simplifications only)."""
+
+import pytest
+
+from repro.ir import ConstantInt, PoisonValue
+from repro.opt.passes.instsimplify import simplify_instruction
+
+from helpers import assert_sound, optimize, parsed, single_function
+
+
+def simplify_first(text: str):
+    fn = single_function(text)
+    return simplify_instruction(fn.blocks[0].instructions[0]), fn
+
+
+class TestAlgebraicIdentities:
+    @pytest.mark.parametrize("body,expect_arg", [
+        ("add i32 %x, 0", True),
+        ("sub i32 %x, 0", True),
+        ("mul i32 %x, 1", True),
+        ("and i32 %x, -1", True),
+        ("or i32 %x, 0", True),
+        ("xor i32 %x, 0", True),
+        ("udiv i32 %x, 1", True),
+        ("sdiv i32 %x, 1", True),
+        ("shl i32 %x, 0", True),
+        ("lshr i32 %x, 0", True),
+        ("ashr i32 %x, 0", True),
+    ])
+    def test_identity_returns_operand(self, body, expect_arg):
+        result, fn = simplify_first(f"""
+define i32 @f(i32 %x) {{
+  %r = {body}
+  ret i32 %r
+}}
+""")
+        assert (result is fn.arguments[0]) == expect_arg
+
+    @pytest.mark.parametrize("body,value", [
+        ("sub i32 %x, %x", 0),
+        ("xor i32 %x, %x", 0),
+        ("and i32 %x, 0", 0),
+        ("mul i32 %x, 0", 0),
+        ("urem i32 %x, 1", 0),
+        ("srem i32 %x, 1", 0),
+        ("or i32 %x, -1", 0xFFFFFFFF),
+    ])
+    def test_constant_results(self, body, value):
+        result, _ = simplify_first(f"""
+define i32 @f(i32 %x) {{
+  %r = {body}
+  ret i32 %r
+}}
+""")
+        assert isinstance(result, ConstantInt) and result.value == value
+
+    def test_self_ops_idempotent(self):
+        result, fn = simplify_first("""
+define i32 @f(i32 %x) {
+  %r = and i32 %x, %x
+  ret i32 %r
+}
+""")
+        assert result is fn.arguments[0]
+
+    def test_shift_by_too_much_is_poison(self):
+        result, _ = simplify_first("""
+define i8 @f(i8 %x) {
+  %r = shl i8 %x, 9
+  ret i8 %r
+}
+""")
+        assert isinstance(result, PoisonValue)
+
+    def test_no_simplification_returns_none(self):
+        result, _ = simplify_first("""
+define i32 @f(i32 %x, i32 %y) {
+  %r = add i32 %x, %y
+  ret i32 %r
+}
+""")
+        assert result is None
+
+
+class TestICmpSimplify:
+    def test_same_operands(self):
+        result, _ = simplify_first("""
+define i1 @f(i32 %x) {
+  %r = icmp ule i32 %x, %x
+  ret i1 %r
+}
+""")
+        assert result.value == 1
+        result, _ = simplify_first("""
+define i1 @f(i32 %x) {
+  %r = icmp slt i32 %x, %x
+  ret i1 %r
+}
+""")
+        assert result.value == 0
+
+    def test_knownbits_range(self):
+        fn = single_function("""
+define i1 @f(i32 %x) {
+  %m = and i32 %x, 15
+  %r = icmp ult i32 %m, 16
+  ret i1 %r
+}
+""")
+        result = simplify_instruction(fn.blocks[0].instructions[1])
+        assert isinstance(result, ConstantInt) and result.value == 1
+
+    def test_knownbits_impossible_eq(self):
+        fn = single_function("""
+define i1 @f(i32 %x) {
+  %m = or i32 %x, 1
+  %r = icmp eq i32 %m, 4
+  ret i1 %r
+}
+""")
+        result = simplify_instruction(fn.blocks[0].instructions[1])
+        assert isinstance(result, ConstantInt) and result.value == 0
+
+
+class TestSelectFreezeSimplify:
+    def test_select_same_arms(self):
+        result, fn = simplify_first("""
+define i32 @f(i1 %c, i32 %x) {
+  %r = select i1 %c, i32 %x, i32 %x
+  ret i32 %r
+}
+""")
+        assert result is fn.arguments[1]
+
+    def test_freeze_of_constant(self):
+        result, _ = simplify_first("""
+define i32 @f() {
+  %r = freeze i32 7
+  ret i32 %r
+}
+""")
+        assert isinstance(result, ConstantInt) and result.value == 7
+
+    def test_freeze_of_poison_not_folded_to_poison(self):
+        result, _ = simplify_first("""
+define i32 @f() {
+  %r = freeze i32 poison
+  ret i32 %r
+}
+""")
+        # freeze poison is a concrete unknown value, NOT poison.
+        assert not isinstance(result, PoisonValue)
+
+
+class TestPassSoundness:
+    @pytest.mark.parametrize("text", [
+        """
+define i32 @f(i32 %x) {
+  %a = add i32 %x, 0
+  %b = mul i32 %a, 1
+  %c = xor i32 %b, %b
+  %d = or i32 %c, %x
+  ret i32 %d
+}
+""",
+        """
+define i8 @f(i8 %x) {
+  %big = shl i8 %x, 9
+  %r = or i8 %big, 1
+  ret i8 %r
+}
+""",
+    ])
+    def test_sound(self, text):
+        assert_sound(parsed(text), "instsimplify")
+
+    def test_fixpoint_chains(self):
+        module = parsed("""
+define i32 @f(i32 %x) {
+  %a = add i32 %x, 0
+  %b = add i32 %a, 0
+  %c = add i32 %b, 0
+  ret i32 %c
+}
+""")
+        optimized, _ = optimize(module, "instsimplify")
+        fn = optimized.get_function("f")
+        assert fn.num_instructions() == 1

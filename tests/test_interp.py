@@ -1,0 +1,599 @@
+"""Tests for the poison/undef-aware concrete interpreter."""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.tv import (ExecutionLimits, Interpreter, POISON, Pointer,
+                      StepLimitExceeded, UBError, is_poison)
+
+from helpers import parsed
+
+
+def run(text: str, args=(), fn_name: str = "f", oracle=None,
+        limits=None, setup=None):
+    module = parsed(text)
+    interp = Interpreter(module, oracle, limits)
+    if setup:
+        setup(interp)
+    return interp.run(module.get_function(fn_name), list(args))
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("add", 200, 100, 44),      # wraps at i8
+        ("sub", 5, 10, 251),
+        ("mul", 16, 16, 0),
+        ("udiv", 200, 3, 66),
+        ("urem", 200, 3, 2),
+        ("and", 0b1100, 0b1010, 0b1000),
+        ("or", 0b1100, 0b1010, 0b1110),
+        ("xor", 0b1100, 0b1010, 0b0110),
+        ("shl", 1, 7, 128),
+        ("lshr", 128, 7, 1),
+        ("ashr", 128, 7, 255),      # sign extends
+    ])
+    def test_binary(self, op, a, b, expected):
+        result = run(f"""
+define i8 @f(i8 %a, i8 %b) {{
+  %r = {op} i8 %a, %b
+  ret i8 %r
+}}
+""", [a, b])
+        assert result == expected
+
+    def test_sdiv_truncates_toward_zero(self):
+        # -7 / 2 == -3 in C-style division.
+        result = run("""
+define i8 @f(i8 %a, i8 %b) {
+  %r = sdiv i8 %a, %b
+  ret i8 %r
+}
+""", [249, 2])
+        assert result == (256 - 3)
+
+    def test_srem_sign_follows_dividend(self):
+        result = run("""
+define i8 @f(i8 %a, i8 %b) {
+  %r = srem i8 %a, %b
+  ret i8 %r
+}
+""", [249, 2])  # -7 rem 2 == -1
+        assert result == 255
+
+    @pytest.mark.parametrize("op", ["udiv", "sdiv", "urem", "srem"])
+    def test_division_by_zero_is_ub(self, op):
+        with pytest.raises(UBError):
+            run(f"""
+define i8 @f(i8 %a) {{
+  %r = {op} i8 %a, 0
+  ret i8 %r
+}}
+""", [1])
+
+    def test_sdiv_overflow_is_ub(self):
+        with pytest.raises(UBError):
+            run("""
+define i8 @f() {
+  %r = sdiv i8 -128, -1
+  ret i8 %r
+}
+""")
+
+    def test_shift_out_of_range_is_poison(self):
+        result = run("""
+define i8 @f(i8 %a) {
+  %r = shl i8 %a, 8
+  ret i8 %r
+}
+""", [1])
+        assert is_poison(result)
+
+    def test_nsw_overflow_is_poison(self):
+        result = run("""
+define i8 @f(i8 %a) {
+  %r = add nsw i8 %a, 1
+  ret i8 %r
+}
+""", [127])
+        assert is_poison(result)
+
+    def test_nsw_no_overflow_is_fine(self):
+        assert run("""
+define i8 @f(i8 %a) {
+  %r = add nsw i8 %a, 1
+  ret i8 %r
+}
+""", [10]) == 11
+
+    def test_nuw_overflow_is_poison(self):
+        assert is_poison(run("""
+define i8 @f(i8 %a) {
+  %r = add nuw i8 %a, 1
+  ret i8 %r
+}
+""", [255]))
+
+    def test_exact_violation_is_poison(self):
+        assert is_poison(run("""
+define i8 @f() {
+  %r = udiv exact i8 7, 2
+  ret i8 %r
+}
+"""))
+
+    def test_poison_propagates(self):
+        assert is_poison(run("""
+define i8 @f(i8 %a) {
+  %p = add nuw i8 %a, 1
+  %r = xor i8 %p, 7
+  ret i8 %r
+}
+""", [255]))
+
+
+class TestCompareSelectCast:
+    @pytest.mark.parametrize("pred,a,b,expected", [
+        ("eq", 5, 5, 1), ("ne", 5, 5, 0),
+        ("ult", 200, 100, 0), ("ugt", 200, 100, 1),
+        ("slt", 200, 100, 1),   # -56 < 100 signed
+        ("sgt", 200, 100, 0),
+        ("ule", 100, 100, 1), ("uge", 99, 100, 0),
+        ("sle", 128, 127, 1), ("sge", 128, 127, 0),
+    ])
+    def test_icmp(self, pred, a, b, expected):
+        assert run(f"""
+define i1 @f(i8 %a, i8 %b) {{
+  %r = icmp {pred} i8 %a, %b
+  ret i1 %r
+}}
+""", [a, b]) == expected
+
+    def test_select(self):
+        text = """
+define i8 @f(i1 %c) {
+  %r = select i1 %c, i8 10, i8 20
+  ret i8 %r
+}
+"""
+        assert run(text, [1]) == 10
+        assert run(text, [0]) == 20
+
+    def test_select_poison_condition(self):
+        assert is_poison(run("""
+define i8 @f() {
+  %r = select i1 poison, i8 10, i8 20
+  ret i8 %r
+}
+"""))
+
+    def test_select_does_not_propagate_unchosen_poison(self):
+        assert run("""
+define i8 @f() {
+  %r = select i1 true, i8 10, i8 poison
+  ret i8 %r
+}
+""") == 10
+
+    def test_casts(self):
+        assert run("""
+define i32 @f(i8 %x) {
+  %r = zext i8 %x to i32
+  ret i32 %r
+}
+""", [200]) == 200
+        assert run("""
+define i32 @f(i8 %x) {
+  %r = sext i8 %x to i32
+  ret i32 %r
+}
+""", [200]) == 0xFFFFFF00 | 200
+        assert run("""
+define i8 @f(i32 %x) {
+  %r = trunc i32 %x to i8
+  ret i8 %r
+}
+""", [0x1234]) == 0x34
+
+    def test_freeze_of_value_is_identity(self):
+        assert run("""
+define i8 @f(i8 %x) {
+  %r = freeze i8 %x
+  ret i8 %r
+}
+""", [42]) == 42
+
+    def test_freeze_of_poison_is_concrete(self):
+        result = run("""
+define i8 @f() {
+  %p = shl i8 1, 9
+  %r = freeze i8 %p
+  ret i8 %r
+}
+""")
+        assert not is_poison(result)
+        assert isinstance(result, int)
+
+
+class TestControlFlow:
+    def test_branching(self):
+        text = """
+define i8 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  ret i8 1
+b:
+  ret i8 2
+}
+"""
+        assert run(text, [1]) == 1
+        assert run(text, [0]) == 2
+
+    def test_branch_on_poison_is_ub(self):
+        with pytest.raises(UBError):
+            run("""
+define i8 @f() {
+entry:
+  br i1 poison, label %a, label %b
+a:
+  ret i8 1
+b:
+  ret i8 2
+}
+""")
+
+    def test_phi_and_loop(self):
+        # Sum 0..n-1.
+        text = """
+define i32 @f(i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %next = add i32 %i, 1
+  %acc2 = add i32 %acc, %i
+  br label %header
+exit:
+  ret i32 %acc
+}
+"""
+        assert run(text, [5]) == 10
+        assert run(text, [0]) == 0
+
+    def test_phis_read_atomically(self):
+        # The two phis swap values; they must read their inputs from
+        # before the edge, not see each other's new values.
+        text = """
+define i32 @f() {
+entry:
+  br label %loop
+loop:
+  %a = phi i32 [ 1, %entry ], [ %b, %loop ]
+  %b = phi i32 [ 2, %entry ], [ %a, %loop ]
+  %count = phi i32 [ 0, %entry ], [ %inc, %loop ]
+  %inc = add i32 %count, 1
+  %done = icmp uge i32 %inc, 3
+  br i1 %done, label %exit, label %loop
+exit:
+  %r = mul i32 %a, 10
+  %s = add i32 %r, %b
+  ret i32 %s
+}
+"""
+        # Swaps happen on each back edge: (1,2) -> (2,1) -> (1,2); a
+        # non-atomic evaluation would collapse both phis to the same
+        # value and return 22.
+        assert run(text) == 12
+
+    def test_switch(self):
+        text = """
+define i8 @f(i8 %x) {
+entry:
+  switch i8 %x, label %d [ i8 0, label %a i8 9, label %b ]
+a:
+  ret i8 100
+b:
+  ret i8 101
+d:
+  ret i8 102
+}
+"""
+        assert run(text, [0]) == 100
+        assert run(text, [9]) == 101
+        assert run(text, [5]) == 102
+
+    def test_unreachable_is_ub(self):
+        with pytest.raises(UBError):
+            run("""
+define void @f() {
+  unreachable
+}
+""")
+
+    def test_step_limit(self):
+        with pytest.raises(StepLimitExceeded):
+            run("""
+define void @f() {
+entry:
+  br label %spin
+spin:
+  br label %spin
+}
+""", limits=ExecutionLimits(max_steps=100))
+
+
+class TestMemory:
+    def test_alloca_store_load(self):
+        assert run("""
+define i32 @f(i32 %x) {
+  %slot = alloca i32
+  store i32 %x, ptr %slot
+  %v = load i32, ptr %slot
+  ret i32 %v
+}
+""", [12345]) == 12345
+
+    def test_load_of_uninitialized_is_nondeterministic_not_ub(self):
+        result = run("""
+define i8 @f() {
+  %slot = alloca i8
+  %v = load i8, ptr %slot
+  ret i8 %v
+}
+""")
+        assert isinstance(result, int)
+
+    def test_store_poison_then_load_is_poison(self):
+        assert is_poison(run("""
+define i8 @f() {
+  %slot = alloca i8
+  store i8 poison, ptr %slot
+  %v = load i8, ptr %slot
+  ret i8 %v
+}
+"""))
+
+    def test_null_load_is_ub(self):
+        with pytest.raises(UBError):
+            run("""
+define i8 @f() {
+  %v = load i8, ptr null
+  ret i8 %v
+}
+""")
+
+    def test_out_of_bounds_is_ub(self):
+        with pytest.raises(UBError):
+            run("""
+define i64 @f() {
+  %slot = alloca i8
+  %v = load i64, ptr %slot
+  ret i64 %v
+}
+""")
+
+    def test_gep_arithmetic(self):
+        assert run("""
+define i8 @f() {
+  %slot = alloca i32
+  store i32 305419896, ptr %slot
+  %p1 = getelementptr i8, ptr %slot, i64 1
+  %v = load i8, ptr %p1
+  ret i8 %v
+}
+""") == 0x56  # 0x12345678 little-endian byte 1
+
+    def test_gep_negative_index(self):
+        assert run("""
+define i8 @f() {
+  %slot = alloca i32
+  store i32 -1, ptr %slot
+  %p2 = getelementptr i8, ptr %slot, i64 2
+  %p1 = getelementptr i8, ptr %p2, i64 -1
+  %v = load i8, ptr %p1
+  ret i8 %v
+}
+""") == 0xFF
+
+    def test_inbounds_gep_oob_is_poison(self):
+        result = run("""
+define ptr @f() {
+  %slot = alloca i8
+  %p = getelementptr inbounds i8, ptr %slot, i64 100
+  ret ptr %p
+}
+""")
+        assert is_poison(result)
+
+    def test_narrow_store_wide_load_mixes_bytes(self):
+        assert run("""
+define i16 @f() {
+  %slot = alloca i16
+  store i16 0, ptr %slot
+  store i8 -1, ptr %slot
+  %v = load i16, ptr %slot
+  ret i16 %v
+}
+""") == 0x00FF
+
+
+class TestCallsAndIntrinsics:
+    def test_internal_call(self):
+        assert run("""
+define i8 @double(i8 %x) {
+  %r = add i8 %x, %x
+  ret i8 %r
+}
+
+define i8 @f(i8 %x) {
+  %r = call i8 @double(i8 %x)
+  ret i8 %r
+}
+""", [21]) == 42
+
+    def test_external_call_is_deterministic(self):
+        text = """
+declare i32 @opaque(i32)
+
+define i32 @f(i32 %x) {
+  %a = call i32 @opaque(i32 %x)
+  %b = call i32 @opaque(i32 %x)
+  %r = sub i32 %a, %b
+  ret i32 %r
+}
+"""
+        first = run(text, [7])
+        second = run(text, [7])
+        assert first == second  # deterministic per program state
+
+    def test_external_call_clobbers_pointee(self):
+        result = run("""
+declare void @clobber(ptr)
+
+define i1 @f() {
+  %slot = alloca i32
+  store i32 7, ptr %slot
+  %before = load i32, ptr %slot
+  call void @clobber(ptr %slot)
+  %after = load i32, ptr %slot
+  %r = icmp eq i32 %before, %after
+  ret i1 %r
+}
+""")
+        assert result == 0  # clobbered
+
+    def test_readnone_external_does_not_clobber(self):
+        assert run("""
+declare i32 @pure(ptr) readnone
+
+define i32 @f() {
+  %slot = alloca i32
+  store i32 7, ptr %slot
+  %x = call i32 @pure(ptr %slot)
+  %after = load i32, ptr %slot
+  ret i32 %after
+}
+""") == 7
+
+    @pytest.mark.parametrize("name,args,expected", [
+        ("llvm.smax.i8(i8 %a, i8 %b)", [250, 3], 3),      # max(-6, 3)
+        ("llvm.smin.i8(i8 %a, i8 %b)", [250, 3], 250),
+        ("llvm.umax.i8(i8 %a, i8 %b)", [250, 3], 250),
+        ("llvm.umin.i8(i8 %a, i8 %b)", [250, 3], 3),
+        ("llvm.ctpop.i8(i8 %a)", [0b1011, 0], 3),
+        ("llvm.uadd.sat.i8(i8 %a, i8 %b)", [250, 10], 255),
+        ("llvm.usub.sat.i8(i8 %a, i8 %b)", [3, 10], 0),
+        ("llvm.sadd.sat.i8(i8 %a, i8 %b)", [120, 10], 127),
+        ("llvm.ssub.sat.i8(i8 %a, i8 %b)", [136, 10], 128),
+    ])
+    def test_intrinsics(self, name, args, expected):
+        base = name.split("(")[0]
+        result = run(f"""
+declare i8 @{base}(i8, i8)
+
+define i8 @f(i8 %a, i8 %b) {{
+  %r = call i8 @{name}
+  ret i8 %r
+}}
+""".replace("declare i8 @llvm.ctpop.i8(i8, i8)",
+            "declare i8 @llvm.ctpop.i8(i8)"), args)
+        assert result == expected
+
+    def test_abs_int_min_poison_flag(self):
+        text = """
+declare i8 @llvm.abs.i8(i8, i1)
+
+define i8 @f(i8 %x) {
+  %r = call i8 @llvm.abs.i8(i8 %x, i1 POISONFLAG)
+  ret i8 %r
+}
+"""
+        assert is_poison(run(text.replace("POISONFLAG", "true"), [128]))
+        assert run(text.replace("POISONFLAG", "false"), [128]) == 128
+        assert run(text.replace("POISONFLAG", "true"), [250]) == 6
+
+    def test_bswap(self):
+        assert run("""
+declare i16 @llvm.bswap.i16(i16)
+
+define i16 @f(i16 %x) {
+  %r = call i16 @llvm.bswap.i16(i16 %x)
+  ret i16 %r
+}
+""", [0x1234]) == 0x3412
+
+    def test_ctlz_cttz(self):
+        text = """
+declare i8 @llvm.ctlz.i8(i8, i1)
+
+define i8 @f(i8 %x) {
+  %r = call i8 @llvm.ctlz.i8(i8 %x, i1 false)
+  ret i8 %r
+}
+"""
+        assert run(text, [1]) == 7
+        assert run(text, [0]) == 8
+
+    def test_fshl(self):
+        assert run("""
+declare i8 @llvm.fshl.i8(i8, i8, i8)
+
+define i8 @f(i8 %x, i8 %y) {
+  %r = call i8 @llvm.fshl.i8(i8 %x, i8 %y, i8 4)
+  ret i8 %r
+}
+""", [0x12, 0x34]) == 0x23
+
+    def test_assume_true_ok_false_ub(self):
+        text = """
+declare void @llvm.assume(i1)
+
+define i8 @f(i1 %c) {
+  call void @llvm.assume(i1 %c)
+  ret i8 1
+}
+"""
+        assert run(text, [1]) == 1
+        with pytest.raises(UBError):
+            run(text, [0])
+
+    def test_assume_align_bundle(self):
+        # Alignment 1 always holds; huge alignment usually fails for a
+        # crafted offset pointer.
+        text = """
+declare void @llvm.assume(i1)
+
+define i8 @f(ptr %p) {
+  call void @llvm.assume(i1 true) [ "align"(ptr %p, i64 1) ]
+  ret i8 1
+}
+"""
+        module = parsed(text)
+        interp = Interpreter(module)
+        pointer = interp.memory.add_block("arg:p", 8)
+        assert interp.run(module.get_function("f"), [pointer]) == 1
+
+    def test_noundef_argument_poison_is_ub(self):
+        with pytest.raises(UBError):
+            run("""
+define i8 @f(i8 noundef %x) {
+  ret i8 %x
+}
+""", [POISON])
+
+    def test_dereferenceable_violation_is_ub(self):
+        text = """
+define i8 @f(ptr dereferenceable(64) %p) {
+  %v = load i8, ptr %p
+  ret i8 %v
+}
+"""
+        module = parsed(text)
+        interp = Interpreter(module)
+        pointer = interp.memory.add_block("arg:p", 8)  # too small
+        with pytest.raises(UBError):
+            interp.run(module.get_function("f"), [pointer])

@@ -1,0 +1,138 @@
+"""Further interpreter edge cases: recursion, switch-on-poison, GEP
+corner cases, and multi-function execution."""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.tv import (ExecutionLimits, Interpreter, StepLimitExceeded,
+                      UBError, is_poison)
+
+from helpers import parsed
+
+
+class TestRecursion:
+    def test_bounded_recursion_works(self):
+        module = parsed("""
+define i32 @fact(i32 %n) {
+entry:
+  %base = icmp ule i32 %n, 1
+  br i1 %base, label %one, label %rec
+one:
+  ret i32 1
+rec:
+  %m = sub i32 %n, 1
+  %sub = call i32 @fact(i32 %m)
+  %r = mul i32 %n, %sub
+  ret i32 %r
+}
+""")
+        interp = Interpreter(module)
+        assert interp.run(module.get_function("fact"), [5]) == 120
+
+    def test_deep_recursion_hits_depth_limit(self):
+        module = parsed("""
+define i32 @down(i32 %n) {
+entry:
+  %z = icmp eq i32 %n, 0
+  br i1 %z, label %done, label %rec
+done:
+  ret i32 0
+rec:
+  %m = sub i32 %n, 1
+  %r = call i32 @down(i32 %m)
+  ret i32 %r
+}
+""")
+        interp = Interpreter(module, limits=ExecutionLimits(max_call_depth=4))
+        with pytest.raises(StepLimitExceeded):
+            interp.run(module.get_function("down"), [100])
+
+
+class TestSwitchEdges:
+    def test_switch_on_poison_is_ub(self):
+        module = parsed("""
+define i8 @f() {
+entry:
+  %p = shl i8 1, 9
+  switch i8 %p, label %d [ i8 0, label %a ]
+a:
+  ret i8 1
+d:
+  ret i8 2
+}
+""")
+        with pytest.raises(UBError):
+            Interpreter(module).run(module.get_function("f"), [])
+
+    def test_switch_no_cases(self):
+        module = parsed("""
+define i8 @f(i8 %x) {
+entry:
+  switch i8 %x, label %d [ ]
+d:
+  ret i8 9
+}
+""")
+        assert Interpreter(module).run(module.get_function("f"), [3]) == 9
+
+
+class TestGEPEdges:
+    def test_gep_on_null_defined_deref_ub(self):
+        module = parsed("""
+define i8 @f() {
+  %g = getelementptr i8, ptr null, i64 4
+  %v = load i8, ptr %g
+  ret i8 %v
+}
+""")
+        with pytest.raises(UBError):
+            Interpreter(module).run(module.get_function("f"), [])
+
+    def test_gep_scaling_by_element_size(self):
+        module = parsed("""
+define i16 @f() {
+  %slot = alloca i64
+  store i64 -281474976710656, ptr %slot
+  %g = getelementptr i16, ptr %slot, i64 3
+  %v = load i16, ptr %g
+  ret i16 %v
+}
+""")
+        # 0xFFFF000000000000 little-endian: halfword 3 is 0xFFFF.
+        assert Interpreter(module).run(module.get_function("f"), []) == 0xFFFF
+
+    def test_gep_poison_index(self):
+        module = parsed("""
+define ptr @f(ptr %p) {
+  %g = getelementptr i8, ptr %p, i64 poison
+  ret ptr %g
+}
+""")
+        interp = Interpreter(module)
+        pointer = interp.memory.add_block("arg:p", 8)
+        assert is_poison(interp.run(module.get_function("f"), [pointer]))
+
+
+class TestMultiFunctionDriver:
+    def test_all_definitions_fuzzed(self):
+        from repro.fuzz import FuzzConfig, FuzzDriver
+        from repro.mutate import MutatorConfig
+        from repro.tv import RefinementConfig
+
+        module = parsed("""
+define i8 @first(i8 %x) {
+  %r = add i8 %x, 1
+  ret i8 %r
+}
+
+define i8 @second(i8 %x) {
+  %r = mul i8 %x, 3
+  ret i8 %r
+}
+""")
+        driver = FuzzDriver(module, FuzzConfig(
+            pipeline="O2", mutator=MutatorConfig(max_mutations=1),
+            tv=RefinementConfig(max_inputs=8)))
+        assert driver.target_functions == ["first", "second"]
+        report = driver.run(iterations=10)
+        assert report.findings == []

@@ -1,0 +1,163 @@
+"""Tests for the and/or-of-icmp InstCombine rules, with exhaustive
+semantic cross-checks at i8."""
+
+import pytest
+
+from repro.ir import ConstantInt, ICmpInst, parse_module
+
+from helpers import assert_sound, optimize, parsed
+
+
+def combined(text: str):
+    module = parsed(text)
+    optimized, ctx = optimize(module, "instcombine")
+    assert_sound(module, "instcombine")
+    return optimized.definitions()[0], ctx
+
+
+class TestRangeMerging:
+    def test_and_ult_pair_takes_min(self):
+        fn, _ = combined("""
+define i1 @f(i8 %x) {
+  %a = icmp ult i8 %x, 30
+  %b = icmp ult i8 %x, 20
+  %r = and i1 %a, %b
+  ret i1 %r
+}
+""")
+        cmps = [i for i in fn.instructions() if isinstance(i, ICmpInst)]
+        assert len(cmps) == 1
+        assert cmps[0].rhs.value == 20
+
+    def test_or_ult_pair_takes_max(self):
+        fn, _ = combined("""
+define i1 @f(i8 %x) {
+  %a = icmp ult i8 %x, 30
+  %b = icmp ult i8 %x, 20
+  %r = or i1 %a, %b
+  ret i1 %r
+}
+""")
+        cmps = [i for i in fn.instructions() if isinstance(i, ICmpInst)]
+        assert len(cmps) == 1
+        assert cmps[0].rhs.value == 30
+
+    def test_and_ugt_pair_takes_max(self):
+        fn, _ = combined("""
+define i1 @f(i8 %x) {
+  %a = icmp ugt i8 %x, 30
+  %b = icmp ugt i8 %x, 20
+  %r = and i1 %a, %b
+  ret i1 %r
+}
+""")
+        cmps = [i for i in fn.instructions() if isinstance(i, ICmpInst)]
+        assert len(cmps) == 1
+        assert cmps[0].rhs.value == 30
+
+    def test_empty_intersection_is_false(self):
+        fn, _ = combined("""
+define i1 @f(i8 %x) {
+  %a = icmp ult i8 %x, 10
+  %b = icmp ugt i8 %x, 10
+  %r = and i1 %a, %b
+  ret i1 %r
+}
+""")
+        ret_value = fn.blocks[0].terminator().return_value
+        assert isinstance(ret_value, ConstantInt) and ret_value.value == 0
+
+    def test_nonempty_intersection_survives(self):
+        fn, _ = combined("""
+define i1 @f(i8 %x) {
+  %a = icmp ult i8 %x, 100
+  %b = icmp ugt i8 %x, 10
+  %r = and i1 %a, %b
+  ret i1 %r
+}
+""")
+        # The range (10, 100) is nonempty: the and must remain.
+        ands = [i for i in fn.instructions() if i.opcode == "and"]
+        assert ands
+
+    def test_full_union_is_true(self):
+        fn, _ = combined("""
+define i1 @f(i8 %x) {
+  %a = icmp ult i8 %x, 50
+  %b = icmp ugt i8 %x, 20
+  %r = or i1 %a, %b
+  ret i1 %r
+}
+""")
+        ret_value = fn.blocks[0].terminator().return_value
+        assert isinstance(ret_value, ConstantInt) and ret_value.value == 1
+
+    def test_mixed_operand_not_matched(self):
+        fn, _ = combined("""
+define i1 @f(i8 %x, i8 %y) {
+  %a = icmp ult i8 %x, 30
+  %b = icmp ult i8 %y, 20
+  %r = and i1 %a, %b
+  ret i1 %r
+}
+""")
+        cmps = [i for i in fn.instructions() if isinstance(i, ICmpInst)]
+        assert len(cmps) == 2
+
+
+class TestBitTests:
+    def test_ne_pow2_becomes_eq_zero(self):
+        fn, _ = combined("""
+define i1 @f(i8 %x) {
+  %m = and i8 %x, 8
+  %r = icmp ne i8 %m, 8
+  ret i1 %r
+}
+""")
+        cmps = [i for i in fn.instructions() if isinstance(i, ICmpInst)]
+        assert cmps[0].predicate == "eq"
+        assert cmps[0].rhs.value == 0
+
+    def test_eqzero_pair_merges_masks(self):
+        fn, _ = combined("""
+define i1 @f(i8 %x) {
+  %m1 = and i8 %x, 12
+  %c1 = icmp eq i8 %m1, 0
+  %m2 = and i8 %x, 3
+  %c2 = icmp eq i8 %m2, 0
+  %r = and i1 %c1, %c2
+  ret i1 %r
+}
+""")
+        ands = [i for i in fn.instructions() if i.opcode == "and"
+                and i.type.width == 8]
+        assert len(ands) == 1
+        assert ands[0].rhs.value == 15
+
+
+EXHAUSTIVE_TEMPLATE = """
+define i1 @f(i8 %x) {{
+  %a = icmp {p1} i8 %x, {c1}
+  %b = icmp {p2} i8 %x, {c2}
+  %r = {op} i1 %a, %b
+  ret i1 %r
+}}
+"""
+
+
+@pytest.mark.parametrize("op", ["and", "or"])
+@pytest.mark.parametrize("p1,p2", [("ult", "ult"), ("ugt", "ugt"),
+                                   ("ult", "ugt"), ("ugt", "ult")])
+@pytest.mark.parametrize("c1,c2", [(0, 0), (1, 254), (10, 10), (10, 9),
+                                   (20, 100), (255, 1)])
+def test_exhaustive_i8_semantics(op, p1, p2, c1, c2):
+    """Brute-force equivalence over all 256 inputs, before vs after."""
+    from repro.tv import Interpreter
+
+    text = EXHAUSTIVE_TEMPLATE.format(op=op, p1=p1, p2=p2, c1=c1, c2=c2)
+    module = parsed(text)
+    optimized, _ = optimize(module, "instcombine")
+    for x in range(256):
+        before = Interpreter(module).run(module.get_function("f"), [x])
+        after = Interpreter(optimized).run(optimized.get_function("f"), [x])
+        assert before == after, (op, p1, c1, p2, c2, x)

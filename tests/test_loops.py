@@ -1,0 +1,283 @@
+"""Tests for natural-loop analysis, LICM, and DSE."""
+
+import pytest
+
+from repro.analysis.loops import LoopInfo
+from repro.ir import parse_module
+
+from helpers import assert_sound, optimize, parsed
+
+SIMPLE_LOOP = """
+define i32 @f(i32 %n, i32 %k) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %invariant = mul i32 %k, 7
+  %next = add i32 %i, %invariant
+  br label %header
+exit:
+  ret i32 %i
+}
+"""
+
+NESTED_LOOPS = """
+define i32 @f(i32 %n) {
+entry:
+  br label %outer
+outer:
+  %i = phi i32 [ 0, %entry ], [ %i2, %outer_latch ]
+  br label %inner
+inner:
+  %j = phi i32 [ 0, %outer ], [ %j2, %inner ]
+  %j2 = add i32 %j, 1
+  %cj = icmp ult i32 %j2, %n
+  br i1 %cj, label %inner, label %outer_latch
+outer_latch:
+  %i2 = add i32 %i, 1
+  %ci = icmp ult i32 %i2, %n
+  br i1 %ci, label %outer, label %exit
+exit:
+  ret i32 %i
+}
+"""
+
+
+class TestLoopInfo:
+    def test_simple_loop_found(self):
+        fn = parsed(SIMPLE_LOOP).get_function("f")
+        info = LoopInfo(fn)
+        assert len(info) == 1
+        loop = info.loops[0]
+        assert loop.header.name == "header"
+        names = {b.name for b in loop.blocks}
+        assert names == {"header", "body"}
+        assert [b.name for b in loop.latches] == ["body"]
+
+    def test_preheader_detected(self):
+        fn = parsed(SIMPLE_LOOP).get_function("f")
+        loop = LoopInfo(fn).loops[0]
+        assert loop.preheader().name == "entry"
+
+    def test_exits(self):
+        fn = parsed(SIMPLE_LOOP).get_function("f")
+        loop = LoopInfo(fn).loops[0]
+        assert [b.name for b in loop.exits()] == ["exit"]
+
+    def test_nested_loops(self):
+        fn = parsed(NESTED_LOOPS).get_function("f")
+        info = LoopInfo(fn)
+        assert len(info) == 2
+        outer = [l for l in info if l.header.name == "outer"][0]
+        inner = [l for l in info if l.header.name == "inner"][0]
+        assert {b.name for b in inner.blocks} == {"inner"}
+        assert "inner" in {b.name for b in outer.blocks}
+
+    def test_innermost_lookup(self):
+        fn = parsed(NESTED_LOOPS).get_function("f")
+        info = LoopInfo(fn)
+        inner_block = fn.block_named("inner")
+        assert info.loop_for(inner_block).header.name == "inner"
+        latch = fn.block_named("outer_latch")
+        assert info.loop_for(latch).header.name == "outer"
+
+    def test_no_loops(self):
+        fn = parsed("""
+define i32 @f(i32 %x) {
+  ret i32 %x
+}
+""").get_function("f")
+        assert len(LoopInfo(fn)) == 0
+
+
+class TestLICM:
+    def test_hoists_invariant(self):
+        module = parsed(SIMPLE_LOOP)
+        optimized, ctx = optimize(module, "licm")
+        assert ctx.stats["licm.hoisted"] == 1
+        fn = optimized.get_function("f")
+        entry_ops = [i.opcode for i in fn.block_named("entry").instructions]
+        assert "mul" in entry_ops
+        assert_sound(module, "licm")
+
+    def test_does_not_hoist_division(self):
+        # udiv %k, %m may be UB (m == 0); the loop may never run, so the
+        # division must stay inside.
+        module = parsed("""
+define i32 @f(i32 %n, i32 %k, i32 %m) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %q = udiv i32 %k, %m
+  %next = add i32 %i, %q
+  br label %header
+exit:
+  ret i32 %i
+}
+""")
+        optimized, ctx = optimize(module, "licm")
+        assert ctx.stats.get("licm.hoisted", 0) == 0
+        fn = optimized.get_function("f")
+        assert any(i.opcode == "udiv"
+                   for i in fn.block_named("body").instructions)
+        assert_sound(module, "licm")
+
+    def test_does_not_hoist_loads(self):
+        module = parsed("""
+define i32 @f(i32 %n, ptr %p) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %v = load i32, ptr %p
+  %next = add i32 %i, %v
+  br label %header
+exit:
+  ret i32 %i
+}
+""")
+        optimized, ctx = optimize(module, "licm")
+        assert ctx.stats.get("licm.hoisted", 0) == 0
+        assert_sound(module, "licm")
+
+    def test_hoists_chains(self):
+        # Two dependent invariants both leave the loop.
+        module = parsed("""
+define i32 @f(i32 %n, i32 %k) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %a = mul i32 %k, 7
+  %b = xor i32 %a, 3
+  %next = add i32 %i, %b
+  br label %header
+exit:
+  ret i32 %i
+}
+""")
+        optimized, ctx = optimize(module, "licm")
+        assert ctx.stats["licm.hoisted"] == 2
+        assert_sound(module, "licm")
+
+    def test_flagged_arithmetic_hoistable(self):
+        # Speculating poison is fine; its uses stay in the loop.
+        module = parsed("""
+define i32 @f(i32 %n, i32 %k) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %a = add nsw i32 %k, 1
+  %next = add i32 %i, %a
+  br label %header
+exit:
+  ret i32 %i
+}
+""")
+        optimized, ctx = optimize(module, "licm")
+        assert ctx.stats["licm.hoisted"] == 1
+        assert_sound(module, "licm")
+
+    def test_full_o2_on_loops_sound(self):
+        assert_sound(parsed(SIMPLE_LOOP), "O2")
+        assert_sound(parsed(NESTED_LOOPS), "O2")
+
+
+class TestDSE:
+    def test_kills_overwritten_store(self):
+        module = parsed("""
+define void @f(ptr %p, i32 %a, i32 %b) {
+  store i32 %a, ptr %p
+  store i32 %b, ptr %p
+  ret void
+}
+""")
+        optimized, ctx = optimize(module, "dse")
+        assert ctx.stats["dse.removed"] == 1
+        fn = optimized.get_function("f")
+        stores = [i for i in fn.instructions() if i.opcode == "store"]
+        assert len(stores) == 1
+        assert_sound(module, "dse")
+
+    def test_intervening_load_keeps_store(self):
+        module = parsed("""
+define i32 @f(ptr %p, i32 %a, i32 %b) {
+  store i32 %a, ptr %p
+  %v = load i32, ptr %p
+  store i32 %b, ptr %p
+  ret i32 %v
+}
+""")
+        optimized, ctx = optimize(module, "dse")
+        assert ctx.stats.get("dse.removed", 0) == 0
+        assert_sound(module, "dse")
+
+    def test_intervening_call_keeps_store(self):
+        module = parsed("""
+declare void @observer(ptr)
+
+define void @f(ptr %p, i32 %a, i32 %b) {
+  store i32 %a, ptr %p
+  call void @observer(ptr %p)
+  store i32 %b, ptr %p
+  ret void
+}
+""")
+        optimized, ctx = optimize(module, "dse")
+        assert ctx.stats.get("dse.removed", 0) == 0
+        assert_sound(module, "dse", function="f")
+
+    def test_different_pointers_untouched(self):
+        module = parsed("""
+define void @f(ptr %p, ptr %q, i32 %a) {
+  store i32 %a, ptr %p
+  store i32 %a, ptr %q
+  ret void
+}
+""")
+        optimized, ctx = optimize(module, "dse")
+        assert ctx.stats.get("dse.removed", 0) == 0
+        assert_sound(module, "dse")
+
+    def test_type_size_mismatch_kept(self):
+        # A narrow store does not fully cover the wide one.
+        module = parsed("""
+define void @f(ptr %p, i32 %a, i8 %b) {
+  store i32 %a, ptr %p
+  store i8 %b, ptr %p
+  ret void
+}
+""")
+        optimized, ctx = optimize(module, "dse")
+        assert ctx.stats.get("dse.removed", 0) == 0
+        assert_sound(module, "dse")
+
+    def test_store_chain_collapses(self):
+        module = parsed("""
+define void @f(ptr %p) {
+  store i8 1, ptr %p
+  store i8 2, ptr %p
+  store i8 3, ptr %p
+  ret void
+}
+""")
+        optimized, ctx = optimize(module, "dse")
+        assert ctx.stats["dse.removed"] == 2
+        assert_sound(module, "dse")

@@ -1,0 +1,112 @@
+"""Unit tests for the PatternMatch-style matcher library."""
+
+from repro.ir import (Argument, BinaryOperator, ConstantInt, I8, I32,
+                      ICmpInst, PoisonValue, SelectInst, UndefValue)
+from repro.opt.matchers import (Capture, ConstCapture, is_one_use, m_add,
+                                m_all_ones, m_and, m_any, m_c_binop,
+                                m_constant_int, m_icmp, m_neg, m_not, m_one,
+                                m_power_of_two, m_select, m_specific,
+                                m_specific_int, m_undef, m_zero, m_poison)
+
+
+def arg(name="x", t=I32):
+    return Argument(t, name)
+
+
+class TestLeafMatchers:
+    def test_m_any_and_capture(self):
+        value = arg()
+        slot = Capture()
+        assert m_any(slot)(value)
+        assert slot.value is value
+        assert m_any()(value)
+
+    def test_m_specific(self):
+        value = arg()
+        assert m_specific(value)(value)
+        assert not m_specific(value)(arg("y"))
+
+    def test_const_capture(self):
+        slot = ConstCapture()
+        constant = ConstantInt(I8, 250)
+        assert m_constant_int(slot)(constant)
+        assert slot.value == 250
+        assert slot.signed == -6
+        assert slot.width == 8
+        assert not m_constant_int()(arg())
+
+    def test_specific_ints(self):
+        assert m_specific_int(5)(ConstantInt(I32, 5))
+        assert not m_specific_int(5)(ConstantInt(I32, 6))
+        assert m_specific_int(-1)(ConstantInt(I8, 255))
+        assert m_zero()(ConstantInt(I32, 0))
+        assert m_one()(ConstantInt(I32, 1))
+        assert m_all_ones()(ConstantInt(I8, 255))
+
+    def test_power_of_two(self):
+        slot = ConstCapture()
+        assert m_power_of_two(slot)(ConstantInt(I32, 64))
+        assert slot.value == 64
+        assert not m_power_of_two()(ConstantInt(I32, 0))
+        assert not m_power_of_two()(ConstantInt(I32, 12))
+
+    def test_undef_poison(self):
+        assert m_undef()(UndefValue(I32))
+        assert not m_undef()(PoisonValue(I32))
+        assert m_poison()(PoisonValue(I32))
+
+
+class TestCompositeMatchers:
+    def test_binop_shapes(self):
+        x, y = arg(), arg("y")
+        add = BinaryOperator("add", x, y)
+        assert m_add(m_specific(x), m_specific(y))(add)
+        assert not m_add(m_specific(y), m_specific(x))(add)
+        assert not m_and(m_any(), m_any())(add)
+
+    def test_commutative_match(self):
+        x = arg()
+        add = BinaryOperator("add", ConstantInt(I32, 3), x)
+        assert m_c_binop("add", m_specific(x), m_specific_int(3))(add)
+
+    def test_m_not(self):
+        x = arg()
+        inverted = BinaryOperator("xor", x, ConstantInt(I32, -1))
+        slot = Capture()
+        assert m_not(m_any(slot))(inverted)
+        assert slot.value is x
+        flipped = BinaryOperator("xor", ConstantInt(I32, -1), x)
+        assert m_not(m_specific(x))(flipped)
+        plain = BinaryOperator("xor", x, ConstantInt(I32, 1))
+        assert not m_not(m_any())(plain)
+
+    def test_m_neg(self):
+        x = arg()
+        negated = BinaryOperator("sub", ConstantInt(I32, 0), x)
+        assert m_neg(m_specific(x))(negated)
+        assert not m_neg(m_any())(BinaryOperator("sub", x, x))
+
+    def test_icmp_matcher(self):
+        x = arg()
+        compare = ICmpInst("ult", x, ConstantInt(I32, 7))
+        assert m_icmp("ult", m_specific(x), m_specific_int(7))(compare)
+        assert m_icmp(None, m_any(), m_any())(compare)
+        assert not m_icmp("eq", m_any(), m_any())(compare)
+
+    def test_select_matcher(self):
+        from repro.ir import I1
+
+        c = arg("c", I1)
+        x, y = arg(), arg("y")
+        select = SelectInst(c, x, y)
+        assert m_select(m_specific(c), m_specific(x), m_specific(y))(select)
+        assert not m_select(m_any(), m_specific(y), m_any())(select)
+
+    def test_is_one_use(self):
+        x = arg()
+        single = BinaryOperator("add", x, x)
+        BinaryOperator("mul", single, single)
+        assert not is_one_use(single)   # two uses by the mul
+        fresh = BinaryOperator("add", x, x)
+        BinaryOperator("mul", fresh, x)
+        assert is_one_use(fresh)

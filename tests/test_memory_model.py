@@ -1,0 +1,91 @@
+"""Tests for the byte-granular memory model."""
+
+import pytest
+
+from repro.tv.domain import POISON, Pointer
+from repro.tv.memory import (Memory, MemoryFault, UNDEF_BYTE,
+                             byte_size_of_width, bytes_to_int, int_to_bytes)
+
+
+class TestByteCodecs:
+    def test_little_endian(self):
+        assert int_to_bytes(0x1234, 2) == [0x34, 0x12]
+        assert bytes_to_int([0x34, 0x12]) == 0x1234
+
+    def test_round_trip(self):
+        for value in (0, 1, 0xFF, 0xDEADBEEF):
+            size = max(1, (value.bit_length() + 7) // 8)
+            assert bytes_to_int(int_to_bytes(value, size)) == value
+
+    def test_width_to_bytes(self):
+        assert byte_size_of_width(1) == 1
+        assert byte_size_of_width(8) == 1
+        assert byte_size_of_width(9) == 2
+        assert byte_size_of_width(26) == 4
+        assert byte_size_of_width(64) == 8
+
+
+class TestMemory:
+    def test_block_lifecycle(self):
+        memory = Memory()
+        pointer = memory.add_block("b", 4, [1, 2, 3, 4])
+        assert memory.has_block("b")
+        assert memory.block_size("b") == 4
+        assert memory.load_bytes(pointer, 4) == [1, 2, 3, 4]
+
+    def test_uninitialized_is_undef(self):
+        memory = Memory()
+        pointer = memory.add_block("b", 2)
+        assert memory.load_bytes(pointer, 2) == [UNDEF_BYTE, UNDEF_BYTE]
+
+    def test_store_and_offsets(self):
+        memory = Memory()
+        memory.add_block("b", 4, [0, 0, 0, 0])
+        memory.store_bytes(Pointer("b", 1), [7, 8])
+        assert memory.load_bytes(Pointer("b", 0), 4) == [0, 7, 8, 0]
+
+    def test_poison_bytes(self):
+        memory = Memory()
+        memory.add_block("b", 2, [0, 0])
+        memory.store_bytes(Pointer("b", 0), [POISON, 5])
+        loaded = memory.load_bytes(Pointer("b", 0), 2)
+        assert loaded[0] is POISON and loaded[1] == 5
+
+    def test_null_access_faults(self):
+        memory = Memory()
+        with pytest.raises(MemoryFault):
+            memory.load_bytes(Pointer("null", 0), 1)
+
+    def test_oob_faults(self):
+        memory = Memory()
+        memory.add_block("b", 2)
+        with pytest.raises(MemoryFault):
+            memory.load_bytes(Pointer("b", 1), 2)
+        with pytest.raises(MemoryFault):
+            memory.load_bytes(Pointer("b", -1), 1)
+
+    def test_dead_block_faults(self):
+        memory = Memory()
+        with pytest.raises(MemoryFault):
+            memory.store_bytes(Pointer("ghost", 0), [1])
+
+    def test_duplicate_block_rejected(self):
+        memory = Memory()
+        memory.add_block("b", 1)
+        with pytest.raises(ValueError):
+            memory.add_block("b", 1)
+
+    def test_snapshot_is_immutable_copy(self):
+        memory = Memory()
+        memory.add_block("b", 2, [1, 2])
+        snapshot = memory.snapshot(["b", "missing"])
+        memory.store_bytes(Pointer("b", 0), [9, 9])
+        assert snapshot == {"b": (1, 2)}
+
+    def test_fill(self):
+        memory = Memory()
+        memory.add_block("b", 3)
+        memory.fill("b", [4, 5, 6])
+        assert memory.observable_digest("b") == (4, 5, 6)
+        with pytest.raises(ValueError):
+            memory.fill("b", [1])

@@ -1,0 +1,95 @@
+"""Tests for deep module cloning — the heart of the per-mutant copy."""
+
+from repro.ir import (BasicBlock, CallInst, Instruction, PhiNode,
+                      parse_module, print_module, verify_module)
+
+from helpers import parsed
+
+COMPLEX = """
+declare void @clobber(ptr)
+
+define void @helper(ptr %ptr) {
+  store i32 1, ptr %ptr
+  ret void
+}
+
+define i32 @f(i1 %c, i32 %n, ptr %p) {
+entry:
+  call void @helper(ptr %p)
+  br i1 %c, label %loop, label %exit
+
+loop:
+  %i = phi i32 [ 0, %entry ], [ %next, %loop ]
+  %next = add nuw i32 %i, 1
+  call void @clobber(ptr %p)
+  %done = icmp uge i32 %next, %n
+  br i1 %done, label %exit, label %loop
+
+exit:
+  %r = phi i32 [ 0, %entry ], [ %next, %loop ]
+  ret i32 %r
+}
+"""
+
+
+class TestClone:
+    def test_clone_verifies_and_prints_identically(self):
+        module = parsed(COMPLEX)
+        clone = module.clone()
+        verify_module(clone)
+        assert print_module(clone) == print_module(module)
+
+    def test_clone_is_fully_detached(self):
+        module = parsed(COMPLEX)
+        clone = module.clone()
+        original_ids = {id(i) for f in module.definitions()
+                        for i in f.instructions()}
+        for fn in clone.definitions():
+            for inst in fn.instructions():
+                assert id(inst) not in original_ids
+                for operand in inst.operands:
+                    if isinstance(operand, (Instruction, BasicBlock)):
+                        assert id(operand) not in original_ids
+
+    def test_mutating_clone_leaves_original_alone(self):
+        module = parsed(COMPLEX)
+        before = print_module(module)
+        clone = module.clone()
+        fn = clone.get_function("f")
+        for inst in list(fn.instructions()):
+            if inst.opcode == "add":
+                inst.nuw = False
+        assert print_module(module) == before
+
+    def test_calls_remap_to_cloned_callees(self):
+        module = parsed(COMPLEX)
+        clone = module.clone()
+        fn = clone.get_function("f")
+        calls = [i for i in fn.instructions() if isinstance(i, CallInst)]
+        helper_call = [c for c in calls if c.callee.name == "helper"][0]
+        assert helper_call.callee is clone.get_function("helper")
+        assert helper_call.callee is not module.get_function("helper")
+
+    def test_phi_forward_references_remap(self):
+        module = parsed(COMPLEX)
+        clone = module.clone()
+        fn = clone.get_function("f")
+        loop = fn.block_named("loop")
+        phi = loop.instructions[0]
+        assert isinstance(phi, PhiNode)
+        incoming_next = phi.incoming_value_for(loop)
+        assert incoming_next is loop.instructions[1]
+
+    def test_attributes_copied_not_shared(self):
+        from repro.ir import Attribute
+
+        module = parsed(COMPLEX)
+        clone = module.clone()
+        clone.get_function("f").attributes.add(Attribute("nofree"))
+        assert not module.get_function("f").attributes.has("nofree")
+
+    def test_clone_of_clone(self):
+        module = parsed(COMPLEX)
+        second = module.clone().clone()
+        verify_module(second)
+        assert print_module(second) == print_module(module)

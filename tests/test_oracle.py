@@ -1,0 +1,78 @@
+"""Tests for the nondeterminism oracle and decision-tree enumeration."""
+
+from repro.tv.oracle import (DeterministicOracle, PathOracle, advance_path,
+                             enumerate_paths)
+
+
+class TestPathOracle:
+    def test_default_path_is_zeros(self):
+        oracle = PathOracle([])
+        assert oracle.choose("a", [10, 20, 30]) == 10
+        assert oracle.choose("b", [1, 2]) == 1
+        assert oracle.taken == [0, 0]
+        assert oracle.domain_sizes == [3, 2]
+
+    def test_replay(self):
+        oracle = PathOracle([2, 1])
+        assert oracle.choose("a", [10, 20, 30]) == 30
+        assert oracle.choose("b", [1, 2]) == 2
+
+    def test_path_clamped_to_domain(self):
+        oracle = PathOracle([5])
+        assert oracle.choose("a", [1, 2]) == 2
+
+    def test_truncation_flag(self):
+        oracle = PathOracle([])
+        assert not oracle.domain_truncated
+        oracle.note_truncated_domain()
+        assert oracle.domain_truncated
+
+
+class TestAdvancePath:
+    def test_simple_increment(self):
+        assert advance_path([0, 0], [2, 2]) == [0, 1]
+        assert advance_path([0, 1], [2, 2]) == [1]
+        assert advance_path([1, 1], [2, 2]) is None
+
+    def test_mixed_domains(self):
+        assert advance_path([0, 2], [3, 3]) == [1]
+        assert advance_path([2, 2], [3, 3]) is None
+
+    def test_empty(self):
+        assert advance_path([], []) is None
+
+
+class TestEnumeratePaths:
+    def test_full_tree(self):
+        def run(oracle):
+            a = oracle.choose("a", [0, 1])
+            b = oracle.choose("b", [0, 1, 2])
+            return (a, b)
+
+        results = [r for r, _ in enumerate_paths(run, max_runs=100)]
+        assert len(results) == 6
+        assert set(results) == {(a, b) for a in range(2) for b in range(3)}
+
+    def test_budget_cuts_enumeration(self):
+        def run(oracle):
+            return oracle.choose("x", list(range(10)))
+
+        results = list(enumerate_paths(run, max_runs=3))
+        assert len(results) == 3
+        # The last yielded flag says whether the tree was exhausted.
+        assert results[-1][1] is False
+
+    def test_data_dependent_tree(self):
+        def run(oracle):
+            first = oracle.choose("a", [0, 1])
+            if first:
+                return (first, oracle.choose("b", [0, 1]))
+            return (first, None)
+
+        results = [r for r, _ in enumerate_paths(run, max_runs=100)]
+        assert set(results) == {(0, None), (1, 0), (1, 1)}
+
+    def test_deterministic_oracle(self):
+        oracle = DeterministicOracle()
+        assert oracle.choose("x", [7, 8]) == 7
+        assert oracle.choices_seen == 1

@@ -1,0 +1,547 @@
+"""Tests for the scalar optimization passes, each validated against the
+translation validator (the optimizer must never fail refinement)."""
+
+import pytest
+
+from repro.ir import (BinaryOperator, CallInst, parse_module, print_module,
+                      verify_module)
+from repro.opt import OptContext, PassManager, available_passes, create_pass
+from repro.opt.pipelines import available_pipelines, expand
+from repro.tv import Verdict
+
+from helpers import assert_sound, optimize, parsed, refine_after
+
+
+class TestPassManager:
+    def test_registry_has_all_passes(self):
+        expected = {"adce", "align-from-assumptions", "codegen", "constfold",
+                    "dce", "early-cse", "gvn", "instcombine", "instsimplify",
+                    "mem2reg", "reassociate", "simplifycfg"}
+        assert expected <= set(available_passes())
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(ValueError):
+            create_pass("loop-unswitch")
+
+    def test_pipeline_expansion(self):
+        assert expand("O0") == []
+        assert "instcombine" in expand("O2")
+        assert expand("dce,gvn") == ["dce", "gvn"]
+        assert expand("-O2") == expand("O2")
+        assert "codegen" in expand("O2+backend")
+
+    def test_pipelines_listed(self):
+        assert {"O0", "O1", "O2", "backend", "O2+backend"} <= \
+            set(available_pipelines())
+
+
+class TestDCE:
+    def test_removes_dead_chain(self):
+        module = parsed("""
+define i32 @f(i32 %x) {
+  %dead1 = add i32 %x, 1
+  %dead2 = mul i32 %dead1, 2
+  ret i32 %x
+}
+""")
+        optimized, ctx = optimize(module, "dce")
+        fn = optimized.get_function("f")
+        assert fn.num_instructions() == 1
+        assert ctx.stats["dce.removed"] == 2
+
+    def test_keeps_side_effects(self):
+        module = parsed("""
+declare void @effect(ptr)
+
+define void @f(ptr %p) {
+  call void @effect(ptr %p)
+  store i8 1, ptr %p
+  ret void
+}
+""")
+        optimized, _ = optimize(module, "dce")
+        assert optimized.get_function("f").num_instructions() == 3
+
+    def test_removes_unused_readnone_call(self):
+        module = parsed("""
+declare i32 @pure(i32) readnone
+
+define void @f(i32 %x) {
+  %unused = call i32 @pure(i32 %x)
+  ret void
+}
+""")
+        optimized, _ = optimize(module, "dce")
+        assert optimized.get_function("f").num_instructions() == 1
+
+    def test_sound(self):
+        assert_sound(parsed("""
+define i32 @f(i32 %x) {
+  %dead = udiv i32 1, %x
+  ret i32 %x
+}
+"""), "dce")
+
+
+class TestADCE:
+    def test_removes_dead_keeps_live(self):
+        module = parsed("""
+define i32 @f(i32 %x, ptr %p) {
+  %live = add i32 %x, 1
+  %dead = mul i32 %x, 3
+  store i32 %live, ptr %p
+  ret i32 %live
+}
+""")
+        optimized, _ = optimize(module, "adce")
+        names = [i.name for i in optimized.get_function("f").instructions()]
+        assert "dead" not in names
+        assert "live" in names
+
+
+class TestEarlyCSE:
+    def test_cses_identical_pure_ops(self):
+        module = parsed("""
+define i32 @f(i32 %x, i32 %y) {
+  %a = add i32 %x, %y
+  %b = add i32 %x, %y
+  %r = mul i32 %a, %b
+  ret i32 %r
+}
+""")
+        optimized, ctx = optimize(module, "early-cse")
+        assert ctx.stats["early-cse.cse"] == 1
+        assert_sound_text(module)
+
+    def test_commutative_operands_unify(self):
+        module = parsed("""
+define i32 @f(i32 %x, i32 %y) {
+  %a = add i32 %x, %y
+  %b = add i32 %y, %x
+  %r = sub i32 %a, %b
+  ret i32 %r
+}
+""")
+        optimized, ctx = optimize(module, "early-cse")
+        assert ctx.stats["early-cse.cse"] == 1
+
+    def test_flag_differing_duplicates_left_for_gvn(self):
+        module = parsed("""
+define i32 @f(i32 %x, i32 %y) {
+  %a = add nsw i32 %x, %y
+  %b = add i32 %x, %y
+  %r = sub i32 %a, %b
+  ret i32 %r
+}
+""")
+        optimized, ctx = optimize(module, "early-cse")
+        assert ctx.stats["early-cse.cse"] == 0
+
+    def test_load_forwarding_blocked_by_call(self):
+        module = parsed("""
+declare void @clobber(ptr)
+
+define i32 @f(ptr %p, ptr %q) {
+  %a = load i32, ptr %q
+  call void @clobber(ptr %p)
+  %b = load i32, ptr %q
+  %r = sub i32 %a, %b
+  ret i32 %r
+}
+""")
+        optimized, ctx = optimize(module, "early-cse")
+        assert ctx.stats["early-cse.load"] == 0
+        assert_sound(module, "early-cse", function="f")
+
+    def test_redundant_load_removed(self):
+        module = parsed("""
+define i32 @f(ptr %q) {
+  %a = load i32, ptr %q
+  %b = load i32, ptr %q
+  %r = sub i32 %a, %b
+  ret i32 %r
+}
+""")
+        optimized, ctx = optimize(module, "early-cse")
+        assert ctx.stats["early-cse.load"] == 1
+        assert_sound(module, "early-cse")
+
+    def test_store_to_load_forwarding(self):
+        module = parsed("""
+define i32 @f(ptr %q, i32 %v) {
+  store i32 %v, ptr %q
+  %a = load i32, ptr %q
+  ret i32 %a
+}
+""")
+        optimized, ctx = optimize(module, "early-cse")
+        assert ctx.stats["early-cse.load"] == 1
+        assert_sound(module, "early-cse")
+
+    def test_dominator_scoping(self):
+        # The CSE'd value in `left` must not leak into `right`.
+        module = parsed("""
+define i32 @f(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %left, label %right
+left:
+  %a = add i32 %x, 5
+  ret i32 %a
+right:
+  %b = add i32 %x, 5
+  ret i32 %b
+}
+""")
+        optimized, ctx = optimize(module, "early-cse")
+        assert ctx.stats["early-cse.cse"] == 0
+        assert_sound(module, "early-cse")
+
+    def test_entry_value_reused_in_dominated_block(self):
+        module = parsed("""
+define i32 @f(i1 %c, i32 %x) {
+entry:
+  %a = add i32 %x, 5
+  br i1 %c, label %left, label %right
+left:
+  %b = add i32 %x, 5
+  ret i32 %b
+right:
+  ret i32 %a
+}
+""")
+        optimized, ctx = optimize(module, "early-cse")
+        assert ctx.stats["early-cse.cse"] == 1
+        assert_sound(module, "early-cse")
+
+
+class TestGVN:
+    def test_flag_intersection_on_merge(self):
+        module = parsed("""
+define i32 @f(i32 %x, i32 %y, ptr %p) {
+  %a = add nsw i32 %x, %y
+  store i32 %a, ptr %p
+  %b = add i32 %x, %y
+  ret i32 %b
+}
+""")
+        optimized, ctx = optimize(module, "gvn")
+        assert ctx.stats["gvn.cse"] == 1
+        fn = optimized.get_function("f")
+        survivors = [i for i in fn.instructions()
+                     if isinstance(i, BinaryOperator)]
+        assert len(survivors) == 1
+        assert not survivors[0].nsw  # intersected away
+        assert_sound(module, "gvn")
+
+    def test_phi_dedup(self):
+        module = parsed("""
+define i32 @f(i1 %c, i32 %x, i32 %y) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p1 = phi i32 [ %x, %a ], [ %y, %b ]
+  %p2 = phi i32 [ %x, %a ], [ %y, %b ]
+  %r = add i32 %p1, %p2
+  ret i32 %r
+}
+""")
+        optimized, ctx = optimize(module, "gvn")
+        assert ctx.stats["gvn.phi"] == 1
+        assert_sound(module, "gvn")
+
+
+class TestSimplifyCFG:
+    def test_constant_branch_folded(self):
+        module = parsed("""
+define i32 @f() {
+entry:
+  br i1 true, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 2
+}
+""")
+        optimized, _ = optimize(module, "simplifycfg")
+        fn = optimized.get_function("f")
+        assert len(fn.blocks) == 1
+        assert_sound(module, "simplifycfg")
+
+    def test_same_target_branch(self):
+        module = parsed("""
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %next, label %next
+next:
+  ret i32 7
+}
+""")
+        optimized, _ = optimize(module, "simplifycfg")
+        assert len(optimized.get_function("f").blocks) == 1
+        assert_sound(module, "simplifycfg")
+
+    def test_straight_line_merge_resolves_phis(self):
+        module = parsed("""
+define i32 @f(i32 %x) {
+entry:
+  br label %next
+next:
+  %p = phi i32 [ %x, %entry ]
+  %r = add i32 %p, 1
+  ret i32 %r
+}
+""")
+        optimized, _ = optimize(module, "simplifycfg")
+        fn = optimized.get_function("f")
+        assert len(fn.blocks) == 1
+        assert_sound(module, "simplifycfg")
+
+    def test_unreachable_blocks_removed(self):
+        module = parsed("""
+define i32 @f() {
+entry:
+  ret i32 0
+dead:
+  %x = add i32 1, 2
+  br label %dead
+}
+""")
+        optimized, _ = optimize(module, "simplifycfg")
+        assert len(optimized.get_function("f").blocks) == 1
+
+    def test_constant_switch_folded(self):
+        module = parsed("""
+define i32 @f() {
+entry:
+  switch i8 1, label %d [ i8 0, label %a i8 1, label %b ]
+a:
+  ret i32 10
+b:
+  ret i32 11
+d:
+  ret i32 12
+}
+""")
+        optimized, _ = optimize(module, "simplifycfg")
+        assert len(optimized.get_function("f").blocks) == 1
+        assert_sound(module, "simplifycfg")
+
+    def test_phi_edges_updated_when_branch_folds(self):
+        module = parsed("""
+define i32 @f(i32 %x) {
+entry:
+  br i1 false, label %a, label %join
+a:
+  br label %join
+join:
+  %p = phi i32 [ 1, %entry ], [ 2, %a ]
+  ret i32 %p
+}
+""")
+        optimized, _ = optimize(module, "simplifycfg")
+        verify_module(optimized)
+        assert_sound(module, "simplifycfg")
+
+
+class TestMem2Reg:
+    def test_single_block_promotion(self):
+        module = parsed("""
+define i32 @f(i32 %x) {
+  %slot = alloca i32
+  store i32 %x, ptr %slot
+  %v = load i32, ptr %slot
+  %r = add i32 %v, 1
+  store i32 %r, ptr %slot
+  %out = load i32, ptr %slot
+  ret i32 %out
+}
+""")
+        optimized, ctx = optimize(module, "mem2reg")
+        fn = optimized.get_function("f")
+        assert not any(i.opcode == "alloca" for i in fn.instructions())
+        assert ctx.stats["mem2reg.single-block"] == 1
+        assert_sound(module, "mem2reg")
+
+    def test_single_store_cross_block(self):
+        module = parsed("""
+define i32 @f(i1 %c, i32 %x) {
+entry:
+  %slot = alloca i32
+  store i32 %x, ptr %slot
+  br i1 %c, label %a, label %b
+a:
+  %v1 = load i32, ptr %slot
+  ret i32 %v1
+b:
+  %v2 = load i32, ptr %slot
+  ret i32 %v2
+}
+""")
+        optimized, ctx = optimize(module, "mem2reg")
+        assert ctx.stats["mem2reg.single-store"] == 1
+        assert_sound(module, "mem2reg")
+
+    def test_escaping_alloca_not_promoted(self):
+        module = parsed("""
+declare void @escape(ptr)
+
+define i32 @f(i32 %x) {
+  %slot = alloca i32
+  store i32 %x, ptr %slot
+  call void @escape(ptr %slot)
+  %v = load i32, ptr %slot
+  ret i32 %v
+}
+""")
+        optimized, _ = optimize(module, "mem2reg")
+        fn = optimized.get_function("f")
+        assert any(i.opcode == "alloca" for i in fn.instructions())
+        assert_sound(module, "mem2reg", function="f")
+
+    def test_type_punned_not_promoted(self):
+        module = parsed("""
+define i8 @f(i32 %x) {
+  %slot = alloca i32
+  store i32 %x, ptr %slot
+  %v = load i8, ptr %slot
+  ret i8 %v
+}
+""")
+        optimized, _ = optimize(module, "mem2reg")
+        fn = optimized.get_function("f")
+        assert any(i.opcode == "alloca" for i in fn.instructions())
+
+
+class TestReassociate:
+    def test_constant_moves_right(self):
+        module = parsed("""
+define i32 @f(i32 %x) {
+  %r = add i32 7, %x
+  ret i32 %r
+}
+""")
+        optimized, ctx = optimize(module, "reassociate")
+        inst = optimized.get_function("f").blocks[0].instructions[0]
+        assert inst.rhs.value == 7
+        assert_sound(module, "reassociate")
+
+    def test_chained_constants_fold(self):
+        module = parsed("""
+define i32 @f(i32 %x) {
+  %a = add i32 %x, 10
+  %b = add i32 %a, 20
+  ret i32 %b
+}
+""")
+        optimized, ctx = optimize(module, "reassociate")
+        assert ctx.stats["reassociate.folded"] == 1
+        fn = optimized.get_function("f")
+        add = fn.blocks[0].instructions[-2]
+        assert add.rhs.value == 30
+        assert_sound(module, "reassociate")
+
+    def test_flags_dropped_on_regroup(self):
+        module = parsed("""
+define i8 @f(i8 %x) {
+  %a = add nsw i8 %x, 100
+  %b = add nsw i8 %a, 100
+  ret i8 %b
+}
+""")
+        optimized, _ = optimize(module, "reassociate")
+        add = optimized.get_function("f").blocks[0].instructions[-2]
+        assert not add.nsw
+        assert_sound(module, "reassociate")
+
+
+def assert_sound_text(module):
+    assert_sound(module, "early-cse")
+
+
+class TestSkipEmptyBlocks:
+    def test_forwarding_block_bypassed(self):
+        module = parsed("""
+define i32 @f(i1 %c, i32 %x, i32 %y) {
+entry:
+  br i1 %c, label %fwd, label %other
+fwd:
+  br label %join
+other:
+  br label %join
+join:
+  %p = phi i32 [ %x, %fwd ], [ %y, %other ]
+  ret i32 %p
+}
+""")
+        optimized, ctx = optimize(module, "simplifycfg")
+        verify_module(optimized)
+        fn = optimized.get_function("f")
+        assert fn.block_named("fwd") is None
+        assert_sound(module, "simplifycfg")
+
+    def test_duplicate_edge_hazard_skipped(self):
+        # pred already branches to succ directly on the other edge;
+        # retargeting would create conflicting phi entries.
+        module = parsed("""
+define i32 @f(i1 %c, i32 %x, i32 %y) {
+entry:
+  br i1 %c, label %fwd, label %join
+fwd:
+  br label %join
+join:
+  %p = phi i32 [ %x, %fwd ], [ %y, %entry ]
+  ret i32 %p
+}
+""")
+        optimized, _ = optimize(module, "simplifycfg")
+        verify_module(optimized)
+        assert_sound(module, "simplifycfg")
+
+    def test_loop_latch_forwarding(self):
+        module = parsed("""
+define i32 @f(i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %latch ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %next = add i32 %i, 1
+  br label %latch
+latch:
+  br label %header
+exit:
+  ret i32 %i
+}
+""")
+        optimized, _ = optimize(module, "simplifycfg")
+        verify_module(optimized)
+        assert_sound(module, "simplifycfg")
+
+    def test_o2_on_forwarding_chains_sound(self):
+        module = parsed("""
+define i32 @f(i1 %a, i1 %b, i32 %x) {
+entry:
+  br i1 %a, label %f1, label %f2
+f1:
+  br label %mid
+f2:
+  br label %mid
+mid:
+  %m = phi i32 [ 1, %f1 ], [ 2, %f2 ]
+  br i1 %b, label %f3, label %f4
+f3:
+  br label %join
+f4:
+  br label %join
+join:
+  %p = phi i32 [ %m, %f3 ], [ %x, %f4 ]
+  ret i32 %p
+}
+""")
+        assert_sound(module, "O2")

@@ -1,0 +1,120 @@
+"""Tests for the textual printer."""
+
+from repro.ir import parse_module, print_function, print_module
+
+from helpers import parsed, single_function
+
+
+class TestFormatting:
+    def test_paper_listing_shapes(self):
+        fn = single_function("""
+define i32 @test9(ptr %p, ptr %q) {
+  %a = load i32, ptr %q, align 4
+  %c = sub i32 %a, %a
+  ret i32 %c
+}
+""")
+        text = print_function(fn)
+        assert "%a = load i32, ptr %q, align 4" in text
+        assert "%c = sub i32 %a, %a" in text
+        assert "ret i32 %c" in text
+
+    def test_flags_printed(self):
+        fn = single_function("""
+define i8 @f(i8 %x) {
+  %a = add nuw nsw i8 %x, 1
+  %b = udiv exact i8 %a, 1
+  ret i8 %b
+}
+""")
+        text = print_function(fn)
+        assert "add nuw nsw i8" in text
+        assert "udiv exact i8" in text
+
+    def test_booleans_and_special_constants(self):
+        fn = single_function("""
+define i8 @f(ptr %p) {
+  %c = icmp eq ptr %p, null
+  %r = select i1 %c, i8 undef, i8 poison
+  %s = select i1 true, i8 %r, i8 0
+  ret i8 %s
+}
+""")
+        text = print_function(fn)
+        assert "null" in text and "undef" in text and "poison" in text
+        assert "select i1 true" in text
+
+    def test_negative_constants_signed(self):
+        fn = single_function("""
+define i8 @f(i8 %x) {
+  %r = add i8 %x, -16
+  ret i8 %r
+}
+""")
+        assert "-16" in print_function(fn)
+
+    def test_unnamed_values_numbered(self):
+        from repro.ir import BinaryOperator, ConstantInt, I32
+
+        fn = single_function("""
+define i32 @f(i32 %x) {
+  %named = add i32 %x, 1
+  ret i32 %named
+}
+""")
+        block = fn.blocks[0]
+        fresh = BinaryOperator("mul", fn.arguments[0], ConstantInt(I32, 2))
+        block.insert(1, fresh)
+        text = print_function(fn)
+        assert "%0 = mul" in text
+
+    def test_attributes_printed(self):
+        module = parsed("""
+define i32 @f(ptr nocapture dereferenceable(8) %p, i32 %x) nofree nounwind {
+  ret i32 %x
+}
+""")
+        text = print_module(module)
+        assert "dereferenceable(8)" in text
+        assert "nocapture" in text
+        assert "nofree" in text and "nounwind" in text
+
+    def test_bundles_printed(self):
+        module = parsed("""
+declare void @llvm.assume(i1)
+
+define void @f(ptr %p) {
+  call void @llvm.assume(i1 true) [ "align"(ptr %p, i64 32) ]
+  ret void
+}
+""")
+        text = print_module(module)
+        assert '[ "align"(ptr %p, i64 32) ]' in text
+
+    def test_declarations_first(self):
+        module = parsed("""
+define void @f() {
+  call void @later()
+  ret void
+}
+""")
+        text = print_module(module)
+        assert text.index("declare") < text.index("define")
+
+    def test_entry_label_only_when_referenced(self):
+        plain = single_function("""
+define i32 @f(i32 %x) {
+  ret i32 %x
+}
+""")
+        assert "entry:" not in print_function(plain)
+        looped = single_function("""
+define i32 @f(i32 %x) {
+entry:
+  br label %next
+next:
+  %p = phi i32 [ %x, %entry ]
+  ret i32 %p
+}
+""")
+        assert "entry:" in print_function(looped)

@@ -1,0 +1,48 @@
+"""Property: parse/print/bitcode round-trips over random optimized IR.
+
+Complements test_properties.py by round-tripping *optimizer output*
+(which exercises printer paths mutants alone may not hit: intrinsic
+declarations added by rules, promoted widths, expanded idioms).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.corpus import ARCHETYPES, generate_corpus
+from repro.ir import parse_module, print_module, verify_module
+from repro.ir.bitcode import read_bitcode, write_bitcode
+from repro.mutate import Mutator, MutatorConfig
+from repro.opt import OptContext, PassManager
+
+CORPUS = generate_corpus(len(ARCHETYPES), seed=808)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(file_index=st.integers(0, len(CORPUS) - 1),
+       seed=st.integers(0, 2**31),
+       pipeline=st.sampled_from(["O1", "O2", "backend"]))
+def test_optimized_mutants_round_trip_text(file_index, seed, pipeline):
+    name, text = CORPUS[file_index]
+    mutator = Mutator(parse_module(text, name), MutatorConfig())
+    mutant, _ = mutator.create_mutant(seed)
+    PassManager([pipeline], OptContext()).run(mutant)
+    verify_module(mutant)
+    printed = print_module(mutant)
+    reparsed = parse_module(printed)
+    verify_module(reparsed)
+    assert print_module(reparsed) == printed
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(file_index=st.integers(0, len(CORPUS) - 1),
+       seed=st.integers(0, 2**31))
+def test_optimized_mutants_round_trip_bitcode(file_index, seed):
+    name, text = CORPUS[file_index]
+    mutator = Mutator(parse_module(text, name), MutatorConfig())
+    mutant, _ = mutator.create_mutant(seed)
+    PassManager(["O2"], OptContext()).run(mutant)
+    decoded = read_bitcode(write_bitcode(mutant))
+    verify_module(decoded)
+    assert print_module(decoded) == print_module(mutant)

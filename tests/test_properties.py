@@ -1,0 +1,116 @@
+"""System-level property tests (hypothesis).
+
+These are the invariants the whole reproduction rests on:
+
+1. every mutant of every corpus shape is valid IR (paper §II's 100%);
+2. the (bug-free) optimizer is refinement-sound on arbitrary mutants —
+   differential testing of our own passes with our own validator;
+3. parse/print round-trips are lossless on mutants;
+4. the mutate→optimize→verify loop is deterministic end to end.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.corpus import ARCHETYPES, generate_corpus
+from repro.ir import (is_valid_module, parse_module, print_module,
+                      verify_module)
+from repro.mutate import Mutator, MutatorConfig
+from repro.opt import OptContext, PassManager
+from repro.tv import RefinementConfig, Verdict, check_refinement
+
+CORPUS = generate_corpus(len(ARCHETYPES), seed=2024)
+
+PIPELINES = ["O1", "O2", "backend", "O2+backend"]
+
+common_settings = settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@common_settings
+@given(file_index=st.integers(0, len(CORPUS) - 1),
+       seed=st.integers(0, 2**31))
+def test_mutants_always_valid(file_index, seed):
+    name, text = CORPUS[file_index]
+    mutator = Mutator(parse_module(text, name),
+                      MutatorConfig(max_mutations=4))
+    mutant, record = mutator.create_mutant(seed)
+    assert is_valid_module(mutant), record.describe()
+
+
+@common_settings
+@given(file_index=st.integers(0, len(CORPUS) - 1),
+       seed=st.integers(0, 2**31))
+def test_mutants_round_trip_through_text(file_index, seed):
+    name, text = CORPUS[file_index]
+    mutator = Mutator(parse_module(text, name))
+    mutant, _ = mutator.create_mutant(seed)
+    printed = print_module(mutant)
+    reparsed = parse_module(printed)
+    verify_module(reparsed)
+    assert print_module(reparsed) == printed
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(file_index=st.integers(0, len(CORPUS) - 1),
+       seed=st.integers(0, 2**31),
+       pipeline=st.sampled_from(PIPELINES))
+def test_optimizer_is_refinement_sound_on_mutants(file_index, seed, pipeline):
+    """Differential fuzzing of our own optimizer: with no seeded bugs
+    enabled, no mutant may be miscompiled."""
+    name, text = CORPUS[file_index]
+    module = parse_module(text, name)
+    mutator = Mutator(module, MutatorConfig(max_mutations=3))
+    mutant, record = mutator.create_mutant(seed)
+
+    optimized = mutant.clone()
+    PassManager([pipeline], OptContext()).run(optimized)
+    verify_module(optimized)
+
+    config = RefinementConfig(max_inputs=12, seed=seed & 0xFFFF)
+    for fn in mutant.definitions():
+        tgt = optimized.get_function(fn.name)
+        if tgt is None or tgt.is_declaration():
+            continue
+        result = check_refinement(fn, tgt, mutant, optimized, config)
+        assert result.verdict != Verdict.UNSOUND, (
+            f"{name} seed={seed} {pipeline} {record.describe()}: "
+            f"{result.counterexample}\n--- mutant ---\n{print_module(mutant)}"
+            f"\n--- optimized ---\n{print_module(optimized)}")
+
+
+@common_settings
+@given(file_index=st.integers(0, len(CORPUS) - 1),
+       seed=st.integers(0, 2**31))
+def test_end_to_end_determinism(file_index, seed):
+    from repro.fuzz import FuzzConfig, FuzzDriver
+    from repro.mutate import MutatorConfig as MC
+
+    name, text = CORPUS[file_index]
+
+    def one_run():
+        driver = FuzzDriver(parse_module(text, name),
+                            FuzzConfig(pipeline="O2",
+                                       mutator=MC(max_mutations=2),
+                                       tv=RefinementConfig(max_inputs=8),
+                                       base_seed=seed),
+                            file_name=name)
+        report = driver.run(iterations=3)
+        return [(f.kind, f.seed, f.function) for f in report.findings]
+
+    assert one_run() == one_run()
+
+
+def test_optimizer_idempotent_on_corpus():
+    """Running O2 twice must give the same result as running it once."""
+    for name, text in CORPUS[:10]:
+        module = parse_module(text, name)
+        once = module.clone()
+        PassManager(["O2"], OptContext()).run(once)
+        twice = once.clone()
+        PassManager(["O2"], OptContext()).run(twice)
+        assert print_module(once) == print_module(twice), name

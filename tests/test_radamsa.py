@@ -1,0 +1,66 @@
+"""Tests for the radamsa-style structure-blind mutator (paper §II)."""
+
+from repro.fuzz.radamsa import (BORING, INTERESTING, INVALID, ValidityStats,
+                                classify_mutant, radamsa_mutate,
+                                run_validity_study)
+from repro.fuzz.corpus import generate_corpus
+
+SAMPLE = """define i32 @f(i32 %x) {
+  %r = add i32 %x, 42
+  ret i32 %r
+}
+"""
+
+
+class TestMutator:
+    def test_deterministic(self):
+        assert radamsa_mutate(SAMPLE, 7) == radamsa_mutate(SAMPLE, 7)
+
+    def test_changes_text(self):
+        outputs = {radamsa_mutate(SAMPLE, seed) for seed in range(20)}
+        assert len(outputs) > 10
+
+    def test_round_count_respected(self):
+        single = radamsa_mutate(SAMPLE, 3, rounds=1)
+        assert isinstance(single, str)
+
+
+class TestClassifier:
+    def test_garbage_is_invalid(self):
+        assert classify_mutant(SAMPLE, "complete garbage !!!") == INVALID
+
+    def test_identical_is_boring(self):
+        assert classify_mutant(SAMPLE, SAMPLE) == BORING
+
+    def test_rename_is_boring(self):
+        renamed = SAMPLE.replace("%r", "%result").replace("%x", "%input")
+        assert classify_mutant(SAMPLE, renamed) == BORING
+
+    def test_changed_constant_is_interesting(self):
+        changed = SAMPLE.replace("42", "43")
+        assert classify_mutant(SAMPLE, changed) == INTERESTING
+
+    def test_changed_opcode_is_interesting(self):
+        changed = SAMPLE.replace("add", "sub")
+        assert classify_mutant(SAMPLE, changed) == INTERESTING
+
+    def test_broken_ssa_is_invalid(self):
+        broken = SAMPLE.replace("%r = add i32 %x, 42",
+                                "%r = add i32 %undefined, 42")
+        assert classify_mutant(SAMPLE, broken) == INVALID
+
+
+class TestStudy:
+    def test_stats_accumulate(self):
+        stats = ValidityStats(invalid=8, boring=1, interesting=1)
+        assert stats.total == 10
+        assert stats.rate("invalid") == 0.8
+
+    def test_study_reproduces_papers_finding(self):
+        """§II: 'the vast majority of mutated LLVM IR files were invalid'."""
+        corpus = generate_corpus(6, seed=0)
+        stats = run_validity_study(corpus, mutants_per_file=25, seed=0)
+        assert stats.total == 150
+        assert stats.rate("invalid") > 0.5
+        # Interesting mutants are the rare exception.
+        assert stats.rate("interesting") < 0.3

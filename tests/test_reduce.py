@@ -1,0 +1,199 @@
+"""Tests for the mutant reducer."""
+
+import pytest
+
+from repro.fuzz.reduce import ReductionResult, reduce_module
+from repro.ir import is_valid_module, parse_module, print_module
+from repro.opt import OptContext, OptimizerCrash, PassManager
+from repro.tv import RefinementConfig, Verdict, check_refinement
+
+from helpers import parsed
+
+
+class TestMechanics:
+    def test_uninteresting_input_rejected(self):
+        module = parsed("""
+define i32 @f(i32 %x) {
+  ret i32 %x
+}
+""")
+        with pytest.raises(ValueError):
+            reduce_module(module, lambda m: False)
+
+    def test_dead_code_removed_under_trivial_oracle(self):
+        module = parsed("""
+define i32 @f(i32 %x) {
+  %dead1 = add i32 %x, 1
+  %dead2 = mul i32 %dead1, 2
+  %live = xor i32 %x, 7
+  ret i32 %live
+}
+""")
+
+        def still_has_xor(candidate):
+            fn = candidate.get_function("f")
+            return fn is not None and any(
+                i.opcode == "xor" for i in fn.instructions())
+
+        result = reduce_module(module, still_has_xor)
+        assert result.reduced_instructions == 2
+        assert is_valid_module(result.module)
+        assert result.original_instructions == 4
+
+    def test_unused_helper_function_dropped(self):
+        module = parsed("""
+define void @unused(ptr %p) {
+  store i8 1, ptr %p
+  ret void
+}
+
+define i8 @f(i8 %x) {
+  %r = add i8 %x, 1
+  ret i8 %r
+}
+""")
+
+        def f_has_add(candidate):
+            fn = candidate.get_function("f")
+            return fn is not None and any(
+                i.opcode == "add" for i in fn.instructions())
+
+        result = reduce_module(module, f_has_add)
+        assert result.module.get_function("unused") is None
+
+    def test_called_function_kept(self):
+        module = parsed("""
+define void @helper(ptr %p) {
+  store i8 1, ptr %p
+  ret void
+}
+
+define void @f(ptr %p) {
+  call void @helper(ptr %p)
+  ret void
+}
+""")
+
+        def has_call(candidate):
+            fn = candidate.get_function("f")
+            return fn is not None and any(
+                i.opcode == "call" for i in fn.instructions())
+
+        result = reduce_module(module, has_call)
+        assert result.module.get_function("helper") is not None
+
+    def test_branch_folding(self):
+        module = parsed("""
+define i8 @f(i1 %c, i8 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %r1 = add i8 %x, 1
+  ret i8 %r1
+b:
+  %r2 = add i8 %x, 2
+  ret i8 %r2
+}
+""")
+
+        def has_plus_one(candidate):
+            fn = candidate.get_function("f")
+            return fn is not None and any(
+                i.opcode == "add" and getattr(i.rhs, "value", 0) == 1
+                for i in fn.instructions())
+
+        result = reduce_module(module, has_plus_one)
+        fn = result.module.get_function("f")
+        # The %b side is irrelevant and should be folded away.
+        assert all(getattr(i.rhs, "value", 1) != 2
+                   for i in fn.instructions() if i.opcode == "add")
+
+    def test_attributes_stripped(self):
+        module = parsed("""
+define i8 @f(i8 noundef %x) nofree nounwind {
+  %r = add i8 %x, 1
+  ret i8 %r
+}
+""")
+
+        def has_add(candidate):
+            fn = candidate.get_function("f")
+            return fn is not None and any(
+                i.opcode == "add" for i in fn.instructions())
+
+        result = reduce_module(module, has_add)
+        fn = result.module.get_function("f")
+        assert not fn.attributes
+        assert not fn.arguments[0].attributes
+
+    def test_result_summary(self):
+        module = parsed("""
+define i8 @f(i8 %x) {
+  %dead = add i8 %x, 1
+  ret i8 %x
+}
+""")
+        result = reduce_module(module, lambda m: True)
+        assert "reduced" in result.summary()
+
+
+class TestRealisticReduction:
+    def test_reduces_crash_reproducer(self):
+        """Shrink a module that crashes the optimizer (seeded 56968)."""
+        module = parsed("""
+define i8 @f(i8 %x, i8 %y) {
+  %noise1 = mul i8 %x, %y
+  %noise2 = xor i8 %noise1, 5
+  %crashy = shl i8 %y, 9
+  %noise3 = and i8 %noise2, %crashy
+  ret i8 %noise3
+}
+""")
+
+        def crashes(candidate):
+            ctx = OptContext({"56968"})
+            try:
+                PassManager(["instsimplify"], ctx).run(candidate.clone())
+            except OptimizerCrash:
+                return True
+            return False
+
+        result = reduce_module(module, crashes)
+        assert crashes(result.module)
+        # Everything except the crashing shift (and the ret) can go.
+        assert result.reduced_instructions <= 3, \
+            print_module(result.module)
+
+    def test_reduces_miscompilation_reproducer(self):
+        """Shrink a module miscompiled by the seeded clamp bug (53252)."""
+        module = parsed("""
+define i32 @f(i32 %x, i32 %y) {
+  %noise = add i32 %y, 3
+  %c = icmp ult i32 %x, 100
+  %r = select i1 %c, i32 %x, i32 100
+  %mix = xor i32 %r, %noise
+  %out = xor i32 %mix, %noise
+  ret i32 %out
+}
+""")
+
+        def miscompiled(candidate):
+            optimized = candidate.clone()
+            ctx = OptContext({"53252"})
+            try:
+                PassManager(["instcombine"], ctx).run(optimized)
+            except OptimizerCrash:
+                return False
+            source = candidate.get_function("f")
+            target = optimized.get_function("f")
+            if source is None or target is None:
+                return False
+            result = check_refinement(source, target, candidate, optimized,
+                                      RefinementConfig(max_inputs=16))
+            return result.verdict == Verdict.UNSOUND
+
+        result = reduce_module(module, miscompiled)
+        assert miscompiled(result.module)
+        assert result.reduced_instructions < result.original_instructions
+        assert result.reduced_instructions <= 4, \
+            print_module(result.module)

@@ -1,0 +1,94 @@
+"""End-to-end tests for the alive-reduce command-line tool."""
+
+import pytest
+
+from repro.cli import reduce_tool
+from repro.ir import is_valid_module, parse_module
+
+CRASHING = """define i8 @f(i8 %x, i8 %y) {
+  %noise = mul i8 %x, %y
+  %crashy = shl i8 %y, 9
+  %mix = and i8 %noise, %crashy
+  ret i8 %mix
+}
+"""
+
+MISCOMPILED = """define i32 @f(i32 %x, i32 %y) {
+  %noise = add i32 %y, 3
+  %c = icmp ult i32 %x, 100
+  %r = select i1 %c, i32 %x, i32 100
+  %mix = xor i32 %r, %noise
+  %out = xor i32 %mix, %noise
+  ret i32 %out
+}
+"""
+
+CLEAN = """define i8 @f(i8 %x) {
+  ret i8 %x
+}
+"""
+
+
+class TestCrashMode:
+    def test_reduces_crash_reproducer(self, tmp_path, capsys):
+        source = tmp_path / "crash.ll"
+        source.write_text(CRASHING)
+        output = tmp_path / "reduced.ll"
+        code = reduce_tool.main([
+            str(source), "-o", str(output), "-p", "instsimplify",
+            "--enable-bug", "56968", "--expect", "crash", "-q"])
+        assert code == 0
+        reduced = parse_module(output.read_text())
+        assert is_valid_module(reduced)
+        fn = reduced.get_function("f")
+        assert fn.num_instructions() <= 3
+        assert any(i.opcode == "shl" for i in fn.instructions())
+
+    def test_rejects_non_reproducer(self, tmp_path):
+        source = tmp_path / "clean.ll"
+        source.write_text(CLEAN)
+        code = reduce_tool.main([
+            str(source), "-p", "instsimplify",
+            "--enable-bug", "56968", "--expect", "crash", "-q"])
+        assert code == 2
+
+
+class TestMiscompilationMode:
+    def test_reduces_miscompilation(self, tmp_path, capsys):
+        source = tmp_path / "bad.ll"
+        source.write_text(MISCOMPILED)
+        output = tmp_path / "reduced.ll"
+        code = reduce_tool.main([
+            str(source), "-o", str(output), "-p", "instcombine",
+            "--enable-bug", "53252", "--max-inputs", "16", "-q"])
+        assert code == 0
+        reduced = parse_module(output.read_text())
+        fn = reduced.get_function("f")
+        assert fn.num_instructions() < 6
+
+    def test_stdout_output(self, tmp_path, capsys):
+        source = tmp_path / "bad.ll"
+        source.write_text(MISCOMPILED)
+        code = reduce_tool.main([
+            str(source), "-p", "instcombine",
+            "--enable-bug", "53252", "--max-inputs", "16", "-q"])
+        assert code == 0
+        assert "define" in capsys.readouterr().out
+
+    def test_bad_input_file(self):
+        assert reduce_tool.main(["/nonexistent.ll"]) == 2
+
+
+class TestOptStatsFlag:
+    def test_stats_printed(self, tmp_path, capsys):
+        from repro.cli import opt_tool
+
+        source = tmp_path / "in.ll"
+        source.write_text("""define i8 @f(i8 %x) {
+  %dead = add i8 %x, 1
+  ret i8 %x
+}
+""")
+        assert opt_tool.main([str(source), "-p", "dce", "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "dce.removed" in err

@@ -1,0 +1,81 @@
+"""Unit tests for the seeded RNG wrapper and the optimization context."""
+
+import pytest
+
+from repro.mutate.rng import MutationRNG
+from repro.opt import OptContext, OptimizerCrash
+
+
+class TestMutationRNG:
+    def test_determinism(self):
+        a = MutationRNG(42)
+        b = MutationRNG(42)
+        assert [a.randint(0, 100) for _ in range(10)] == \
+            [b.randint(0, 100) for _ in range(10)]
+
+    def test_seed_recorded(self):
+        assert MutationRNG(7).seed == 7
+
+    def test_spawn_derives_new_seed(self):
+        parent = MutationRNG(7)
+        child_a = parent.spawn(1)
+        child_b = parent.spawn(2)
+        assert child_a.seed != child_b.seed
+        assert MutationRNG(7).spawn(1).seed == child_a.seed
+
+    def test_choice_and_maybe_choice(self):
+        rng = MutationRNG(1)
+        assert rng.choice([5]) == 5
+        assert rng.maybe_choice([]) is None
+        assert rng.maybe_choice([9]) == 9
+
+    def test_shuffled_does_not_mutate_input(self):
+        rng = MutationRNG(3)
+        original = [1, 2, 3, 4, 5]
+        shuffled = rng.shuffled(original)
+        assert original == [1, 2, 3, 4, 5]
+        assert sorted(shuffled) == original
+
+    def test_sample_caps_at_population(self):
+        rng = MutationRNG(3)
+        assert sorted(rng.sample([1, 2], 10)) == [1, 2]
+
+    def test_getrandbits_zero(self):
+        assert MutationRNG(0).getrandbits(0) == 0
+
+    def test_random_int_value_in_range(self):
+        rng = MutationRNG(11)
+        for _ in range(100):
+            value = rng.random_int_value(8, pool=[300, 5])
+            assert 0 <= value <= 255
+
+    def test_chance_extremes(self):
+        rng = MutationRNG(2)
+        assert not rng.chance(0.0)
+        assert rng.chance(1.0)
+
+
+class TestOptContext:
+    def test_bug_gating(self):
+        ctx = OptContext(["53252"])
+        assert ctx.bug_enabled("53252")
+        assert not ctx.bug_enabled("50693")
+
+    def test_trigger_recording(self):
+        ctx = OptContext(["53252"])
+        ctx.note_bug_trigger("53252")
+        assert ctx.triggered_bugs == {"53252"}
+
+    def test_crash_records_and_raises(self):
+        ctx = OptContext(["56968"])
+        with pytest.raises(OptimizerCrash) as info:
+            ctx.crash("56968", "boom")
+        assert info.value.bug_id == "56968"
+        assert "56968" in str(info.value)
+        assert "56968" in ctx.triggered_bugs
+
+    def test_stats_counter(self):
+        ctx = OptContext()
+        ctx.count("x")
+        ctx.count("x", 2)
+        assert ctx.stats["x"] == 3

@@ -1,0 +1,150 @@
+"""Tests for the select/binop threading rules."""
+
+import pytest
+
+from repro.ir import BinaryOperator, ConstantInt, SelectInst
+
+from helpers import assert_sound, optimize, parsed
+
+
+def combined(text: str):
+    module = parsed(text)
+    optimized, ctx = optimize(module, "instcombine")
+    assert_sound(module, "instcombine")
+    return optimized.definitions()[0], ctx
+
+
+class TestBinopOfSelectConstants:
+    def test_folds_into_arms(self):
+        fn, _ = combined("""
+define i8 @f(i1 %c) {
+  %s = select i1 %c, i8 10, i8 20
+  %r = add i8 %s, 5
+  ret i8 %r
+}
+""")
+        selects = [i for i in fn.instructions() if isinstance(i, SelectInst)]
+        assert len(selects) == 1
+        assert selects[0].true_value.value == 15
+        assert selects[0].false_value.value == 25
+        assert not any(isinstance(i, BinaryOperator)
+                       for i in fn.instructions())
+
+    def test_division_by_zero_arm_not_folded(self):
+        fn, _ = combined("""
+define i8 @f(i1 %c, i8 %x) {
+  %s = select i1 %c, i8 0, i8 2
+  %r = udiv i8 100, %s
+  ret i8 %r
+}
+""")
+        # The select is udiv's RHS (not matched), and folding would hit a
+        # division by zero anyway: structure must survive.
+        assert any(i.opcode == "udiv" for i in fn.instructions())
+
+    def test_flagged_op_not_folded(self):
+        fn, _ = combined("""
+define i8 @f(i1 %c) {
+  %s = select i1 %c, i8 100, i8 20
+  %r = add nsw i8 %s, 50
+  ret i8 %r
+}
+""")
+        assert any(i.opcode == "add" for i in fn.instructions())
+
+
+class TestSelectEqConstArm:
+    def test_select_eq_collapses(self):
+        fn, _ = combined("""
+define i8 @f(i8 %x) {
+  %c = icmp eq i8 %x, 7
+  %r = select i1 %c, i8 7, i8 %x
+  ret i8 %r
+}
+""")
+        assert fn.blocks[0].terminator().return_value is fn.arguments[0]
+
+    def test_different_constant_untouched(self):
+        fn, _ = combined("""
+define i8 @f(i8 %x) {
+  %c = icmp eq i8 %x, 7
+  %r = select i1 %c, i8 8, i8 %x
+  ret i8 %r
+}
+""")
+        assert any(isinstance(i, SelectInst) for i in fn.instructions())
+
+
+class TestNegCanonicalization:
+    def test_sgt_minus_one_flips(self):
+        fn, _ = combined("""
+define i8 @f(i8 %x) {
+  %c = icmp sgt i8 %x, -1
+  %n = sub i8 0, %x
+  %r = select i1 %c, i8 %x, i8 %n
+  ret i8 %r
+}
+""")
+        compares = [i for i in fn.instructions()
+                    if i.opcode == "icmp"]
+        assert compares and compares[-1].predicate == "slt"
+
+
+class TestTwoSelects:
+    def test_same_condition_merges(self):
+        fn, _ = combined("""
+define i8 @f(i1 %c, i8 %x, i8 %y, i8 %a, i8 %b) {
+  %s1 = select i1 %c, i8 %x, i8 %y
+  %s2 = select i1 %c, i8 %a, i8 %b
+  %r = add i8 %s1, %s2
+  ret i8 %r
+}
+""")
+        selects = [i for i in fn.instructions() if isinstance(i, SelectInst)]
+        assert len(selects) == 1
+        adds = [i for i in fn.instructions() if i.opcode == "add"]
+        assert len(adds) == 2
+
+    def test_division_never_speculated(self):
+        fn, _ = combined("""
+define i8 @f(i1 %c, i8 %x, i8 %y, i8 %a, i8 %b) {
+  %s1 = select i1 %c, i8 %x, i8 %y
+  %s2 = select i1 %c, i8 %a, i8 %b
+  %r = udiv i8 %s1, %s2
+  ret i8 %r
+}
+""")
+        selects = [i for i in fn.instructions() if isinstance(i, SelectInst)]
+        assert len(selects) == 2
+
+    def test_different_conditions_untouched(self):
+        fn, _ = combined("""
+define i8 @f(i1 %c, i1 %d, i8 %x, i8 %y) {
+  %s1 = select i1 %c, i8 %x, i8 %y
+  %s2 = select i1 %d, i8 %x, i8 %y
+  %r = add i8 %s1, %s2
+  ret i8 %r
+}
+""")
+        selects = [i for i in fn.instructions() if isinstance(i, SelectInst)]
+        assert len(selects) == 2
+
+
+def test_exhaustive_semantics_at_i8():
+    """Brute-force the binop-select-consts rule over all inputs."""
+    from repro.tv import Interpreter
+
+    module = parsed("""
+define i8 @f(i1 %c, i8 %x) {
+  %s = select i1 %c, i8 3, i8 250
+  %r = xor i8 %s, %x
+  ret i8 %r
+}
+""")
+    optimized, _ = optimize(module, "instcombine")
+    for c in (0, 1):
+        for x in range(0, 256, 7):
+            before = Interpreter(module).run(module.get_function("f"), [c, x])
+            after = Interpreter(optimized).run(
+                optimized.get_function("f"), [c, x])
+            assert before == after

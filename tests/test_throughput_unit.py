@@ -1,0 +1,85 @@
+"""Unit tests for the throughput-experiment harness (report format,
+ratios, file discarding) without spawning the full subprocess workflow."""
+
+import pytest
+
+from repro.fuzz.throughput import (FileTiming, ThroughputConfig,
+                                   ThroughputReport)
+
+
+class TestFileTiming:
+    def test_perf_ratio(self):
+        timing = FileTiming("t.ll", alive_mutate_seconds=2.0,
+                            discrete_seconds=24.0)
+        assert timing.perf == 12.0
+
+    def test_zero_time_guard(self):
+        timing = FileTiming("t.ll", 0.0, 1.0)
+        assert timing.perf == float("inf")
+
+
+class TestReport:
+    def _report(self):
+        report = ThroughputReport()
+        report.timings.append(FileTiming("a.ll", 1.0, 12.0))
+        report.timings.append(FileTiming("b.ll", 2.0, 8.0))
+        report.timings.append(FileTiming("c.ll", 1.0, 786.0))
+        return report
+
+    def test_aggregates(self):
+        report = self._report()
+        assert report.average_perf == pytest.approx((12 + 4 + 786) / 3)
+        assert report.best_perf == 786.0
+        assert report.worst_perf == 4.0
+
+    def test_empty_report(self):
+        report = ThroughputReport()
+        assert report.average_perf == 0.0
+        assert report.best_perf == 0.0
+
+    def test_res_txt_matches_listing_20_format(self):
+        """The paper's Listing 20 fields, in order."""
+        report = self._report()
+        report.not_verified.append("bad.ll")
+        report.invalid.append("junk.ll")
+        text = report.render_res_txt()
+        lines = text.splitlines()
+        assert lines[0] == "Total: 3"
+        assert lines[1].startswith("Alive-mutate lst:[(")
+        assert lines[2].startswith("Discrete tools lst:[(")
+        assert lines[3].startswith("perf lst:[(")
+        assert lines[4].startswith("Avg perf:")
+        assert lines[5] == "Total not-verified:1"
+        assert lines[6] == "Not-verified files:['bad.ll']"
+        assert lines[7] == "Total invalid file:1"
+        assert lines[8] == "Invalid files:['junk.ll']"
+
+    def test_res_txt_pairs_time_with_name(self):
+        report = self._report()
+        text = report.render_res_txt()
+        assert "(1.0, 'a.ll')" in text
+        assert "(12.0, 'a.ll')" in text
+
+
+class TestExperimentDiscardsBadFiles:
+    def test_unparseable_file_listed_invalid(self):
+        from repro.fuzz.throughput import run_throughput_experiment
+
+        report = run_throughput_experiment(
+            [("junk.ll", "this is not IR")],
+            ThroughputConfig(count=1))
+        assert report.invalid == ["junk.ll"]
+        assert report.timings == []
+
+    def test_validator_rejected_file_discarded(self):
+        """A function the validator cannot handle is discarded, like the
+        paper's 6-of-200."""
+        from repro.fuzz.throughput import run_throughput_experiment
+
+        text = """define i128 @wide(i128 %x) {
+  ret i128 %x
+}
+"""
+        report = run_throughput_experiment(
+            [("wide.ll", text)], ThroughputConfig(count=1))
+        assert report.invalid == ["wide.ll"]

@@ -1,0 +1,223 @@
+"""Edge-case tests for the translation validator: pointers, external
+calls, assume bundles, and behavior-set enumeration."""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.tv import (Interpreter, Pointer, RefinementConfig, Verdict,
+                      behavior_set, check_refinement, generate_inputs)
+from repro.tv.refine import PointerInput
+from repro.tv.refine import TestInput as TVInput
+
+from helpers import parsed
+
+
+class TestPointerSemantics:
+    def test_pointer_equality_by_block_and_offset(self):
+        module = parsed("""
+define i1 @f(ptr %p) {
+  %g = getelementptr i8, ptr %p, i64 0
+  %r = icmp eq ptr %g, %p
+  ret i1 %r
+}
+""")
+        interp = Interpreter(module)
+        pointer = interp.memory.add_block("arg:p", 8)
+        assert interp.run(module.get_function("f"), [pointer]) == 1
+
+    def test_offset_pointers_not_equal(self):
+        module = parsed("""
+define i1 @f(ptr %p) {
+  %g = getelementptr i8, ptr %p, i64 1
+  %r = icmp eq ptr %g, %p
+  ret i1 %r
+}
+""")
+        interp = Interpreter(module)
+        pointer = interp.memory.add_block("arg:p", 8)
+        assert interp.run(module.get_function("f"), [pointer]) == 0
+
+    def test_null_comparison(self):
+        module = parsed("""
+define i1 @f(ptr %p) {
+  %r = icmp eq ptr %p, null
+  ret i1 %r
+}
+""")
+        interp = Interpreter(module)
+        pointer = interp.memory.add_block("arg:p", 8)
+        assert interp.run(module.get_function("f"), [pointer]) == 0
+
+    def test_pointer_ordering_is_consistent(self):
+        module = parsed("""
+define i1 @f(ptr %p, ptr %q) {
+  %a = icmp ult ptr %p, %q
+  %b = icmp ugt ptr %q, %p
+  %r = icmp eq i1 %a, %b
+  ret i1 %r
+}
+""")
+        interp = Interpreter(module)
+        p = interp.memory.add_block("arg:p", 8)
+        q = interp.memory.add_block("arg:q", 8)
+        assert interp.run(module.get_function("f"), [p, q]) == 1
+
+    def test_stored_pointer_round_trips(self):
+        module = parsed("""
+define i8 @f(ptr %p) {
+  %slot = alloca ptr
+  store ptr %p, ptr %slot
+  %loaded = load ptr, ptr %slot
+  %v = load i8, ptr %loaded
+  ret i8 %v
+}
+""")
+        interp = Interpreter(module)
+        pointer = interp.memory.add_block("arg:p", 4, [42, 0, 0, 0])
+        assert interp.run(module.get_function("f"), [pointer]) == 42
+
+
+class TestExternalCallModel:
+    def test_readonly_depends_on_memory(self):
+        module = parsed("""
+declare i32 @peek(ptr) readonly
+
+define i1 @f(ptr %p) {
+  %a = call i32 @peek(ptr %p)
+  store i8 77, ptr %p
+  %b = call i32 @peek(ptr %p)
+  %r = icmp eq i32 %a, %b
+  ret i1 %r
+}
+""")
+        interp = Interpreter(module)
+        pointer = interp.memory.add_block("arg:p", 4, [1, 2, 3, 4])
+        # The store changes the pointee, so the readonly function may
+        # (and in our model, does) return a different value.
+        assert interp.run(module.get_function("f"), [pointer]) == 0
+
+    def test_readnone_ignores_memory(self):
+        module = parsed("""
+declare i32 @pure(i32) readnone
+
+define i1 @f(i32 %x) {
+  %a = call i32 @pure(i32 %x)
+  %b = call i32 @pure(i32 %x)
+  %r = icmp eq i32 %a, %b
+  ret i1 %r
+}
+""")
+        interp = Interpreter(module)
+        assert interp.run(module.get_function("f"), [5]) == 1
+
+    def test_stateful_calls_differ_by_sequence(self):
+        module = parsed("""
+declare i32 @rand()
+
+define i1 @f() {
+  %a = call i32 @rand()
+  %b = call i32 @rand()
+  %r = icmp eq i32 %a, %b
+  ret i1 %r
+}
+""")
+        interp = Interpreter(module)
+        # Sequence-numbered: two calls give different values.
+        assert interp.run(module.get_function("f"), []) == 0
+
+
+class TestAssumeBundles:
+    def test_nonnull_bundle_ub_on_null(self):
+        from repro.tv import UBError
+
+        module = parsed("""
+declare void @llvm.assume(i1)
+
+define i8 @f(ptr %p) {
+  call void @llvm.assume(i1 true) [ "nonnull"(ptr %p) ]
+  ret i8 1
+}
+""")
+        interp = Interpreter(module)
+        from repro.tv import NULL_POINTER
+
+        with pytest.raises(UBError):
+            interp.run(module.get_function("f"), [NULL_POINTER])
+
+    def test_assume_constrains_validation_inputs(self):
+        # Replacing x with 5 under assume(x == 5) is sound; the validator
+        # must agree because violating inputs hit UB in the source.
+        src = parsed("""
+declare void @llvm.assume(i1)
+
+define i32 @f(i32 %x) {
+  %c = icmp eq i32 %x, 5
+  call void @llvm.assume(i1 %c)
+  ret i32 %x
+}
+""")
+        tgt = parsed("""
+declare void @llvm.assume(i1)
+
+define i32 @f(i32 %x) {
+  %c = icmp eq i32 %x, 5
+  call void @llvm.assume(i1 %c)
+  ret i32 5
+}
+""")
+        result = check_refinement(src.get_function("f"),
+                                  tgt.get_function("f"), src, tgt,
+                                  RefinementConfig(max_inputs=32))
+        assert result.verdict == Verdict.CORRECT
+
+
+class TestBehaviorSets:
+    def test_deterministic_function_single_outcome(self):
+        module = parsed("""
+define i8 @f(i8 %x) {
+  %r = add i8 %x, 1
+  ret i8 %r
+}
+""")
+        outcomes, exhausted = behavior_set(
+            module.get_function("f"), TVInput((5,)), module,
+            RefinementConfig())
+        assert exhausted
+        assert len(outcomes) == 1
+        assert outcomes[0].value == 6
+
+    def test_narrow_undef_enumerates_fully(self):
+        module = parsed("""
+define i2 @f() {
+  %r = add i2 undef, 0
+  ret i2 %r
+}
+""")
+        outcomes, exhausted = behavior_set(
+            module.get_function("f"), TVInput(()), module,
+            RefinementConfig(max_nondet_runs=8))
+        assert exhausted
+        assert {o.value for o in outcomes} == {0, 1, 2, 3}
+
+    def test_wide_undef_marks_truncated(self):
+        module = parsed("""
+define i32 @f() {
+  ret i32 undef
+}
+""")
+        outcomes, exhausted = behavior_set(
+            module.get_function("f"), TVInput(()), module,
+            RefinementConfig(max_nondet_runs=16))
+        assert not exhausted  # sampled domain -> under-approximate
+
+    def test_ub_outcome_recorded(self):
+        module = parsed("""
+define i8 @f(i8 %x) {
+  %r = udiv i8 1, %x
+  ret i8 %r
+}
+""")
+        outcomes, _ = behavior_set(
+            module.get_function("f"), TVInput((0,)), module,
+            RefinementConfig())
+        assert outcomes[0].is_ub()

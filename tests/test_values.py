@@ -1,0 +1,136 @@
+"""Tests for SSA values, use lists, and constants."""
+
+import pytest
+
+from repro.ir import (Argument, BinaryOperator, ConstantInt,
+                      ConstantPointerNull, I1, I8, I32, PoisonValue,
+                      UndefValue)
+from repro.ir.values import constant_to_key, same_value
+
+
+def make_add():
+    a = Argument(I32, "a")
+    b = Argument(I32, "b")
+    return a, b, BinaryOperator("add", a, b)
+
+
+class TestUseLists:
+    def test_operands_register_uses(self):
+        a, b, add = make_add()
+        assert add.operands == [a, b]
+        assert [u.user for u in a.uses] == [add]
+        assert a.num_uses() == 1
+
+    def test_set_operand_moves_use(self):
+        a, b, add = make_add()
+        c = Argument(I32, "c")
+        add.set_operand(0, c)
+        assert a.num_uses() == 0
+        assert c.num_uses() == 1
+        assert add.lhs is c
+
+    def test_set_operand_same_value_noop(self):
+        a, b, add = make_add()
+        add.set_operand(0, a)
+        assert a.num_uses() == 1
+
+    def test_duplicate_operand_two_uses(self):
+        a = Argument(I32, "a")
+        add = BinaryOperator("add", a, a)
+        assert a.num_uses() == 2
+        assert [u.index for u in a.uses] == [0, 1]
+
+    def test_replace_all_uses_with(self):
+        a, b, add = make_add()
+        mul = BinaryOperator("mul", add, add)
+        replacement = Argument(I32, "r")
+        add.replace_all_uses_with(replacement)
+        assert add.num_uses() == 0
+        assert mul.operands == [replacement, replacement]
+
+    def test_replace_all_uses_with_self_noop(self):
+        a, b, add = make_add()
+        _ = BinaryOperator("mul", add, add)
+        add.replace_all_uses_with(add)
+        assert add.num_uses() == 2
+
+    def test_drop_all_references(self):
+        a, b, add = make_add()
+        add.drop_all_references()
+        assert a.num_uses() == 0
+        assert b.num_uses() == 0
+        assert add.operands == []
+
+    def test_users(self):
+        a, b, add = make_add()
+        mul = BinaryOperator("mul", a, a)
+        assert set(map(id, a.users())) == {id(add), id(mul)}
+
+
+class TestConstantInt:
+    def test_canonical_unsigned_storage(self):
+        c = ConstantInt(I8, -1)
+        assert c.value == 255
+
+    def test_signed_value(self):
+        assert ConstantInt(I8, 255).signed_value() == -1
+        assert ConstantInt(I8, 127).signed_value() == 127
+        assert ConstantInt(I8, 128).signed_value() == -128
+
+    def test_wrapping(self):
+        assert ConstantInt(I8, 256).value == 0
+        assert ConstantInt(I8, 257).value == 1
+
+    def test_predicates(self):
+        assert ConstantInt(I8, 0).is_zero()
+        assert ConstantInt(I8, 1).is_one()
+        assert ConstantInt(I8, 255).is_all_ones()
+        assert not ConstantInt(I8, 254).is_all_ones()
+
+    def test_true_false(self):
+        assert ConstantInt.true().value == 1
+        assert ConstantInt.false().value == 0
+        assert ConstantInt.true().type is I1
+
+    def test_requires_int_type(self):
+        from repro.ir import PTR
+
+        with pytest.raises(TypeError):
+            ConstantInt(PTR, 0)
+
+
+class TestSameValue:
+    def test_identity(self):
+        a = Argument(I32, "a")
+        assert same_value(a, a)
+
+    def test_equal_constants(self):
+        assert same_value(ConstantInt(I32, 7), ConstantInt(I32, 7))
+
+    def test_different_values(self):
+        assert not same_value(ConstantInt(I32, 7), ConstantInt(I32, 8))
+
+    def test_different_widths(self):
+        assert not same_value(ConstantInt(I32, 7), ConstantInt(I8, 7))
+
+    def test_null_pointers(self):
+        assert same_value(ConstantPointerNull(), ConstantPointerNull())
+
+    def test_undef_not_same(self):
+        # undef is per-use nondeterministic; never "the same value".
+        assert not same_value(UndefValue(I32), UndefValue(I32))
+
+
+class TestConstantKeys:
+    def test_int_key(self):
+        assert constant_to_key(ConstantInt(I32, 5)) == \
+            constant_to_key(ConstantInt(I32, 5))
+        assert constant_to_key(ConstantInt(I32, 5)) != \
+            constant_to_key(ConstantInt(I8, 5))
+
+    def test_undef_poison_distinct(self):
+        assert constant_to_key(UndefValue(I32)) != \
+            constant_to_key(PoisonValue(I32))
+
+    def test_null_key(self):
+        assert constant_to_key(ConstantPointerNull()) == ("null",)

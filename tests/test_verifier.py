@@ -1,0 +1,285 @@
+"""Tests for the IR verifier — every invariant class it enforces."""
+
+import pytest
+
+from repro.ir import (Argument, BasicBlock, BinaryOperator, BrInst,
+                      CastInst, ConstantInt, Function, FunctionType, I1, I8,
+                      I32, ICmpInst, IRBuilder, LoadInst, Module, PhiNode,
+                      RetInst, SelectInst, StoreInst, VerificationError,
+                      VOID, collect_function_errors, is_valid_module,
+                      parse_module, verify_function, verify_module)
+
+from helpers import parsed
+
+
+def empty_fn(return_type=I32, params=(I32,)):
+    module = Module()
+    fn = Function(FunctionType(return_type, tuple(params)), "f", module)
+    for i, arg in enumerate(fn.arguments):
+        arg.name = f"a{i}"
+    return fn
+
+
+def test_valid_module_passes():
+    assert is_valid_module(parsed("""
+define i32 @f(i32 %x) {
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+"""))
+
+
+def test_no_blocks():
+    fn = empty_fn()
+    assert "no blocks" in collect_function_errors(fn)[0]
+
+
+def test_empty_block():
+    fn = empty_fn()
+    BasicBlock("entry", fn)
+    errors = collect_function_errors(fn)
+    assert any("empty block" in e for e in errors)
+
+
+def test_missing_terminator():
+    fn = empty_fn()
+    block = BasicBlock("entry", fn)
+    block.append(BinaryOperator("add", fn.arguments[0], fn.arguments[0]))
+    errors = collect_function_errors(fn)
+    assert any("missing terminator" in e for e in errors)
+
+
+def test_terminator_mid_block():
+    fn = empty_fn()
+    block = BasicBlock("entry", fn)
+    block.append(RetInst(fn.arguments[0]))
+    block.append(RetInst(fn.arguments[0]))
+    errors = collect_function_errors(fn)
+    assert any("terminator mid-block" in e for e in errors)
+
+
+def test_use_not_dominated():
+    fn = empty_fn()
+    block = BasicBlock("entry", fn)
+    x = fn.arguments[0]
+    first = BinaryOperator("add", x, x)
+    second = BinaryOperator("mul", x, x)
+    block.append(first)
+    block.append(second)
+    block.append(RetInst(first))
+    # Make `first` use `second`, which is defined after it.
+    first.set_operand(1, second)
+    errors = collect_function_errors(fn)
+    assert any("not dominated" in e for e in errors)
+
+
+def test_cross_block_dominance():
+    module = parse_module("""
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %x = add i32 1, 2
+  br label %b
+b:
+  ret i32 0
+}
+""")
+    fn = module.get_function("f")
+    # Rewrite the ret to use %x, which does not dominate %b.
+    x = fn.block_named("a").instructions[0]
+    fn.block_named("b").terminator().erase_from_parent()
+    fn.block_named("b").append(RetInst(x))
+    errors = collect_function_errors(fn)
+    assert any("not dominated" in e for e in errors)
+
+
+def test_entry_with_predecessors():
+    module = parse_module("""
+define void @f() {
+entry:
+  br label %entry2
+entry2:
+  ret void
+}
+""")
+    fn = module.get_function("f")
+    # Redirect the branch back at the entry block.
+    entry = fn.blocks[0]
+    fn.blocks[1].terminator().erase_from_parent()
+    fn.blocks[1].append(BrInst(entry))
+    errors = collect_function_errors(fn)
+    assert any("entry block has predecessors" in e for e in errors)
+
+
+class TestTypeRules:
+    def test_binop_operand_mismatch(self):
+        fn = empty_fn(params=(I32, I8))
+        block = BasicBlock("entry", fn)
+        bad = BinaryOperator("add", fn.arguments[0], fn.arguments[0])
+        bad.set_operand(1, fn.arguments[1])
+        block.append(bad)
+        block.append(RetInst(bad))
+        errors = collect_function_errors(fn)
+        assert any("operand types" in e for e in errors)
+
+    def test_flag_on_wrong_opcode(self):
+        fn = empty_fn()
+        block = BasicBlock("entry", fn)
+        bad = BinaryOperator("and", fn.arguments[0], fn.arguments[0])
+        bad.nsw = True  # set behind the constructor's back
+        block.append(bad)
+        block.append(RetInst(bad))
+        errors = collect_function_errors(fn)
+        assert any("nuw/nsw" in e for e in errors)
+
+    def test_select_condition_not_i1(self):
+        fn = empty_fn()
+        block = BasicBlock("entry", fn)
+        x = fn.arguments[0]
+        bad = SelectInst(x, x, x)  # condition is i32
+        block.append(bad)
+        block.append(RetInst(bad))
+        errors = collect_function_errors(fn)
+        assert any("condition is not i1" in e for e in errors)
+
+    def test_trunc_must_narrow(self):
+        fn = empty_fn()
+        block = BasicBlock("entry", fn)
+        bad = CastInst("trunc", fn.arguments[0], I32)  # i32 -> i32
+        block.append(bad)
+        block.append(RetInst(bad))
+        errors = collect_function_errors(fn)
+        assert any("trunc must narrow" in e for e in errors)
+
+    def test_zext_must_widen(self):
+        fn = empty_fn()
+        block = BasicBlock("entry", fn)
+        bad = CastInst("zext", fn.arguments[0], I8)
+        block.append(bad)
+        block.append(RetInst(fn.arguments[0]))
+        errors = collect_function_errors(fn)
+        assert any("zext must widen" in e for e in errors)
+
+    def test_ret_type_mismatch(self):
+        fn = empty_fn(return_type=I32)
+        block = BasicBlock("entry", fn)
+        block.append(RetInst(ConstantInt(I8, 0)))
+        errors = collect_function_errors(fn)
+        assert any("ret value type" in e for e in errors)
+
+    def test_ret_void_in_value_function(self):
+        fn = empty_fn(return_type=I32)
+        block = BasicBlock("entry", fn)
+        block.append(RetInst())
+        errors = collect_function_errors(fn)
+        assert any("ret void in non-void" in e for e in errors)
+
+    def test_load_from_non_pointer(self):
+        fn = empty_fn()
+        block = BasicBlock("entry", fn)
+        bad = LoadInst(I32, fn.arguments[0])  # i32 pointer operand
+        block.append(bad)
+        block.append(RetInst(bad))
+        errors = collect_function_errors(fn)
+        assert any("not a pointer" in e for e in errors)
+
+    def test_br_condition_not_i1(self):
+        module = parse_module("""
+define void @f(i32 %x, i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  ret void
+b:
+  ret void
+}
+""")
+        fn = module.get_function("f")
+        br = fn.blocks[0].terminator()
+        br.set_operand(0, fn.arguments[0])
+        errors = collect_function_errors(fn)
+        assert any("br condition is not i1" in e for e in errors)
+
+
+class TestPhiRules:
+    def test_phi_incoming_must_match_predecessors(self):
+        module = parse_module("""
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %join
+a:
+  br label %join
+join:
+  %r = phi i32 [ 1, %entry ], [ 2, %a ]
+  ret i32 %r
+}
+""")
+        fn = module.get_function("f")
+        phi = fn.block_named("join").instructions[0]
+        phi.remove_incoming(fn.block_named("a"))
+        errors = collect_function_errors(fn)
+        assert any("do not match predecessors" in e for e in errors)
+
+    def test_phi_after_non_phi(self):
+        module = parse_module("""
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %join
+a:
+  br label %join
+join:
+  %x = add i32 1, 2
+  %r = phi i32 [ 1, %entry ], [ 2, %a ]
+  ret i32 %r
+}
+""")
+        errors = collect_function_errors(module.get_function("f"))
+        assert any("phi after non-phi" in e for e in errors)
+
+
+class TestCallRules:
+    def test_arity_mismatch(self):
+        module = parsed("""
+declare void @g(i32)
+
+define void @f(i32 %x) {
+  call void @g(i32 %x)
+  ret void
+}
+""")
+        fn = module.get_function("f")
+        call = fn.blocks[0].instructions[0]
+        call.drop_all_references()
+        fn.blocks[0].remove(call)
+        from repro.ir.instructions import CallInst
+
+        bad = CallInst(module.get_function("g"), [])
+        fn.blocks[0].insert(0, bad)
+        errors = collect_function_errors(fn)
+        assert any("expects 1 args" in e for e in errors)
+
+    def test_unknown_intrinsic(self):
+        module = parse_module("""
+define void @f() {
+  call void @llvm.not.a.thing()
+  ret void
+}
+""")
+        errors = collect_function_errors(module.get_function("f"))
+        assert any("unknown intrinsic" in e for e in errors)
+
+
+def test_verify_function_raises():
+    fn = empty_fn()
+    with pytest.raises(VerificationError):
+        verify_function(fn)
+
+
+def test_verify_module_aggregates():
+    module = parsed("""
+define i32 @good(i32 %x) {
+  ret i32 %x
+}
+""")
+    verify_module(module)  # no raise
