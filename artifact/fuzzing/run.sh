@@ -1,9 +1,12 @@
 #!/bin/sh
 # Appendix E.1: run alive-mutate over every IR file in tests/, saving all
 # mutants to tmp/ (mutants for test.ll are named test_<seed>.ll).
+# The files are fuzzed in parallel; set JOBS to change the worker count
+# (JOBS=1 falls back to one sequential in-process run per file).
 # Extra arguments are passed through to alive-mutate, e.g.:
 #     ./run.sh --passes instcombine -n 50
 set -eu
+JOBS="${JOBS:-4}"
 cd "$(dirname "$0")"
 mkdir -p tmp
 
@@ -24,8 +27,6 @@ else
     ALIVE_MUTATE="python3 -m repro.cli.alive_mutate"
 fi
 
-for file in tests/*.ll; do
-    echo "== $file =="
-    $ALIVE_MUTATE "$file" -n 10 --saveAll --save-dir tmp "$@" || true
-done
+$ALIVE_MUTATE tests/*.ll --jobs "$JOBS" -n 10 --saveAll --save-dir tmp "$@" \
+    || true
 echo "mutants written to $(pwd)/tmp"

@@ -6,7 +6,11 @@ under both of the paper's configurations (middle-end -O2 and the
 backend), and prints the Table-I-style report of which bugs were
 rediscovered, where, and at which seed.
 
-Run:  python examples/fuzzing_campaign.py [corpus_size] [mutants_per_file]
+Run:  python examples/fuzzing_campaign.py [corpus_size] [mutants_per_file] [jobs]
+
+``jobs`` > 1 shards the (file x pipeline) matrix across worker
+processes; seeds are derived from each job's index in the matrix, so a
+parallel run rediscovers exactly the bugs of the sequential one.
 
 Defaults are sized to finish in under a minute; the benchmark harness
 (benchmarks/test_bench_table1_campaign.py) runs the full-size version
@@ -15,21 +19,23 @@ that rediscovers all 33 bugs.
 
 import sys
 
-from repro.fuzz import CampaignConfig, run_campaign
+from repro import CampaignConfig, Session
 
 
 def main():
     corpus_size = int(sys.argv[1]) if len(sys.argv) > 1 else 54
     mutants_per_file = int(sys.argv[2]) if len(sys.argv) > 2 else 40
+    jobs = int(sys.argv[3]) if len(sys.argv) > 3 else 1
 
     print(f"corpus: {corpus_size} files x {mutants_per_file} mutants "
-          f"x 3 pipelines (-O2, backend, O2+backend)\n")
+          f"x 3 pipelines (-O2, backend, O2+backend), {jobs} worker(s)\n")
 
-    report = run_campaign(CampaignConfig(
-        corpus_size=corpus_size,
+    session = Session.from_corpus(size=corpus_size, campaign=CampaignConfig(
         mutants_per_file=mutants_per_file,
         max_inputs=14,
+        workers=jobs,
     ))
+    report = session.run_campaign()
 
     print(report.table())
     print()
@@ -37,8 +43,10 @@ def main():
     print(f"iterations:       {report.total_iterations}")
     print(f"raw findings:     {report.total_findings}")
     print(f"elapsed:          {report.elapsed:.1f}s "
-          f"({report.total_iterations / max(report.elapsed, 1e-9):.0f} "
-          f"mutants/sec)")
+          f"({report.throughput:.0f} mutants/sec, "
+          f"{report.workers} worker(s))")
+    if report.failed_shards:
+        print(f"failed shards:    {len(report.failed_shards)}")
     print()
     print("first discovery of each bug:")
     for outcome in report.found_bugs():

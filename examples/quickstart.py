@@ -7,17 +7,20 @@
 4. Translation-validate: optimized-vs-mutant refinement.
 
 With a clean optimizer every mutant verifies.  To see a *bug* get
-caught, the script then re-optimizes one mutant with the seeded version
-of LLVM issue 53252 (the real canonicalizeClampLike miscompilation from
-Table I) enabled, and prints the counterexample the validator produces.
+caught, the script then hunts with the seeded version of LLVM issue
+53252 (the real canonicalizeClampLike miscompilation from Table I)
+enabled — through ``repro.Session``, the one-call front door to the
+same parse→drive→report loop — and prints the counterexample the
+validator produces.
 
 Run:  python examples/quickstart.py
 """
 
+from repro import FuzzConfig, Session
 from repro.ir import parse_module, print_module
 from repro.mutate import Mutator, MutatorConfig
 from repro.opt import OptContext, PassManager
-from repro.tv import RefinementConfig, Verdict, check_refinement
+from repro.tv import RefinementConfig, check_refinement
 
 # Listing 1 of the paper: a real InstCombine unit test.
 LISTING_1 = """
@@ -83,23 +86,24 @@ def main():
     print("=== hunting a real Table-I bug (seeded LLVM issue 53252) ===")
     print("(canonicalizeClampLike 'didn't update predicate')")
     print("seed test: one constant away from the buggy pattern\n")
-    near_miss = parse_module(NEAR_MISS)
-    print(print_module(near_miss))
-    found = False
-    for seed in range(200):
-        mutant, optimized, record, result = mutate_optimize_verify(
-            near_miss, seed, enabled_bugs=("53252",))
-        if result.verdict == Verdict.UNSOUND:
-            found = True
-            print(f"caught at seed {seed} after mutations: {record.describe()}")
-            print("\n--- mutant (the fuzzer's input to the optimizer) ---")
-            print(print_module(mutant))
-            print("--- miscompiled output ---")
-            print(print_module(optimized))
-            print("--- the validator's counterexample ---")
-            print(result.counterexample)
-            break
-    if not found:
+    print(NEAR_MISS)
+
+    # The Session facade runs the same loop as above in one call.
+    session = Session.from_text(NEAR_MISS, FuzzConfig(
+        enabled_bugs=("53252",),
+        mutator=MutatorConfig(max_mutations=3),
+        tv=RefinementConfig(max_inputs=32),
+        stop_on_first_finding=True,
+    ), file_name="near_miss.ll")
+    report = session.run(iterations=200)
+    if report.findings:
+        finding = report.findings[0]
+        print(f"caught: {finding.summary()}")
+        print("\n--- mutant (the fuzzer's input to the optimizer) ---")
+        print(print_module(session.replay(finding.seed)))
+        print("--- the validator's counterexample ---")
+        print(finding.detail)
+    else:
         print("no finding in 200 mutants (unexpected; try more seeds)")
 
 

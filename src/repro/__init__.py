@@ -15,12 +15,30 @@ Subpackages
 
 Quick start
 -----------
->>> from repro.fuzz import FuzzDriver
->>> driver = FuzzDriver.from_text(open("test.ll").read())
->>> report = driver.run(iterations=100)
+>>> from repro import Session
+>>> report = Session.from_file("test.ll").run(iterations=100)
 >>> print(report.summary())
+
+Campaigns (optionally sharded across worker processes):
+
+>>> from repro import CampaignConfig, run_campaign
+>>> print(run_campaign(CampaignConfig(workers=4)).table())
 """
 
-__version__ = "1.0.0"
+from .fuzz import (BugLog, CampaignConfig, CampaignExecutor, CampaignReport,
+                   ConfigError, Finding, FuzzConfig, FuzzDriver, FuzzReport,
+                   Session, StageTimings, run_campaign)
+from .tv import Verdict
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    # The curated front door: the Session facade, the driver it wraps,
+    # the campaign engine, and the result/record types they hand back.
+    "Session",
+    "FuzzDriver", "FuzzConfig", "FuzzReport", "StageTimings",
+    "CampaignConfig", "CampaignExecutor", "CampaignReport", "run_campaign",
+    "Finding", "BugLog", "Verdict",
+    "ConfigError",
+]

@@ -3,6 +3,12 @@
 Default mode runs the integrated in-process fuzzing loop of the paper:
 mutate, optimize, and translation-validate inside one process.
 
+``--jobs N`` shards the work across N worker processes: with several
+input files the files are fuzzed in parallel (each with the same
+``--seed``, so results match running the tool on each file separately);
+with a single file the iteration space ``seed..seed+n-1`` is split into
+contiguous chunks, so the union of findings matches a sequential run.
+
 ``--mutate-only`` runs just the mutation stage and writes the mutant to a
 file — the standalone-mutator configuration used as stage 1 of the
 discrete-tools baseline in the throughput experiment (§V-B).
@@ -12,9 +18,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
-from ..fuzz.driver import FuzzConfig, FuzzDriver
+from ..fuzz.driver import ConfigError, FuzzConfig, FuzzDriver
+from ..fuzz.parallel import ShardJob, run_jobs
 from ..ir.bitcode import BitcodeError, load_module_file, write_bitcode
 from ..ir.parser import ParseError, parse_module
 from ..ir.printer import print_module
@@ -27,13 +35,18 @@ def build_parser() -> argparse.ArgumentParser:
         prog="alive-mutate",
         description="mutation-based fuzzing for the LLVM-like IR with "
                     "integrated translation validation")
-    parser.add_argument("input", help="input .ll file")
+    parser.add_argument("inputs", nargs="+", metavar="input",
+                        help="input .ll file(s)")
     parser.add_argument("-n", "--num-mutants", type=int, default=10,
-                        help="number of mutants to generate (default 10)")
+                        help="number of mutants per file (default 10)")
     parser.add_argument("-t", "--time", type=float, default=None,
-                        help="time budget in seconds (overrides -n)")
+                        help="time budget in seconds (overrides -n; with "
+                             "--jobs, per shard)")
     parser.add_argument("--seed", type=int, default=0,
                         help="base PRNG seed (mutant i uses seed base+i)")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes to shard fuzzing across "
+                             "(default 1: in-process)")
     parser.add_argument("--passes", default="O2",
                         help="pipeline or comma-separated pass list "
                              "(default O2)")
@@ -59,22 +72,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load(path: str):
+    try:
+        return load_module_file(path)
+    except OSError as exc:
+        print(f"alive-mutate: cannot read {path}: {exc}", file=sys.stderr)
+    except (ParseError, BitcodeError) as exc:
+        print(f"alive-mutate: cannot load {path}: {exc}", file=sys.stderr)
+    return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    try:
-        module = load_module_file(args.input)
-    except OSError as exc:
-        print(f"alive-mutate: cannot read {args.input}: {exc}",
-              file=sys.stderr)
-        return 2
-    except (ParseError, BitcodeError) as exc:
-        print(f"alive-mutate: cannot load module: {exc}", file=sys.stderr)
-        return 2
-
     mutator_config = MutatorConfig(max_mutations=args.max_mutations,
                                    verify_mutants=args.verify_mutants)
 
     if args.mutate_only:
+        if len(args.inputs) > 1:
+            print("alive-mutate: --mutate-only takes exactly one input",
+                  file=sys.stderr)
+            return 2
+        module = _load(args.inputs[0])
+        if module is None:
+            return 2
         mutator = Mutator(module, mutator_config)
         mutant, record = mutator.create_mutant(args.seed)
         if args.emit_bitcode:
@@ -103,7 +123,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         save_all=args.saveAll and args.save_dir is not None,
         log_path=args.log,
     )
-    driver = FuzzDriver(module, config, file_name=args.input)
+    try:
+        config.validate(
+            iterations=None if args.time is not None else args.num_mutants,
+            time_budget=args.time, require_budget=True)
+    except ConfigError as exc:
+        print(f"alive-mutate: {exc}", file=sys.stderr)
+        return 2
+
+    if len(args.inputs) == 1 and args.jobs <= 1:
+        return _fuzz_one(args.inputs[0], config, args)
+    return _fuzz_sharded(config, args)
+
+
+def _fuzz_one(path: str, config: FuzzConfig, args) -> int:
+    """The classic single-file in-process loop."""
+    module = _load(path)
+    if module is None:
+        return 2
+    driver = FuzzDriver(module, config, file_name=path)
     for name, reason in driver.report.dropped_functions.items():
         print(f"alive-mutate: dropping @{name}: {reason}", file=sys.stderr)
     if not driver.target_functions:
@@ -116,6 +154,87 @@ def main(argv: Optional[List[str]] = None) -> int:
     for finding in report.findings:
         print("  " + finding.summary())
     return 1 if report.findings else 0
+
+
+def _fuzz_sharded(config: FuzzConfig, args) -> int:
+    """Fuzz several files — or one file's iteration space — across
+    ``--jobs`` worker processes."""
+    from ..fuzz.campaign import JOB_SEED_STRIDE
+
+    sources = []
+    for path in args.inputs:
+        module = _load(path)
+        if module is not None:
+            sources.append((path, print_module(module)))
+    if not sources:
+        return 2
+
+    jobs: List[ShardJob] = []
+    if len(sources) == 1 and args.time is None:
+        # Shard one file's seed range base..base+n-1 into contiguous
+        # chunks; the union of findings equals the sequential run's.
+        path, text = sources[0]
+        shards = max(1, min(args.jobs, args.num_mutants))
+        chunk, extra = divmod(args.num_mutants, shards)
+        start = 0
+        for index in range(shards):
+            size = chunk + (1 if index < extra else 0)
+            if size == 0:
+                continue
+            jobs.append(ShardJob(
+                job_index=index, file_name=path, text=text,
+                config=replace(config, base_seed=args.seed + start),
+                iterations=size))
+            start += size
+    else:
+        # One shard per file.  With -t each shard gets the full budget;
+        # seed ranges are kept disjoint via the campaign stride.
+        for index, (path, text) in enumerate(sources):
+            shard_config = config if args.time is None else replace(
+                config, base_seed=args.seed + index * JOB_SEED_STRIDE)
+            jobs.append(ShardJob(
+                job_index=index, file_name=path, text=text,
+                config=shard_config,
+                iterations=None if args.time is not None
+                else args.num_mutants,
+                time_budget=args.time))
+
+    results = run_jobs(jobs, workers=args.jobs)
+
+    total_iterations = 0
+    total_findings = 0
+    errors = 0
+    for shard in results:
+        label = shard.file_name if len(sources) > 1 \
+            else f"{shard.file_name}[shard {shard.job_index}]"
+        if shard.error:
+            errors += 1
+            print(f"alive-mutate: {label}: shard failed: {shard.error}",
+                  file=sys.stderr)
+            continue
+        if shard.parse_error:
+            errors += 1
+            print(f"alive-mutate: {label}: {shard.parse_error}",
+                  file=sys.stderr)
+            continue
+        for name, reason in shard.dropped_functions.items():
+            print(f"alive-mutate: {label}: dropping @{name}: {reason}",
+                  file=sys.stderr)
+        total_iterations += shard.iterations
+        total_findings += len(shard.findings)
+        print(f"{label}: {shard.iterations} iterations, "
+              f"{len(shard.findings)} findings "
+              f"in {shard.timings.total:.2f}s")
+        for finding in shard.findings:
+            print("  " + finding.summary())
+    print(f"total: {total_iterations} iterations, {total_findings} findings "
+          f"across {len(results)} shards ({max(1, args.jobs)} workers)")
+    if total_findings:
+        return 1
+    if total_iterations == 0:
+        print("alive-mutate: no processable functions", file=sys.stderr)
+        return 2
+    return 0
 
 
 if __name__ == "__main__":

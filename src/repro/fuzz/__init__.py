@@ -1,29 +1,37 @@
 """Fuzzing harnesses: in-process driver, discrete baseline, corpus,
-radamsa study, bug campaign, and the throughput experiment."""
+radamsa study, bug campaign (sequential or sharded), the throughput
+experiment, and the ``Session`` facade tying them together."""
 
-from .campaign import (BugOutcome, CampaignConfig, CampaignReport,
-                       run_campaign)
+from .campaign import (JOB_SEED_STRIDE, BugOutcome, CampaignConfig,
+                       CampaignReport, ShardFailure, run_campaign)
 from .corpus import (ARCHETYPES, corpus_modules, generate_corpus,
                      generate_large_corpus)
 from .discrete import DiscreteConfig, DiscreteReport, run_discrete_workflow
-from .driver import FuzzConfig, FuzzDriver, FuzzReport, StageTimings
+from .driver import (ConfigError, FuzzConfig, FuzzDriver, FuzzReport,
+                     StageTimings)
 from .findings import CRASH, MISCOMPILATION, BugLog, Finding
+from .parallel import (CampaignExecutor, ShardJob, ShardResult, execute_job,
+                       run_jobs)
 from .radamsa import (BORING, INTERESTING, INVALID, ValidityStats,
                       classify_mutant, radamsa_mutate, run_validity_study)
 from .reduce import ReductionResult, reduce_module
+from .session import Session
 from .throughput import (FileTiming, ThroughputConfig, ThroughputReport,
                          run_throughput_experiment)
 
 __all__ = [
-    "BugOutcome", "CampaignConfig", "CampaignReport", "run_campaign",
+    "JOB_SEED_STRIDE", "BugOutcome", "CampaignConfig", "CampaignReport",
+    "ShardFailure", "run_campaign",
     "ARCHETYPES", "corpus_modules", "generate_corpus",
     "generate_large_corpus",
     "DiscreteConfig", "DiscreteReport", "run_discrete_workflow",
-    "FuzzConfig", "FuzzDriver", "FuzzReport", "StageTimings",
+    "ConfigError", "FuzzConfig", "FuzzDriver", "FuzzReport", "StageTimings",
     "CRASH", "MISCOMPILATION", "BugLog", "Finding",
+    "CampaignExecutor", "ShardJob", "ShardResult", "execute_job", "run_jobs",
     "BORING", "INTERESTING", "INVALID", "ValidityStats", "classify_mutant",
     "radamsa_mutate", "run_validity_study",
     "ReductionResult", "reduce_module",
+    "Session",
     "FileTiming", "ThroughputConfig", "ThroughputReport",
     "run_throughput_experiment",
 ]

@@ -4,39 +4,103 @@ Enables the full seeded-bug registry, fuzzes a corpus with the in-process
 driver, attributes findings to seeded bugs, and renders a Table-I-style
 report: issue id, component, status, type, description, plus whether (and
 after how many iterations) the campaign rediscovered each bug.
+
+The campaign is a (corpus file × pipeline) job matrix.  Job execution and
+sharding live in :mod:`repro.fuzz.parallel`; this module holds the
+declarative configuration and the merged report.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..ir.parser import ParseError, parse_module
 from ..mutate import MutatorConfig
 from ..opt.bugs import SeededBug, all_bug_ids, all_bugs
 from ..tv import RefinementConfig
-from .corpus import generate_corpus
-from .driver import FuzzConfig, FuzzDriver
+from .driver import ConfigError, FuzzConfig, StageTimings
 from .findings import Finding
+
+# Seed-derivation contract: job ``i`` of the matrix fuzzes with driver
+# base seed ``base_seed + i * JOB_SEED_STRIDE`` and refinement-input seed
+# ``base_seed + i``.  The stride is a prime far larger than any per-job
+# iteration budget, so the seed ranges of different jobs never overlap
+# and a finding's (file, seed) pair identifies its job regardless of how
+# the matrix was sharded across workers.
+JOB_SEED_STRIDE = 1_000_003
+
+
+def _default_fuzz_template() -> FuzzConfig:
+    return FuzzConfig(mutator=MutatorConfig(max_mutations=3),
+                      tv=RefinementConfig(max_inputs=16))
 
 
 @dataclass
 class CampaignConfig:
     corpus_size: int = 48
     corpus_seed: int = 0
-    mutants_per_file: int = 60
+    mutants_per_file: Optional[int] = 60
     # The paper ran two campaigns: LLVM's middle-end via -O2, and the
     # AArch64 backend (our codegen pass).  Each file is fuzzed under every
     # pipeline listed here.
     pipelines: Sequence[str] = ("O2", "backend", "O2+backend")
     base_seed: int = 0
-    max_inputs: int = 16
+    # Convenience shorthand for ``fuzz.tv.max_inputs`` (None = use the
+    # template's value, which defaults to 16).
+    max_inputs: Optional[int] = None
     enabled_bugs: Optional[Sequence[str]] = None   # None = all 33
     time_budget: Optional[float] = None             # per-file cap, seconds
     # Confirm each attribution by replaying the seed with ONLY that bug
     # enabled (the paper's re-run-with-same-seed triage workflow).
     confirm_attributions: bool = True
+    # Worker processes for the job matrix.  1 = run on the calling
+    # process (the exact sequential path; results are bit-identical to a
+    # parallel run either way because merging is ordered by job index).
+    workers: int = 1
+    # Whole-campaign wall-clock cap, seconds.  On expiry no new jobs are
+    # started; in-flight jobs are drained and merged, the rest are
+    # counted in ``CampaignReport.skipped_jobs``.
+    global_time_budget: Optional[float] = None
+    # Per-job FuzzConfig template; each job gets a ``dataclasses.replace``
+    # of it with the job's pipeline, seeds, and enabled bugs filled in.
+    fuzz: FuzzConfig = field(default_factory=_default_fuzz_template)
+
+    def enabled(self) -> List[str]:
+        return list(self.enabled_bugs if self.enabled_bugs is not None
+                    else all_bug_ids())
+
+    def job_config(self, job_index: int, pipeline: str) -> FuzzConfig:
+        """The per-job FuzzConfig (the seed-derivation contract above)."""
+        tv = replace(self.fuzz.tv,
+                     max_inputs=(self.max_inputs if self.max_inputs is not None
+                                 else self.fuzz.tv.max_inputs),
+                     seed=self.base_seed + job_index)
+        return replace(self.fuzz,
+                       pipeline=pipeline,
+                       enabled_bugs=self.enabled(),
+                       tv=tv,
+                       base_seed=self.base_seed + job_index * JOB_SEED_STRIDE)
+
+    def validate(self) -> "CampaignConfig":
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.corpus_size < 0:
+            raise ConfigError(
+                f"corpus_size must be >= 0, got {self.corpus_size}")
+        if self.corpus_seed < 0 or self.base_seed < 0:
+            raise ConfigError("corpus_seed and base_seed must be >= 0")
+        if not self.pipelines:
+            raise ConfigError("at least one pipeline is required")
+        if self.global_time_budget is not None \
+                and self.global_time_budget < 0:
+            raise ConfigError(f"global_time_budget must be >= 0, "
+                              f"got {self.global_time_budget}")
+        for pipeline in self.pipelines:
+            self.job_config(0, pipeline).validate(
+                iterations=self.mutants_per_file,
+                time_budget=self.time_budget,
+                require_budget=True)
+        return self
 
 
 @dataclass
@@ -49,12 +113,30 @@ class BugOutcome:
 
 
 @dataclass
+class ShardFailure:
+    """A job whose worker died or raised — contained, not fatal."""
+
+    job_index: int
+    file: str
+    pipeline: str
+    error: str
+
+
+@dataclass
 class CampaignReport:
     outcomes: Dict[str, BugOutcome] = field(default_factory=dict)
     total_iterations: int = 0
     total_findings: int = 0
     unattributed: List[Finding] = field(default_factory=list)
     elapsed: float = 0.0
+    workers: int = 1
+    # Per-stage totals summed over every job, plus the same broken down
+    # by the worker process that ran the job ("pid-<n>").
+    timings: StageTimings = field(default_factory=StageTimings)
+    worker_timings: Dict[str, StageTimings] = field(default_factory=dict)
+    failed_shards: List[ShardFailure] = field(default_factory=list)
+    # Jobs never started because the global time budget expired.
+    skipped_jobs: int = 0
 
     def found_bugs(self) -> List[BugOutcome]:
         return [o for o in self.outcomes.values() if o.found]
@@ -64,6 +146,13 @@ class CampaignReport:
                               if o.bug.kind == "miscompilation")
         crashes = sum(1 for o in self.found_bugs() if o.bug.kind == "crash")
         return miscompilations, crashes
+
+    @property
+    def throughput(self) -> float:
+        """Mutants per wall-clock second."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.total_iterations / self.elapsed
 
     def table(self) -> str:
         """Render the Table-I analog."""
@@ -84,75 +173,19 @@ class CampaignReport:
         return "\n".join(rows)
 
 
+def new_report(config: CampaignConfig) -> CampaignReport:
+    enabled = set(config.enabled())
+    return CampaignReport(
+        outcomes={bug.issue_id: BugOutcome(bug=bug) for bug in all_bugs()
+                  if bug.issue_id in enabled},
+        workers=config.workers)
+
+
 def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignReport:
-    config = config or CampaignConfig()
-    enabled = list(config.enabled_bugs if config.enabled_bugs is not None
-                   else all_bug_ids())
-    report = CampaignReport(outcomes={
-        bug.issue_id: BugOutcome(bug=bug) for bug in all_bugs()
-        if bug.issue_id in enabled
-    })
-    started = time.perf_counter()
-    corpus = generate_corpus(config.corpus_size, config.corpus_seed)
-    jobs = [(file_name, text, pipeline)
-            for file_name, text in corpus
-            for pipeline in config.pipelines]
-    for job_index, (file_name, text, pipeline) in enumerate(jobs):
-        try:
-            module = parse_module(text, file_name)
-        except ParseError:
-            continue
-        fuzz_config = FuzzConfig(
-            pipeline=pipeline,
-            enabled_bugs=enabled,
-            mutator=MutatorConfig(max_mutations=3),
-            tv=RefinementConfig(max_inputs=config.max_inputs,
-                                seed=config.base_seed + job_index),
-            base_seed=config.base_seed + job_index * 1_000_003,
-        )
-        driver = FuzzDriver(module, fuzz_config, file_name=file_name)
-        if not driver.target_functions:
-            continue
-        result = driver.run(iterations=config.mutants_per_file,
-                            time_budget=config.time_budget)
-        report.total_iterations += result.iterations
-        report.total_findings += len(result.findings)
-        confirm_cache: Dict[str, FuzzDriver] = {}
-        for finding in result.findings:
-            if not finding.bug_ids:
-                report.unattributed.append(finding)
-                continue
-            for bug_id in finding.bug_ids:
-                outcome = report.outcomes.get(bug_id)
-                if outcome is None:
-                    continue
-                if config.confirm_attributions and len(finding.bug_ids) > 1:
-                    if not _confirm(module, file_name, bug_id, finding,
-                                    fuzz_config, confirm_cache):
-                        continue
-                outcome.findings += 1
-                if not outcome.found:
-                    outcome.found = True
-                    outcome.first_file = file_name
-                    outcome.first_seed = finding.seed
-    report.elapsed = time.perf_counter() - started
-    return report
+    """Run the campaign described by ``config`` and merge the report.
 
-
-def _confirm(module, file_name: str, bug_id: str, finding: Finding,
-             base_config: FuzzConfig,
-             cache: Dict[str, FuzzDriver]) -> bool:
-    """Replay the finding's seed with only ``bug_id`` enabled."""
-    driver = cache.get(bug_id)
-    if driver is None:
-        solo_config = FuzzConfig(
-            pipeline=base_config.pipeline,
-            enabled_bugs=[bug_id],
-            mutator=base_config.mutator,
-            tv=base_config.tv,
-            base_seed=base_config.base_seed,
-        )
-        driver = FuzzDriver(module, solo_config, file_name=file_name)
-        cache[bug_id] = driver
-    replayed = driver.run_one(finding.seed)
-    return any(bug_id in f.bug_ids for f in replayed)
+    Delegates to :class:`repro.fuzz.parallel.CampaignExecutor`;
+    ``config.workers`` picks sequential (1) or sharded execution.
+    """
+    from .parallel import CampaignExecutor
+    return CampaignExecutor(config).execute()

@@ -25,6 +25,14 @@ from ..tv import RefinementConfig, Verdict, check_function_supported, \
 from .findings import CRASH, MISCOMPILATION, BugLog, Finding
 
 
+class ConfigError(ValueError):
+    """A fuzzing configuration that cannot be satisfied.
+
+    Subclasses :class:`ValueError` so callers that predate the structured
+    validation keep working unchanged.
+    """
+
+
 @dataclass
 class FuzzConfig:
     pipeline: str = "O2"
@@ -37,6 +45,48 @@ class FuzzConfig:
     save_all: bool = False
     log_path: Optional[str] = None
     stop_on_first_finding: bool = False
+
+    def validate(self, iterations: Optional[int] = None,
+                 time_budget: Optional[float] = None,
+                 require_budget: bool = False) -> "FuzzConfig":
+        """Reject nonsense with a clear :class:`ConfigError`.
+
+        Checks the config itself (seeds, pipeline, mutation range) and,
+        when given, the run budget.  ``require_budget=True`` additionally
+        demands that at least one of ``iterations``/``time_budget`` is
+        set, mirroring :meth:`FuzzDriver.run`'s contract.
+        """
+        from ..opt import available_passes, available_pipelines, expand
+        if self.base_seed < 0:
+            raise ConfigError(f"base_seed must be >= 0, got {self.base_seed}")
+        if self.tv.seed < 0:
+            raise ConfigError(f"tv.seed must be >= 0, got {self.tv.seed}")
+        if self.tv.max_inputs <= 0:
+            raise ConfigError(
+                f"tv.max_inputs must be positive, got {self.tv.max_inputs}")
+        if self.mutator.min_mutations < 1:
+            raise ConfigError(f"mutator.min_mutations must be >= 1, "
+                              f"got {self.mutator.min_mutations}")
+        if self.mutator.max_mutations < self.mutator.min_mutations:
+            raise ConfigError(
+                f"mutator.max_mutations ({self.mutator.max_mutations}) < "
+                f"min_mutations ({self.mutator.min_mutations})")
+        known = set(available_passes())
+        for name in expand(self.pipeline):
+            if name not in known:
+                raise ConfigError(
+                    f"unknown pipeline or pass {name!r} in "
+                    f"{self.pipeline!r} (pipelines: "
+                    f"{', '.join(available_pipelines())}; see "
+                    f"repro-opt --list-passes for individual passes)")
+        if iterations is not None and iterations < 0:
+            raise ConfigError(f"iterations must be >= 0, got {iterations}")
+        if time_budget is not None and time_budget <= 0:
+            raise ConfigError(
+                f"time_budget must be positive, got {time_budget}")
+        if require_budget and iterations is None and time_budget is None:
+            raise ConfigError("specify iterations and/or time_budget")
+        return self
 
 
 @dataclass
@@ -76,7 +126,7 @@ class FuzzDriver:
 
     def __init__(self, module: Module, config: Optional[FuzzConfig] = None,
                  file_name: str = "") -> None:
-        self.config = config or FuzzConfig()
+        self.config = (config or FuzzConfig()).validate()
         self.file_name = file_name or module.name
         self.log = BugLog(self.config.log_path)
         self.report = FuzzReport()
@@ -140,14 +190,24 @@ class FuzzDriver:
     # -- the loop (paper §III-B..E) ---------------------------------------------
 
     def run(self, iterations: Optional[int] = None,
-            time_budget: Optional[float] = None) -> FuzzReport:
-        """Fuzz until the iteration count or the time budget is exhausted."""
-        if iterations is None and time_budget is None:
-            raise ValueError("specify iterations and/or time_budget")
+            time_budget: Optional[float] = None,
+            strict: bool = False) -> FuzzReport:
+        """Fuzz until the iteration count or the time budget is exhausted.
+
+        When preprocessing dropped every function there is nothing to
+        fuzz: the report comes back with zero iterations and
+        ``dropped_functions`` populated, so callers need no pre-flight
+        ``target_functions`` guard.  Pass ``strict=True`` to get the old
+        behavior of raising ``ValueError`` instead.
+        """
+        self.config.validate(iterations=iterations, time_budget=time_budget,
+                             require_budget=True)
         if not self._targets:
-            raise ValueError(
-                "no processable functions (all were dropped during "
-                f"preprocessing: {self.report.dropped_functions})")
+            if strict:
+                raise ValueError(
+                    "no processable functions (all were dropped during "
+                    f"preprocessing: {self.report.dropped_functions})")
+            return self.report
         started = time.perf_counter()
         i = 0
         while True:

@@ -1,0 +1,332 @@
+"""Parallel sharded campaign execution.
+
+The campaign's (corpus file × pipeline) job matrix is embarrassingly
+parallel: every job owns a disjoint seed range (see
+:data:`repro.fuzz.campaign.JOB_SEED_STRIDE`), so jobs can run on any
+worker in any order and still produce the same findings.  This module
+shards the matrix across a ``ProcessPoolExecutor`` and merges the
+per-job :class:`ShardResult` records back into one
+:class:`~repro.fuzz.campaign.CampaignReport` on the calling process.
+
+Determinism contract
+--------------------
+* Per-job seeds are derived from the job's *index in the full matrix*,
+  never from which worker ran it or when.
+* Merging walks shard results in job-index order, so "first discovery"
+  attributions (``first_file``/``first_seed``) are identical for
+  ``workers=1`` and ``workers=N``.
+* ``workers=1`` runs every job on the calling process — the exact
+  sequential path, no pool, bit-identical results.
+
+Fault containment
+-----------------
+A job that raises inside the worker is returned as a :class:`ShardResult`
+with ``error`` set.  A job whose worker *process* dies (killing the whole
+pool) is retried once in a fresh single-worker pool, so one poisoned job
+costs one failed shard, not the campaign.  An optional global time budget
+stops submitting new jobs on expiry and drains the in-flight ones; the
+never-started remainder is reported as skipped.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import (BrokenExecutor, CancelledError,
+                                ProcessPoolExecutor, as_completed)
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..ir.parser import ParseError, parse_module
+from .campaign import (CampaignConfig, CampaignReport, ShardFailure,
+                       new_report)
+from .corpus import generate_corpus
+from .driver import FuzzConfig, FuzzDriver, StageTimings
+from .findings import Finding
+
+__all__ = ["CampaignExecutor", "ShardJob", "ShardResult", "execute_job",
+           "run_jobs"]
+
+
+@dataclass
+class ShardJob:
+    """One cell of the job matrix, picklable for pool submission."""
+
+    job_index: int
+    file_name: str
+    text: str
+    config: FuzzConfig
+    iterations: Optional[int] = None
+    time_budget: Optional[float] = None
+    confirm_attributions: bool = False
+
+
+@dataclass
+class ShardResult:
+    """What one job sends back to the main process (picklable)."""
+
+    job_index: int
+    file_name: str
+    pipeline: str = ""
+    worker: str = ""
+    iterations: int = 0
+    findings: List[Finding] = field(default_factory=list)
+    # For findings[i], the bug ids that survived solo-replay confirmation
+    # (== findings[i].bug_ids when confirmation was off or unneeded).
+    confirmed_bug_ids: List[List[str]] = field(default_factory=list)
+    dropped_functions: Dict[str, str] = field(default_factory=dict)
+    timings: StageTimings = field(default_factory=StageTimings)
+    parse_error: str = ""
+    error: str = ""
+
+
+JobRunner = Callable[[ShardJob], ShardResult]
+
+
+def execute_job(job: ShardJob) -> ShardResult:
+    """Run one job: parse, fuzz, confirm attributions.
+
+    This is the loop body of the old sequential campaign, extracted so
+    the sequential and sharded paths share it verbatim.
+    """
+    result = ShardResult(job_index=job.job_index, file_name=job.file_name,
+                         pipeline=job.config.pipeline, worker=_worker_id())
+    try:
+        module = parse_module(job.text, job.file_name)
+    except ParseError as exc:
+        result.parse_error = str(exc)
+        return result
+    driver = FuzzDriver(module, job.config, file_name=job.file_name)
+    report = driver.run(iterations=job.iterations,
+                        time_budget=job.time_budget)
+    result.iterations = report.iterations
+    result.findings = report.findings
+    result.dropped_functions = dict(report.dropped_functions)
+    result.timings = report.timings
+    confirm_cache: Dict[str, FuzzDriver] = {}
+    for finding in report.findings:
+        if job.confirm_attributions and len(finding.bug_ids) > 1:
+            confirmed = [bug_id for bug_id in finding.bug_ids
+                         if _confirm(module, job.file_name, bug_id, finding,
+                                     job.config, confirm_cache)]
+        else:
+            confirmed = list(finding.bug_ids)
+        result.confirmed_bug_ids.append(confirmed)
+    return result
+
+
+def _confirm(module, file_name: str, bug_id: str, finding: Finding,
+             base_config: FuzzConfig,
+             cache: Dict[str, FuzzDriver]) -> bool:
+    """Replay the finding's seed with only ``bug_id`` enabled."""
+    driver = cache.get(bug_id)
+    if driver is None:
+        solo_config = FuzzConfig(
+            pipeline=base_config.pipeline,
+            enabled_bugs=[bug_id],
+            mutator=base_config.mutator,
+            tv=base_config.tv,
+            base_seed=base_config.base_seed,
+        )
+        driver = FuzzDriver(module, solo_config, file_name=file_name)
+        cache[bug_id] = driver
+    replayed = driver.run_one(finding.seed)
+    return any(bug_id in f.bug_ids for f in replayed)
+
+
+def _worker_id() -> str:
+    return f"pid-{os.getpid()}"
+
+
+def _failure(job: ShardJob, error: str) -> ShardResult:
+    return ShardResult(job_index=job.job_index, file_name=job.file_name,
+                       pipeline=job.config.pipeline, worker=_worker_id(),
+                       error=error)
+
+
+def _call_runner(runner: JobRunner, job: ShardJob) -> ShardResult:
+    """In-worker wrapper: a raising job becomes a failed shard."""
+    try:
+        return runner(job)
+    except Exception as exc:  # noqa: BLE001 — containment is the point
+        return _failure(job, f"{type(exc).__name__}: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# Job scheduling.
+# ---------------------------------------------------------------------------
+
+
+def run_jobs(jobs: Sequence[ShardJob], workers: int = 1,
+             runner: JobRunner = execute_job,
+             time_budget: Optional[float] = None) -> List[ShardResult]:
+    """Run ``jobs`` and return their results ordered by job index.
+
+    ``workers <= 1`` runs on the calling process; otherwise jobs are
+    sharded across a process pool.  Jobs skipped by the ``time_budget``
+    have no entry in the returned list.
+    """
+    if workers <= 1:
+        return _run_sequential(jobs, runner, time_budget)
+    return _run_pool(jobs, workers, runner, time_budget)
+
+
+def _run_sequential(jobs: Sequence[ShardJob], runner: JobRunner,
+                    time_budget: Optional[float]) -> List[ShardResult]:
+    started = time.perf_counter()
+    results: List[ShardResult] = []
+    for job in jobs:
+        if time_budget is not None \
+                and time.perf_counter() - started >= time_budget:
+            break
+        results.append(_call_runner(runner, job))
+    return results
+
+
+def _run_pool(jobs: Sequence[ShardJob], workers: int, runner: JobRunner,
+              time_budget: Optional[float]) -> List[ShardResult]:
+    started = time.perf_counter()
+
+    def expired() -> bool:
+        return time_budget is not None \
+            and time.perf_counter() - started >= time_budget
+
+    results: Dict[int, ShardResult] = {}
+    suspects: List[ShardJob] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {}
+        for job in jobs:
+            if expired():
+                break
+            futures[pool.submit(_call_runner, runner, job)] = job
+        for future in as_completed(futures):
+            if expired():
+                # Graceful early shutdown: cancel what has not started
+                # (running futures are not cancellable and get drained by
+                # as_completed / pool shutdown below).
+                for pending in futures:
+                    pending.cancel()
+            job = futures[future]
+            try:
+                results[job.job_index] = future.result()
+            except CancelledError:
+                continue  # skipped by the budget
+            except BrokenExecutor:
+                # The worker process died.  Every in-flight job gets this
+                # error; the actual culprit is unknowable from here, so
+                # each suspect is retried in isolation below.
+                suspects.append(job)
+            except Exception as exc:  # noqa: BLE001
+                results[job.job_index] = _failure(
+                    job, f"{type(exc).__name__}: {exc}")
+    for job in sorted(suspects, key=lambda j: j.job_index):
+        if expired():
+            continue
+        results[job.job_index] = _retry_in_isolation(runner, job)
+    return [results[index] for index in sorted(results)]
+
+
+def _retry_in_isolation(runner: JobRunner, job: ShardJob) -> ShardResult:
+    """Re-run a broken-pool suspect in its own single-worker pool.
+
+    If the job really is the one that killed the shared pool, it kills
+    only its private pool this time and is recorded as a failed shard;
+    innocent bystanders complete normally.
+    """
+    try:
+        with ProcessPoolExecutor(max_workers=1) as solo:
+            return solo.submit(_call_runner, runner, job).result()
+    except Exception as exc:  # noqa: BLE001 — typically BrokenProcessPool
+        return _failure(job, f"worker process died: "
+                             f"{type(exc).__name__}: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# The campaign engine.
+# ---------------------------------------------------------------------------
+
+
+class CampaignExecutor:
+    """Shard a campaign's job matrix and merge the results.
+
+    ``corpus`` overrides the generated corpus with explicit
+    ``(file_name, text)`` pairs (the :class:`~repro.fuzz.session.Session`
+    facade uses this).  ``job_runner`` swaps the per-job entry point —
+    useful for fault-injection tests and custom execution strategies.
+    """
+
+    def __init__(self, config: Optional[CampaignConfig] = None,
+                 corpus: Optional[Sequence[Tuple[str, str]]] = None,
+                 job_runner: JobRunner = execute_job) -> None:
+        self.config = config or CampaignConfig()
+        self._corpus = corpus
+        self._runner = job_runner
+
+    def build_jobs(self) -> List[ShardJob]:
+        """The (file × pipeline) matrix, one picklable job per cell."""
+        config = self.config
+        corpus = (self._corpus if self._corpus is not None
+                  else generate_corpus(config.corpus_size,
+                                       config.corpus_seed))
+        return [
+            ShardJob(job_index=job_index, file_name=file_name, text=text,
+                     config=config.job_config(job_index, pipeline),
+                     iterations=config.mutants_per_file,
+                     time_budget=config.time_budget,
+                     confirm_attributions=config.confirm_attributions)
+            for job_index, (file_name, text, pipeline) in enumerate(
+                (file_name, text, pipeline)
+                for file_name, text in corpus
+                for pipeline in config.pipelines)
+        ]
+
+    def execute(self) -> CampaignReport:
+        self.config.validate()
+        report = new_report(self.config)
+        started = time.perf_counter()
+        jobs = self.build_jobs()
+        results = run_jobs(jobs, workers=self.config.workers,
+                           runner=self._runner,
+                           time_budget=self.config.global_time_budget)
+        self._merge(report, jobs, results)
+        report.elapsed = time.perf_counter() - started
+        return report
+
+    def _merge(self, report: CampaignReport, jobs: Sequence[ShardJob],
+               results: Sequence[ShardResult]) -> None:
+        """Fold shard results (already job-index ordered) into the report."""
+        for shard in results:
+            if shard.error:
+                report.failed_shards.append(ShardFailure(
+                    job_index=shard.job_index, file=shard.file_name,
+                    pipeline=shard.pipeline, error=shard.error))
+                continue
+            if shard.parse_error:
+                continue
+            report.total_iterations += shard.iterations
+            report.total_findings += len(shard.findings)
+            _add_timings(report.timings, shard.timings)
+            _add_timings(report.worker_timings.setdefault(shard.worker,
+                                                          StageTimings()),
+                         shard.timings)
+            for finding, confirmed in zip(shard.findings,
+                                          shard.confirmed_bug_ids):
+                if not finding.bug_ids:
+                    report.unattributed.append(finding)
+                    continue
+                for bug_id in confirmed:
+                    outcome = report.outcomes.get(bug_id)
+                    if outcome is None:
+                        continue
+                    outcome.findings += 1
+                    if not outcome.found:
+                        outcome.found = True
+                        outcome.first_file = shard.file_name
+                        outcome.first_seed = finding.seed
+        report.skipped_jobs = len(jobs) - len(results)
+
+
+def _add_timings(total: StageTimings, part: StageTimings) -> None:
+    total.mutate += part.mutate
+    total.optimize += part.optimize
+    total.verify += part.verify

@@ -1,0 +1,80 @@
+"""Lint-style guard for the curated public surface.
+
+Keeps ``repro.__all__`` honest (every name importable) and keeps the
+examples off private names, so the redesigned API cannot silently rot.
+"""
+
+import ast
+import importlib
+import os
+
+import pytest
+
+import repro
+import repro.fuzz
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+EXAMPLE_FILES = sorted(
+    os.path.join(EXAMPLES_DIR, name)
+    for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py"))
+
+CURATED = {"FuzzDriver", "FuzzConfig", "CampaignConfig", "run_campaign",
+           "Session", "Finding", "Verdict"}
+
+
+def test_all_is_curated_not_just_version():
+    assert CURATED <= set(repro.__all__)
+
+
+@pytest.mark.parametrize("name", sorted(repro.__all__))
+def test_every_top_level_name_resolves(name):
+    assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+
+@pytest.mark.parametrize("module_name", [
+    "repro.fuzz", "repro.ir", "repro.opt", "repro.tv", "repro.mutate",
+    "repro.analysis",
+])
+def test_subpackage_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), \
+            f"{module_name}.__all__ lists missing name {name!r}"
+
+
+def _repro_imports(tree):
+    """Yield (module, imported-name) pairs for every repro import."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module \
+                and node.module.split(".")[0] == "repro":
+            for alias in node.names:
+                yield node.module, alias.name
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "repro":
+                    yield alias.name, ""
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES,
+                         ids=[os.path.basename(p) for p in EXAMPLE_FILES])
+def test_examples_import_no_private_names(path):
+    with open(path) as stream:
+        tree = ast.parse(stream.read(), path)
+    for module_name, name in _repro_imports(tree):
+        for part in module_name.split("."):
+            assert not part.startswith("_"), \
+                f"{path} imports private module {module_name}"
+        assert not name.startswith("_"), \
+            f"{path} imports private name {module_name}.{name}"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES,
+                         ids=[os.path.basename(p) for p in EXAMPLE_FILES])
+def test_examples_import_only_names_that_exist(path):
+    with open(path) as stream:
+        tree = ast.parse(stream.read(), path)
+    for module_name, name in _repro_imports(tree):
+        module = importlib.import_module(module_name)
+        if name and name != "*":
+            assert hasattr(module, name), \
+                f"{path}: {module_name} has no attribute {name!r}"

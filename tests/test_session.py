@@ -1,0 +1,163 @@
+"""Tests for the Session facade and the redesigned config surface."""
+
+import pytest
+
+from repro import (CampaignConfig, ConfigError, FuzzConfig, FuzzReport,
+                   Session, run_campaign)
+from repro.mutate import MutatorConfig
+from repro.tv import RefinementConfig
+
+CLAMP = """
+define i32 @clamp(i32 %x, i32 %y) {
+  %c = icmp ult i32 %x, 100
+  %r = select i1 %c, i32 %x, i32 100
+  %s = add i32 %r, %y
+  ret i32 %s
+}
+"""
+
+
+class TestSessionSingleSource:
+    def test_from_text_run_round_trip(self):
+        session = Session.from_text(CLAMP, FuzzConfig(
+            mutator=MutatorConfig(max_mutations=2),
+            tv=RefinementConfig(max_inputs=10)))
+        report = session.run(iterations=15)
+        assert isinstance(report, FuzzReport)
+        assert report.iterations == 15
+        assert report.findings == []
+
+    def test_session_finds_seeded_bug_and_replays_it(self):
+        session = Session.from_text(CLAMP, FuzzConfig(
+            enabled_bugs=("53252",),
+            mutator=MutatorConfig(max_mutations=2),
+            tv=RefinementConfig(max_inputs=12)))
+        report = session.run(iterations=120)
+        failing = [f for f in report.findings if "53252" in f.bug_ids]
+        assert failing
+        # replay() re-creates the exact mutant the seed denotes.
+        from repro.ir import print_module
+        mutant_a = session.replay(failing[0].seed)
+        mutant_b = session.replay(failing[0].seed)
+        assert print_module(mutant_a) == print_module(mutant_b)
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "clamp.ll"
+        path.write_text(CLAMP)
+        report = Session.from_file(str(path)).run(iterations=5)
+        assert report.iterations == 5
+
+    def test_matches_direct_driver(self):
+        config = FuzzConfig(mutator=MutatorConfig(max_mutations=2),
+                            tv=RefinementConfig(max_inputs=10))
+        from repro import FuzzDriver
+        direct = FuzzDriver.from_text(CLAMP, config).run(iterations=20)
+        facade = Session.from_text(CLAMP, config).run(iterations=20)
+        assert facade.iterations == direct.iterations
+        assert [f.seed for f in facade.findings] == \
+            [f.seed for f in direct.findings]
+
+
+class TestSessionCorpus:
+    def test_from_corpus_campaign_equals_run_campaign(self):
+        campaign = CampaignConfig(mutants_per_file=8, max_inputs=8,
+                                  pipelines=("O2",))
+        via_session = Session.from_corpus(
+            size=5, seed=0, campaign=campaign).run_campaign()
+        from dataclasses import replace
+        direct = run_campaign(replace(campaign, corpus_size=5, corpus_seed=0))
+        assert via_session.total_iterations == direct.total_iterations
+        assert {b: o.first_seed for b, o in via_session.outcomes.items()} == \
+            {b: o.first_seed for b, o in direct.outcomes.items()}
+
+    def test_run_campaign_workers_override(self):
+        campaign = CampaignConfig(mutants_per_file=6, max_inputs=6,
+                                  pipelines=("O2",))
+        report = Session.from_corpus(size=3, campaign=campaign) \
+            .run_campaign(workers=2)
+        assert report.workers == 2
+        assert report.total_iterations == 3 * 6
+
+    def test_multi_source_run_merges(self):
+        session = Session.from_corpus(size=3, fuzz=FuzzConfig(
+            tv=RefinementConfig(max_inputs=6)))
+        report = session.run(iterations=4)
+        assert report.iterations <= 3 * 4
+        assert report.mutation_counts
+
+
+class TestConfigValidation:
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(ConfigError, match="unknown pipeline"):
+            FuzzConfig(pipeline="O3").validate()
+
+    def test_unknown_pass_in_list_rejected(self):
+        with pytest.raises(ConfigError, match="unknown pipeline"):
+            FuzzConfig(pipeline="instcombine,no-such-pass").validate()
+
+    def test_negative_base_seed_rejected(self):
+        with pytest.raises(ConfigError, match="base_seed"):
+            FuzzConfig(base_seed=-1).validate()
+
+    def test_negative_tv_seed_rejected(self):
+        with pytest.raises(ConfigError, match="tv.seed"):
+            FuzzConfig(tv=RefinementConfig(seed=-3)).validate()
+
+    def test_bad_mutation_range_rejected(self):
+        with pytest.raises(ConfigError, match="max_mutations"):
+            FuzzConfig(mutator=MutatorConfig(min_mutations=4,
+                                             max_mutations=2)).validate()
+
+    def test_budget_required(self):
+        with pytest.raises(ConfigError, match="iterations"):
+            FuzzConfig().validate(require_budget=True)
+
+    def test_driver_constructor_validates(self):
+        from repro import FuzzDriver
+        with pytest.raises(ConfigError):
+            FuzzDriver.from_text(CLAMP, FuzzConfig(pipeline="nope"))
+
+    def test_config_error_is_value_error(self):
+        assert issubclass(ConfigError, ValueError)
+
+    def test_campaign_workers_rejected(self):
+        with pytest.raises(ConfigError, match="workers"):
+            CampaignConfig(workers=0).validate()
+
+    def test_campaign_unknown_pipeline_rejected(self):
+        with pytest.raises(ConfigError, match="unknown pipeline"):
+            CampaignConfig(pipelines=("O2", "O9")).validate()
+
+    def test_campaign_no_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(mutants_per_file=None).validate()
+
+    def test_campaign_template_max_inputs_flows_through(self):
+        config = CampaignConfig(fuzz=FuzzConfig(
+            tv=RefinementConfig(max_inputs=5)))
+        assert config.job_config(0, "O2").tv.max_inputs == 5
+        shorthand = CampaignConfig(max_inputs=9)
+        assert shorthand.job_config(0, "O2").tv.max_inputs == 9
+        assert CampaignConfig().job_config(0, "O2").tv.max_inputs == 16
+
+
+class TestEmptyTargetReport:
+    ALL_DROPPED = """
+define i128 @wide(i128 %x) {
+  ret i128 %x
+}
+"""
+
+    def test_run_returns_structured_report(self):
+        from repro import FuzzDriver
+        driver = FuzzDriver.from_text(self.ALL_DROPPED)
+        report = driver.run(iterations=10)
+        assert report.iterations == 0
+        assert report.findings == []
+        assert "wide" in report.dropped_functions
+
+    def test_strict_mode_still_raises(self):
+        from repro import FuzzDriver
+        driver = FuzzDriver.from_text(self.ALL_DROPPED)
+        with pytest.raises(ValueError, match="no processable"):
+            driver.run(iterations=10, strict=True)
