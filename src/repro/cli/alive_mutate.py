@@ -12,6 +12,13 @@ contiguous chunks, so the union of findings matches a sequential run.
 ``--mutate-only`` runs just the mutation stage and writes the mutant to a
 file — the standalone-mutator configuration used as stage 1 of the
 discrete-tools baseline in the throughput experiment (§V-B).
+
+Long runs can be made fault-tolerant: ``--checkpoint DIR`` journals
+every completed shard durably (and ``--resume`` skips them after a
+crash or Ctrl-C), ``--job-deadline`` bounds each shard's wall clock
+(stuck workers are killed by a watchdog when sharded), and
+``--max-job-retries`` retries-then-quarantines shards that hang or
+kill their worker.
 """
 
 from __future__ import annotations
@@ -21,7 +28,8 @@ import sys
 from dataclasses import replace
 from typing import List, Optional
 
-from ..fuzz.driver import ConfigError, FuzzConfig, FuzzDriver
+from ..fuzz.driver import ConfigError, DeadlineExceeded, FuzzConfig, \
+    FuzzDriver
 from ..fuzz.parallel import ShardJob, run_jobs
 from ..ir.bitcode import BitcodeError, load_module_file, write_bitcode
 from ..ir.parser import ParseError, parse_module
@@ -61,6 +69,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-inputs", type=int, default=24,
                         help="inputs per refinement check")
     parser.add_argument("--log", default=None, help="findings log (JSONL)")
+    parser.add_argument("--checkpoint", default=None, metavar="DIR",
+                        help="journal completed shards to DIR (fsync'd "
+                             "JSONL), so a killed run loses no work")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip shards already journaled in --checkpoint "
+                             "DIR and merge their cached results")
+    parser.add_argument("--job-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-shard wall-clock deadline; overruns are "
+                             "recorded as hangs (with --jobs > 1 a watchdog "
+                             "also kills the stuck worker)")
+    parser.add_argument("--max-job-retries", type=int, default=0,
+                        metavar="N",
+                        help="retry shards that hang or kill their worker "
+                             "up to N times, then quarantine them "
+                             "(default 0)")
     parser.add_argument("--mutate-only", action="store_true",
                         help="generate one mutant and exit (discrete mode)")
     parser.add_argument("-o", "--output", default=None,
@@ -130,8 +154,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ConfigError as exc:
         print(f"alive-mutate: {exc}", file=sys.stderr)
         return 2
+    if args.resume and not args.checkpoint:
+        print("alive-mutate: --resume requires --checkpoint DIR",
+              file=sys.stderr)
+        return 2
+    if args.job_deadline is not None and args.job_deadline <= 0:
+        print(f"alive-mutate: --job-deadline must be positive, "
+              f"got {args.job_deadline}", file=sys.stderr)
+        return 2
+    if args.max_job_retries < 0:
+        print(f"alive-mutate: --max-job-retries must be >= 0, "
+              f"got {args.max_job_retries}", file=sys.stderr)
+        return 2
 
-    if len(args.inputs) == 1 and args.jobs <= 1:
+    if len(args.inputs) == 1 and args.jobs <= 1 and not args.checkpoint:
         return _fuzz_one(args.inputs[0], config, args)
     return _fuzz_sharded(config, args)
 
@@ -147,9 +183,14 @@ def _fuzz_one(path: str, config: FuzzConfig, args) -> int:
     if not driver.target_functions:
         print("alive-mutate: no processable functions", file=sys.stderr)
         return 2
-    report = driver.run(
-        iterations=None if args.time is not None else args.num_mutants,
-        time_budget=args.time)
+    driver.set_deadline(args.job_deadline)
+    try:
+        report = driver.run(
+            iterations=None if args.time is not None else args.num_mutants,
+            time_budget=args.time)
+    except DeadlineExceeded as exc:
+        print(f"alive-mutate: {exc}", file=sys.stderr)
+        return 2
     print(report.summary())
     for finding in report.findings:
         print("  " + finding.summary())
@@ -199,23 +240,59 @@ def _fuzz_sharded(config: FuzzConfig, args) -> int:
                 else args.num_mutants,
                 time_budget=args.time))
 
-    results = run_jobs(jobs, workers=args.jobs)
+    for job in jobs:
+        job.deadline = args.job_deadline
+
+    journal = None
+    cached = {}
+    if args.checkpoint:
+        from ..fuzz.checkpoint import (CheckpointError, CheckpointJournal,
+                                       jobs_fingerprint)
+        journal = CheckpointJournal(args.checkpoint)
+        try:
+            cached = journal.start(jobs_fingerprint(jobs),
+                                   total_jobs=len(jobs), resume=args.resume)
+        except CheckpointError as exc:
+            print(f"alive-mutate: {exc}", file=sys.stderr)
+            return 2
+    todo = [job for job in jobs if job.job_index not in cached]
+    if cached:
+        print(f"alive-mutate: resuming {len(cached)} shards "
+              f"from {args.checkpoint}", file=sys.stderr)
+    try:
+        results = run_jobs(todo, workers=args.jobs,
+                           max_retries=args.max_job_retries,
+                           on_result=journal.append if journal else None)
+    finally:
+        if journal is not None:
+            journal.close()
+    results = sorted(list(cached.values()) + list(results),
+                     key=lambda shard: shard.job_index)
 
     total_iterations = 0
     total_findings = 0
-    errors = 0
+    parse_failures = 0
+    failed = 0
+    quarantined = 0
     for shard in results:
         label = shard.file_name if len(sources) > 1 \
             else f"{shard.file_name}[shard {shard.job_index}]"
-        if shard.error:
-            errors += 1
-            print(f"alive-mutate: {label}: shard failed: {shard.error}",
+        if shard.failure_kind == "quarantine":
+            quarantined += 1
+            print(f"alive-mutate: {label}: quarantined (seed {shard.seed}, "
+                  f"{shard.attempts} attempts): {shard.error}",
                   file=sys.stderr)
             continue
+        if shard.error:
+            failed += 1
+            kind = f" ({shard.failure_kind})" if shard.failure_kind else ""
+            print(f"alive-mutate: {label}: shard failed{kind}: "
+                  f"{shard.error}", file=sys.stderr)
+            continue
         if shard.parse_error:
-            errors += 1
-            print(f"alive-mutate: {label}: {shard.parse_error}",
-                  file=sys.stderr)
+            parse_failures += 1
+            print(f"alive-mutate: {label}: parse failure: "
+                  f"{shard.parse_error}", file=sys.stderr)
             continue
         for name, reason in shard.dropped_functions.items():
             print(f"alive-mutate: {label}: dropping @{name}: {reason}",
@@ -227,8 +304,13 @@ def _fuzz_sharded(config: FuzzConfig, args) -> int:
               f"in {shard.timings.total:.2f}s")
         for finding in shard.findings:
             print("  " + finding.summary())
+    health = ""
+    if parse_failures or failed or quarantined:
+        health = (f"; {parse_failures} parse failures, {failed} failed, "
+                  f"{quarantined} quarantined")
     print(f"total: {total_iterations} iterations, {total_findings} findings "
-          f"across {len(results)} shards ({max(1, args.jobs)} workers)")
+          f"across {len(results)} shards ({max(1, args.jobs)} workers)"
+          f"{health}")
     if total_findings:
         return 1
     if total_iterations == 0:

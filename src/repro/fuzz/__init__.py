@@ -1,14 +1,20 @@
 """Fuzzing harnesses: in-process driver, discrete baseline, corpus,
-radamsa study, bug campaign (sequential or sharded), the throughput
-experiment, and the ``Session`` facade tying them together."""
+radamsa study, bug campaign (sequential or sharded, with checkpoint/
+resume, watchdog deadlines, and quarantine), the fault-injection test
+harness, the throughput experiment, and the ``Session`` facade tying
+them together."""
 
 from .campaign import (JOB_SEED_STRIDE, BugOutcome, CampaignConfig,
-                       CampaignReport, ShardFailure, run_campaign)
+                       CampaignReport, QuarantinedJob, ShardFailure,
+                       run_campaign)
+from .checkpoint import (CheckpointError, CheckpointJournal,
+                         CheckpointMismatch, jobs_fingerprint)
 from .corpus import (ARCHETYPES, corpus_modules, generate_corpus,
                      generate_large_corpus)
 from .discrete import DiscreteConfig, DiscreteReport, run_discrete_workflow
-from .driver import (ConfigError, FuzzConfig, FuzzDriver, FuzzReport,
-                     StageTimings)
+from .driver import (ConfigError, DeadlineExceeded, FuzzConfig, FuzzDriver,
+                     FuzzReport, StageTimings)
+from .faults import FaultInjected, FaultSpec, FaultyRunner, damage_journal
 from .findings import CRASH, MISCOMPILATION, BugLog, Finding
 from .parallel import (CampaignExecutor, ShardJob, ShardResult, execute_job,
                        run_jobs)
@@ -21,11 +27,15 @@ from .throughput import (FileTiming, ThroughputConfig, ThroughputReport,
 
 __all__ = [
     "JOB_SEED_STRIDE", "BugOutcome", "CampaignConfig", "CampaignReport",
-    "ShardFailure", "run_campaign",
+    "QuarantinedJob", "ShardFailure", "run_campaign",
+    "CheckpointError", "CheckpointJournal", "CheckpointMismatch",
+    "jobs_fingerprint",
     "ARCHETYPES", "corpus_modules", "generate_corpus",
     "generate_large_corpus",
     "DiscreteConfig", "DiscreteReport", "run_discrete_workflow",
-    "ConfigError", "FuzzConfig", "FuzzDriver", "FuzzReport", "StageTimings",
+    "ConfigError", "DeadlineExceeded", "FuzzConfig", "FuzzDriver",
+    "FuzzReport", "StageTimings",
+    "FaultInjected", "FaultSpec", "FaultyRunner", "damage_journal",
     "CRASH", "MISCOMPILATION", "BugLog", "Finding",
     "CampaignExecutor", "ShardJob", "ShardResult", "execute_job", "run_jobs",
     "BORING", "INTERESTING", "INVALID", "ValidityStats", "classify_mutant",

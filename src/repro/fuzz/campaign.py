@@ -61,6 +61,22 @@ class CampaignConfig:
     # started; in-flight jobs are drained and merged, the rest are
     # counted in ``CampaignReport.skipped_jobs``.
     global_time_budget: Optional[float] = None
+    # -- resilience knobs (all opt-in; defaults preserve the fast path) --
+    # Per-job wall-clock deadline, seconds.  Enforced cooperatively at
+    # the driver's stage boundaries; with workers > 1 a supervisor
+    # additionally hard-kills any worker that exceeds
+    # ``job_deadline * grace_factor`` and records the job as a ``hang``.
+    job_deadline: Optional[float] = None
+    grace_factor: float = 2.0
+    # Jobs that hang or kill their worker are retried with exponential
+    # backoff (``retry_backoff * 2**attempt`` seconds) up to this many
+    # times, then quarantined into ``CampaignReport.quarantined``.
+    max_job_retries: int = 0
+    retry_backoff: float = 0.25
+    # Directory for the campaign's checkpoint journal.  Each completed
+    # shard is appended (fsync'd JSONL); ``execute(resume=True)`` skips
+    # already-journaled jobs and merges their cached results.
+    checkpoint_dir: Optional[str] = None
     # Per-job FuzzConfig template; each job gets a ``dataclasses.replace``
     # of it with the job's pipeline, seeds, and enabled bugs filled in.
     fuzz: FuzzConfig = field(default_factory=_default_fuzz_template)
@@ -95,6 +111,18 @@ class CampaignConfig:
                 and self.global_time_budget < 0:
             raise ConfigError(f"global_time_budget must be >= 0, "
                               f"got {self.global_time_budget}")
+        if self.job_deadline is not None and self.job_deadline <= 0:
+            raise ConfigError(
+                f"job_deadline must be positive, got {self.job_deadline}")
+        if self.grace_factor < 1.0:
+            raise ConfigError(
+                f"grace_factor must be >= 1, got {self.grace_factor}")
+        if self.max_job_retries < 0:
+            raise ConfigError(f"max_job_retries must be >= 0, "
+                              f"got {self.max_job_retries}")
+        if self.retry_backoff < 0:
+            raise ConfigError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}")
         for pipeline in self.pipelines:
             self.job_config(0, pipeline).validate(
                 iterations=self.mutants_per_file,
@@ -114,11 +142,35 @@ class BugOutcome:
 
 @dataclass
 class ShardFailure:
-    """A job whose worker died or raised — contained, not fatal."""
+    """A job whose worker died, hung, or raised — contained, not fatal.
+
+    ``kind`` classifies the failure: ``"error"`` (the job raised),
+    ``"hang"`` (deadline exceeded, cooperatively or via supervisor
+    kill), ``"crash"`` (the worker process died), or ``"parse"`` (the
+    seed file did not parse; these live in
+    :attr:`CampaignReport.parse_failures`).
+    """
 
     job_index: int
     file: str
     pipeline: str
+    error: str
+    kind: str = "error"
+
+
+@dataclass
+class QuarantinedJob:
+    """A poison job retired after exhausting its retry budget.
+
+    Carries everything needed to reproduce the kill outside the
+    campaign: the seed file, pipeline, and the job's driver base seed.
+    """
+
+    job_index: int
+    file: str
+    pipeline: str
+    seed: int
+    attempts: int
     error: str
 
 
@@ -135,8 +187,20 @@ class CampaignReport:
     timings: StageTimings = field(default_factory=StageTimings)
     worker_timings: Dict[str, StageTimings] = field(default_factory=dict)
     failed_shards: List[ShardFailure] = field(default_factory=list)
-    # Jobs never started because the global time budget expired.
+    # Seed files that did not parse (kind="parse"), recorded per job so
+    # a corrupt corpus member is visible instead of silently vanishing.
+    parse_failures: List[ShardFailure] = field(default_factory=list)
+    # Poison jobs retired after max_job_retries hang/crash retries.
+    quarantined: List[QuarantinedJob] = field(default_factory=list)
+    # Jobs never started because the global time budget expired or a
+    # graceful shutdown drained the campaign.
     skipped_jobs: int = 0
+    # Jobs whose results were merged from a checkpoint journal.
+    resumed_jobs: int = 0
+    # A SIGINT/SIGTERM (or CampaignExecutor.request_stop) interrupted
+    # the run; the report is a valid partial checkpointed state.
+    interrupted: bool = False
+    interrupt_signal: str = ""
 
     def found_bugs(self) -> List[BugOutcome]:
         return [o for o in self.outcomes.values() if o.found]
@@ -170,7 +234,33 @@ class CampaignReport:
         rows.append(f"found {len(self.found_bugs())} bugs: "
                     f"{miscompilations} miscompilations, {crashes} crashes "
                     f"(paper: 33 = 19 + 14)")
+        rows.extend(self.health_lines())
         return "\n".join(rows)
+
+    def health_lines(self) -> List[str]:
+        """Campaign-health footer: anything that did not run cleanly."""
+        lines: List[str] = []
+        if self.interrupted:
+            signal_name = self.interrupt_signal or "stop request"
+            lines.append(f"interrupted by {signal_name}; "
+                         f"partial report (checkpointed state is valid)")
+        if self.resumed_jobs:
+            lines.append(f"resumed {self.resumed_jobs} jobs from checkpoint")
+        for failure in self.parse_failures:
+            lines.append(f"parse failure: {failure.file} "
+                         f"[{failure.pipeline}]: {failure.error}")
+        for failure in self.failed_shards:
+            lines.append(f"failed shard ({failure.kind}): {failure.file} "
+                         f"[{failure.pipeline}] job {failure.job_index}: "
+                         f"{failure.error}")
+        for job in self.quarantined:
+            lines.append(f"quarantined: {job.file} [{job.pipeline}] "
+                         f"seed {job.seed} after {job.attempts} attempts: "
+                         f"{job.error}")
+        if self.skipped_jobs:
+            lines.append(f"skipped {self.skipped_jobs} jobs "
+                         f"(budget/shutdown)")
+        return lines
 
 
 def new_report(config: CampaignConfig) -> CampaignReport:
@@ -181,11 +271,15 @@ def new_report(config: CampaignConfig) -> CampaignReport:
         workers=config.workers)
 
 
-def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignReport:
+def run_campaign(config: Optional[CampaignConfig] = None,
+                 resume: bool = False) -> CampaignReport:
     """Run the campaign described by ``config`` and merge the report.
 
     Delegates to :class:`repro.fuzz.parallel.CampaignExecutor`;
     ``config.workers`` picks sequential (1) or sharded execution.
+    ``resume=True`` (requires ``config.checkpoint_dir``) skips jobs
+    already recorded in the checkpoint journal and merges their cached
+    results.
     """
     from .parallel import CampaignExecutor
-    return CampaignExecutor(config).execute()
+    return CampaignExecutor(config).execute(resume=resume)

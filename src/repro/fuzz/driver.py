@@ -33,6 +33,16 @@ class ConfigError(ValueError):
     """
 
 
+class DeadlineExceeded(Exception):
+    """A cooperative per-job wall-clock deadline expired mid-run.
+
+    Raised at stage boundaries of the fuzzing loop (never mid-stage) when
+    :attr:`FuzzDriver.deadline_at` has passed.  The campaign runtime
+    records the job as a ``hang`` failure; see
+    :mod:`repro.fuzz.parallel`.
+    """
+
+
 @dataclass
 class FuzzConfig:
     pipeline: str = "O2"
@@ -131,6 +141,10 @@ class FuzzDriver:
         self.log = BugLog(self.config.log_path)
         self.report = FuzzReport()
         self.module = module
+        # Cooperative watchdog: an absolute ``time.monotonic()`` deadline
+        # (or None).  Checked at stage boundaries; on expiry the loop
+        # raises DeadlineExceeded instead of starting the next stage.
+        self.deadline_at: Optional[float] = None
         self._preprocess()
         self.mutator = Mutator(module, self._mutator_config())
 
@@ -187,6 +201,19 @@ class FuzzDriver:
     def target_functions(self) -> List[str]:
         return list(self._targets)
 
+    def set_deadline(self, seconds: Optional[float]) -> None:
+        """Arm the cooperative deadline ``seconds`` from now (None disarms)."""
+        self.deadline_at = (None if seconds is None
+                            else time.monotonic() + seconds)
+
+    def check_deadline(self) -> None:
+        """Raise :class:`DeadlineExceeded` if the armed deadline passed."""
+        if self.deadline_at is not None \
+                and time.monotonic() >= self.deadline_at:
+            raise DeadlineExceeded(
+                f"cooperative job deadline exceeded while fuzzing "
+                f"{self.file_name or 'input'}")
+
     # -- the loop (paper §III-B..E) ---------------------------------------------
 
     def run(self, iterations: Optional[int] = None,
@@ -216,6 +243,7 @@ class FuzzDriver:
             if time_budget is not None \
                     and time.perf_counter() - started >= time_budget:
                 break
+            self.check_deadline()
             finding = self.run_one(self.config.base_seed + i)
             i += 1
             if finding and self.config.stop_on_first_finding:
@@ -238,6 +266,7 @@ class FuzzDriver:
         if self.config.save_all:
             self._save(mutant, seed)
 
+        self.check_deadline()
         begin = time.perf_counter()
         optimized = mutant.clone()
         ctx = OptContext(self.config.enabled_bugs)
@@ -258,6 +287,7 @@ class FuzzDriver:
                 self._save(mutant, seed)
             return found
 
+        self.check_deadline()
         begin = time.perf_counter()
         for name in self._targets:
             source = mutant.get_function(name)

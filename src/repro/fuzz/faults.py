@@ -1,0 +1,137 @@
+"""Deterministic fault injection for the campaign runtime.
+
+Long-running fuzzing infrastructure has to be tested against the
+failures it claims to survive: raising jobs, hung workers, workers that
+die outright, and supervisors killed mid-journal-append.  This module
+provides a :class:`FaultyRunner` — a picklable
+:data:`~repro.fuzz.parallel.JobRunner` wrapper that injects those
+faults *by job index*, so every fault-tolerance path can be exercised
+deterministically — plus :func:`damage_journal`, which simulates the
+one on-disk failure mode of the checkpoint journal (a crash mid-append
+leaving a truncated trailing record).
+
+>>> runner = FaultyRunner({3: FaultSpec("exit")}, state_dir=tmp)
+>>> CampaignExecutor(config, job_runner=runner).execute()
+
+Faults can be limited to the first ``times`` attempts
+(``FaultSpec("exit", times=1)`` dies once, then succeeds on retry),
+which requires ``state_dir`` — attempts are counted in files because
+retries of a killed job run in a *fresh worker process*, where
+in-memory counters would reset.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .parallel import ShardJob, ShardResult, execute_job
+
+__all__ = ["FaultInjected", "FaultSpec", "FaultyRunner", "damage_journal"]
+
+
+class FaultInjected(RuntimeError):
+    """The exception a ``raise`` fault throws inside the worker."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault.
+
+    ``action`` is one of:
+
+    * ``"raise"`` — raise :class:`FaultInjected` (contained in-worker,
+      becomes a failed shard);
+    * ``"hang"`` — sleep ``seconds`` (default effectively forever),
+      simulating a pathological mutant that never terminates; only the
+      watchdog can end it;
+    * ``"exit"`` — ``os._exit(code)``, killing the worker process with
+      no Python cleanup (the poison-job case).
+
+    ``times`` limits the fault to the first N attempts of the job
+    (None = every attempt), letting tests distinguish transient faults
+    (retry succeeds) from persistent ones (quarantine).
+    """
+
+    action: str
+    times: Optional[int] = None
+    seconds: float = 3600.0
+    code: int = 23
+
+
+class FaultyRunner:
+    """A job runner that injects faults for chosen job indexes.
+
+    Picklable (plain data attributes + module-level base runner), so it
+    crosses the process boundary into pool and supervised workers
+    exactly like the real runner.
+    """
+
+    def __init__(self, faults: Dict[int, FaultSpec],
+                 state_dir: Optional[str] = None) -> None:
+        self.faults = dict(faults)
+        self.state_dir = state_dir
+        if any(spec.times is not None for spec in self.faults.values()) \
+                and state_dir is None:
+            raise ValueError("FaultSpec.times needs state_dir to count "
+                             "attempts across worker processes")
+
+    def __call__(self, job: ShardJob) -> ShardResult:
+        spec = self.faults.get(job.job_index)
+        if spec is not None and self._armed(job.job_index, spec):
+            self._fire(spec)
+        return execute_job(job)
+
+    # -- internals ----------------------------------------------------------
+
+    def _armed(self, job_index: int, spec: FaultSpec) -> bool:
+        if spec.times is None:
+            return True
+        attempt = self._bump_attempt(job_index)
+        return attempt <= spec.times
+
+    def _bump_attempt(self, job_index: int) -> int:
+        assert self.state_dir is not None
+        os.makedirs(self.state_dir, exist_ok=True)
+        path = os.path.join(self.state_dir, f"job-{job_index}.attempts")
+        try:
+            with open(path) as stream:
+                attempt = int(stream.read().strip() or 0) + 1
+        except (OSError, ValueError):
+            attempt = 1
+        with open(path, "w") as stream:
+            stream.write(str(attempt))
+        return attempt
+
+    def _fire(self, spec: FaultSpec) -> None:
+        if spec.action == "raise":
+            raise FaultInjected("injected fault: raise")
+        if spec.action == "hang":
+            time.sleep(spec.seconds)
+            return
+        if spec.action == "exit":
+            os._exit(spec.code)
+        raise ValueError(f"unknown fault action {spec.action!r}")
+
+
+def damage_journal(path: str, keep_bytes: int = 20) -> None:
+    """Simulate a supervisor crash mid-append on a checkpoint journal.
+
+    Truncates the journal's final record to its first ``keep_bytes``
+    bytes with no trailing newline — exactly what a kill between
+    ``write`` and the completing newline+fsync leaves behind.  Resume
+    must detect the damaged tail, drop it, and re-run that job.
+    """
+    with open(path, "rb") as stream:
+        raw = stream.read()
+    body = raw.rstrip(b"\n")
+    cut = body.rfind(b"\n")
+    if cut < 0:
+        raise ValueError(f"{path}: journal has no complete record to damage")
+    last = body[cut + 1:]
+    with open(path, "wb") as stream:
+        stream.write(body[:cut + 1] + last[:keep_bytes])
+        stream.flush()
+        os.fsync(stream.fileno())

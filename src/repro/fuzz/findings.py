@@ -9,6 +9,7 @@ file-saving turned on).
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -51,10 +52,18 @@ class Finding:
 
 
 class BugLog:
-    """Append-only JSONL log of findings, with optional file backing."""
+    """Append-only JSONL log of findings, with optional file backing.
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    ``fsync=True`` makes every :meth:`record` durable against a process
+    crash (flush + ``os.fsync`` per line); :meth:`load` tolerates the
+    resulting failure mode — a truncated trailing line from a crash
+    mid-append — by dropping the damaged tail instead of raising.
+    """
+
+    def __init__(self, path: Optional[str] = None,
+                 fsync: bool = False) -> None:
         self.path = path
+        self.fsync = fsync
         self.findings: List[Finding] = []
 
     def record(self, finding: Finding) -> None:
@@ -62,6 +71,9 @@ class BugLog:
         if self.path:
             with open(self.path, "a") as stream:
                 stream.write(finding.to_json() + "\n")
+                if self.fsync:
+                    stream.flush()
+                    os.fsync(stream.fileno())
 
     def miscompilations(self) -> List[Finding]:
         return [f for f in self.findings if f.kind == MISCOMPILATION]
@@ -78,10 +90,27 @@ class BugLog:
 
     @classmethod
     def load(cls, path: str) -> "BugLog":
+        """Load a findings log written by :meth:`record`.
+
+        A record is only complete once its trailing newline is on disk,
+        so a crash mid-append leaves at most one damaged *final* line;
+        that line is dropped.  Damage anywhere else is real corruption
+        and still raises ``json.JSONDecodeError``.
+        """
         log = cls()
         with open(path) as stream:
-            for line in stream:
-                line = line.strip()
-                if line:
-                    log.findings.append(Finding.from_json(line))
+            text = stream.read()
+        lines = [line for line in text.split("\n") if line.strip()]
+        ends_complete = text.endswith("\n")
+        for position, line in enumerate(lines):
+            last = position == len(lines) - 1
+            try:
+                finding = Finding.from_json(line)
+            except (json.JSONDecodeError, KeyError):
+                if last:
+                    break  # truncated trailing record: crash mid-append
+                raise
+            if last and not ends_complete:
+                break  # complete-looking JSON but the newline never landed
+            log.findings.append(finding)
         return log

@@ -31,17 +31,20 @@ never-started remainder is reported as skipped.
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
+from collections import deque
 from concurrent.futures import (BrokenExecutor, CancelledError,
                                 ProcessPoolExecutor, as_completed)
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..ir.parser import ParseError, parse_module
-from .campaign import (CampaignConfig, CampaignReport, ShardFailure,
-                       new_report)
+from .campaign import (CampaignConfig, CampaignReport, QuarantinedJob,
+                       ShardFailure, new_report)
 from .corpus import generate_corpus
-from .driver import FuzzConfig, FuzzDriver, StageTimings
+from .driver import DeadlineExceeded, FuzzConfig, FuzzDriver, StageTimings
 from .findings import Finding
 
 __all__ = ["CampaignExecutor", "ShardJob", "ShardResult", "execute_job",
@@ -59,6 +62,10 @@ class ShardJob:
     iterations: Optional[int] = None
     time_budget: Optional[float] = None
     confirm_attributions: bool = False
+    # Per-job wall-clock deadline, seconds.  Enforced cooperatively at
+    # the driver's stage boundaries; the supervised scheduler also
+    # hard-kills workers at ``deadline * grace_factor``.
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -69,6 +76,9 @@ class ShardResult:
     file_name: str
     pipeline: str = ""
     worker: str = ""
+    # The job's driver base seed, carried for reproducibility of
+    # failed/quarantined shards.
+    seed: int = -1
     iterations: int = 0
     findings: List[Finding] = field(default_factory=list)
     # For findings[i], the bug ids that survived solo-replay confirmation
@@ -78,46 +88,72 @@ class ShardResult:
     timings: StageTimings = field(default_factory=StageTimings)
     parse_error: str = ""
     error: str = ""
+    # Classifies a non-empty ``error``: "error" (raised), "hang"
+    # (deadline exceeded), "crash" (worker process died), "quarantine"
+    # (retired after exhausting hang/crash retries).
+    failure_kind: str = ""
+    attempts: int = 1
 
 
 JobRunner = Callable[[ShardJob], ShardResult]
+
+# Supervisor-side results never produced by a worker use this marker.
+_KIND_HANG = "hang"
+_KIND_CRASH = "crash"
+_KIND_QUARANTINE = "quarantine"
 
 
 def execute_job(job: ShardJob) -> ShardResult:
     """Run one job: parse, fuzz, confirm attributions.
 
     This is the loop body of the old sequential campaign, extracted so
-    the sequential and sharded paths share it verbatim.
+    the sequential and sharded paths share it verbatim.  A cooperative
+    ``job.deadline`` covers the whole job — fuzzing *and* attribution
+    confirmation — and turns an overrun into a ``hang`` shard.
     """
     result = ShardResult(job_index=job.job_index, file_name=job.file_name,
-                         pipeline=job.config.pipeline, worker=_worker_id())
+                         pipeline=job.config.pipeline, worker=_worker_id(),
+                         seed=job.config.base_seed)
     try:
         module = parse_module(job.text, job.file_name)
     except ParseError as exc:
         result.parse_error = str(exc)
         return result
-    driver = FuzzDriver(module, job.config, file_name=job.file_name)
-    report = driver.run(iterations=job.iterations,
-                        time_budget=job.time_budget)
-    result.iterations = report.iterations
-    result.findings = report.findings
-    result.dropped_functions = dict(report.dropped_functions)
-    result.timings = report.timings
-    confirm_cache: Dict[str, FuzzDriver] = {}
-    for finding in report.findings:
-        if job.confirm_attributions and len(finding.bug_ids) > 1:
-            confirmed = [bug_id for bug_id in finding.bug_ids
-                         if _confirm(module, job.file_name, bug_id, finding,
-                                     job.config, confirm_cache)]
-        else:
-            confirmed = list(finding.bug_ids)
-        result.confirmed_bug_ids.append(confirmed)
+    deadline_at = (None if job.deadline is None
+                   else time.monotonic() + job.deadline)
+    try:
+        driver = FuzzDriver(module, job.config, file_name=job.file_name)
+        driver.deadline_at = deadline_at
+        report = driver.run(iterations=job.iterations,
+                            time_budget=job.time_budget)
+        result.iterations = report.iterations
+        result.findings = report.findings
+        result.dropped_functions = dict(report.dropped_functions)
+        result.timings = report.timings
+        confirm_cache: Dict[str, FuzzDriver] = {}
+        for finding in report.findings:
+            driver.check_deadline()
+            if job.confirm_attributions and len(finding.bug_ids) > 1:
+                confirmed = [bug_id for bug_id in finding.bug_ids
+                             if _confirm(module, job.file_name, bug_id,
+                                         finding, job.config, confirm_cache,
+                                         deadline_at)]
+            else:
+                confirmed = list(finding.bug_ids)
+            result.confirmed_bug_ids.append(confirmed)
+    except DeadlineExceeded as exc:
+        return ShardResult(job_index=job.job_index, file_name=job.file_name,
+                           pipeline=job.config.pipeline, worker=_worker_id(),
+                           seed=job.config.base_seed,
+                           error=f"{exc} (deadline {job.deadline}s)",
+                           failure_kind=_KIND_HANG)
     return result
 
 
 def _confirm(module, file_name: str, bug_id: str, finding: Finding,
              base_config: FuzzConfig,
-             cache: Dict[str, FuzzDriver]) -> bool:
+             cache: Dict[str, FuzzDriver],
+             deadline_at: Optional[float] = None) -> bool:
     """Replay the finding's seed with only ``bug_id`` enabled."""
     driver = cache.get(bug_id)
     if driver is None:
@@ -129,6 +165,7 @@ def _confirm(module, file_name: str, bug_id: str, finding: Finding,
             base_seed=base_config.base_seed,
         )
         driver = FuzzDriver(module, solo_config, file_name=file_name)
+        driver.deadline_at = deadline_at
         cache[bug_id] = driver
     replayed = driver.run_one(finding.seed)
     return any(bug_id in f.bug_ids for f in replayed)
@@ -138,10 +175,11 @@ def _worker_id() -> str:
     return f"pid-{os.getpid()}"
 
 
-def _failure(job: ShardJob, error: str) -> ShardResult:
+def _failure(job: ShardJob, error: str, kind: str = "") -> ShardResult:
     return ShardResult(job_index=job.job_index, file_name=job.file_name,
                        pipeline=job.config.pipeline, worker=_worker_id(),
-                       error=error)
+                       seed=job.config.base_seed, error=error,
+                       failure_kind=kind)
 
 
 def _call_runner(runner: JobRunner, job: ShardJob) -> ShardResult:
@@ -157,58 +195,119 @@ def _call_runner(runner: JobRunner, job: ShardJob) -> ShardResult:
 # ---------------------------------------------------------------------------
 
 
+ResultSink = Optional[Callable[[ShardResult], None]]
+StopFlag = Optional[Callable[[], bool]]
+
+
 def run_jobs(jobs: Sequence[ShardJob], workers: int = 1,
              runner: JobRunner = execute_job,
-             time_budget: Optional[float] = None) -> List[ShardResult]:
+             time_budget: Optional[float] = None,
+             grace_factor: float = 2.0,
+             max_retries: int = 0,
+             retry_backoff: float = 0.25,
+             on_result: ResultSink = None,
+             should_stop: StopFlag = None) -> List[ShardResult]:
     """Run ``jobs`` and return their results ordered by job index.
 
     ``workers <= 1`` runs on the calling process; otherwise jobs are
-    sharded across a process pool.  Jobs skipped by the ``time_budget``
-    have no entry in the returned list.
+    sharded across worker processes.  Jobs skipped by the
+    ``time_budget`` (or a true ``should_stop``) have no entry in the
+    returned list.  ``on_result`` is invoked on the calling process for
+    every *terminal* result, in completion order — the checkpoint
+    journal hangs off this hook.
+
+    Two multi-worker schedulers exist: the plain process *pool* (the
+    fast path), and a process-per-job *supervised* scheduler that adds
+    a hard watchdog kill at ``deadline * grace_factor`` plus bounded
+    hang/crash retries.  The supervised path engages automatically when
+    any job carries a deadline or ``max_retries > 0``.
     """
     if workers <= 1:
-        return _run_sequential(jobs, runner, time_budget)
-    return _run_pool(jobs, workers, runner, time_budget)
+        return _run_sequential(jobs, runner, time_budget, on_result,
+                               should_stop)
+    if max_retries > 0 or any(job.deadline is not None for job in jobs):
+        return _run_supervised(jobs, workers, runner, time_budget,
+                               grace_factor, max_retries, retry_backoff,
+                               on_result, should_stop)
+    return _run_pool(jobs, workers, runner, time_budget, on_result,
+                     should_stop)
+
+
+def _emit(results: Dict[int, ShardResult], on_result: ResultSink,
+          result: ShardResult) -> None:
+    results[result.job_index] = result
+    if on_result is not None:
+        on_result(result)
 
 
 def _run_sequential(jobs: Sequence[ShardJob], runner: JobRunner,
-                    time_budget: Optional[float]) -> List[ShardResult]:
+                    time_budget: Optional[float],
+                    on_result: ResultSink = None,
+                    should_stop: StopFlag = None) -> List[ShardResult]:
     started = time.perf_counter()
-    results: List[ShardResult] = []
+    results: Dict[int, ShardResult] = {}
     for job in jobs:
         if time_budget is not None \
                 and time.perf_counter() - started >= time_budget:
             break
-        results.append(_call_runner(runner, job))
-    return results
+        if should_stop is not None and should_stop():
+            break
+        _emit(results, on_result, _call_runner(runner, job))
+    return [results[index] for index in sorted(results)]
+
+
+def _init_worker_signals() -> None:
+    """Pool/supervised worker initializer: the supervisor owns signals.
+
+    A Ctrl-C hits the whole foreground process group; workers must not
+    die mid-job or the graceful drain would record phantom crashes, so
+    SIGINT is ignored.  SIGTERM goes back to the default action —
+    forked workers inherit the supervisor's drain handler, which would
+    otherwise shrug off the watchdog's ``terminate()``.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # non-main thread or exotic platform
+        pass
 
 
 def _run_pool(jobs: Sequence[ShardJob], workers: int, runner: JobRunner,
-              time_budget: Optional[float]) -> List[ShardResult]:
+              time_budget: Optional[float],
+              on_result: ResultSink = None,
+              should_stop: StopFlag = None) -> List[ShardResult]:
     started = time.perf_counter()
 
     def expired() -> bool:
-        return time_budget is not None \
-            and time.perf_counter() - started >= time_budget
+        if time_budget is not None \
+                and time.perf_counter() - started >= time_budget:
+            return True
+        return should_stop is not None and should_stop()
 
     results: Dict[int, ShardResult] = {}
     suspects: List[ShardJob] = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ProcessPoolExecutor(max_workers=workers,
+                             initializer=_init_worker_signals) as pool:
         futures = {}
         for job in jobs:
             if expired():
                 break
             futures[pool.submit(_call_runner, runner, job)] = job
+        cancelled = False
         for future in as_completed(futures):
-            if expired():
+            if expired() and not cancelled:
                 # Graceful early shutdown: cancel what has not started
                 # (running futures are not cancellable and get drained by
-                # as_completed / pool shutdown below).
+                # as_completed / pool shutdown below).  Once is enough —
+                # cancelling an already-cancelled/running future is a
+                # no-op, so re-walking the set per completion would only
+                # add O(n^2) churn.
+                cancelled = True
                 for pending in futures:
                     pending.cancel()
             job = futures[future]
             try:
-                results[job.job_index] = future.result()
+                _emit(results, on_result, future.result())
             except CancelledError:
                 continue  # skipped by the budget
             except BrokenExecutor:
@@ -217,12 +316,12 @@ def _run_pool(jobs: Sequence[ShardJob], workers: int, runner: JobRunner,
                 # each suspect is retried in isolation below.
                 suspects.append(job)
             except Exception as exc:  # noqa: BLE001
-                results[job.job_index] = _failure(
-                    job, f"{type(exc).__name__}: {exc}")
+                _emit(results, on_result,
+                      _failure(job, f"{type(exc).__name__}: {exc}"))
     for job in sorted(suspects, key=lambda j: j.job_index):
         if expired():
             continue
-        results[job.job_index] = _retry_in_isolation(runner, job)
+        _emit(results, on_result, _retry_in_isolation(runner, job))
     return [results[index] for index in sorted(results)]
 
 
@@ -234,16 +333,223 @@ def _retry_in_isolation(runner: JobRunner, job: ShardJob) -> ShardResult:
     innocent bystanders complete normally.
     """
     try:
-        with ProcessPoolExecutor(max_workers=1) as solo:
+        with ProcessPoolExecutor(max_workers=1,
+                                 initializer=_init_worker_signals) as solo:
             return solo.submit(_call_runner, runner, job).result()
     except Exception as exc:  # noqa: BLE001 — typically BrokenProcessPool
         return _failure(job, f"worker process died: "
-                             f"{type(exc).__name__}: {exc}")
+                             f"{type(exc).__name__}: {exc}",
+                        kind=_KIND_CRASH)
+
+
+# ---------------------------------------------------------------------------
+# The supervised scheduler: process-per-job with watchdog + retries.
+# ---------------------------------------------------------------------------
+
+
+def _supervised_worker(runner: JobRunner, job: ShardJob, conn) -> None:
+    """Worker entry: run one job, ship the result back, exit."""
+    _init_worker_signals()
+    result = _call_runner(runner, job)
+    try:
+        conn.send(result)
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    job: ShardJob
+    attempt: int
+    conn: object
+    kill_at: Optional[float]
+
+
+def _run_supervised(jobs: Sequence[ShardJob], workers: int,
+                    runner: JobRunner, time_budget: Optional[float],
+                    grace_factor: float, max_retries: int,
+                    retry_backoff: float,
+                    on_result: ResultSink = None,
+                    should_stop: StopFlag = None) -> List[ShardResult]:
+    """Process-per-job scheduling with hard hang containment.
+
+    Unlike the shared pool, every job owns a dedicated worker process
+    whose start time the supervisor knows, so a worker that blows
+    through ``deadline * grace_factor`` is killed (``terminate`` then
+    ``kill``) and the job is recorded as a ``hang`` — the cooperative
+    in-worker deadline is the first line of defense, this timer is the
+    backstop for jobs stuck inside a single stage.  Jobs that hang or
+    kill their worker are retried with exponential backoff up to
+    ``max_retries`` times, then retired as ``quarantine`` results.
+    """
+    import multiprocessing as mp
+    from multiprocessing.connection import wait as conn_wait
+
+    ctx = mp.get_context()
+    started = time.perf_counter()
+
+    def stopping() -> bool:
+        if time_budget is not None \
+                and time.perf_counter() - started >= time_budget:
+            return True
+        return should_stop is not None and should_stop()
+
+    pending = deque((job, 1) for job in jobs)
+    delayed: List[Tuple[float, ShardJob, int]] = []
+    running: Dict[object, _Running] = {}
+    results: Dict[int, ShardResult] = {}
+
+    def settle_failure(job: ShardJob, attempt: int, kind: str,
+                       detail: str) -> None:
+        """Retry a hang/crash while budget remains, else retire it."""
+        if attempt <= max_retries:
+            delay = retry_backoff * (2 ** (attempt - 1))
+            delayed.append((time.perf_counter() + delay, job, attempt + 1))
+            return
+        terminal_kind = kind if max_retries == 0 else _KIND_QUARANTINE
+        if terminal_kind == _KIND_QUARANTINE:
+            detail = (f"quarantined after {attempt} attempts; "
+                      f"last failure ({kind}): {detail}")
+        result = _failure(job, detail, kind=terminal_kind)
+        result.attempts = attempt
+        _emit(results, on_result, result)
+
+    def reap(proc, record: _Running, now: float) -> bool:
+        """Handle one running worker; True if it left the running set."""
+        if record.conn.poll():
+            try:
+                result = record.conn.recv()
+            except (EOFError, OSError):
+                result = None
+            record.conn.close()
+            proc.join()
+            del running[proc]
+            if result is None:
+                settle_failure(record.job, record.attempt, _KIND_CRASH,
+                               "worker process died mid-result")
+            elif result.failure_kind == _KIND_HANG:
+                result.attempts = record.attempt
+                settle_failure(record.job, record.attempt, _KIND_HANG,
+                               result.error)
+            else:
+                result.attempts = record.attempt
+                _emit(results, on_result, result)
+            return True
+        if not proc.is_alive():
+            exitcode = proc.exitcode
+            record.conn.close()
+            proc.join()
+            del running[proc]
+            settle_failure(record.job, record.attempt, _KIND_CRASH,
+                           f"worker process died (exit code {exitcode})")
+            return True
+        if record.kill_at is not None and now >= record.kill_at:
+            proc.terminate()
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+            record.conn.close()
+            del running[proc]
+            settle_failure(
+                record.job, record.attempt, _KIND_HANG,
+                f"worker killed after exceeding deadline "
+                f"({record.job.deadline}s x grace {grace_factor})")
+            return True
+        return False
+
+    while pending or delayed or running:
+        now = time.perf_counter()
+        if stopping():
+            # Drain mode: nothing new starts, retries are abandoned
+            # (the jobs re-run on resume), in-flight workers finish
+            # under the watchdog.
+            pending.clear()
+            delayed.clear()
+        else:
+            ready = [entry for entry in delayed if entry[0] <= now]
+            for entry in ready:
+                delayed.remove(entry)
+                pending.append((entry[1], entry[2]))
+            while pending and len(running) < workers:
+                job, attempt = pending.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(target=_supervised_worker,
+                                   args=(runner, job, child_conn))
+                proc.daemon = True
+                proc.start()
+                child_conn.close()
+                kill_at = (None if job.deadline is None
+                           else time.perf_counter()
+                           + job.deadline * grace_factor)
+                running[proc] = _Running(job=job, attempt=attempt,
+                                         conn=parent_conn, kill_at=kill_at)
+        now = time.perf_counter()
+        for proc in list(running):
+            reap(proc, running[proc], now)
+        if running:
+            conn_wait([record.conn for record in running.values()],
+                      timeout=0.02)
+        elif delayed and not pending:
+            time.sleep(min(0.02, max(0.0, min(entry[0] for entry in delayed)
+                                     - time.perf_counter())))
+    return [results[index] for index in sorted(results)]
 
 
 # ---------------------------------------------------------------------------
 # The campaign engine.
 # ---------------------------------------------------------------------------
+
+
+class _StopState:
+    """Shared flag between the signal handlers and the schedulers."""
+
+    def __init__(self) -> None:
+        self.requested = False
+        self.signal_name = ""
+
+    def request(self, signal_name: str = "") -> None:
+        self.requested = True
+        if signal_name and not self.signal_name:
+            self.signal_name = signal_name
+
+
+class _SignalGuard:
+    """Install SIGINT/SIGTERM drain handlers for the execute() scope.
+
+    Only the main thread may install handlers; elsewhere (an executor
+    driven from a worker thread) the guard degrades to a no-op and
+    graceful shutdown remains available via
+    :meth:`CampaignExecutor.request_stop`.
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self, stop: _StopState) -> None:
+        self._stop = stop
+        self._previous: Dict[int, object] = {}
+
+    def __enter__(self) -> "_SignalGuard":
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        for signum in self.SIGNALS:
+            try:
+                self._previous[signum] = signal.signal(
+                    signum, self._handle)
+            except (ValueError, OSError):
+                pass
+        return self
+
+    def _handle(self, signum, _frame) -> None:
+        self._stop.request(signal.Signals(signum).name)
+
+    def __exit__(self, *_exc) -> None:
+        for signum, handler in self._previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError, TypeError):
+                pass
+        self._previous.clear()
 
 
 class CampaignExecutor:
@@ -253,6 +559,15 @@ class CampaignExecutor:
     ``(file_name, text)`` pairs (the :class:`~repro.fuzz.session.Session`
     facade uses this).  ``job_runner`` swaps the per-job entry point —
     useful for fault-injection tests and custom execution strategies.
+
+    With ``config.checkpoint_dir`` set, every terminal shard result is
+    journaled durably as it completes, and :meth:`execute` with
+    ``resume=True`` skips already-journaled jobs, merging their cached
+    results in job-index order — so a killed campaign resumes with
+    findings identical to an uninterrupted run.  SIGINT/SIGTERM (or
+    :meth:`request_stop`) triggers a graceful drain: no new jobs start,
+    in-flight ones finish and are journaled, and the returned report is
+    a valid partial state with ``interrupted`` set.
     """
 
     def __init__(self, config: Optional[CampaignConfig] = None,
@@ -261,6 +576,15 @@ class CampaignExecutor:
         self.config = config or CampaignConfig()
         self._corpus = corpus
         self._runner = job_runner
+        self._stop = _StopState()
+
+    def request_stop(self) -> None:
+        """Ask :meth:`execute` to drain and return (thread-safe).
+
+        Sticky: a request made before ``execute`` starts still applies
+        (the run drains immediately, journaling nothing new).
+        """
+        self._stop.request()
 
     def build_jobs(self) -> List[ShardJob]:
         """The (file × pipeline) matrix, one picklable job per cell."""
@@ -273,22 +597,50 @@ class CampaignExecutor:
                      config=config.job_config(job_index, pipeline),
                      iterations=config.mutants_per_file,
                      time_budget=config.time_budget,
-                     confirm_attributions=config.confirm_attributions)
+                     confirm_attributions=config.confirm_attributions,
+                     deadline=config.job_deadline)
             for job_index, (file_name, text, pipeline) in enumerate(
                 (file_name, text, pipeline)
                 for file_name, text in corpus
                 for pipeline in config.pipelines)
         ]
 
-    def execute(self) -> CampaignReport:
-        self.config.validate()
-        report = new_report(self.config)
+    def execute(self, resume: bool = False) -> CampaignReport:
+        from .checkpoint import CheckpointJournal, jobs_fingerprint
+        config = self.config
+        config.validate()
+        if resume and not config.checkpoint_dir:
+            raise ValueError("resume=True requires config.checkpoint_dir")
+        report = new_report(config)
         started = time.perf_counter()
         jobs = self.build_jobs()
-        results = run_jobs(jobs, workers=self.config.workers,
-                           runner=self._runner,
-                           time_budget=self.config.global_time_budget)
-        self._merge(report, jobs, results)
+        journal: Optional[CheckpointJournal] = None
+        cached: Dict[int, ShardResult] = {}
+        if config.checkpoint_dir:
+            journal = CheckpointJournal(config.checkpoint_dir)
+            cached = journal.start(jobs_fingerprint(jobs),
+                                   total_jobs=len(jobs), resume=resume)
+        todo = [job for job in jobs if job.job_index not in cached]
+        stop = self._stop
+        try:
+            with _SignalGuard(stop):
+                results = run_jobs(
+                    todo, workers=config.workers, runner=self._runner,
+                    time_budget=config.global_time_budget,
+                    grace_factor=config.grace_factor,
+                    max_retries=config.max_job_retries,
+                    retry_backoff=config.retry_backoff,
+                    on_result=journal.append if journal else None,
+                    should_stop=lambda: stop.requested)
+        finally:
+            if journal is not None:
+                journal.close()
+        merged = sorted(list(cached.values()) + list(results),
+                        key=lambda result: result.job_index)
+        self._merge(report, jobs, merged)
+        report.resumed_jobs = len(cached)
+        report.interrupted = stop.requested
+        report.interrupt_signal = stop.signal_name
         report.elapsed = time.perf_counter() - started
         return report
 
@@ -296,12 +648,23 @@ class CampaignExecutor:
                results: Sequence[ShardResult]) -> None:
         """Fold shard results (already job-index ordered) into the report."""
         for shard in results:
+            if shard.failure_kind == _KIND_QUARANTINE:
+                report.quarantined.append(QuarantinedJob(
+                    job_index=shard.job_index, file=shard.file_name,
+                    pipeline=shard.pipeline, seed=shard.seed,
+                    attempts=shard.attempts, error=shard.error))
+                continue
             if shard.error:
                 report.failed_shards.append(ShardFailure(
                     job_index=shard.job_index, file=shard.file_name,
-                    pipeline=shard.pipeline, error=shard.error))
+                    pipeline=shard.pipeline, error=shard.error,
+                    kind=shard.failure_kind or "error"))
                 continue
             if shard.parse_error:
+                report.parse_failures.append(ShardFailure(
+                    job_index=shard.job_index, file=shard.file_name,
+                    pipeline=shard.pipeline, error=shard.parse_error,
+                    kind="parse"))
                 continue
             report.total_iterations += shard.iterations
             report.total_findings += len(shard.findings)

@@ -105,13 +105,20 @@ class Session:
         return merged
 
     def run_campaign(self, campaign: Optional[CampaignConfig] = None,
-                     workers: Optional[int] = None) -> CampaignReport:
-        """The Table-I campaign over this session's sources."""
+                     workers: Optional[int] = None,
+                     resume: bool = False) -> CampaignReport:
+        """The Table-I campaign over this session's sources.
+
+        ``resume=True`` (requires ``campaign.checkpoint_dir``) merges
+        results journaled by a previous — possibly killed — run and
+        fuzzes only the remaining jobs.
+        """
         from .parallel import CampaignExecutor
         config = campaign or self.campaign_config or CampaignConfig()
         if workers is not None:
             config = replace(config, workers=workers)
-        return CampaignExecutor(config, corpus=self.sources).execute()
+        executor = CampaignExecutor(config, corpus=self.sources)
+        return executor.execute(resume=resume)
 
     def replay(self, seed: int, index: int = 0) -> Module:
         """Re-create the mutant a finding's seed denotes (paper §III-E)."""

@@ -181,6 +181,47 @@ class TestFindings:
         assert len(log.miscompilations()) == 1
         assert len(log.attributed_bug_ids()["52884"]) == 2
 
+    def test_bug_log_fsync_records_durably(self, tmp_path):
+        path = str(tmp_path / "findings.jsonl")
+        log = BugLog(path, fsync=True)
+        log.record(Finding(kind=CRASH, seed=1, bug_ids=["52884"]))
+        log.record(Finding(kind=MISCOMPILATION, seed=2, bug_ids=["53252"]))
+        loaded = BugLog.load(path)
+        assert [f.seed for f in loaded.findings] == [1, 2]
+
+    def test_bug_log_load_drops_truncated_trailing_line(self, tmp_path):
+        path = str(tmp_path / "findings.jsonl")
+        log = BugLog(path)
+        log.record(Finding(kind=CRASH, seed=1, bug_ids=["52884"]))
+        log.record(Finding(kind=CRASH, seed=2, bug_ids=["52884"]))
+        with open(path) as stream:
+            text = stream.read()
+        # A crash mid-append leaves a partial final line with no newline.
+        with open(path, "w") as stream:
+            stream.write(text[:-20])
+        loaded = BugLog.load(path)
+        assert [f.seed for f in loaded.findings] == [1]
+
+    def test_bug_log_load_drops_newline_less_parsable_tail(self, tmp_path):
+        path = str(tmp_path / "findings.jsonl")
+        log = BugLog(path)
+        log.record(Finding(kind=CRASH, seed=1, bug_ids=["52884"]))
+        with open(path, "a") as stream:  # complete JSON, newline lost
+            stream.write(Finding(kind=CRASH, seed=2).to_json())
+        loaded = BugLog.load(path)
+        assert [f.seed for f in loaded.findings] == [1]
+
+    def test_bug_log_load_raises_on_middle_corruption(self, tmp_path):
+        path = str(tmp_path / "findings.jsonl")
+        log = BugLog(path)
+        log.record(Finding(kind=CRASH, seed=1, bug_ids=["52884"]))
+        with open(path, "a") as stream:
+            stream.write("{corrupt\n")
+        log2 = BugLog(path)
+        log2.record(Finding(kind=CRASH, seed=3, bug_ids=["52884"]))
+        with pytest.raises(json.JSONDecodeError):
+            BugLog.load(path)
+
 
 class TestMutationAccounting:
     def test_mutation_counts_aggregate(self):

@@ -1,0 +1,176 @@
+"""Fault-injection tests for the watchdog/quarantine runtime.
+
+Uses :mod:`repro.fuzz.faults` to deterministically inject raises,
+hangs, and worker deaths by job index, and asserts the campaign
+contains each failure mode exactly as documented: hangs are detected
+within deadline × grace, poison jobs are quarantined after bounded
+retries without failing the campaign, and transient faults heal on
+retry with results identical to a fault-free run.
+"""
+
+import time
+
+import pytest
+
+from repro.fuzz import (CampaignConfig, CampaignExecutor, DeadlineExceeded,
+                        FaultSpec, FaultyRunner, FuzzDriver, ShardJob,
+                        run_campaign, run_jobs)
+from repro.fuzz.parallel import execute_job
+
+SMALL = dict(corpus_size=6, mutants_per_file=10, max_inputs=8,
+             pipelines=("O2",))
+
+
+def report_key(report):
+    return (
+        report.total_iterations,
+        report.total_findings,
+        {bug_id: (o.found, o.first_file, o.first_seed, o.findings)
+         for bug_id, o in report.outcomes.items()},
+    )
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return run_campaign(CampaignConfig(workers=1, **SMALL))
+
+
+class TestCooperativeDeadline:
+    def test_driver_raises_at_stage_boundary(self):
+        driver = FuzzDriver.from_text(
+            "define i8 @f(i8 %x) {\n  %r = add i8 %x, 1\n  ret i8 %r\n}\n")
+        driver.set_deadline(0.0)
+        with pytest.raises(DeadlineExceeded):
+            driver.run(iterations=5)
+
+    def test_execute_job_converts_overrun_to_hang_shard(self):
+        job = ShardJob(job_index=0, file_name="f.ll",
+                       text="define i8 @f(i8 %x) {\n"
+                            "  %r = add i8 %x, 1\n  ret i8 %r\n}\n",
+                       config=CampaignConfig(**SMALL).job_config(0, "O2"),
+                       iterations=10, deadline=1e-9)
+        result = execute_job(job)
+        assert result.failure_kind == "hang"
+        assert "deadline" in result.error
+        assert not result.findings
+
+    def test_generous_deadline_changes_nothing(self, reference):
+        report = run_campaign(CampaignConfig(
+            workers=1, job_deadline=300.0, **SMALL))
+        assert report_key(report) == report_key(reference)
+        assert not report.failed_shards
+
+    def test_sequential_hang_recorded_not_raised(self):
+        report = run_campaign(CampaignConfig(
+            workers=1, job_deadline=1e-9, grace_factor=1.0, **SMALL))
+        assert len(report.failed_shards) == 6
+        assert all(f.kind == "hang" for f in report.failed_shards)
+        assert report.total_iterations == 0
+
+
+class TestWatchdog:
+    def test_hung_worker_is_killed_within_grace(self, reference):
+        """An in-worker sleep never reaches a cooperative check; only
+        the supervisor-side timer can end it — within deadline×grace
+        plus scheduling slack, not the 60s the sleep asks for."""
+        runner = FaultyRunner({1: FaultSpec("hang", seconds=60.0)})
+        started = time.perf_counter()
+        report = CampaignExecutor(
+            CampaignConfig(workers=2, job_deadline=0.3, grace_factor=1.5,
+                           **SMALL),
+            job_runner=runner).execute()
+        elapsed = time.perf_counter() - started
+        assert [f.job_index for f in report.failed_shards] == [1]
+        assert report.failed_shards[0].kind == "hang"
+        assert "deadline" in report.failed_shards[0].error
+        assert elapsed < 30.0
+        # Everyone else still ran and merged.
+        assert report.total_iterations == 5 * SMALL["mutants_per_file"]
+
+    def test_hang_then_quarantine_after_retries(self):
+        runner = FaultyRunner({1: FaultSpec("hang", seconds=60.0)})
+        report = CampaignExecutor(
+            CampaignConfig(workers=2, job_deadline=0.2, grace_factor=1.5,
+                           max_job_retries=1, retry_backoff=0.01, **SMALL),
+            job_runner=runner).execute()
+        assert not report.failed_shards
+        assert [q.job_index for q in report.quarantined] == [1]
+        assert report.quarantined[0].attempts == 2
+        assert "hang" in report.quarantined[0].error
+
+
+class TestQuarantine:
+    def test_poison_job_quarantined_without_failing_campaign(self):
+        runner = FaultyRunner({2: FaultSpec("exit")})
+        report = CampaignExecutor(
+            CampaignConfig(workers=2, max_job_retries=2, retry_backoff=0.01,
+                           **SMALL),
+            job_runner=runner).execute()
+        assert [q.job_index for q in report.quarantined] == [2]
+        quarantined = report.quarantined[0]
+        assert quarantined.attempts == 3  # first try + 2 retries
+        assert quarantined.file
+        assert quarantined.pipeline == "O2"
+        assert quarantined.seed >= 0  # the poison seed is reproducible
+        assert not report.failed_shards
+        assert report.total_iterations == 5 * SMALL["mutants_per_file"]
+
+    def test_transient_crash_heals_on_retry(self, tmp_path, reference):
+        runner = FaultyRunner({2: FaultSpec("exit", times=1)},
+                              state_dir=str(tmp_path))
+        report = CampaignExecutor(
+            CampaignConfig(workers=2, max_job_retries=1, retry_backoff=0.01,
+                           **SMALL),
+            job_runner=runner).execute()
+        assert not report.quarantined
+        assert not report.failed_shards
+        assert report_key(report) == report_key(reference)
+
+    def test_raising_job_is_not_retried(self, tmp_path):
+        """Only hangs and worker deaths are retried: a deterministic
+        in-worker exception is recorded first time, every time."""
+        runner = FaultyRunner({0: FaultSpec("raise")})
+        report = CampaignExecutor(
+            CampaignConfig(workers=2, max_job_retries=3, retry_backoff=0.01,
+                           **SMALL),
+            job_runner=runner).execute()
+        assert [f.job_index for f in report.failed_shards] == [0]
+        assert report.failed_shards[0].kind == "error"
+        assert "injected fault" in report.failed_shards[0].error
+        assert not report.quarantined
+
+    def test_times_needs_state_dir(self):
+        with pytest.raises(ValueError):
+            FaultyRunner({0: FaultSpec("exit", times=1)})
+
+
+class TestSupervisedScheduler:
+    def test_results_ordered_and_complete_without_faults(self, reference):
+        """The supervised path (engaged by max_job_retries) must match
+        the pool and sequential paths bit-for-bit when nothing fails."""
+        report = run_campaign(CampaignConfig(
+            workers=3, max_job_retries=2, **SMALL))
+        assert report_key(report) == report_key(reference)
+        assert not report.failed_shards and not report.quarantined
+
+    def test_deadline_routes_to_supervised_scheduler(self, reference):
+        report = run_campaign(CampaignConfig(
+            workers=3, job_deadline=300.0, **SMALL))
+        assert report_key(report) == report_key(reference)
+
+    def test_time_budget_skips_unstarted_jobs(self):
+        jobs = CampaignExecutor(CampaignConfig(**SMALL)).build_jobs()
+        for job in jobs:
+            job.deadline = 300.0
+        results = run_jobs(jobs, workers=2, time_budget=1e-9,
+                           max_retries=1)
+        assert results == []
+
+    def test_table_footer_reports_health(self):
+        runner = FaultyRunner({2: FaultSpec("exit")})
+        report = CampaignExecutor(
+            CampaignConfig(workers=2, max_job_retries=1, retry_backoff=0.01,
+                           **SMALL),
+            job_runner=runner).execute()
+        table = report.table()
+        assert "quarantined" in table

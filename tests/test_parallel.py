@@ -1,6 +1,7 @@
 """Tests for the sharded campaign engine (repro.fuzz.parallel)."""
 
 import os
+import time
 
 import pytest
 
@@ -34,6 +35,24 @@ def poisoned_runner(job):
 def dying_runner(job):
     if job.job_index == 1:
         os._exit(17)  # kill the worker process outright
+    return execute_job(job)
+
+
+def slow_runner(job):
+    time.sleep(0.25)
+    return execute_job(job)
+
+
+def slow_dying_runner(job):
+    time.sleep(0.2)
+    os._exit(17)
+
+
+def parse_error_runner(job):
+    if job.job_index == 3:
+        return ShardResult(job_index=job.job_index, file_name=job.file_name,
+                           pipeline=job.config.pipeline, worker="test",
+                           parse_error="expected type at line 1")
     return execute_job(job)
 
 
@@ -124,6 +143,52 @@ class TestGlobalTimeBudget:
         assert 0 <= merged_jobs <= total_jobs
         assert report.total_iterations <= \
             total_jobs * SMALL["mutants_per_file"]
+
+    def test_pool_budget_expiry_cancels_pending_once(self):
+        # Jobs take ~0.25s each and the budget expires at 0.1s, so the
+        # first completion already finds it spent and cancels everything
+        # still pending.  The pool prefetches a few work items beyond
+        # the running ones (uncancellable), so with twelve jobs some run
+        # and some are cancelled: results hold an error-free subset, the
+        # rest simply have no entry (skipped, not failed).
+        wide = dict(SMALL, corpus_size=12)
+        jobs = CampaignExecutor(CampaignConfig(**wide)).build_jobs()
+        results = run_jobs(jobs, workers=2, runner=slow_runner,
+                           time_budget=0.1)
+        assert 0 < len(results) < len(jobs)
+        assert all(not r.error for r in results)
+        assert [r.job_index for r in results] == sorted(
+            r.job_index for r in results)
+
+    def test_broken_pool_suspects_skipped_under_expired_budget(self):
+        # Every worker dies after the 0.1s budget has already expired.
+        # The broken-pool recovery must not spin up isolated retry pools
+        # for the suspects once the budget is gone — the run ends fast
+        # with no results rather than re-running each dying job alone.
+        jobs = CampaignExecutor(CampaignConfig(**SMALL)).build_jobs()
+        started = time.perf_counter()
+        results = run_jobs(jobs, workers=2, runner=slow_dying_runner,
+                           time_budget=0.1)
+        elapsed = time.perf_counter() - started
+        assert results == []
+        assert elapsed < 10.0
+
+
+class TestParseFailureSurfacing:
+    def test_parse_error_shard_lands_in_parse_failures(self):
+        config = CampaignConfig(workers=2, **SMALL)
+        report = CampaignExecutor(
+            config, job_runner=parse_error_runner).execute()
+        assert [f.job_index for f in report.parse_failures] == [3]
+        failure = report.parse_failures[0]
+        assert failure.kind == "parse"
+        assert "expected type" in failure.error
+        assert not report.failed_shards
+        # The rest of the campaign merged normally.
+        expected_jobs = len(CampaignExecutor(config).build_jobs())
+        assert report.total_iterations == \
+            (expected_jobs - 1) * SMALL["mutants_per_file"]
+        assert "parse failure" in report.table()
 
 
 class TestRunJobs:
