@@ -1,8 +1,25 @@
-"""Helpers shared by the benchmark modules."""
+"""Helpers shared by the benchmark modules.
 
+``BENCH_QUICK=1`` switches every bench into a scaled-down smoke
+configuration (CI's ``bench-smoke`` job sets it): same code paths, a
+fraction of the work, and relaxed shape assertions via :func:`scaled`.
+Normalized machine-comparable summaries are written as
+``benchmarks/out/BENCH_<name>.json`` through :func:`write_json`;
+``check_regression.py`` diffs them against ``benchmarks/baseline.json``.
+"""
+
+import json
 import os
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+# Quick mode: scaled-down workloads for CI smoke runs.
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+
+def scaled(full, quick):
+    """Pick the full-run or quick-mode value for a workload knob."""
+    return quick if QUICK else full
 
 
 def write_report(name: str, text: str) -> str:
@@ -11,4 +28,14 @@ def write_report(name: str, text: str) -> str:
     path = os.path.join(OUT_DIR, name)
     with open(path, "w") as stream:
         stream.write(text)
+    return path
+
+
+def write_json(name: str, payload: dict) -> str:
+    """Persist a normalized JSON summary under benchmarks/out/."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, name)
+    with open(path, "w") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
     return path

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Gate benchmark summaries against the committed baseline.
+
+Reads the normalized ``BENCH_*.json`` summaries that the benchmark
+modules write under ``benchmarks/out/`` and compares them against
+``benchmarks/baseline.json``.  Deterministic metrics must match the
+baseline exactly; performance metrics may not regress by more than
+``--tolerance`` (default 25%).
+
+To refresh the baseline after an intentional workload change, run the
+benches with ``BENCH_QUICK=1`` and copy the new deterministic values
+from ``benchmarks/out/BENCH_*.json`` into ``baseline.json`` (leave the
+conservative performance floors alone unless the workload shape moved).
+
+Exit status: 0 when every gate passes, 1 on any regression, 2 when a
+required summary file is missing.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_BASELINE = os.path.join(HERE, "baseline.json")
+DEFAULT_OUT_DIR = os.path.join(HERE, "out")
+
+# (baseline section, summary file, metric, kind)
+# kind "exact": must equal the baseline value.
+# kind "floor": must be >= baseline * (1 - tolerance).
+GATES = [
+    ("campaign", "BENCH_campaign.json", "iterations", "exact"),
+    ("campaign", "BENCH_campaign.json", "parse_failures", "exact"),
+    ("campaign", "BENCH_campaign.json", "quarantined", "exact"),
+    ("campaign", "BENCH_campaign.json", "failed_shards", "exact"),
+    ("campaign", "BENCH_campaign.json", "found_bugs", "floor"),
+    ("campaign", "BENCH_campaign.json", "valid_mutant_rate", "floor"),
+    ("campaign", "BENCH_campaign.json", "mutants_per_sec", "floor"),
+    ("throughput", "BENCH_throughput.json", "files", "exact"),
+    ("throughput", "BENCH_throughput.json", "invalid_files", "exact"),
+    ("throughput", "BENCH_throughput.json", "not_verified_files", "exact"),
+    ("throughput", "BENCH_throughput.json", "speedup_avg", "floor"),
+]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Compare BENCH_*.json summaries against baseline.json",
+    )
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--out-dir", default=DEFAULT_OUT_DIR)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop for 'floor' metrics (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as stream:
+        baseline = json.load(stream)
+
+    summaries = {}
+    failures = []
+    checked = 0
+    for section, file_name, metric, kind in GATES:
+        if file_name not in summaries:
+            path = os.path.join(args.out_dir, file_name)
+            if not os.path.exists(path):
+                print(f"missing summary: {path}", file=sys.stderr)
+                return 2
+            with open(path) as stream:
+                summaries[file_name] = json.load(stream)
+        expected = baseline.get(section, {}).get(metric)
+        if expected is None:
+            continue  # metric not pinned by this baseline
+        actual = summaries[file_name].get(metric)
+        if actual is None:
+            failures.append(f"{section}.{metric} missing from {file_name}")
+            print(f"FAIL {section}.{metric}: missing from {file_name}")
+            continue
+        checked += 1
+        if kind == "exact":
+            ok = actual == expected
+            detail = f"expected exactly {expected}, got {actual}"
+        else:
+            floor = expected * (1.0 - args.tolerance)
+            ok = actual >= floor
+            detail = (
+                f"floor {floor:.4f} (baseline {expected} "
+                f"- {args.tolerance:.0%}), got {actual}"
+            )
+        print(f"{'ok  ' if ok else 'FAIL'} {section}.{metric}: {detail}")
+        if not ok:
+            failures.append(f"{section}.{metric}: {detail}")
+
+    if failures:
+        print(
+            f"\n{len(failures)} regression(s) out of {checked} gates",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {checked} gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,6 @@ each overhead class directly and reports where the discrete workflow's
 time goes.
 """
 
-import os
 import subprocess
 import sys
 import time

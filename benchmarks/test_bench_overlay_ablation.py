@@ -10,7 +10,6 @@ dominance queries (uses/move).
 
 import pytest
 
-from repro.fuzz import generate_corpus
 from repro.ir import parse_module
 from repro.mutate import Mutator, MutatorConfig
 

@@ -54,7 +54,7 @@ def test_bench_parallel_scaling(benchmark):
     header = (f"{'workers':>7} {'elapsed_s':>10} {'mutants/s':>10} "
               f"{'speedup':>8} {'bugs':>5} {'failed':>7} {'skipped':>8}")
     lines = [
-        f"parallel campaign scaling "
+        "parallel campaign scaling "
         f"(corpus={CORPUS_SIZE}, mutants/file={MUTANTS_PER_FILE}, "
         f"pipelines=3, cpus={os.cpu_count()})",
         header, "-" * len(header),

@@ -6,10 +6,8 @@ while alive-mutate produces valid IR 100% of the time.  This bench runs
 both mutators over the same corpus and prints the comparison.
 """
 
-import pytest
 
 from repro.fuzz import generate_corpus, run_validity_study
-from repro.fuzz.radamsa import classify_mutant
 from repro.ir import is_valid_module, parse_module
 from repro.mutate import Mutator, MutatorConfig
 

@@ -8,15 +8,21 @@ Table I's shape.  The rendered table is written to
 ``benchmarks/out/table1.txt``.
 """
 
-import pytest
 
 from repro.fuzz import CampaignConfig, run_campaign
-from repro.opt import all_bugs
+from repro.obs import campaign_summary
 
-from bench_utils import write_report
+from bench_utils import scaled, write_json, write_report
 
-CORPUS_SIZE = 108
-MUTANTS_PER_FILE = 80
+CORPUS_SIZE = scaled(108, 24)
+MUTANTS_PER_FILE = scaled(80, 30)
+
+# Quick mode fuzzes ~1/12 of the full workload, so it cannot rediscover
+# all 33 bugs — the floors below were calibrated with headroom from the
+# deterministic quick-mode run.
+FOUND_FLOOR = scaled(30, 12)
+MISCOMPILATION_FLOOR = scaled(16, 6)
+CRASH_FLOOR = scaled(12, 4)
 
 
 def test_bench_table1_campaign(benchmark):
@@ -41,17 +47,18 @@ def test_bench_table1_campaign(benchmark):
         f"unattributed: {len(report.unattributed)}\n"
         f"bugs rediscovered: {len(report.found_bugs())}/33 "
         f"({miscompilations} miscompilations + {crashes} crashes; "
-        f"paper: 19 + 14)\n"
+        "paper: 19 + 14)\n"
     )
     write_report("table1.txt", table + "\n" + summary)
+    write_json("BENCH_campaign.json", campaign_summary(report))
     print("\n" + table + summary)
 
     # Shape assertions.
     assert len(report.outcomes) == 33
-    assert len(report.found_bugs()) >= 30, [
+    assert len(report.found_bugs()) >= FOUND_FLOOR, [
         o.bug.issue_id for o in report.outcomes.values() if not o.found]
-    assert miscompilations >= 16
-    assert crashes >= 12
+    assert miscompilations >= MISCOMPILATION_FLOOR
+    assert crashes >= CRASH_FLOOR
     # The optimizer itself is clean: every finding traces to a seeded bug.
     assert not report.unattributed, [f.detail for f in report.unattributed]
 

@@ -10,19 +10,19 @@ matching PRNG seeds, writing the artifact's ``res.txt`` (Listing 20
 format) to ``benchmarks/out/``.
 """
 
-import pytest
 
 from repro.fuzz import (DiscreteConfig, FuzzConfig, FuzzDriver,
                         ThroughputConfig, generate_corpus,
                         run_discrete_workflow, run_throughput_experiment)
 from repro.ir import parse_module
 from repro.mutate import MutatorConfig
+from repro.obs import throughput_summary
 from repro.tv import RefinementConfig
 
-from bench_utils import write_report
+from bench_utils import scaled, write_json, write_report
 
-CORPUS_FILES = 12        # paper: 194 files; scaled for the harness
-MUTANTS_PER_FILE = 40    # paper: 1000 mutants per file
+CORPUS_FILES = scaled(12, 6)       # paper: 194 files; scaled for the harness
+MUTANTS_PER_FILE = scaled(40, 15)  # paper: 1000 mutants per file
 
 
 def _driver(text, name):
@@ -77,9 +77,10 @@ def test_bench_full_throughput_experiment(benchmark):
 
     res_txt = report.render_res_txt()
     write_report("res.txt", res_txt)
+    write_json("BENCH_throughput.json", throughput_summary(report))
     summary = (
         f"files: {len(report.timings)} (+{len(report.invalid)} discarded, "
-        f"paper discarded 6/200)\n"
+        "paper discarded 6/200)\n"
         f"average speedup: {report.average_perf:.1f}x (paper: ~12x)\n"
         f"best speedup:    {report.best_perf:.1f}x (paper: 786x)\n"
         f"worst speedup:   {report.worst_perf:.2f}x (paper: ~1.01x)\n"
@@ -88,8 +89,10 @@ def test_bench_full_throughput_experiment(benchmark):
     print("\n" + summary + res_txt)
 
     # Shape assertions: who wins and by roughly what order of magnitude.
+    # Quick mode keeps the direction but relaxes the magnitude — fewer
+    # mutants per file leave the per-file ratio noisier.
     assert report.timings, "no files measured"
-    assert report.average_perf > 5.0, (
+    assert report.average_perf > scaled(5.0, 3.0), (
         "in-process workflow should be several times faster on average")
     assert report.best_perf > report.average_perf
     assert report.worst_perf > 0.5, (
@@ -106,8 +109,9 @@ def test_bench_throughput_large_files(benchmark):
     """
     from repro.fuzz import generate_large_corpus
 
-    corpus = generate_large_corpus(4, seed=42)
-    config = ThroughputConfig(count=15, pipeline="O2", max_inputs=8)
+    corpus = generate_large_corpus(scaled(4, 2), seed=42)
+    config = ThroughputConfig(count=scaled(15, 6), pipeline="O2",
+                              max_inputs=8)
     holder = {}
 
     def experiment():

@@ -21,7 +21,7 @@ def main():
 
     corpus = generate_corpus(files, seed=42)
     print(f"measuring {files} files x {count} mutants per workflow "
-          f"(paper: 194 files x 1000 mutants)...\n")
+          "(paper: 194 files x 1000 mutants)...\n")
 
     report = run_throughput_experiment(
         corpus, ThroughputConfig(count=count, max_inputs=8))

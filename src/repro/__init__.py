@@ -28,9 +28,10 @@ Campaigns (optionally sharded across worker processes):
 from .fuzz import (BugLog, CampaignConfig, CampaignExecutor, CampaignReport,
                    ConfigError, Finding, FuzzConfig, FuzzDriver, FuzzReport,
                    Session, StageTimings, run_campaign)
+from .obs import MetricsRegistry, Tracer
 from .tv import Verdict
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -41,4 +42,6 @@ __all__ = [
     "CampaignConfig", "CampaignExecutor", "CampaignReport", "run_campaign",
     "Finding", "BugLog", "Verdict",
     "ConfigError",
+    # Observability (repro.obs): per-run metrics and span tracing.
+    "MetricsRegistry", "Tracer",
 ]

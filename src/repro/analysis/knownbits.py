@@ -14,7 +14,7 @@ from typing import Optional
 from ..ir.instructions import (BinaryOperator, CallInst, CastInst, FreezeInst,
                                ICmpInst, Instruction, PhiNode, SelectInst)
 from ..ir.types import IntType
-from ..ir.values import Argument, ConstantInt, PoisonValue, UndefValue, Value
+from ..ir.values import ConstantInt, PoisonValue, UndefValue, Value
 
 MAX_DEPTH = 6
 
@@ -128,7 +128,8 @@ def compute_known_bits(value: Value, depth: int = 0) -> KnownBits:
 
 def _known_bits_instruction(inst: Instruction, depth: int) -> KnownBits:
     width = inst.type.width
-    recurse = lambda v: compute_known_bits(v, depth + 1)
+    def recurse(v):
+        return compute_known_bits(v, depth + 1)
 
     if isinstance(inst, BinaryOperator):
         opcode = inst.opcode

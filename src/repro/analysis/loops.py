@@ -81,7 +81,7 @@ class LoopInfo:
                     self._collect_body(loop, block)
         # Deterministic order: by header position in the function.
         order = {id(b): i for i, b in enumerate(self.function.blocks)}
-        self.loops.sort(key=lambda l: order[id(l.header)])
+        self.loops.sort(key=lambda lp: order[id(lp.header)])
 
     def _collect_body(self, loop: Loop, latch: BasicBlock) -> None:
         """Blocks reaching the latch without passing through the header."""

@@ -16,7 +16,7 @@ computes a mutant-level replacement lazily.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function

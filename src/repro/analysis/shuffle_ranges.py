@@ -19,7 +19,7 @@ from typing import List
 
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
-from ..ir.instructions import Instruction, PhiNode
+from ..ir.instructions import PhiNode
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,7 @@ bitwidth-polymorphic instructions are eligible to be on a path.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..ir.function import Function
 from ..ir.instructions import (BITWIDTH_POLYMORPHIC_OPCODES, BinaryOperator,

@@ -24,7 +24,9 @@ kill their worker.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from dataclasses import replace
 from typing import List, Optional
 
@@ -32,9 +34,11 @@ from ..fuzz.driver import ConfigError, DeadlineExceeded, FuzzConfig, \
     FuzzDriver
 from ..fuzz.parallel import ShardJob, run_jobs
 from ..ir.bitcode import BitcodeError, load_module_file, write_bitcode
-from ..ir.parser import ParseError, parse_module
+from ..ir.parser import ParseError
 from ..ir.printer import print_module
 from ..mutate import Mutator, MutatorConfig
+from ..obs import (MetricsRegistry, ProgressReporter, ThroughputSnapshot,
+                   tracer_for_path)
 from ..tv import RefinementConfig
 
 
@@ -85,6 +89,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="retry shards that hang or kill their worker "
                              "up to N times, then quarantine them "
                              "(default 0)")
+    obs = parser.add_argument_group(
+        "observability",
+        "throughput statistics, metrics export, and span tracing "
+        "(see README \"Observability\")")
+    obs.add_argument("--stats", action="store_true",
+                     help="print periodic throughput lines (mutants/sec, "
+                          "valid-mutant rate, per-stage time share) to "
+                          "stderr")
+    obs.add_argument("--stats-interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="seconds between --stats lines (default 2)")
+    obs.add_argument("--metrics-out", default=None, metavar="FILE",
+                     help="write the final metrics registry as JSON")
+    obs.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="record mutate/optimize/verify/interp spans as "
+                          "JSONL: a file in single-process mode, a "
+                          "directory (one file per shard) with --jobs")
+    obs.add_argument("--trace-sample", type=float, default=1.0,
+                     metavar="RATE",
+                     help="keep this fraction of spans, 0..1 (default 1)")
     parser.add_argument("--mutate-only", action="store_true",
                         help="generate one mutant and exit (discrete mode)")
     parser.add_argument("-o", "--output", default=None,
@@ -159,12 +183,20 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
     if args.job_deadline is not None and args.job_deadline <= 0:
-        print(f"alive-mutate: --job-deadline must be positive, "
+        print("alive-mutate: --job-deadline must be positive, "
               f"got {args.job_deadline}", file=sys.stderr)
         return 2
     if args.max_job_retries < 0:
-        print(f"alive-mutate: --max-job-retries must be >= 0, "
+        print("alive-mutate: --max-job-retries must be >= 0, "
               f"got {args.max_job_retries}", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.trace_sample <= 1.0:
+        print("alive-mutate: --trace-sample must be in [0, 1], "
+              f"got {args.trace_sample}", file=sys.stderr)
+        return 2
+    if args.stats_interval <= 0:
+        print("alive-mutate: --stats-interval must be positive, "
+              f"got {args.stats_interval}", file=sys.stderr)
         return 2
 
     if len(args.inputs) == 1 and args.jobs <= 1 and not args.checkpoint:
@@ -172,12 +204,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     return _fuzz_sharded(config, args)
 
 
+def _write_metrics(metrics: MetricsRegistry, path: str) -> None:
+    with open(path, "w") as stream:
+        json.dump(metrics.to_dict(), stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
 def _fuzz_one(path: str, config: FuzzConfig, args) -> int:
     """The classic single-file in-process loop."""
     module = _load(path)
     if module is None:
         return 2
-    driver = FuzzDriver(module, config, file_name=path)
+    tracer = None
+    if args.trace_out:
+        tracer = tracer_for_path(args.trace_out,
+                                 sample_rate=args.trace_sample)
+    progress = ProgressReporter(interval=args.stats_interval) \
+        if args.stats else None
+    driver = FuzzDriver(module, config, file_name=path,
+                        tracer=tracer, progress=progress)
     for name, reason in driver.report.dropped_functions.items():
         print(f"alive-mutate: dropping @{name}: {reason}", file=sys.stderr)
     if not driver.target_functions:
@@ -191,6 +236,13 @@ def _fuzz_one(path: str, config: FuzzConfig, args) -> int:
     except DeadlineExceeded as exc:
         print(f"alive-mutate: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if progress is not None:
+        progress.emit(driver.metrics)
+    if args.metrics_out:
+        _write_metrics(driver.metrics, args.metrics_out)
     print(report.summary())
     for finding in report.findings:
         print("  " + finding.summary())
@@ -242,6 +294,8 @@ def _fuzz_sharded(config: FuzzConfig, args) -> int:
 
     for job in jobs:
         job.deadline = args.job_deadline
+        job.trace_dir = args.trace_out
+        job.trace_sample = args.trace_sample
 
     journal = None
     cached = {}
@@ -259,13 +313,25 @@ def _fuzz_sharded(config: FuzzConfig, args) -> int:
     if cached:
         print(f"alive-mutate: resuming {len(cached)} shards "
               f"from {args.checkpoint}", file=sys.stderr)
+    def on_result(shard) -> None:
+        if journal is not None:
+            journal.append(shard)
+        if args.stats and not shard.error and not shard.parse_error:
+            snapshot = ThroughputSnapshot.from_metrics(shard.metrics,
+                                                       shard.timings.total)
+            print(f"alive-mutate: shard {shard.job_index} "
+                  f"({shard.file_name}): {snapshot.progress_line()}",
+                  file=sys.stderr)
+
+    started = time.monotonic()
     try:
         results = run_jobs(todo, workers=args.jobs,
                            max_retries=args.max_job_retries,
-                           on_result=journal.append if journal else None)
+                           on_result=on_result)
     finally:
         if journal is not None:
             journal.close()
+    elapsed = time.monotonic() - started
     results = sorted(list(cached.values()) + list(results),
                      key=lambda shard: shard.job_index)
 
@@ -308,6 +374,16 @@ def _fuzz_sharded(config: FuzzConfig, args) -> int:
     if parse_failures or failed or quarantined:
         health = (f"; {parse_failures} parse failures, {failed} failed, "
                   f"{quarantined} quarantined")
+    if args.stats or args.metrics_out:
+        merged = MetricsRegistry.merged(
+            shard.metrics for shard in results
+            if not shard.error and not shard.parse_error)
+        if args.stats:
+            snapshot = ThroughputSnapshot.from_metrics(merged, elapsed)
+            print(f"alive-mutate: total: {snapshot.progress_line()}",
+                  file=sys.stderr)
+        if args.metrics_out:
+            _write_metrics(merged, args.metrics_out)
     print(f"total: {total_iterations} iterations, {total_findings} findings "
           f"across {len(results)} shards ({max(1, args.jobs)} workers)"
           f"{health}")

@@ -11,7 +11,7 @@ import sys
 from typing import List, Optional
 
 from ..ir.bitcode import BitcodeError, load_module_file
-from ..ir.parser import ParseError, parse_module
+from ..ir.parser import ParseError
 from ..tv import RefinementConfig, Verdict, check_module_refinement
 
 

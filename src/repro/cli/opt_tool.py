@@ -12,7 +12,7 @@ import sys
 from typing import List, Optional
 
 from ..ir.bitcode import BitcodeError, load_module_file
-from ..ir.parser import ParseError, parse_module
+from ..ir.parser import ParseError
 from ..ir.printer import print_module
 from ..opt import OptContext, OptimizerCrash, PassManager, available_passes
 from ..opt.pipelines import available_pipelines

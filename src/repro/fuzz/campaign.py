@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..mutate import MutatorConfig
+from ..obs import MetricsRegistry
 from ..opt.bugs import SeededBug, all_bug_ids, all_bugs
 from ..tv import RefinementConfig
 from .driver import ConfigError, FuzzConfig, StageTimings
@@ -77,6 +78,13 @@ class CampaignConfig:
     # shard is appended (fsync'd JSONL); ``execute(resume=True)`` skips
     # already-journaled jobs and merges their cached results.
     checkpoint_dir: Optional[str] = None
+    # -- observability knobs (repro.obs; excluded from the checkpoint
+    # fingerprint, so enabling them never invalidates completed work) --
+    # Directory for per-job span traces (one JSONL file per job).
+    # None = tracing off, which is the free path.
+    trace_dir: Optional[str] = None
+    # Keep one span in every 1/trace_sample (deterministic sampling).
+    trace_sample: float = 1.0
     # Per-job FuzzConfig template; each job gets a ``dataclasses.replace``
     # of it with the job's pipeline, seeds, and enabled bugs filled in.
     fuzz: FuzzConfig = field(default_factory=_default_fuzz_template)
@@ -109,7 +117,7 @@ class CampaignConfig:
             raise ConfigError("at least one pipeline is required")
         if self.global_time_budget is not None \
                 and self.global_time_budget < 0:
-            raise ConfigError(f"global_time_budget must be >= 0, "
+            raise ConfigError("global_time_budget must be >= 0, "
                               f"got {self.global_time_budget}")
         if self.job_deadline is not None and self.job_deadline <= 0:
             raise ConfigError(
@@ -118,11 +126,14 @@ class CampaignConfig:
             raise ConfigError(
                 f"grace_factor must be >= 1, got {self.grace_factor}")
         if self.max_job_retries < 0:
-            raise ConfigError(f"max_job_retries must be >= 0, "
+            raise ConfigError("max_job_retries must be >= 0, "
                               f"got {self.max_job_retries}")
         if self.retry_backoff < 0:
             raise ConfigError(
                 f"retry_backoff must be >= 0, got {self.retry_backoff}")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ConfigError("trace_sample must be in [0, 1], "
+                              f"got {self.trace_sample}")
         for pipeline in self.pipelines:
             self.job_config(0, pipeline).validate(
                 iterations=self.mutants_per_file,
@@ -201,6 +212,12 @@ class CampaignReport:
     # the run; the report is a valid partial checkpointed state.
     interrupted: bool = False
     interrupt_signal: str = ""
+    # Aggregate observability registry (repro.obs): the merge of every
+    # completed job's per-shard registry plus campaign-level counters
+    # (campaign.jobs.completed, campaign.retry.*, ...).  Its
+    # ``deterministic()`` subset is identical across worker counts and
+    # kill/resume cycles.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def found_bugs(self) -> List[BugOutcome]:
         return [o for o in self.outcomes.values() if o.found]
@@ -233,7 +250,7 @@ class CampaignReport:
         rows.append("-" * len(header))
         rows.append(f"found {len(self.found_bugs())} bugs: "
                     f"{miscompilations} miscompilations, {crashes} crashes "
-                    f"(paper: 33 = 19 + 14)")
+                    "(paper: 33 = 19 + 14)")
         rows.extend(self.health_lines())
         return "\n".join(rows)
 
@@ -243,7 +260,7 @@ class CampaignReport:
         if self.interrupted:
             signal_name = self.interrupt_signal or "stop request"
             lines.append(f"interrupted by {signal_name}; "
-                         f"partial report (checkpointed state is valid)")
+                         "partial report (checkpointed state is valid)")
         if self.resumed_jobs:
             lines.append(f"resumed {self.resumed_jobs} jobs from checkpoint")
         for failure in self.parse_failures:
@@ -259,7 +276,7 @@ class CampaignReport:
                          f"{job.error}")
         if self.skipped_jobs:
             lines.append(f"skipped {self.skipped_jobs} jobs "
-                         f"(budget/shutdown)")
+                         "(budget/shutdown)")
         return lines
 
 

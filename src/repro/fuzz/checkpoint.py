@@ -34,6 +34,7 @@ import os
 from dataclasses import asdict
 from typing import Dict, IO, Optional, Sequence
 
+from ..obs import MetricsRegistry
 from .driver import StageTimings
 from .findings import Finding
 
@@ -103,6 +104,7 @@ def result_to_dict(result) -> dict:
         "error": result.error,
         "failure_kind": result.failure_kind,
         "attempts": result.attempts,
+        "metrics": result.metrics.to_dict(),
     }
 
 
@@ -129,6 +131,9 @@ def result_from_dict(data: dict):
         error=data.get("error", ""),
         failure_kind=data.get("failure_kind", ""),
         attempts=data.get("attempts", 1),
+        # Journals written before metrics existed lack the key; an empty
+        # registry merges as a no-op, so old checkpoints stay resumable.
+        metrics=MetricsRegistry.from_dict(data.get("metrics", {})),
     )
 
 
@@ -237,7 +242,7 @@ class CheckpointJournal:
                         f"{self.path} belongs to a different campaign "
                         f"(fingerprint {data.get('fingerprint', '?')[:12]} "
                         f"!= {fingerprint[:12]}); use a fresh checkpoint "
-                        f"directory or drop --resume")
+                        "directory or drop --resume")
                 saw_header = True
             elif kind == "shard":
                 try:
@@ -250,5 +255,5 @@ class CheckpointJournal:
         if not saw_header:
             raise CheckpointError(
                 f"{self.path}: no usable journal header; the file is "
-                f"damaged beyond resume — use a fresh checkpoint directory")
+                "damaged beyond resume — use a fresh checkpoint directory")
         return results, valid_bytes

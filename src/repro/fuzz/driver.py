@@ -19,6 +19,7 @@ from ..ir.module import Module
 from ..ir.parser import parse_module
 from ..ir.printer import print_module
 from ..mutate import Mutator, MutatorConfig
+from ..obs import NULL_TRACER, MetricsRegistry, ProgressReporter, Tracer
 from ..opt import OptContext, OptimizerCrash, PassManager
 from ..tv import RefinementConfig, Verdict, check_function_supported, \
     check_refinement
@@ -75,7 +76,7 @@ class FuzzConfig:
             raise ConfigError(
                 f"tv.max_inputs must be positive, got {self.tv.max_inputs}")
         if self.mutator.min_mutations < 1:
-            raise ConfigError(f"mutator.min_mutations must be >= 1, "
+            raise ConfigError("mutator.min_mutations must be >= 1, "
                               f"got {self.mutator.min_mutations}")
         if self.mutator.max_mutations < self.mutator.min_mutations:
             raise ConfigError(
@@ -88,7 +89,7 @@ class FuzzConfig:
                     f"unknown pipeline or pass {name!r} in "
                     f"{self.pipeline!r} (pipelines: "
                     f"{', '.join(available_pipelines())}; see "
-                    f"repro-opt --list-passes for individual passes)")
+                    "repro-opt --list-passes for individual passes)")
         if iterations is not None and iterations < 0:
             raise ConfigError(f"iterations must be >= 0, got {iterations}")
         if time_budget is not None and time_budget <= 0:
@@ -121,12 +122,15 @@ class FuzzReport:
     inconclusive: int = 0
     # How many times each mutation operator fired across all iterations.
     mutation_counts: Dict[str, int] = field(default_factory=dict)
+    # Per-run observability registry (see repro.obs.metrics): stage
+    # seconds, mutant validity, finding counters, latency histograms.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def summary(self) -> str:
         return (f"{self.iterations} iterations, "
                 f"{len(self.findings)} findings "
                 f"({sum(1 for f in self.findings if f.kind == MISCOMPILATION)}"
-                f" miscompilations, "
+                " miscompilations, "
                 f"{sum(1 for f in self.findings if f.kind == CRASH)} crashes)"
                 f" in {self.timings.total:.2f}s")
 
@@ -135,18 +139,30 @@ class FuzzDriver:
     """Owns one seed module and fuzzes it in-process."""
 
     def __init__(self, module: Module, config: Optional[FuzzConfig] = None,
-                 file_name: str = "") -> None:
+                 file_name: str = "", *,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 progress: Optional[ProgressReporter] = None) -> None:
         self.config = (config or FuzzConfig()).validate()
         self.file_name = file_name or module.name
-        self.log = BugLog(self.config.log_path)
         self.report = FuzzReport()
+        # Observability: the metrics registry is shared with the report
+        # (and, in campaigns, shipped back inside ShardResult); the
+        # tracer defaults to the free disabled singleton.
+        self.metrics = metrics if metrics is not None else \
+            self.report.metrics
+        self.report.metrics = self.metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.progress = progress
+        self.log = BugLog(self.config.log_path, metrics=self.metrics)
         self.module = module
         # Cooperative watchdog: an absolute ``time.monotonic()`` deadline
         # (or None).  Checked at stage boundaries; on expiry the loop
         # raises DeadlineExceeded instead of starting the next stage.
         self.deadline_at: Optional[float] = None
         self._preprocess()
-        self.mutator = Mutator(module, self._mutator_config())
+        self.mutator = Mutator(module, self._mutator_config(),
+                               tracer=self.tracer)
 
     @classmethod
     def from_text(cls, text: str, config: Optional[FuzzConfig] = None,
@@ -211,7 +227,7 @@ class FuzzDriver:
         if self.deadline_at is not None \
                 and time.monotonic() >= self.deadline_at:
             raise DeadlineExceeded(
-                f"cooperative job deadline exceeded while fuzzing "
+                "cooperative job deadline exceeded while fuzzing "
                 f"{self.file_name or 'input'}")
 
     # -- the loop (paper §III-B..E) ---------------------------------------------
@@ -246,6 +262,9 @@ class FuzzDriver:
             self.check_deadline()
             finding = self.run_one(self.config.base_seed + i)
             i += 1
+            self.report.iterations = i
+            if self.progress is not None:
+                self.progress.tick(self.metrics)
             if finding and self.config.stop_on_first_finding:
                 break
         self.report.iterations = i
@@ -254,14 +273,23 @@ class FuzzDriver:
     def run_one(self, seed: int) -> List[Finding]:
         """One mutate→optimize→verify iteration; returns its findings."""
         timings = self.report.timings
+        metrics = self.metrics
         found: List[Finding] = []
 
         begin = time.perf_counter()
         mutant, record = self.mutator.create_mutant(seed)
-        timings.mutate += time.perf_counter() - begin
+        mutate_seconds = time.perf_counter() - begin
+        timings.mutate += mutate_seconds
+        metrics.count("mutants.created")
+        if record.applied:
+            metrics.count("mutants.valid")
         for _, operator in record.applied:
             self.report.mutation_counts[operator] = \
                 self.report.mutation_counts.get(operator, 0) + 1
+            metrics.count("mutate.op." + operator)
+        metrics.count("stage.mutate.seconds", mutate_seconds)
+        self.tracer.record("mutate", begin, mutate_seconds, seed=seed,
+                           applied=len(record.applied))
 
         if self.config.save_all:
             self._save(mutant, seed)
@@ -272,10 +300,15 @@ class FuzzDriver:
         ctx = OptContext(self.config.enabled_bugs)
         crash: Optional[OptimizerCrash] = None
         try:
-            PassManager([self.config.pipeline], ctx).run(optimized)
+            PassManager([self.config.pipeline], ctx,
+                        tracer=self.tracer).run(optimized)
         except OptimizerCrash as exc:
             crash = exc
-        timings.optimize += time.perf_counter() - begin
+        optimize_seconds = time.perf_counter() - begin
+        timings.optimize += optimize_seconds
+        metrics.count("stage.optimize.seconds", optimize_seconds)
+        self.tracer.record("optimize", begin, optimize_seconds, seed=seed,
+                           crashed=crash is not None)
 
         if crash is not None:
             finding = Finding(kind=CRASH, seed=seed, file=self.file_name,
@@ -285,6 +318,8 @@ class FuzzDriver:
             found.append(finding)
             if self.config.save_dir and not self.config.save_all:
                 self._save(mutant, seed)
+            metrics.observe("iteration.seconds",
+                            mutate_seconds + optimize_seconds)
             return found
 
         self.check_deadline()
@@ -295,8 +330,12 @@ class FuzzDriver:
             if source is None or target is None or target.is_declaration():
                 continue
             result = check_refinement(source, target, mutant, optimized,
-                                      self.config.tv)
+                                      self.config.tv, tracer=self.tracer)
+            metrics.count("tv.checks")
             self.report.inconclusive += result.inconclusive_inputs
+            if result.inconclusive_inputs:
+                metrics.count("tv.inconclusive_inputs",
+                              result.inconclusive_inputs)
             if result.verdict == Verdict.UNSOUND:
                 detail = str(result.counterexample) if result.counterexample \
                     else "refinement failure"
@@ -309,7 +348,13 @@ class FuzzDriver:
                 found.append(finding)
                 if self.config.save_dir and not self.config.save_all:
                     self._save(mutant, seed)
-        timings.verify += time.perf_counter() - begin
+        verify_seconds = time.perf_counter() - begin
+        timings.verify += verify_seconds
+        metrics.count("stage.verify.seconds", verify_seconds)
+        self.tracer.record("verify", begin, verify_seconds, seed=seed,
+                           findings=len(found))
+        metrics.observe("iteration.seconds",
+                        mutate_seconds + optimize_seconds + verify_seconds)
         return found
 
     def recreate(self, seed: int) -> Module:

@@ -58,16 +58,23 @@ class BugLog:
     crash (flush + ``os.fsync`` per line); :meth:`load` tolerates the
     resulting failure mode — a truncated trailing line from a crash
     mid-append — by dropping the damaged tail instead of raising.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) counts each
+    recorded finding under ``findings.<kind>``, feeding the throughput
+    snapshots' finding totals.
     """
 
     def __init__(self, path: Optional[str] = None,
-                 fsync: bool = False) -> None:
+                 fsync: bool = False, metrics=None) -> None:
         self.path = path
         self.fsync = fsync
+        self.metrics = metrics
         self.findings: List[Finding] = []
 
     def record(self, finding: Finding) -> None:
         self.findings.append(finding)
+        if self.metrics is not None:
+            self.metrics.count("findings." + finding.kind)
         if self.path:
             with open(self.path, "a") as stream:
                 stream.write(finding.to_json() + "\n")

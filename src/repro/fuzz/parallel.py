@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..ir.parser import ParseError, parse_module
+from ..obs import MetricsRegistry, tracer_for_path
 from .campaign import (CampaignConfig, CampaignReport, QuarantinedJob,
                        ShardFailure, new_report)
 from .corpus import generate_corpus
@@ -66,6 +67,12 @@ class ShardJob:
     # the driver's stage boundaries; the supervised scheduler also
     # hard-kills workers at ``deadline * grace_factor``.
     deadline: Optional[float] = None
+    # Span tracing (repro.obs): when ``trace_dir`` is set the job writes
+    # its spans to ``<trace_dir>/job-<index>.jsonl`` (one file per job —
+    # concurrent workers never share a trace stream), keeping one span
+    # in every ``1/trace_sample`` via deterministic sampling.
+    trace_dir: Optional[str] = None
+    trace_sample: float = 1.0
 
 
 @dataclass
@@ -93,6 +100,12 @@ class ShardResult:
     # (retired after exhausting hang/crash retries).
     failure_kind: str = ""
     attempts: int = 1
+    # Per-job observability registry (repro.obs).  Hang results carry
+    # the partial registry/iterations of the interrupted attempt; the
+    # merge counts that partial work as *discarded*, never as campaign
+    # progress (only the final successful attempt of a retried job
+    # contributes to CampaignReport totals).
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
 
 JobRunner = Callable[[ShardJob], ShardResult]
@@ -121,8 +134,15 @@ def execute_job(job: ShardJob) -> ShardResult:
         return result
     deadline_at = (None if job.deadline is None
                    else time.monotonic() + job.deadline)
+    tracer = None
+    if job.trace_dir:
+        os.makedirs(job.trace_dir, exist_ok=True)
+        tracer = tracer_for_path(
+            os.path.join(job.trace_dir, f"job-{job.job_index:04d}.jsonl"),
+            sample_rate=job.trace_sample)
     try:
-        driver = FuzzDriver(module, job.config, file_name=job.file_name)
+        driver = FuzzDriver(module, job.config, file_name=job.file_name,
+                            metrics=result.metrics, tracer=tracer)
         driver.deadline_at = deadline_at
         report = driver.run(iterations=job.iterations,
                             time_budget=job.time_budget)
@@ -142,11 +162,21 @@ def execute_job(job: ShardJob) -> ShardResult:
                 confirmed = list(finding.bug_ids)
             result.confirmed_bug_ids.append(confirmed)
     except DeadlineExceeded as exc:
+        # The hang result carries the interrupted attempt's partial
+        # progress (iterations, timings, metrics) so the supervisor can
+        # account for discarded work — the merge must NOT count it as
+        # campaign progress, or retried jobs would be double-counted.
         return ShardResult(job_index=job.job_index, file_name=job.file_name,
                            pipeline=job.config.pipeline, worker=_worker_id(),
                            seed=job.config.base_seed,
+                           iterations=driver.report.iterations,
+                           timings=driver.report.timings,
+                           metrics=result.metrics,
                            error=f"{exc} (deadline {job.deadline}s)",
                            failure_kind=_KIND_HANG)
+    finally:
+        if tracer is not None:
+            tracer.close()
     return result
 
 
@@ -337,7 +367,7 @@ def _retry_in_isolation(runner: JobRunner, job: ShardJob) -> ShardResult:
                                  initializer=_init_worker_signals) as solo:
             return solo.submit(_call_runner, runner, job).result()
     except Exception as exc:  # noqa: BLE001 — typically BrokenProcessPool
-        return _failure(job, f"worker process died: "
+        return _failure(job, "worker process died: "
                              f"{type(exc).__name__}: {exc}",
                         kind=_KIND_CRASH)
 
@@ -400,8 +430,15 @@ def _run_supervised(jobs: Sequence[ShardJob], workers: int,
     results: Dict[int, ShardResult] = {}
 
     def settle_failure(job: ShardJob, attempt: int, kind: str,
-                       detail: str) -> None:
-        """Retry a hang/crash while budget remains, else retire it."""
+                       detail: str,
+                       partial: Optional[ShardResult] = None) -> None:
+        """Retry a hang/crash while budget remains, else retire it.
+
+        ``partial`` is the failed attempt's shard result (cooperative
+        hangs ship one back with partial progress); its iteration count
+        and metrics are carried onto the terminal result so the merge
+        can account for discarded work without counting it as progress.
+        """
         if attempt <= max_retries:
             delay = retry_backoff * (2 ** (attempt - 1))
             delayed.append((time.perf_counter() + delay, job, attempt + 1))
@@ -412,6 +449,10 @@ def _run_supervised(jobs: Sequence[ShardJob], workers: int,
                       f"last failure ({kind}): {detail}")
         result = _failure(job, detail, kind=terminal_kind)
         result.attempts = attempt
+        if partial is not None:
+            result.iterations = partial.iterations
+            result.timings = partial.timings
+            result.metrics = partial.metrics
         _emit(results, on_result, result)
 
     def reap(proc, record: _Running, now: float) -> bool:
@@ -430,7 +471,7 @@ def _run_supervised(jobs: Sequence[ShardJob], workers: int,
             elif result.failure_kind == _KIND_HANG:
                 result.attempts = record.attempt
                 settle_failure(record.job, record.attempt, _KIND_HANG,
-                               result.error)
+                               result.error, partial=result)
             else:
                 result.attempts = record.attempt
                 _emit(results, on_result, result)
@@ -453,7 +494,7 @@ def _run_supervised(jobs: Sequence[ShardJob], workers: int,
             del running[proc]
             settle_failure(
                 record.job, record.attempt, _KIND_HANG,
-                f"worker killed after exceeding deadline "
+                "worker killed after exceeding deadline "
                 f"({record.job.deadline}s x grace {grace_factor})")
             return True
         return False
@@ -598,7 +639,9 @@ class CampaignExecutor:
                      iterations=config.mutants_per_file,
                      time_budget=config.time_budget,
                      confirm_attributions=config.confirm_attributions,
-                     deadline=config.job_deadline)
+                     deadline=config.job_deadline,
+                     trace_dir=config.trace_dir,
+                     trace_sample=config.trace_sample)
             for job_index, (file_name, text, pipeline) in enumerate(
                 (file_name, text, pipeline)
                 for file_name, text in corpus
@@ -646,26 +689,50 @@ class CampaignExecutor:
 
     def _merge(self, report: CampaignReport, jobs: Sequence[ShardJob],
                results: Sequence[ShardResult]) -> None:
-        """Fold shard results (already job-index ordered) into the report."""
+        """Fold shard results (already job-index ordered) into the report.
+
+        Accounting contract: each job contributes to the campaign totals
+        (``total_iterations``, metrics, timings) through its **final
+        successful attempt only**.  Failed/quarantined shards may carry
+        partial progress from their last attempt (cooperative hangs ship
+        it back); that work is recorded as
+        ``campaign.retry.discarded_iterations`` — never added to
+        ``total_iterations`` — so a retried job is not double-counted.
+        """
+        metrics = report.metrics
         for shard in results:
+            if shard.attempts > 1:
+                metrics.count("campaign.retry.attempts",
+                              shard.attempts - 1)
             if shard.failure_kind == _KIND_QUARANTINE:
+                if shard.iterations:
+                    metrics.count("campaign.retry.discarded_iterations",
+                                  shard.iterations)
+                metrics.count("campaign.quarantined")
                 report.quarantined.append(QuarantinedJob(
                     job_index=shard.job_index, file=shard.file_name,
                     pipeline=shard.pipeline, seed=shard.seed,
                     attempts=shard.attempts, error=shard.error))
                 continue
             if shard.error:
+                if shard.iterations:
+                    metrics.count("campaign.retry.discarded_iterations",
+                                  shard.iterations)
+                metrics.count("campaign.failed_shards")
                 report.failed_shards.append(ShardFailure(
                     job_index=shard.job_index, file=shard.file_name,
                     pipeline=shard.pipeline, error=shard.error,
                     kind=shard.failure_kind or "error"))
                 continue
             if shard.parse_error:
+                metrics.count("campaign.parse_failures")
                 report.parse_failures.append(ShardFailure(
                     job_index=shard.job_index, file=shard.file_name,
                     pipeline=shard.pipeline, error=shard.parse_error,
                     kind="parse"))
                 continue
+            metrics.count("campaign.jobs.completed")
+            metrics.merge(shard.metrics)
             report.total_iterations += shard.iterations
             report.total_findings += len(shard.findings)
             _add_timings(report.timings, shard.timings)
@@ -687,6 +754,8 @@ class CampaignExecutor:
                         outcome.first_file = shard.file_name
                         outcome.first_seed = finding.seed
         report.skipped_jobs = len(jobs) - len(results)
+        if report.skipped_jobs:
+            metrics.count("campaign.skipped_jobs", report.skipped_jobs)
 
 
 def _add_timings(total: StageTimings, part: StageTimings) -> None:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 import re
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 from ..ir.parser import ParseError, parse_module
 from ..ir.printer import print_module

@@ -23,13 +23,11 @@ verifies and is still interesting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, Optional, Tuple
 
-from ..ir.basicblock import BasicBlock
-from ..ir.function import Function
 from ..ir.instructions import BrInst, CallInst, Instruction
 from ..ir.module import Module
-from ..ir.values import ConstantInt, UndefValue
+from ..ir.values import ConstantInt
 from ..ir.verifier import is_valid_module
 from ..ir.types import IntType
 
@@ -50,7 +48,7 @@ class ReductionResult:
                 f"{self.reduced_instructions} instructions in "
                 f"{self.rounds} rounds "
                 f"({self.candidates_kept}/{self.candidates_tried} "
-                f"candidate edits kept)")
+                "candidate edits kept)")
 
 
 def _instruction_count(module: Module) -> int:

@@ -99,6 +99,7 @@ class Session:
             merged.timings.mutate += report.timings.mutate
             merged.timings.optimize += report.timings.optimize
             merged.timings.verify += report.timings.verify
+            merged.metrics.merge(report.metrics)
             for operator, count in report.mutation_counts.items():
                 merged.mutation_counts[operator] = \
                     merged.mutation_counts.get(operator, 0) + count

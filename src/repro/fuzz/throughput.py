@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..ir.parser import ParseError, parse_module
 from ..mutate import MutatorConfig
+from ..obs import MetricsRegistry
 from ..tv import RefinementConfig
 from .discrete import DiscreteConfig, run_discrete_workflow
 from .driver import FuzzConfig, FuzzDriver
@@ -49,6 +50,10 @@ class ThroughputReport:
     timings: List[FileTiming] = field(default_factory=list)
     not_verified: List[str] = field(default_factory=list)
     invalid: List[str] = field(default_factory=list)
+    # Observability registry (repro.obs): file counters plus the two
+    # workflows' wall-clock totals (throughput.{alive,discrete}.seconds),
+    # merged from every measured file's fuzzing run.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     @property
     def average_perf(self) -> float:
@@ -104,6 +109,7 @@ def _measure_file(name: str, text: str, config: ThroughputConfig,
         module = parse_module(text, name)
     except ParseError:
         report.invalid.append(name)
+        report.metrics.count("throughput.invalid_files")
         return None
 
     fuzz_config = FuzzConfig(
@@ -116,13 +122,18 @@ def _measure_file(name: str, text: str, config: ThroughputConfig,
     if not driver.target_functions or driver.report.dropped_functions:
         # The paper discarded files that triggered Alive2 errors (6/200).
         report.invalid.append(name)
+        report.metrics.count("throughput.invalid_files")
         return None
 
     begin = time.perf_counter()
     result = driver.run(iterations=config.count)
     alive_seconds = time.perf_counter() - begin
+    report.metrics.merge(result.metrics)
+    report.metrics.count("throughput.files")
+    report.metrics.count("throughput.alive.seconds", alive_seconds)
     if result.findings:
         report.not_verified.append(name)
+        report.metrics.count("throughput.not_verified_files")
 
     input_path = os.path.join(work_dir, name)
     with open(input_path, "w") as stream:
@@ -137,6 +148,7 @@ def _measure_file(name: str, text: str, config: ThroughputConfig,
     begin = time.perf_counter()
     run_discrete_workflow(input_path, config.count, discrete_config)
     discrete_seconds = time.perf_counter() - begin
+    report.metrics.count("throughput.discrete.seconds", discrete_seconds)
 
     return FileTiming(name=name, alive_mutate_seconds=alive_seconds,
                       discrete_seconds=discrete_seconds)

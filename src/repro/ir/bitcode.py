@@ -40,8 +40,8 @@ from .instructions import (AllocaInst, BINARY_OPCODES, BinaryOperator,
 from .module import Module
 from .types import (FunctionType, IntType, LabelType, PtrType, Type,
                     VoidType)
-from .values import (Argument, ConstantInt, ConstantPointerNull,
-                     PoisonValue, UndefValue, Value)
+from .values import (ConstantInt, ConstantPointerNull, PoisonValue, UndefValue,
+                     Value)
 
 MAGIC = b"RBC1"
 
@@ -451,7 +451,8 @@ def _read_operand_record(stream: io.BytesIO, types: List[Type]):
 def _read_instruction_record(stream: io.BytesIO, types: List[Type]):
     name = _read_str(stream)
     kind = _read_varint(stream)
-    operand = lambda: _read_operand_record(stream, types)
+    def operand():
+        return _read_operand_record(stream, types)
     if kind == _I_BINOP:
         opcode = BINARY_OPCODES[_read_varint(stream)]
         flags = _read_varint(stream)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from .attributes import AttributeSet
-from .types import IntType, LabelType, PtrType, Type, VoidType
+from .types import IntType, PtrType, Type, VoidType
 from .values import ConstantInt, User, Value
 
 if TYPE_CHECKING:  # pragma: no cover

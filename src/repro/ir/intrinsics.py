@@ -9,11 +9,11 @@ signature shape, and width constraints; concrete semantics live in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from .function import Function
 from .module import Module
-from .types import FunctionType, IntType, PtrType, Type, VoidType
+from .types import FunctionType, IntType, Type, VoidType
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,7 @@ from .function import Function
 from .instructions import (BrInst, CallInst, Instruction, OperandBundle,
                            PhiNode, SwitchInst)
 from .types import FunctionType
-from .values import Argument, Value
+from .values import Value
 
 
 class Module:

@@ -27,8 +27,8 @@ from ..types import (FunctionType, IntType, LabelType, PtrType, Type,
                      VoidType)
 from ..values import (ConstantInt, ConstantPointerNull, PoisonValue,
                       UndefValue, Value)
-from .lexer import (ATTR_GROUP, EOF, GLOBAL, INT, LOCAL, METADATA, PUNCT,
-                    STRING, Token, TokenStream, WORD, tokenize)
+from .lexer import (ATTR_GROUP, GLOBAL, INT, LOCAL, METADATA, PUNCT, STRING,
+                    TokenStream, WORD, tokenize)
 
 
 class ParseError(Exception):

@@ -16,8 +16,8 @@ from .instructions import (AllocaInst, BinaryOperator, BrInst, CallInst,
                            SelectInst, StoreInst, SwitchInst,
                            UnreachableInst)
 from .module import Module
-from .values import (Argument, ConstantInt, ConstantPointerNull, PoisonValue,
-                     UndefValue, Value)
+from .values import (ConstantInt, ConstantPointerNull, PoisonValue, UndefValue,
+                     Value)
 
 
 def print_module(module: Module) -> str:

@@ -7,12 +7,9 @@ used value, so ``replace_all_uses_with`` and the mutation engine's
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
+from typing import Iterator, List
 
 from .types import IntType, PtrType, Type
-
-if TYPE_CHECKING:  # pragma: no cover
-    from .instructions import Instruction
 
 
 class Use:

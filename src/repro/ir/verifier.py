@@ -10,15 +10,14 @@ from typing import List
 
 from .basicblock import BasicBlock
 from .function import Function
-from .instructions import (AllocaInst, BinaryOperator, BrInst, CallInst,
-                           CastInst, EXACT_FLAG_OPCODES, FreezeInst, GEPInst,
-                           ICmpInst, Instruction, LoadInst, PhiNode, RetInst,
-                           SelectInst, StoreInst, SwitchInst,
-                           WRAPPING_FLAG_OPCODES)
+from .instructions import (BinaryOperator, BrInst, CallInst, CastInst,
+                           EXACT_FLAG_OPCODES, GEPInst, ICmpInst, Instruction,
+                           LoadInst, PhiNode, RetInst, SelectInst, StoreInst,
+                           SwitchInst, WRAPPING_FLAG_OPCODES)
 from .intrinsics import intrinsic_base_name, lookup as lookup_intrinsic
 from .module import Module
 from .types import IntType
-from .values import ConstantInt, Value
+from .values import ConstantInt
 
 
 class VerificationError(Exception):

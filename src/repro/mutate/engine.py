@@ -13,10 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import time
+
 from ..analysis.overlay import MutantOverlay, OriginalFunctionInfo
 from ..ir.function import Function
 from ..ir.module import Module
 from ..ir.verifier import collect_function_errors
+from ..obs import NULL_TRACER
 from .mutations import DEFAULT_WEIGHTS, MUTATIONS
 from .rng import MutationRNG
 
@@ -74,9 +77,13 @@ class Mutator:
     """Produces valid mutants of one module, repeatably."""
 
     def __init__(self, module: Module,
-                 config: Optional[MutatorConfig] = None) -> None:
+                 config: Optional[MutatorConfig] = None,
+                 tracer=None) -> None:
         self.module = module
         self.config = config or MutatorConfig()
+        # Span tracing (repro.obs): per-clone and per-operator spans when
+        # enabled; the null tracer costs one attribute check otherwise.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # §III-A preprocessing: per-function analyses, computed once.
         self._infos: Dict[str, OriginalFunctionInfo] = {}
         for function in module.definitions():
@@ -97,7 +104,14 @@ class Mutator:
         """Clone + mutate; deterministic in ``seed``."""
         rng = MutationRNG(seed)
         record = MutantRecord(seed=seed)
-        mutant_module = self.module.clone()
+        tracer = self.tracer
+        if tracer.enabled:
+            begin = time.perf_counter()
+            mutant_module = self.module.clone()
+            tracer.record("mutate.clone", begin,
+                          time.perf_counter() - begin, seed=seed)
+        else:
+            mutant_module = self.module.clone()
         names = self.config.mutation_names()
         weights = [DEFAULT_WEIGHTS.get(name, 1) for name in names]
 
@@ -119,7 +133,15 @@ class Mutator:
                     # that conservatively recomputes instead of overlaying.
                     overlay.invalidate_cfg()
                 name = _weighted_choice(rng, names, weights)
-                if MUTATIONS[name](overlay, rng):
+                if tracer.enabled:
+                    begin = time.perf_counter()
+                    changed = MUTATIONS[name](overlay, rng)
+                    tracer.record("mutate.op." + name, begin,
+                                  time.perf_counter() - begin,
+                                  function=function_name, changed=changed)
+                else:
+                    changed = MUTATIONS[name](overlay, rng)
+                if changed:
                     record.applied.append((function_name, name))
                     applied += 1
 

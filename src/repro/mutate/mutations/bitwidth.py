@@ -25,7 +25,6 @@ from typing import List
 from ...analysis.overlay import MutantOverlay
 from ...analysis.use_tree import use_path_from, width_change_roots
 from ...ir.builder import IRBuilder
-from ...ir.instructions import BinaryOperator, Instruction
 from ...ir.types import IntType, MAX_INT_BITS
 from ...ir.values import ConstantInt, Value
 from ..rng import MutationRNG

@@ -15,10 +15,9 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ...analysis.overlay import MutantOverlay
-from ...ir.basicblock import BasicBlock
 from ...ir.function import Function
-from ...ir.instructions import CallInst, Instruction, RetInst
-from ...ir.module import Module, _clone_instruction
+from ...ir.instructions import CallInst, RetInst
+from ...ir.module import _clone_instruction
 from ...ir.values import Value
 from ..primitives import random_dominating_value
 from ..rng import MutationRNG

@@ -1,0 +1,131 @@
+"""Lightweight span tracing for the mutate → optimize → verify loop.
+
+A :class:`Tracer` records named spans — ``mutate``, ``optimize``,
+``verify``, ``interp``, plus finer-grained ones like
+``optimize.pass.<name>`` — into a pluggable sink.  The disabled path is
+the common case and must stay within noise on the fuzzing hot loop, so:
+
+* a tracer without a sink has ``enabled = False`` and
+  :meth:`Tracer.record` returns after one attribute check;
+* callers inside per-mutation/per-pass loops guard the extra
+  ``perf_counter`` calls with ``if tracer.enabled``.
+
+Sampling is deterministic (an error-diffusion accumulator, no PRNG):
+``sample_rate=0.25`` keeps exactly every fourth span, so traces of the
+same seeded run are reproducible.
+
+Span timestamps are ``time.perf_counter`` offsets from the tracer's
+creation, so a trace file reads as a run-relative timeline.  The JSONL
+schema is one object per line::
+
+    {"name": "mutate", "start": 0.0123, "dur": 0.0009, "seed": 17, ...}
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+__all__ = [
+    "JsonlTraceSink",
+    "ListTraceSink",
+    "NULL_TRACER",
+    "Tracer",
+    "tracer_for_path",
+]
+
+
+class ListTraceSink:
+    """Collects span dicts in memory (tests, ad-hoc analysis)."""
+
+    def __init__(self) -> None:
+        self.records: List[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlTraceSink:
+    """Appends one JSON object per span to a file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._stream = open(path, "w")
+
+    def emit(self, record: dict) -> None:
+        self._stream.write(json.dumps(record) + "\n")
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+
+class Tracer:
+    """Records spans into a sink, with deterministic sampling.
+
+    ``sample_rate`` in [0, 1] is the kept fraction; 1.0 keeps every
+    span.  A tracer with no sink (or rate 0) is permanently disabled.
+    """
+
+    def __init__(self, sink=None, sample_rate: float = 1.0) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}"
+            )
+        self.sink = sink
+        self.sample_rate = sample_rate
+        self.enabled = sink is not None and sample_rate > 0.0
+        self.epoch = time.perf_counter()
+        self._accumulator = 0.0
+
+    def record(self, name: str, start: float, duration: float, **meta) -> None:
+        """Record one span; ``start`` is a raw ``perf_counter`` value."""
+        if not self.enabled:
+            return
+        self._accumulator += self.sample_rate
+        if self._accumulator < 1.0:
+            return
+        self._accumulator -= 1.0
+        record = {
+            "name": name,
+            "start": round(start - self.epoch, 9),
+            "dur": round(duration, 9),
+        }
+        if meta:
+            record.update(meta)
+        self.sink.emit(record)
+
+    @contextmanager
+    def span(self, name: str, **meta) -> Iterator[None]:
+        """Time a block and record it as one span."""
+        if not self.enabled:
+            yield
+            return
+        begin = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, begin, time.perf_counter() - begin, **meta)
+
+    def close(self) -> None:
+        if self.sink is not None:
+            self.sink.close()
+
+
+# The shared disabled tracer: safe to pass anywhere, records nothing.
+NULL_TRACER = Tracer()
+
+
+def tracer_for_path(
+    path: Optional[str], sample_rate: float = 1.0
+) -> Tracer:
+    """A JSONL-backed tracer for ``path``, or the null tracer for None."""
+    if not path:
+        return NULL_TRACER
+    return Tracer(JsonlTraceSink(path), sample_rate)

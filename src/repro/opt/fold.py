@@ -14,8 +14,7 @@ from typing import Optional
 from ..ir.instructions import (BinaryOperator, CallInst, CastInst, ICmpInst,
                                Instruction, SelectInst)
 from ..ir.types import IntType
-from ..ir.values import (Constant, ConstantInt, PoisonValue, UndefValue,
-                         Value)
+from ..ir.values import Constant, ConstantInt, PoisonValue
 
 
 def _signed(value: int, width: int) -> int:

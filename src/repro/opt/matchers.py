@@ -14,7 +14,6 @@ from typing import Callable, Optional
 
 from ..ir.instructions import (BinaryOperator, CallInst, CastInst, ICmpInst,
                                SelectInst)
-from ..ir.types import IntType
 from ..ir.values import ConstantInt, PoisonValue, UndefValue, Value
 
 Matcher = Callable[[Value], bool]

@@ -7,6 +7,7 @@ function in the module (§III-C).
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..ir.function import Function
@@ -59,10 +60,16 @@ def replace_and_erase(inst: Instruction, replacement: Value) -> None:
 
 
 class PassManager:
-    """Runs a sequence of function passes over a module."""
+    """Runs a sequence of function passes over a module.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records one
+    ``optimize.pass.<name>`` span per pass execution when tracing is
+    enabled — the per-pass breakdown of the loop's optimize stage.
+    """
 
     def __init__(self, pass_names: Sequence[str],
-                 ctx: Optional[OptContext] = None) -> None:
+                 ctx: Optional[OptContext] = None,
+                 tracer=None) -> None:
         from . import pipelines  # late import: pipelines needs the registry
 
         expanded: List[str] = []
@@ -70,6 +77,7 @@ class PassManager:
             expanded.extend(pipelines.expand(name))
         self.pass_names = expanded
         self.ctx = ctx or OptContext()
+        self.tracer = tracer
         self._passes = [create_pass(name) for name in expanded]
 
     def run(self, module: Module) -> bool:
@@ -78,12 +86,30 @@ class PassManager:
         Seeded crash bugs raise :class:`OptimizerCrash` out of this method,
         the analog of the optimizer process dying.
         """
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            return self._run_traced(module, tracer)
         changed = False
         for function_pass in self._passes:
             for function in module.definitions():
                 if function_pass.run_on_function(function, self.ctx):
                     changed = True
                     self.ctx.count(f"pass.{function_pass.name}.changed")
+        return changed
+
+    def _run_traced(self, module: Module, tracer) -> bool:
+        """The traced twin of :meth:`run`: one span per pass."""
+        changed = False
+        for function_pass in self._passes:
+            begin = time.perf_counter()
+            pass_changed = False
+            for function in module.definitions():
+                if function_pass.run_on_function(function, self.ctx):
+                    pass_changed = True
+                    self.ctx.count(f"pass.{function_pass.name}.changed")
+            tracer.record("optimize.pass." + function_pass.name, begin,
+                          time.perf_counter() - begin, changed=pass_changed)
+            changed = changed or pass_changed
         return changed
 
 

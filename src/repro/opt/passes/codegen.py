@@ -21,8 +21,8 @@ from typing import Dict, Optional, Tuple
 
 from ...ir.builder import IRBuilder
 from ...ir.function import Function
-from ...ir.instructions import (BinaryOperator, CallInst, CastInst,
-                                FreezeInst, ICmpInst, Instruction, SelectInst)
+from ...ir.instructions import (BinaryOperator, CallInst, CastInst, FreezeInst,
+                                Instruction, SelectInst)
 from ...ir.intrinsics import declare_intrinsic, supports_width
 from ...ir.types import IntType
 from ...ir.values import ConstantInt, PoisonValue, UndefValue, Value

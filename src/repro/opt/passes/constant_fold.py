@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from ...ir.function import Function
 from ...ir.instructions import CallInst, SelectInst
-from ...ir.values import Constant, ConstantInt, PoisonValue
+from ...ir.values import PoisonValue
 from ..context import OptContext
 from ..fold import fold_instruction
 from ..pass_manager import FunctionPass, register_pass, replace_and_erase

@@ -11,7 +11,7 @@ alive.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from ...ir.function import Function
 from ...ir.instructions import CallInst, Instruction, LoadInst, StoreInst

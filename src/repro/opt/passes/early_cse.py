@@ -9,15 +9,14 @@ or the leader may be poison where the replaced instruction was not.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ...analysis.domtree import DominatorTree
 from ...ir.basicblock import BasicBlock
 from ...ir.function import Function
 from ...ir.instructions import (BinaryOperator, CallInst, CastInst,
-                                COMMUTATIVE_OPCODES, FreezeInst, GEPInst,
-                                ICmpInst, Instruction, LoadInst, SelectInst,
-                                StoreInst)
+                                COMMUTATIVE_OPCODES, GEPInst, ICmpInst,
+                                Instruction, LoadInst, SelectInst, StoreInst)
 from ...ir.values import constant_to_key, Constant, Value
 from ..context import OptContext
 from ..pass_manager import FunctionPass, register_pass, replace_and_erase

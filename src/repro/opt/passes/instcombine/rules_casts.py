@@ -6,7 +6,6 @@ from typing import Optional
 
 from ....analysis.knownbits import is_known_non_negative
 from ....ir.instructions import CastInst
-from ....ir.types import IntType
 from ....ir.values import ConstantInt, Value
 from ...matchers import is_one_use
 

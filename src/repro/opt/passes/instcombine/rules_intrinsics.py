@@ -17,7 +17,6 @@ from typing import Optional
 from ....analysis.knownbits import is_known_non_negative
 from ....ir.instructions import BinaryOperator, CallInst
 from ....ir.intrinsics import declare_intrinsic, supports_width
-from ....ir.types import IntType
 from ....ir.values import ConstantInt, UndefValue, Value
 
 

@@ -9,7 +9,7 @@ optimization is too weak" — a mul of two zero-extended values is marked
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 from ....ir.instructions import BinaryOperator, CastInst
 from ....ir.values import ConstantInt, Value

@@ -12,10 +12,10 @@ from typing import Optional
 
 from ...analysis.knownbits import compute_known_bits
 from ...ir.function import Function
-from ...ir.instructions import (BinaryOperator, CastInst, FreezeInst,
-                                ICmpInst, Instruction, SelectInst)
+from ...ir.instructions import (BinaryOperator, FreezeInst, ICmpInst,
+                                Instruction, SelectInst)
 from ...ir.types import IntType
-from ...ir.values import Constant, ConstantInt, PoisonValue, Value
+from ...ir.values import ConstantInt, PoisonValue, Value
 from ..context import OptContext
 from ..fold import fold_instruction
 from ..pass_manager import FunctionPass, register_pass, replace_and_erase

@@ -21,7 +21,6 @@ from ...ir.function import Function
 from ...ir.instructions import (BinaryOperator, CallInst, CastInst,
                                 FreezeInst, GEPInst, ICmpInst, Instruction,
                                 SelectInst)
-from ...ir.values import Value
 from ..context import OptContext
 from ..pass_manager import FunctionPass, register_pass
 

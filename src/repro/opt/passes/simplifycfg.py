@@ -4,9 +4,8 @@ from __future__ import annotations
 
 
 from ...analysis.cfg import reachable_blocks
-from ...ir.basicblock import BasicBlock
 from ...ir.function import Function
-from ...ir.instructions import BrInst, PhiNode, SwitchInst
+from ...ir.instructions import BrInst, SwitchInst
 from ...ir.values import ConstantInt
 from ..context import OptContext
 from ..pass_manager import FunctionPass, register_pass

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from .pass_manager import available_passes
 
 PIPELINES: Dict[str, List[str]] = {
     "O0": [],

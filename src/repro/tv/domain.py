@@ -15,7 +15,7 @@ matches LLVM's each-use-may-differ semantics under bounded enumeration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Union
 
 
 class _Poison:

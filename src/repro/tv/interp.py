@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
@@ -19,9 +19,9 @@ from ..ir.instructions import (AllocaInst, BinaryOperator, BrInst, CallInst,
                                Instruction, LoadInst, PhiNode, RetInst,
                                SelectInst, StoreInst, SwitchInst,
                                UnreachableInst)
-from ..ir.types import IntType, PtrType, Type
-from ..ir.values import (Argument, ConstantInt, ConstantPointerNull,
-                         PoisonValue, UndefValue, Value)
+from ..ir.types import IntType, Type
+from ..ir.values import (ConstantInt, ConstantPointerNull, PoisonValue,
+                         UndefValue, Value)
 from .domain import (NULL_POINTER, POISON, Pointer, RuntimeValue,
                      interesting_values, is_poison, to_signed, to_unsigned)
 from .memory import (Byte, Memory, MemoryFault, UNDEF_BYTE, byte_size_of_width,

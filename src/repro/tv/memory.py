@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, Union
 
-from .domain import POISON, Pointer, _Poison
+from .domain import POISON as POISON  # re-exported: the byte-level poison marker
+from .domain import Pointer, _Poison
 
 
 class _UndefByte:

@@ -11,7 +11,7 @@ behavior *sets* of both functions (bounded, like Alive2's bounded TV).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 
 class Oracle:
@@ -56,6 +56,15 @@ class PathOracle(Oracle):
         self.taken.append(index)
         self.domain_sizes.append(len(options))
         return options[index]
+
+    @property
+    def choices_seen(self) -> int:
+        """Number of nondeterministic choices this run resolved.
+
+        Mirrors :attr:`DeterministicOracle.choices_seen` so callers can
+        account for oracle work uniformly across oracle kinds.
+        """
+        return len(self.taken)
 
     def note_truncated_domain(self) -> None:
         self.domain_truncated = True

@@ -21,20 +21,21 @@ from __future__ import annotations
 
 import itertools
 import random
+import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.constants_pool import ConstantPool
 from ..ir.function import Function
 from ..ir.instructions import CallInst
 from ..ir.intrinsics import lookup as lookup_intrinsic
 from ..ir.module import Module
-from ..ir.types import IntType, PtrType
+from ..ir.types import IntType
 from .domain import (NULL_POINTER, POISON, Pointer, RuntimeValue,
-                     interesting_values, is_poison)
+                     interesting_values)
 from .interp import (ExecutionLimits, Interpreter, StepLimitExceeded, UBError)
-from .memory import Memory, MemoryFault, POISON as _POISON_BYTE, UNDEF_BYTE
+from .memory import POISON as _POISON_BYTE, UNDEF_BYTE
 from .oracle import PathOracle, advance_path
 
 
@@ -377,11 +378,19 @@ def outcome_refines(tgt: Outcome, src: Outcome) -> bool:
 def check_refinement(src_function: Function, tgt_function: Function,
                      src_module: Optional[Module] = None,
                      tgt_module: Optional[Module] = None,
-                     config: Optional[RefinementConfig] = None) -> TVResult:
-    """Does ``tgt_function`` refine ``src_function``? (Bounded check.)"""
+                     config: Optional[RefinementConfig] = None,
+                     tracer=None) -> TVResult:
+    """Does ``tgt_function`` refine ``src_function``? (Bounded check.)
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records one ``interp``
+    span per test input — the interpreter-enumeration breakdown of the
+    verify stage.  Disabled tracing costs one truthiness check per
+    input.
+    """
     config = config or RefinementConfig()
     src_module = src_module or src_function.parent
     tgt_module = tgt_module or tgt_function.parent
+    traced = tracer is not None and tracer.enabled
 
     reason = check_function_supported(src_function)
     if reason is None:
@@ -393,11 +402,18 @@ def check_refinement(src_function: Function, tgt_function: Function,
 
     inputs = generate_inputs(src_function, config)
     inconclusive = 0
-    for test_input in inputs:
+    for input_index, test_input in enumerate(inputs):
+        begin = time.perf_counter() if traced else 0.0
         src_outcomes, src_exhausted = behavior_set(
             src_function, test_input, src_module, config)
         tgt_outcomes, _ = behavior_set(
             tgt_function, test_input, tgt_module, config)
+        if traced:
+            tracer.record(
+                "interp", begin, time.perf_counter() - begin,
+                function=src_function.name, input=input_index,
+                src_outcomes=len(src_outcomes),
+                tgt_outcomes=len(tgt_outcomes))
 
         if any(o.is_ub() for o in src_outcomes):
             # Some source nondeterminism hits UB; under the refinement

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
-from repro.ir import (Function, Module, parse_function, parse_module,
-                      print_module, verify_module)
+from repro.ir import (Function, Module, parse_module, print_module,
+                      verify_module)
 from repro.opt import OptContext, PassManager
 from repro.tv import (RefinementConfig, TVResult, Verdict, check_refinement)
 

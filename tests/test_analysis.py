@@ -1,16 +1,14 @@
 """Tests for constant pool, shufflable ranges, use trees, and the
 two-level overlay cache (paper §III-A/B)."""
 
-import pytest
 
 from repro.analysis.constants_pool import ConstantPool
 from repro.analysis.overlay import MutantOverlay, OriginalFunctionInfo
 from repro.analysis.shuffle_ranges import (range_is_still_valid,
-                                           shufflable_ranges,
-                                           shufflable_ranges_in_block)
+                                           shufflable_ranges)
 from repro.analysis.use_tree import (is_width_polymorphic, polymorphic_users,
                                      use_path_from, width_change_roots)
-from repro.ir import BrInst, IntType, parse_module
+from repro.ir import IntType
 
 from helpers import parsed
 
@@ -259,7 +257,7 @@ define void @main(ptr %p) {
         assert not overlay.signature_is_frozen()
 
     def test_frozen_function_never_gains_parameters(self):
-        from repro.ir import is_valid_module, parse_module
+        from repro.ir import is_valid_module
         from repro.mutate import Mutator, MutatorConfig
 
         module = parsed(self.CALLED)

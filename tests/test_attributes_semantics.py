@@ -1,12 +1,11 @@
 """Tests for attribute semantics end to end: mutation toggles them, the
 validator enforces them, and the optimizer respects them."""
 
-import pytest
 
-from repro.ir import Attribute, parse_module
+from repro.ir import parse_module
 from repro.tv import RefinementConfig, Verdict, check_refinement
 
-from helpers import assert_sound, optimize, parsed
+from helpers import parsed
 
 
 class TestAttributeDrivenValidation:

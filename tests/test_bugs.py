@@ -11,9 +11,9 @@ Each trigger program below is the distilled IR shape from the registry's
 
 import pytest
 
-from repro.ir import parse_module, verify_module
+from repro.ir import verify_module
 from repro.opt import (OptContext, OptimizerCrash, PassManager, all_bugs,
-                       bugs_by_id, crash_bugs, get_bug, miscompilation_bugs)
+                       crash_bugs, get_bug, miscompilation_bugs)
 from repro.tv import RefinementConfig, Verdict, check_refinement
 
 from helpers import parsed

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.ir import (BasicBlock, ConstantInt, Function, FunctionType, I1,
-                      I8, I32, IRBuilder, Module, PTR, VOID, verify_function)
+from repro.ir import (BasicBlock, ConstantInt, Function, FunctionType, I1, I8,
+                      I32, IRBuilder, Module, VOID, verify_function)
 
 
 def make_function(return_type=I32, params=(I32, I32)):

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.fuzz import CampaignConfig, CampaignReport, run_campaign
-from repro.opt import all_bug_ids
+from repro.fuzz import CampaignConfig, run_campaign
 
 
 class TestCampaign:

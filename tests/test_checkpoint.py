@@ -24,6 +24,8 @@ from repro.fuzz.checkpoint import JOURNAL_NAME, result_from_dict, \
     result_to_dict
 from repro.fuzz.driver import StageTimings
 from repro.fuzz.findings import Finding
+from repro.fuzz.parallel import execute_job
+from repro.obs import MetricsRegistry
 
 SMALL = dict(corpus_size=6, mutants_per_file=10, max_inputs=8,
              pipelines=("O2",))
@@ -76,6 +78,20 @@ class TestJournalUnit:
         back = result_from_dict(json.loads(
             json.dumps(result_to_dict(result))))
         assert back == result
+
+    def test_result_dict_roundtrip_preserves_metrics(self):
+        result = make_result(4)
+        result.metrics.count("mutants.created", 5)
+        result.metrics.observe("iteration.seconds", 0.01)
+        back = result_from_dict(json.loads(
+            json.dumps(result_to_dict(result))))
+        assert back == result
+
+    def test_result_dict_without_metrics_key_loads_empty(self):
+        """Journals written before metrics existed must stay resumable."""
+        data = result_to_dict(make_result(5))
+        del data["metrics"]
+        assert result_from_dict(data).metrics == MetricsRegistry()
 
     def test_fingerprint_mismatch_refuses_resume(self, tmp_path):
         journal = CheckpointJournal(str(tmp_path))
@@ -221,6 +237,129 @@ class TestCampaignResume:
             run_campaign(CampaignConfig(
                 workers=1, checkpoint_dir=str(tmp_path), **reseeded),
                 resume=True)
+
+    def test_kill_resume_preserves_aggregate_metrics(self, tmp_path,
+                                                     reference):
+        """Aggregate metrics (timing-free subset) survive a kill/resume
+        cycle bit-for-bit: cached shards contribute their journaled
+        registries exactly as live shards contribute fresh ones."""
+        checkpoint = str(tmp_path / "ckpt")
+        config = CampaignConfig(workers=1, checkpoint_dir=checkpoint,
+                                **SMALL)
+        run_campaign(config)
+        path = os.path.join(checkpoint, JOURNAL_NAME)
+        with open(path) as stream:
+            lines = stream.readlines()
+        with open(path, "w") as stream:
+            stream.writelines(lines[:1 + 3])  # header + 3 of 6 records
+        resumed = run_campaign(
+            CampaignConfig(workers=2, checkpoint_dir=checkpoint, **SMALL),
+            resume=True)
+        assert resumed.metrics.deterministic() == \
+            reference.metrics.deterministic()
+        assert resumed.metrics.counter("campaign.jobs.completed") == 6
+
+
+class PartialHangRunner:
+    """First ``hang_attempts`` attempts of job ``target`` come back as
+    cooperative hangs carrying partial progress (``partial`` iterations
+    and matching metrics); later attempts run the job for real.
+
+    Picklable (plain data attributes); attempts are counted in files
+    because retries run in fresh worker processes.
+    """
+
+    def __init__(self, target, partial, state_dir, hang_attempts=1):
+        self.target = target
+        self.partial = partial
+        self.state_dir = state_dir
+        self.hang_attempts = hang_attempts
+
+    def _attempt(self, index):
+        os.makedirs(self.state_dir, exist_ok=True)
+        path = os.path.join(self.state_dir, f"job-{index}.attempts")
+        try:
+            with open(path) as stream:
+                attempt = int(stream.read().strip() or 0) + 1
+        except (OSError, ValueError):
+            attempt = 1
+        with open(path, "w") as stream:
+            stream.write(str(attempt))
+        return attempt
+
+    def __call__(self, job):
+        if job.job_index == self.target \
+                and self._attempt(job.job_index) <= self.hang_attempts:
+            metrics = MetricsRegistry()
+            metrics.count("mutants.created", self.partial)
+            metrics.count("mutants.valid", self.partial)
+            return ShardResult(
+                job_index=job.job_index, file_name=job.file_name,
+                pipeline=job.config.pipeline, seed=job.config.base_seed,
+                iterations=self.partial, metrics=metrics,
+                timings=StageTimings(mutate=0.5),
+                error="injected cooperative hang", failure_kind="hang")
+        return execute_job(job)
+
+
+class TestRetryAccounting:
+    """CampaignReport totals must count only the final attempt of a
+    retried job.  Hang results carry the interrupted attempt's partial
+    progress back to the supervisor (for the discarded-work counter);
+    merging that partial progress into ``total_iterations`` would
+    double-count every retried job."""
+
+    def test_retried_job_counts_final_attempt_only(self, tmp_path):
+        reference = run_campaign(CampaignConfig(workers=1, **SMALL))
+        runner = PartialHangRunner(target=2, partial=7,
+                                   state_dir=str(tmp_path))
+        report = CampaignExecutor(
+            CampaignConfig(workers=2, max_job_retries=1,
+                           retry_backoff=0.01, **SMALL),
+            job_runner=runner).execute()
+        # The regression: attempt 1's 7 partial iterations must not
+        # inflate the totals — the retry re-runs the job from scratch.
+        assert report.total_iterations == reference.total_iterations
+        assert report_key(report) == report_key(reference)
+        assert report.metrics.deterministic() == \
+            reference.metrics.deterministic()
+        assert report.metrics.counter("campaign.retry.attempts") == 1
+        assert not report.failed_shards and not report.quarantined
+
+    def test_persistent_hang_discards_partial_work(self, tmp_path):
+        """With retries exhausted the job is quarantined; its partial
+        iterations land in the discarded-work counter, not the totals."""
+        runner = PartialHangRunner(target=1, partial=5,
+                                   state_dir=str(tmp_path),
+                                   hang_attempts=99)
+        report = CampaignExecutor(
+            CampaignConfig(workers=2, max_job_retries=1,
+                           retry_backoff=0.01, **SMALL),
+            job_runner=runner).execute()
+        assert len(report.quarantined) == 1
+        assert report.quarantined[0].attempts == 2
+        # 5 of 6 jobs completed; the hung job contributes nothing.
+        assert report.total_iterations == 5 * SMALL["mutants_per_file"]
+        assert report.metrics.counter(
+            "campaign.retry.discarded_iterations") == 5
+        assert report.metrics.counter("mutants.created") == \
+            report.total_iterations
+
+    def test_unretried_hang_still_reports_partial_as_discarded(self,
+                                                               tmp_path):
+        """max_job_retries=0: the hang is terminal on the first attempt
+        and its partial progress is visible only as discarded work."""
+        runner = PartialHangRunner(target=0, partial=3,
+                                   state_dir=str(tmp_path),
+                                   hang_attempts=99)
+        report = CampaignExecutor(
+            CampaignConfig(workers=1, **SMALL),
+            job_runner=runner).execute()
+        assert len(report.failed_shards) == 1
+        assert report.failed_shards[0].kind == "hang"
+        assert report.total_iterations == 5 * SMALL["mutants_per_file"]
+        assert report.metrics.counter(
+            "campaign.retry.discarded_iterations") == 3
 
 
 SIGTERM_SCRIPT = textwrap.dedent("""\

@@ -128,6 +128,67 @@ class TestAliveMutate:
                            "--save-dir", str(save)])
         assert len(list(save.iterdir())) == 5
 
+    def test_stats_prints_throughput_line(self, input_file, capsys):
+        code = alive_mutate.main([input_file, "-n", "10", "--stats",
+                                  "--stats-interval", "0.001"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "mutants" in err and "/s" in err
+        assert "valid" in err
+        assert "mutate" in err and "verify" in err  # per-stage share
+
+    def test_metrics_out_single_mode(self, input_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "metrics.json"
+        code = alive_mutate.main([input_file, "-n", "8",
+                                  "--metrics-out", str(out)])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["counters"]["mutants.created"] == 8
+        assert data["counters"]["stage.verify.seconds"] > 0
+        assert data["histograms"]["iteration.seconds"]["count"] == 8
+
+    def test_metrics_out_sharded_mode(self, input_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "metrics.json"
+        code = alive_mutate.main([input_file, "-n", "10", "-j", "2",
+                                  "--stats", "--metrics-out", str(out)])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["counters"]["mutants.created"] == 10
+        assert "total:" in capsys.readouterr().err
+
+    def test_trace_out_single_mode(self, input_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        code = alive_mutate.main([input_file, "-n", "5",
+                                  "--trace-out", str(trace)])
+        assert code == 0
+        names = {json.loads(line)["name"]
+                 for line in trace.read_text().splitlines()}
+        assert {"mutate", "optimize", "verify"} <= names
+
+    def test_trace_out_sharded_writes_per_shard_files(self, input_file,
+                                                      tmp_path, capsys):
+        traces = tmp_path / "traces"
+        code = alive_mutate.main([input_file, "-n", "10", "-j", "2",
+                                  "--trace-out", str(traces)])
+        assert code == 0
+        assert sorted(p.name for p in traces.iterdir()) == \
+            ["job-0000.jsonl", "job-0001.jsonl"]
+
+    def test_trace_sample_validated(self, input_file, capsys):
+        assert alive_mutate.main([input_file, "--trace-sample", "2.0"]) == 2
+        assert "--trace-sample" in capsys.readouterr().err
+
+    def test_stats_interval_validated(self, input_file, capsys):
+        assert alive_mutate.main([input_file, "--stats",
+                                  "--stats-interval", "0"]) == 2
+        assert "--stats-interval" in capsys.readouterr().err
+
     def test_console_scripts_run_as_modules(self, input_file):
         result = subprocess.run(
             [sys.executable, "-m", "repro.cli.opt_tool", input_file,

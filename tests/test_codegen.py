@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro.ir import (BinaryOperator, CallInst, CastInst, SelectInst,
-                      parse_module, verify_module)
+from repro.ir import (BinaryOperator, CallInst, SelectInst, parse_module,
+                      verify_module)
 from repro.tv import Verdict
 
-from helpers import assert_sound, optimize, parsed, refine_after
+from helpers import assert_sound, optimize, parsed
 
 
 def lowered(text: str):

@@ -5,7 +5,6 @@ from typing import Dict, Set
 
 from repro.analysis import DominatorTree, reverse_postorder
 from repro.analysis.cfg import predecessor_map
-from repro.ir import parse_module
 
 from helpers import parsed
 

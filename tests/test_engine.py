@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.fuzz.corpus import generate_corpus
 from repro.ir import is_valid_module, parse_module, print_module
-from repro.mutate import (MutantRecord, Mutator, MutatorConfig, MUTATIONS)
+from repro.mutate import MutantRecord, Mutator, MutatorConfig
 
 from helpers import parsed
 

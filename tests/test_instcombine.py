@@ -4,12 +4,10 @@ Every rewrite is checked both structurally (the expected shape appears)
 and semantically (the optimized function refines the original).
 """
 
-import pytest
 
-from repro.ir import BinaryOperator, CallInst, CastInst, ICmpInst, parse_module
-from repro.tv import Verdict
+from repro.ir import BinaryOperator, CallInst, CastInst, ICmpInst
 
-from helpers import assert_sound, optimize, parsed, refine_after
+from helpers import assert_sound, optimize, parsed
 
 
 def combined(text: str):

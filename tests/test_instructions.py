@@ -7,8 +7,7 @@ from repro.ir import (Argument, BasicBlock, BINARY_OPCODES, BinaryOperator,
                       EXACT_FLAG_OPCODES, FreezeInst, Function, FunctionType,
                       I1, I8, I16, I32, ICMP_PREDICATES, ICmpInst, LoadInst,
                       Module, PhiNode, PTR, RetInst, SelectInst, StoreInst,
-                      SwitchInst, UnreachableInst, VOID,
-                      WRAPPING_FLAG_OPCODES)
+                      SwitchInst, UnreachableInst, WRAPPING_FLAG_OPCODES)
 from repro.ir.instructions import INVERTED_PREDICATE, SWAPPED_PREDICATE
 
 

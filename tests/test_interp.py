@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.ir import parse_module
-from repro.tv import (ExecutionLimits, Interpreter, POISON, Pointer,
-                      StepLimitExceeded, UBError, is_poison)
+from repro.tv import (ExecutionLimits, Interpreter, POISON, StepLimitExceeded,
+                      UBError, is_poison)
 
 from helpers import parsed
 

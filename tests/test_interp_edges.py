@@ -3,7 +3,6 @@ corner cases, and multi-function execution."""
 
 import pytest
 
-from repro.ir import parse_module
 from repro.tv import (ExecutionLimits, Interpreter, StepLimitExceeded,
                       UBError, is_poison)
 

@@ -8,7 +8,6 @@ from repro.analysis.knownbits import (KnownBits, compute_known_bits,
                                       compute_num_sign_bits,
                                       is_known_non_negative,
                                       is_known_non_zero)
-from repro.ir import parse_function
 
 from helpers import single_function
 

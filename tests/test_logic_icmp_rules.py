@@ -3,7 +3,7 @@ semantic cross-checks at i8."""
 
 import pytest
 
-from repro.ir import ConstantInt, ICmpInst, parse_module
+from repro.ir import ConstantInt, ICmpInst
 
 from helpers import assert_sound, optimize, parsed
 

@@ -1,9 +1,7 @@
 """Tests for natural-loop analysis, LICM, and DSE."""
 
-import pytest
 
 from repro.analysis.loops import LoopInfo
-from repro.ir import parse_module
 
 from helpers import assert_sound, optimize, parsed
 
@@ -71,8 +69,8 @@ class TestLoopInfo:
         fn = parsed(NESTED_LOOPS).get_function("f")
         info = LoopInfo(fn)
         assert len(info) == 2
-        outer = [l for l in info if l.header.name == "outer"][0]
-        inner = [l for l in info if l.header.name == "inner"][0]
+        outer = [lp for lp in info if lp.header.name == "outer"][0]
+        inner = [lp for lp in info if lp.header.name == "inner"][0]
         assert {b.name for b in inner.blocks} == {"inner"}
         assert "inner" in {b.name for b in outer.blocks}
 

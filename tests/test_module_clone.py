@@ -1,7 +1,7 @@
 """Tests for deep module cloning — the heart of the per-mutant copy."""
 
-from repro.ir import (BasicBlock, CallInst, Instruction, PhiNode,
-                      parse_module, print_module, verify_module)
+from repro.ir import (BasicBlock, CallInst, Instruction, PhiNode, print_module,
+                      verify_module)
 
 from helpers import parsed
 

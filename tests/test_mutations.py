@@ -3,8 +3,8 @@
 import pytest
 
 from repro.analysis.overlay import MutantOverlay, OriginalFunctionInfo
-from repro.ir import (BinaryOperator, CallInst, CastInst, parse_module,
-                      print_module, verify_function, verify_module)
+from repro.ir import (BinaryOperator, CallInst, CastInst, print_module,
+                      verify_module)
 from repro.mutate import MutationRNG
 from repro.mutate.mutations import (MUTATIONS, arithmetic, attributes,
                                     bitwidth, inlining, move, remove_calls,

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.ir import (BinaryOperator, CallInst, CastInst, ConstantInt,
-                      GEPInst, ICmpInst, IntType, LoadInst, ParseError,
-                      PhiNode, parse_function, parse_module, print_module,
-                      SelectInst, StoreInst, SwitchInst, verify_module)
+from repro.ir import (BinaryOperator, CallInst, GEPInst, ICmpInst, IntType,
+                      LoadInst, ParseError, PhiNode, parse_function,
+                      parse_module, SelectInst, StoreInst, SwitchInst)
 from repro.ir.parser.lexer import LexError, tokenize
 
 from helpers import parsed, round_trips, single_function

@@ -3,13 +3,11 @@ translation validator (the optimizer must never fail refinement)."""
 
 import pytest
 
-from repro.ir import (BinaryOperator, CallInst, parse_module, print_module,
-                      verify_module)
-from repro.opt import OptContext, PassManager, available_passes, create_pass
+from repro.ir import BinaryOperator, verify_module
+from repro.opt import available_passes, create_pass
 from repro.opt.pipelines import available_pipelines, expand
-from repro.tv import Verdict
 
-from helpers import assert_sound, optimize, parsed, refine_after
+from helpers import assert_sound, optimize, parsed
 
 
 class TestPassManager:

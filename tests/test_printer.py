@@ -1,6 +1,6 @@
 """Tests for the textual printer."""
 
-from repro.ir import parse_module, print_function, print_module
+from repro.ir import print_function, print_module
 
 from helpers import parsed, single_function
 

@@ -9,7 +9,6 @@ These are the invariants the whole reproduction rests on:
 4. the mutate→optimize→verify loop is deterministic end to end.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

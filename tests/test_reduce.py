@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.fuzz.reduce import ReductionResult, reduce_module
-from repro.ir import is_valid_module, parse_module, print_module
+from repro.fuzz.reduce import reduce_module
+from repro.ir import is_valid_module, print_module
 from repro.opt import OptContext, OptimizerCrash, PassManager
 from repro.tv import RefinementConfig, Verdict, check_refinement
 

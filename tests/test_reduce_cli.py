@@ -1,6 +1,5 @@
 """End-to-end tests for the alive-reduce command-line tool."""
 
-import pytest
 
 from repro.cli import reduce_tool
 from repro.ir import is_valid_module, parse_module

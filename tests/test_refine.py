@@ -1,9 +1,7 @@
 """Tests for the refinement checker: ordering, counterexamples, memory,
 nondeterminism handling, and input generation."""
 
-import pytest
 
-from repro.ir import parse_module
 from repro.tv import (Outcome, POISON, RefinementConfig, Verdict,
                       check_function_supported, check_module_refinement,
                       check_refinement, generate_inputs, outcome_refines,

@@ -1,8 +1,7 @@
 """Tests for the select/binop threading rules."""
 
-import pytest
 
-from repro.ir import BinaryOperator, ConstantInt, SelectInst
+from repro.ir import BinaryOperator, SelectInst
 
 from helpers import assert_sound, optimize, parsed
 

@@ -3,10 +3,8 @@ calls, assume bundles, and behavior-set enumeration."""
 
 import pytest
 
-from repro.ir import parse_module
-from repro.tv import (Interpreter, Pointer, RefinementConfig, Verdict,
-                      behavior_set, check_refinement, generate_inputs)
-from repro.tv.refine import PointerInput
+from repro.tv import (Interpreter, RefinementConfig, Verdict, behavior_set,
+                      check_refinement)
 from repro.tv.refine import TestInput as TVInput
 
 from helpers import parsed

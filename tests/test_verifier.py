@@ -2,12 +2,11 @@
 
 import pytest
 
-from repro.ir import (Argument, BasicBlock, BinaryOperator, BrInst,
-                      CastInst, ConstantInt, Function, FunctionType, I1, I8,
-                      I32, ICmpInst, IRBuilder, LoadInst, Module, PhiNode,
-                      RetInst, SelectInst, StoreInst, VerificationError,
-                      VOID, collect_function_errors, is_valid_module,
-                      parse_module, verify_function, verify_module)
+from repro.ir import (BasicBlock, BinaryOperator, BrInst, CastInst,
+                      ConstantInt, Function, FunctionType, I8, I32, LoadInst,
+                      Module, RetInst, SelectInst, VerificationError,
+                      collect_function_errors, is_valid_module, parse_module,
+                      verify_function, verify_module)
 
 from helpers import parsed
 
