@@ -36,6 +36,10 @@ GATES = [
     ("campaign", "BENCH_campaign.json", "found_bugs", "floor"),
     ("campaign", "BENCH_campaign.json", "valid_mutant_rate", "floor"),
     ("campaign", "BENCH_campaign.json", "mutants_per_sec", "floor"),
+    ("cow_memo", "BENCH_cow_memo.json", "findings", "exact"),
+    ("cow_memo", "BENCH_cow_memo.json", "speedup", "floor"),
+    ("cow_memo", "BENCH_cow_memo.json", "optimize_hit_rate", "floor"),
+    ("cow_memo", "BENCH_cow_memo.json", "mutants_per_sec", "floor"),
     ("throughput", "BENCH_throughput.json", "files", "exact"),
     ("throughput", "BENCH_throughput.json", "invalid_files", "exact"),
     ("throughput", "BENCH_throughput.json", "not_verified_files", "exact"),

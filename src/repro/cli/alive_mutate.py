@@ -115,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output file for --mutate-only")
     parser.add_argument("--emit-bitcode", action="store_true",
                         help="write the mutant in the compact binary format")
+    parser.add_argument("--no-memo", action="store_true",
+                        help="disable copy-on-write cloning and "
+                             "fingerprint memoization (the deep-clone "
+                             "ablation; findings are identical either "
+                             "way, throughput is not)")
     parser.add_argument("--verify-mutants", action="store_true",
                         help="run the IR verifier on every mutant")
     return parser
@@ -133,7 +138,8 @@ def _load(path: str):
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     mutator_config = MutatorConfig(max_mutations=args.max_mutations,
-                                   verify_mutants=args.verify_mutants)
+                                   verify_mutants=args.verify_mutants,
+                                   cow_clone=not args.no_memo)
 
     if args.mutate_only:
         if len(args.inputs) > 1:
@@ -170,6 +176,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         save_dir=args.save_dir,
         save_all=args.saveAll and args.save_dir is not None,
         log_path=args.log,
+        memo=not args.no_memo,
     )
     try:
         config.validate(

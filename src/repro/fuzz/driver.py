@@ -12,18 +12,21 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..ir.fingerprint import (fingerprint_closure, fingerprint_function,
+                              references_definitions)
 from ..ir.function import Function
-from ..ir.module import Module
+from ..ir.module import Module, clone_functions_into
 from ..ir.parser import parse_module
 from ..ir.printer import print_module
-from ..mutate import Mutator, MutatorConfig
+from ..mutate import MutantRecord, Mutator, MutatorConfig
 from ..obs import NULL_TRACER, MetricsRegistry, ProgressReporter, Tracer
 from ..opt import OptContext, OptimizerCrash, PassManager
 from ..tv import RefinementConfig, Verdict, check_function_supported, \
     check_refinement
 from .findings import CRASH, MISCOMPILATION, BugLog, Finding
+from .memo import LRUCache, OptimizeEntry
 
 
 class ConfigError(ValueError):
@@ -56,6 +59,16 @@ class FuzzConfig:
     save_all: bool = False
     log_path: Optional[str] = None
     stop_on_first_finding: bool = False
+    # Fingerprint memoization (paper §III-B, lifted to whole stages):
+    # bounded LRU caches replay optimize results and verify verdicts for
+    # structurally repeated functions.  Guaranteed finding-preserving —
+    # cached UNSOUND verdicts and optimizer crashes are replayed, and
+    # cache hits re-inject their ``OptContext.triggered_bugs``.  Disable
+    # (with ``mutator.cow_clone``) for the classic deep-clone loop, e.g.
+    # via ``alive-mutate --no-memo``.
+    memo: bool = True
+    optimize_cache_size: int = 512
+    verify_cache_size: int = 2048
 
     def validate(self, iterations: Optional[int] = None,
                  time_budget: Optional[float] = None,
@@ -90,6 +103,12 @@ class FuzzConfig:
                     f"{self.pipeline!r} (pipelines: "
                     f"{', '.join(available_pipelines())}; see "
                     "repro-opt --list-passes for individual passes)")
+        if self.memo and self.optimize_cache_size <= 0:
+            raise ConfigError("optimize_cache_size must be positive, got "
+                              f"{self.optimize_cache_size}")
+        if self.memo and self.verify_cache_size <= 0:
+            raise ConfigError("verify_cache_size must be positive, got "
+                              f"{self.verify_cache_size}")
         if iterations is not None and iterations < 0:
             raise ConfigError(f"iterations must be >= 0, got {iterations}")
         if time_budget is not None and time_budget <= 0:
@@ -160,6 +179,20 @@ class FuzzDriver:
         # (or None).  Checked at stage boundaries; on expiry the loop
         # raises DeadlineExceeded instead of starting the next stage.
         self.deadline_at: Optional[float] = None
+        # Memoization state (see repro.fuzz.memo): bounded LRU caches
+        # over structural fingerprints, plus the seed module's own
+        # fingerprints (by name and by object id) so copy-on-write
+        # mutants can skip re-hashing functions no operator touched.
+        self._pipeline_key = self.config.pipeline
+        self._tv_key = self.config.tv.cache_key()
+        self._opt_cache: Optional[LRUCache] = (
+            LRUCache(self.config.optimize_cache_size)
+            if self.config.memo else None)
+        self._tv_cache: Optional[LRUCache] = (
+            LRUCache(self.config.verify_cache_size)
+            if self.config.memo else None)
+        self._seed_fps: Dict[str, str] = {}
+        self._seed_fp_by_id: Dict[int, str] = {}
         self._preprocess()
         self.mutator = Mutator(module, self._mutator_config(),
                                tracer=self.tracer)
@@ -178,40 +211,120 @@ class FuzzDriver:
             enabled_mutations=base.enabled_mutations,
             verify_mutants=base.verify_mutants,
             only_functions=list(self._targets),
+            cow_clone=base.cow_clone,
         )
 
     # -- preprocessing (paper §III-A) ---------------------------------------
 
     def _preprocess(self) -> None:
         """Drop functions the validator cannot handle, and functions whose
-        *un-mutated* form already fails validation (no point mutating)."""
+        *un-mutated* form already fails validation (no point mutating).
+
+        The baseline clone+optimize runs once for the *whole module* (it
+        used to run once per candidate function — O(F²) in module size);
+        every candidate is checked against that single optimized copy.
+        When memoization is on, the per-function baseline results seed
+        the optimize and verify caches, so functions a mutation round
+        leaves untouched hit from the very first iteration.
+        """
         self._targets: List[str] = []
+        reasons: Dict[str, Optional[str]] = {}
+        candidates: List[Function] = []
         for function in self.module.definitions():
             reason = check_function_supported(function)
+            reasons[function.name] = reason
+            if reason is None:
+                candidates.append(function)
+        if candidates:
+            baseline, crashed, union_bugs = self._optimize_baseline()
+            if crashed:
+                # Crashes on the seed itself still count as fuzz food.
+                self._targets = [f.name for f in candidates]
+            else:
+                fp_cache = dict(self._seed_fp_by_id)
+                for function in candidates:
+                    target = baseline.get_function(function.name)
+                    if target is None or target.is_declaration():
+                        reasons[function.name] = \
+                            "function vanished during baseline optimization"
+                        continue
+                    result = check_refinement(function, target, self.module,
+                                              baseline, self.config.tv)
+                    if self._tv_cache is not None:
+                        key = self._verify_key(function, target, fp_cache)
+                        self._tv_cache.put(key, result)
+                    if result.verdict == Verdict.UNSOUND and not union_bugs:
+                        reasons[function.name] = ("un-mutated form already "
+                                                  "fails translation "
+                                                  "validation")
+                        continue
+                    self._targets.append(function.name)
+        for function in self.module.definitions():
+            reason = reasons.get(function.name)
             if reason is not None:
                 self.report.dropped_functions[function.name] = reason
-                continue
-            baseline = self._baseline_ok(function)
-            if baseline is not None:
-                self.report.dropped_functions[function.name] = baseline
-                continue
-            self._targets.append(function.name)
 
-    def _baseline_ok(self, function: Function) -> Optional[str]:
+    def _optimize_baseline(self) -> Tuple[Module, bool, Set[str]]:
+        """Clone and optimize the seed once, one function at a time.
+
+        Returns ``(optimized module, crashed?, union of triggered bug
+        ids)``.  Function-major pipeline runs produce the same IR as the
+        pass-major whole-module run (every pass is function-local),
+        while letting each function's optimized body, bug attribution,
+        and crash be recorded individually in the optimize cache.
+        """
+        memo = self._opt_cache is not None
+        if memo:
+            for function in self.module.definitions():
+                fp = fingerprint_function(function)
+                self._seed_fps[function.name] = fp
+                self._seed_fp_by_id[id(function)] = fp
         optimized = self.module.clone()
-        ctx = OptContext(self.config.enabled_bugs)
-        try:
-            PassManager([self.config.pipeline], ctx).run(optimized)
-        except OptimizerCrash:
-            return None  # crashes on the seed itself still count as fuzz food
-        target = optimized.get_function(function.name)
-        if target is None or target.is_declaration():
-            return "function vanished during baseline optimization"
-        result = check_refinement(function, target, self.module, optimized,
-                                  self.config.tv)
-        if result.verdict == Verdict.UNSOUND and not ctx.triggered_bugs:
-            return "un-mutated form already fails translation validation"
-        return None
+        manager = PassManager([self.config.pipeline])
+        crashed = False
+        union_bugs: Set[str] = set()
+        for original in self.module.definitions():
+            function = optimized.get_function(original.name)
+            cacheable = memo and not references_definitions(original)
+            ctx = OptContext(self.config.enabled_bugs)
+            crash: Optional[OptimizerCrash] = None
+            try:
+                manager.run_function(function, ctx)
+            except OptimizerCrash as exc:
+                crash = exc
+                crashed = True
+            union_bugs |= ctx.triggered_bugs
+            if cacheable:
+                self._store_optimize_entry(self._seed_fps[original.name],
+                                           function, ctx, crash)
+        return optimized, crashed, union_bugs
+
+    def _store_optimize_entry(self, fp: str, function: Function,
+                              ctx: OptContext,
+                              crash: Optional[OptimizerCrash]) -> None:
+        """Cache one function's pipeline outcome under its pre-opt hash.
+
+        Only called for *cacheable* functions — bodies referencing no
+        definition but themselves before optimization, so their pipeline
+        outcome cannot depend on another function's mutable state (only
+        callee *names and attribute sets*, and those belong to shared,
+        never-mutated declarations).  Function-local passes cannot
+        introduce new calls, but guard the post-opt body anyway.
+        """
+        if crash is None and references_definitions(function):
+            return
+        if crash is not None:
+            entry = OptimizeEntry(function=None, fingerprint="",
+                                  triggered_bugs=frozenset(
+                                      ctx.triggered_bugs),
+                                  crash=crash)
+        else:
+            entry = OptimizeEntry(function=function,
+                                  fingerprint=fingerprint_function(function),
+                                  triggered_bugs=frozenset(
+                                      ctx.triggered_bugs),
+                                  crash=None)
+        self._opt_cache.put((fp, self._pipeline_key), entry)
 
     @property
     def target_functions(self) -> List[str]:
@@ -281,6 +394,7 @@ class FuzzDriver:
         mutate_seconds = time.perf_counter() - begin
         timings.mutate += mutate_seconds
         metrics.count("mutants.created")
+        metrics.count("clone.functions_copied", record.functions_copied)
         if record.applied:
             metrics.count("mutants.valid")
         for _, operator in record.applied:
@@ -296,14 +410,21 @@ class FuzzDriver:
 
         self.check_deadline()
         begin = time.perf_counter()
-        optimized = mutant.clone()
-        ctx = OptContext(self.config.enabled_bugs)
-        crash: Optional[OptimizerCrash] = None
-        try:
-            PassManager([self.config.pipeline], ctx,
-                        tracer=self.tracer).run(optimized)
-        except OptimizerCrash as exc:
-            crash = exc
+        fp_cache: Dict[int, str] = dict(self._seed_fp_by_id)
+        if self._opt_cache is not None:
+            optimized, ctx, crash = self._optimize_memo(mutant, record,
+                                                        fp_cache)
+        else:
+            optimized = mutant.clone()
+            metrics.count("clone.functions_copied",
+                          len(optimized.definitions()))
+            ctx = OptContext(self.config.enabled_bugs)
+            crash = None
+            try:
+                PassManager([self.config.pipeline], ctx,
+                            tracer=self.tracer).run(optimized)
+            except OptimizerCrash as exc:
+                crash = exc
         optimize_seconds = time.perf_counter() - begin
         timings.optimize += optimize_seconds
         metrics.count("stage.optimize.seconds", optimize_seconds)
@@ -329,8 +450,18 @@ class FuzzDriver:
             target = optimized.get_function(name)
             if source is None or target is None or target.is_declaration():
                 continue
-            result = check_refinement(source, target, mutant, optimized,
-                                      self.config.tv, tracer=self.tracer)
+            result = None
+            key = None
+            if self._tv_cache is not None:
+                key = self._verify_key(source, target, fp_cache)
+                result = self._tv_cache.get(key)
+                metrics.count("cache.verify.hit" if result is not None
+                              else "cache.verify.miss")
+            if result is None:
+                result = check_refinement(source, target, mutant, optimized,
+                                          self.config.tv, tracer=self.tracer)
+                if key is not None:
+                    self._tv_cache.put(key, result)
             metrics.count("tv.checks")
             self.report.inconclusive += result.inconclusive_inputs
             if result.inconclusive_inputs:
@@ -356,6 +487,124 @@ class FuzzDriver:
         metrics.observe("iteration.seconds",
                         mutate_seconds + optimize_seconds + verify_seconds)
         return found
+
+    def _verify_key(self, source: Function, target: Function,
+                    fp_cache: Dict[int, str]) -> tuple:
+        """The verify-cache key for one refinement check.
+
+        Closure fingerprints cover every defined function the
+        interpreter can reach from either side; the *source argument
+        names* ride along because input generation derives pointer block
+        ids (and thus concrete addresses) from them, which fingerprints
+        deliberately normalize away.  Declarations contribute only their
+        names/attributes and are immutable for the driver's lifetime.
+        """
+        return (fingerprint_closure(source, fp_cache),
+                tuple(argument.name for argument in source.arguments),
+                fingerprint_closure(target, fp_cache),
+                self._tv_key)
+
+    def _optimize_memo(self, mutant: Module, record: MutantRecord,
+                       fp_cache: Dict[int, str]
+                       ) -> Tuple[Module, OptContext, Optional[OptimizerCrash]]:
+        """Build the optimized module through the fingerprint caches.
+
+        Each definition is classified by its pre-optimization
+        fingerprint: hits adopt the cached optimized body as an
+        immutable view (zero copying; its ``triggered_bugs``/crash are
+        replayed so cache hits never mask findings), misses are
+        deep-copied and run through the pipeline one function at a time.
+        Crash policy matches the no-memo whole-module run for the common
+        single-crash-bug case: the first crashing definition in module
+        order wins and aborts the iteration.
+        """
+        metrics = self.metrics
+        dirty = record.dirty_functions()
+        ctx = OptContext(self.config.enabled_bugs)
+        optimized = Module(mutant.name)
+        hits: List[Tuple[str, OptimizeEntry]] = []
+        misses: List[Tuple[int, Function]] = []
+        cached_crash: Optional[Tuple[int, OptimizerCrash]] = None
+        position = -1
+        for function in mutant.functions():
+            if function.is_declaration():
+                optimized.adopt_shared(function)
+                continue
+            position += 1
+            fp = fp_cache.get(id(function))
+            if fp is None:
+                # Copy-on-write shortcut: a target no operator changed
+                # is structurally identical to the seed function.
+                if function.name not in dirty \
+                        and function.name in self._seed_fps:
+                    fp = self._seed_fps[function.name]
+                else:
+                    fp = fingerprint_function(function)
+                fp_cache[id(function)] = fp
+            entry = self._opt_cache.get((fp, self._pipeline_key))
+            if entry is None:
+                metrics.count("cache.optimize.miss")
+                misses.append((position, function))
+                continue
+            metrics.count("cache.optimize.hit")
+            ctx.triggered_bugs |= entry.triggered_bugs
+            if entry.crash is not None:
+                if cached_crash is None:
+                    cached_crash = (position, entry.crash)
+            else:
+                hits.append((function.name, entry))
+
+        # Hits are adopted (shared views of cached bodies; the
+        # spliceability rule guarantees they reference nothing but
+        # themselves and declarations, which resolve by name/attributes).
+        # A hit cached under a different name — alpha-equivalent twin —
+        # is spliced in under this function's name instead.  When a
+        # cached crash will abort the iteration anyway, skip all hits.
+        sources: Dict[str, Function] = {}
+        renamed: Dict[str, OptimizeEntry] = {}
+        if cached_crash is None:
+            for name, entry in hits:
+                if entry.function.name == name:
+                    optimized.adopt_shared(entry.function)
+                    fp_cache[id(entry.function)] = entry.fingerprint
+                else:
+                    sources[name] = entry.function
+                    renamed[name] = entry
+        for position, function in misses:
+            if cached_crash is not None and position > cached_crash[0]:
+                continue
+            sources[function.name] = function
+        copies = clone_functions_into(sources, optimized) if sources else {}
+        metrics.count("clone.functions_copied", len(sources))
+        for name, entry in renamed.items():
+            # Self-references hash as "self", so the fingerprint is
+            # rename-invariant and the cached one can be reused.
+            fp_cache[id(copies[name])] = entry.fingerprint
+
+        crash: Optional[OptimizerCrash] = None
+        manager = PassManager([self.config.pipeline], ctx,
+                              tracer=self.tracer)
+        for position, function in misses:
+            if cached_crash is not None and position > cached_crash[0]:
+                break
+            copy = copies[function.name]
+            fn_ctx = OptContext(self.config.enabled_bugs)
+            fn_crash: Optional[OptimizerCrash] = None
+            try:
+                manager.run_function(copy, fn_ctx)
+            except OptimizerCrash as exc:
+                fn_crash = exc
+            ctx.triggered_bugs |= fn_ctx.triggered_bugs
+            if not references_definitions(function):
+                self._store_optimize_entry(fp_cache[id(function)], copy,
+                                           fn_ctx, fn_crash)
+            if fn_crash is not None:
+                crash = fn_crash
+                break
+            fp_cache[id(copy)] = fingerprint_function(copy)
+        if crash is None and cached_crash is not None:
+            crash = cached_crash[1]
+        return optimized, ctx, crash
 
     def recreate(self, seed: int) -> Module:
         """Replay a logged seed (re-run with file saving, per §III-E)."""

@@ -1,0 +1,69 @@
+"""Bounded LRU caches for the memoized fuzzing loop (paper §III-B).
+
+The driver keeps two of these: an *optimize* cache mapping
+``(pre-optimization function fingerprint, pipeline)`` to an
+:class:`OptimizeEntry` (the optimized body to splice plus the bugs and
+crash the pipeline produced), and a *verify* cache mapping
+``(source closure fingerprint, target closure fingerprint, tv key)`` to
+the :class:`~repro.tv.refine.TVResult` verdict to replay.  Both are
+plain bounded LRU maps — eviction only ever costs extra recomputation,
+never a missed finding, because cached results are replayed verbatim.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Hashable, Optional
+
+from ..ir.function import Function
+from ..opt import OptimizerCrash
+
+__all__ = ["LRUCache", "OptimizeEntry"]
+
+
+class LRUCache:
+    """A bounded mapping evicting the least-recently-used entry."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+
+@dataclass
+class OptimizeEntry:
+    """What running the pipeline over one function produced.
+
+    ``function`` is the optimized body to splice into future modules
+    (None when the pipeline crashed), kept alive by the cache itself;
+    ``fingerprint`` is its post-optimization structural hash (reused so
+    splices never re-hash); ``triggered_bugs`` must be replayed into the
+    iteration's :class:`~repro.opt.context.OptContext` on every hit so
+    cache hits never mask bug attribution; ``crash`` is replayed as if
+    the pipeline had crashed again.
+    """
+
+    function: Optional[Function]
+    fingerprint: str
+    triggered_bugs: FrozenSet[str]
+    crash: Optional[OptimizerCrash]

@@ -9,6 +9,8 @@ from .attributes import (Attribute, AttributeSet, FUNCTION_ATTRIBUTES,
                          POINTER_ONLY_PARAM_ATTRIBUTES)
 from .basicblock import BasicBlock
 from .builder import IRBuilder
+from .fingerprint import (called_definitions, fingerprint_closure,
+                          fingerprint_function, references_definitions)
 from .function import Function
 from .instructions import (AllocaInst, BINARY_OPCODES, BinaryOperator,
                            BITWIDTH_POLYMORPHIC_OPCODES, BrInst, CallInst,
@@ -18,7 +20,7 @@ from .instructions import (AllocaInst, BINARY_OPCODES, BinaryOperator,
                            OperandBundle, PhiNode, RetInst, SelectInst,
                            StoreInst, SwitchInst, UnreachableInst,
                            WRAPPING_FLAG_OPCODES)
-from .module import Module
+from .module import Module, clone_functions_into
 from .printer import print_function, print_instruction, print_module
 from .types import (FunctionType, I1, I8, I16, I32, I64, I128, IntType,
                     LabelType, MAX_INT_BITS, PTR, PtrType, Type, VOID,
@@ -34,13 +36,16 @@ __all__ = [
     "PARAM_FLAG_ATTRIBUTES", "PARAM_INT_ATTRIBUTES",
     "POINTER_ONLY_PARAM_ATTRIBUTES",
     "BasicBlock", "IRBuilder", "Function",
+    "called_definitions", "fingerprint_closure", "fingerprint_function",
+    "references_definitions",
     "AllocaInst", "BINARY_OPCODES", "BinaryOperator",
     "BITWIDTH_POLYMORPHIC_OPCODES", "BrInst", "CallInst", "CastInst",
     "CAST_OPCODES", "COMMUTATIVE_OPCODES", "EXACT_FLAG_OPCODES",
     "FreezeInst", "GEPInst", "ICMP_PREDICATES", "ICmpInst", "Instruction",
     "LoadInst", "OperandBundle", "PhiNode", "RetInst", "SelectInst",
     "StoreInst", "SwitchInst", "UnreachableInst", "WRAPPING_FLAG_OPCODES",
-    "Module", "print_function", "print_instruction", "print_module",
+    "Module", "clone_functions_into",
+    "print_function", "print_instruction", "print_module",
     "FunctionType", "I1", "I8", "I16", "I32", "I64", "I128", "IntType",
     "LabelType", "MAX_INT_BITS", "PTR", "PtrType", "Type", "VOID",
     "VoidType", "int_type",

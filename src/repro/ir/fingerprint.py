@@ -1,0 +1,199 @@
+"""Canonical structural fingerprints for functions (memoization keys).
+
+The fuzzing loop re-optimizes and re-verifies many structurally identical
+functions: untouched non-target definitions, failed mutation rounds, and
+attribute/shuffle mutants that regenerate a shape already seen.  A
+:func:`fingerprint_function` hash lets the driver recognise those repeats
+and replay cached results instead (the paper's §III-B cache hierarchy,
+lifted from analyses to whole optimize/verify outcomes).
+
+The hash is *names-normalized* and *operand-position-based*: arguments,
+blocks and instructions are numbered in program order (``A0``, ``B0``,
+``V0``, ...), operands are encoded by those numbers, and self-references
+(recursion) as ``self`` — so two alpha-equivalent functions — same
+shape, different value/function names — collide on purpose.  Everything semantically relevant is folded in:
+signature and vararg-ness, function/argument/call-site attribute sets,
+opcodes and result types, poison flags (``nuw``/``nsw``/``exact``/
+``inbounds``), icmp predicates, alignments, alloca/gep pointee types,
+callee names and operand-bundle shapes, and every constant's type and
+canonical value.  Cross-function references are encoded *by name*
+(``fn:<name>``), matching how modules link calls, so a fingerprint is
+only meaningful together with the fingerprints of the callees it names —
+that is what :func:`fingerprint_closure` provides for verify-level keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (AllocaInst, CallInst, GEPInst, ICmpInst, LoadInst,
+                           StoreInst)
+from .values import (Argument, ConstantInt, ConstantPointerNull, PoisonValue,
+                     UndefValue, Value)
+
+__all__ = [
+    "called_definitions",
+    "fingerprint_closure",
+    "fingerprint_function",
+    "references_definitions",
+]
+
+
+def _encode_operand(value: Value, ids: Dict[int, str]) -> str:
+    """Position-based (or structural, for constants) operand encoding."""
+    label = ids.get(id(value))
+    if label is not None:
+        return label
+    if isinstance(value, ConstantInt):
+        return f"ci{value.type.width}:{value.value}"
+    if isinstance(value, UndefValue):
+        return f"undef:{value.type}"
+    if isinstance(value, PoisonValue):
+        return f"poison:{value.type}"
+    if isinstance(value, ConstantPointerNull):
+        return "null"
+    if isinstance(value, Function):
+        return f"fn:{value.name}"
+    # Foreign values (another function's argument/block/instruction) can
+    # only appear in malformed IR; fall back to something stable enough.
+    kind = type(value).__name__
+    return f"?{kind}:{value.type}:{value.name}"
+
+
+def _instruction_payload(inst) -> str:
+    """The per-opcode extras that operands and flags do not capture."""
+    if isinstance(inst, ICmpInst):
+        return inst.predicate
+    if isinstance(inst, AllocaInst):
+        return f"{inst.allocated_type}@{inst.align}"
+    if isinstance(inst, (LoadInst, StoreInst)):
+        return f"@{inst.align}"
+    if isinstance(inst, GEPInst):
+        return str(inst.source_type)
+    if isinstance(inst, CallInst):
+        bundles = ",".join(
+            f"{bundle.tag}:{len(bundle.inputs)}" for bundle in inst.bundles)
+        return (f"nargs={len(inst.args)};bundles={bundles};"
+                f"attrs={inst.attributes}")
+    return ""
+
+
+def _canonical_tokens(function: Function) -> List[str]:
+    """The token stream the fingerprint hashes, exposed for tests."""
+    ids: Dict[int, str] = {id(function): "self"}
+    for index, argument in enumerate(function.arguments):
+        ids[id(argument)] = f"A{index}"
+    next_value = 0
+    for index, block in enumerate(function.blocks):
+        ids[id(block)] = f"B{index}"
+        for inst in block.instructions:
+            ids[id(inst)] = f"V{next_value}"
+            next_value += 1
+
+    signature = function.function_type
+    params = ",".join(str(t) for t in signature.param_types)
+    vararg = "..." if signature.is_vararg else ""
+    tokens = [f"sig:{signature.return_type}({params}{vararg})",
+              f"fattrs:{function.attributes}"]
+    for index, argument in enumerate(function.arguments):
+        attrs = str(argument.attributes)
+        if attrs:
+            tokens.append(f"aattrs{index}:{attrs}")
+
+    for block in function.blocks:
+        tokens.append(f"block:{ids[id(block)]}")
+        for inst in block.instructions:
+            # Operands are encoded positionally; the CallInst callee is a
+            # separate attribute, not an operand, so encode it explicitly.
+            operands = ",".join(
+                _encode_operand(operand, ids) for operand in inst.operands)
+            payload = _instruction_payload(inst)
+            if isinstance(inst, CallInst):
+                payload = f"{_encode_operand(inst.callee, ids)};{payload}"
+            tokens.append(f"{ids[id(inst)]}={inst.opcode}:{inst.type}:"
+                          f"{inst.flags_repr()}:{payload}({operands})")
+    return tokens
+
+
+def fingerprint_function(function: Function,
+                         fp_cache: Optional[Dict[int, str]] = None) -> str:
+    """Hex digest of the canonical structural hash of one function.
+
+    ``fp_cache`` (keyed by ``id(function)``) amortizes repeated lookups
+    within one driver iteration; callers must only share a cache across
+    functions that are not mutated between calls.
+    """
+    if fp_cache is not None:
+        cached = fp_cache.get(id(function))
+        if cached is not None:
+            return cached
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update("\n".join(_canonical_tokens(function)).encode("utf-8"))
+    digest = hasher.hexdigest()
+    if fp_cache is not None:
+        fp_cache[id(function)] = digest
+    return digest
+
+
+def _referenced_functions(function: Function) -> List[Function]:
+    """Every Function object referenced from ``function``'s body."""
+    seen: Dict[int, Function] = {}
+    for inst in function.instructions():
+        candidates = list(inst.operands)
+        if isinstance(inst, CallInst):
+            candidates.append(inst.callee)
+        for value in candidates:
+            if isinstance(value, Function) and id(value) not in seen:
+                seen[id(value)] = value
+    return list(seen.values())
+
+
+def called_definitions(function: Function) -> List[Function]:
+    """Defined (non-declaration) functions referenced by ``function``."""
+    return [fn for fn in _referenced_functions(function)
+            if not fn.is_declaration()]
+
+
+def references_definitions(function: Function) -> bool:
+    """Does the body reference any defined function other than itself?
+
+    Bodies that only reference declarations (or recurse into themselves)
+    can be spliced into another module by remapping names; bodies that
+    call other *definitions* cannot, because the cached body would keep
+    executing the stale callee object.
+    """
+    return any(fn is not function for fn in called_definitions(function))
+
+
+def fingerprint_closure(function: Function,
+                        fp_cache: Optional[Dict[int, str]] = None) -> str:
+    """Fingerprint of ``function`` plus every defined function it can reach.
+
+    Verify verdicts depend on the bodies of transitively-called defined
+    functions (the interpreter executes callee objects directly), so
+    verify-cache keys must cover the whole call closure.  The common case
+    — no calls into other definitions — degenerates to the plain
+    function fingerprint with no extra hashing.
+    """
+    root = fingerprint_function(function, fp_cache)
+    reachable: Dict[str, str] = {}
+    stack = [function]
+    visited = {id(function)}
+    while stack:
+        current = stack.pop()
+        for callee in called_definitions(current):
+            if id(callee) in visited:
+                continue
+            visited.add(id(callee))
+            reachable[callee.name] = fingerprint_function(callee, fp_cache)
+            stack.append(callee)
+    if not reachable:
+        return root
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(root.encode("utf-8"))
+    for name in sorted(reachable):
+        hasher.update(f"|{name}={reachable[name]}".encode("utf-8"))
+    return hasher.hexdigest()

@@ -101,6 +101,12 @@ class Function(Constant):
     def __iter__(self) -> Iterator[BasicBlock]:
         return iter(self.blocks)
 
+    def fingerprint(self) -> str:
+        """Canonical structural hash (see :mod:`repro.ir.fingerprint`)."""
+        from .fingerprint import fingerprint_function
+
+        return fingerprint_function(self)
+
     # -- naming ------------------------------------------------------------------
 
     def next_temp_name(self) -> str:

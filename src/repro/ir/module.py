@@ -7,7 +7,7 @@ it, verifies refinement, and throws the copy away.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Set
 
 from .basicblock import BasicBlock
 from .function import Function
@@ -23,6 +23,10 @@ class Module:
     def __init__(self, name: str = "module") -> None:
         self.name = name
         self._functions: Dict[str, Function] = {}
+        # Names of functions adopted from another module (copy-on-write
+        # views); they must be treated as immutable and keep their
+        # original parent.
+        self._shared: Set[str] = set()
 
     # -- functions ----------------------------------------------------------
 
@@ -33,12 +37,31 @@ class Module:
         self._functions[function.name] = function
         return function
 
+    def adopt_shared(self, function: Function) -> Function:
+        """Insert ``function`` as an immutable copy-on-write view.
+
+        Unlike :meth:`add_function` this does *not* re-parent: the
+        function still belongs to its original module, and this module
+        must never mutate it (mutation targets are deep-copied instead;
+        see :meth:`clone`).
+        """
+        if function.name in self._functions:
+            raise ValueError(f"duplicate function @{function.name}")
+        self._functions[function.name] = function
+        self._shared.add(function.name)
+        return function
+
+    def shared_names(self) -> Set[str]:
+        """Names of functions shared (not owned) by this module."""
+        return set(self._shared)
+
     def get_function(self, name: str) -> Optional[Function]:
         return self._functions.get(name)
 
     def remove_function(self, name: str) -> None:
         function = self._functions.pop(name, None)
-        if function is not None:
+        self._shared.discard(name)
+        if function is not None and function.parent is self:
             function.parent = None
 
     def functions(self) -> List[Function]:
@@ -68,13 +91,27 @@ class Module:
 
     # -- cloning --------------------------------------------------------------
 
-    def clone(self) -> "Module":
-        """Deep-copy the module, remapping all intra-module references."""
+    def clone(self, mutable_only: Optional[Set[str]] = None) -> "Module":
+        """Deep-copy the module, remapping all intra-module references.
+
+        With ``mutable_only`` (copy-on-write mode, paper §III-B), only
+        the named definitions are deep-copied; every other function —
+        declarations and definitions nobody will mutate — is shared with
+        this module as an immutable view (:meth:`adopt_shared`).  Copied
+        bodies keep referencing the shared objects directly, which is
+        exactly how the originals linked to them.
+        """
         cloned = Module(self.name)
         value_map: Dict[int, Value] = {}
 
         # Create all function shells first so calls can be remapped.
+        copied: List[Function] = []
         for function in self._functions.values():
+            if mutable_only is not None and (
+                    function.is_declaration()
+                    or function.name not in mutable_only):
+                cloned.adopt_shared(function)
+                continue
             shell = Function(function.function_type, function.name, cloned,
                              arg_names=[a.name for a in function.arguments])
             shell.attributes = function.attributes.copy()
@@ -82,8 +119,9 @@ class Module:
                 new_arg.attributes = old_arg.attributes.copy()
                 value_map[id(old_arg)] = new_arg
             value_map[id(function)] = shell
+            copied.append(function)
 
-        for function in self._functions.values():
+        for function in copied:
             if function.is_declaration():
                 continue
             _clone_function_body(function, value_map[id(function)], value_map)
@@ -93,20 +131,80 @@ class Module:
         return f"<Module {self.name!r}: {len(self._functions)} functions>"
 
 
+def clone_functions_into(sources: Dict[str, Function],
+                         dest: Module) -> Dict[str, Function]:
+    """Deep-copy functions from arbitrary modules into ``dest``.
+
+    The memoized optimize stage assembles its output module from cached
+    optimized bodies (living in old, retired modules) plus fresh mutant
+    functions, so unlike :meth:`Module.clone` the sources here do not
+    share one module.  Cross-function references are relinked *by name*
+    (the dict key, which may differ from the source's own name — that is
+    how a cached body is spliced in under a renamed twin): a referenced
+    function resolves to ``dest``'s function of that name, with a
+    declaration shell created on demand.  The same source object may
+    appear under several keys.  Returns the new functions by name.
+    """
+    shells: Dict[str, Function] = {}
+    arg_maps: Dict[str, Dict[int, Value]] = {}
+    for name, function in sources.items():
+        shell = Function(function.function_type, name, dest,
+                         arg_names=[a.name for a in function.arguments])
+        shell.attributes = function.attributes.copy()
+        arg_map: Dict[int, Value] = {id(function): shell}
+        for old_arg, new_arg in zip(function.arguments, shell.arguments):
+            new_arg.attributes = old_arg.attributes.copy()
+            arg_map[id(old_arg)] = new_arg
+        shells[name] = shell
+        arg_maps[name] = arg_map
+
+    def resolve_function(function: Function) -> Function:
+        existing = dest.get_function(function.name)
+        if existing is not None:
+            return existing
+        declaration = Function(
+            function.function_type, function.name, dest,
+            arg_names=[a.name for a in function.arguments])
+        declaration.attributes = function.attributes.copy()
+        for old_arg, new_arg in zip(function.arguments,
+                                    declaration.arguments):
+            new_arg.attributes = old_arg.attributes.copy()
+        return declaration
+
+    # Each body is cloned with its own value map (never shared: the same
+    # source object may be spliced under several names, and one global
+    # map would cross-wire their arguments); references to *other*
+    # functions resolve by name instead.
+    for name, function in sources.items():
+        if function.is_declaration():
+            continue
+        _clone_function_body(function, shells[name], arg_maps[name],
+                             resolve_function)
+    return shells
+
+
 def _clone_function_body(source: Function, dest: Function,
-                         value_map: Dict[int, Value]) -> None:
+                         value_map: Dict[int, Value],
+                         resolve_function=None) -> None:
     """Clone blocks and instructions of ``source`` into the shell ``dest``.
 
     Cloning is two-pass: instructions are created first (possibly still
     pointing at originals, e.g. phi incoming values defined in later
     blocks), then every operand is remapped once the full map exists.
+    ``resolve_function``, when given, maps function references that are
+    not in ``value_map`` (cross-module splicing relinks those by name).
     """
     for block in source.blocks:
         new_block = BasicBlock(block.name, dest)
         value_map[id(block)] = new_block
 
     def remap(value: Value) -> Value:
-        return value_map.get(id(value), value)
+        mapped = value_map.get(id(value))
+        if mapped is not None:
+            return mapped
+        if resolve_function is not None and isinstance(value, Function):
+            return resolve_function(value)
+        return value
 
     cloned_instructions = []
     for block in source.blocks:

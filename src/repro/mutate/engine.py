@@ -38,6 +38,10 @@ class MutatorConfig:
     verify_mutants: bool = False
     # Restrict mutation to these function names (None = all definitions).
     only_functions: Optional[Sequence[str]] = None
+    # Copy-on-write cloning: share declarations and untargeted definitions
+    # with the seed module and deep-copy only the functions this engine
+    # will mutate.  Off = the classic full deep clone per mutant.
+    cow_clone: bool = True
     # Analysis strategy (the paper §III-B ablation): "two-level" reuses the
     # original function's immutable analyses through the overlay;
     # "recompute" forces a fresh dominator tree per mutant.
@@ -58,6 +62,13 @@ class MutantRecord:
 
     seed: int
     applied: List[Tuple[str, str]] = field(default_factory=list)  # (fn, op)
+    # How many definitions the clone deep-copied: all of them for full
+    # clones, only the mutation targets under copy-on-write.
+    functions_copied: int = 0
+
+    def dirty_functions(self) -> set:
+        """Names of functions at least one operator actually changed."""
+        return {fn for fn, _ in self.applied}
 
     def describe(self) -> str:
         ops = ", ".join(f"{op}@{fn}" for fn, op in self.applied) or "none"
@@ -89,6 +100,10 @@ class Mutator:
         for function in module.definitions():
             if self._targeted(function):
                 self._infos[function.name] = OriginalFunctionInfo(function)
+        # Per-iteration invariants hoisted out of create_mutant: operator
+        # validation and the weights list never change between seeds.
+        self._names = self.config.mutation_names()
+        self._weights = [DEFAULT_WEIGHTS.get(name, 1) for name in self._names]
 
     def _targeted(self, function: Function) -> bool:
         only = self.config.only_functions
@@ -105,15 +120,19 @@ class Mutator:
         rng = MutationRNG(seed)
         record = MutantRecord(seed=seed)
         tracer = self.tracer
+        mutable_only = set(self._infos) if self.config.cow_clone else None
         if tracer.enabled:
             begin = time.perf_counter()
-            mutant_module = self.module.clone()
+            mutant_module = self.module.clone(mutable_only=mutable_only)
             tracer.record("mutate.clone", begin,
                           time.perf_counter() - begin, seed=seed)
         else:
-            mutant_module = self.module.clone()
-        names = self.config.mutation_names()
-        weights = [DEFAULT_WEIGHTS.get(name, 1) for name in names]
+            mutant_module = self.module.clone(mutable_only=mutable_only)
+        record.functions_copied = (
+            len(self._infos) if mutable_only is not None
+            else len(self.module.definitions()))
+        names = self._names
+        weights = self._weights
 
         for function_name, info in self._infos.items():
             mutant_function = mutant_module.get_function(function_name)
@@ -147,7 +166,10 @@ class Mutator:
 
         if self.config.verify_mutants:
             errors: List[str] = []
+            shared = mutant_module.shared_names()
             for function in mutant_module.definitions():
+                if function.name in shared:
+                    continue  # immutable views of already-verified originals
                 errors.extend(collect_function_errors(function))
             if errors:
                 raise MutantInvalidError(record, errors)

@@ -208,17 +208,25 @@ class MetricsRegistry:
 
     def deterministic(self) -> dict:
         """The run-invariant subset: no ``.seconds`` metrics, no gauges,
-        no ``campaign.retry.*`` counters.
+        no ``campaign.retry.*``, ``cache.*`` or ``clone.*`` counters.
 
         For a fixed campaign configuration this subset is identical
         across worker counts and kill/resume cycles — what legitimately
         varies between runs is wall-clock-derived values and the
         operational retry bookkeeping (retries happen when transient
-        faults do, not when the configuration says so).
+        faults do, not when the configuration says so).  Cache hit/miss
+        and functions-copied counters vary with sharding and resume
+        boundaries (each driver instance starts with cold caches) and
+        with the ``--no-memo`` ablation, while the *findings* they feed
+        stay identical — that invariance is what the deterministic
+        subset certifies.
         """
 
         def varies(name: str) -> bool:
-            return ".seconds" in name or name.startswith("campaign.retry.")
+            return (".seconds" in name
+                    or name.startswith("campaign.retry.")
+                    or name.startswith("cache.")
+                    or name.startswith("clone."))
 
         return {
             "counters": {

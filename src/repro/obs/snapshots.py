@@ -49,6 +49,11 @@ class ThroughputSnapshot:
     findings: int = 0
     retries: int = 0
     quarantined: int = 0
+    # Memoization effectiveness (paper §III-B): hit rates of the
+    # optimize and verify fingerprint caches, 0.0 when memoization is
+    # off or no lookups happened yet.
+    optimize_hit_rate: float = 0.0
+    verify_hit_rate: float = 0.0
 
     @classmethod
     def from_metrics(
@@ -61,6 +66,12 @@ class ThroughputSnapshot:
             for stage in STAGES
         }
         stage_total = sum(stage_seconds.values())
+
+        def hit_rate(cache: str) -> float:
+            hits = metrics.counter(f"cache.{cache}.hit")
+            total = hits + metrics.counter(f"cache.{cache}.miss")
+            return hits / total if total else 0.0
+
         return cls(
             elapsed=elapsed,
             iterations=int(created),
@@ -77,6 +88,8 @@ class ThroughputSnapshot:
             ),
             retries=int(metrics.counter("campaign.retry.attempts")),
             quarantined=int(metrics.counter("campaign.quarantined")),
+            optimize_hit_rate=hit_rate("optimize"),
+            verify_hit_rate=hit_rate("verify"),
         )
 
     def to_dict(self) -> dict:
@@ -96,6 +109,8 @@ class ThroughputSnapshot:
             "findings": self.findings,
             "retries": self.retries,
             "quarantined": self.quarantined,
+            "optimize_hit_rate": round(self.optimize_hit_rate, 6),
+            "verify_hit_rate": round(self.verify_hit_rate, 6),
         }
 
     def progress_line(self) -> str:
@@ -110,6 +125,11 @@ class ThroughputSnapshot:
             f"{self.valid_mutant_rate:.0%} valid) | {share} | "
             f"{self.findings} findings"
         )
+        if self.optimize_hit_rate or self.verify_hit_rate:
+            line += (
+                f" | memo opt {self.optimize_hit_rate:.0%} "
+                f"tv {self.verify_hit_rate:.0%}"
+            )
         if self.retries or self.quarantined:
             line += (
                 f" | {self.retries} retries, "

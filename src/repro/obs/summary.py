@@ -61,6 +61,8 @@ def campaign_summary(report, name: str = "campaign") -> dict:
         "failed_shards": len(report.failed_shards),
         "parse_failures": len(report.parse_failures),
         "skipped_jobs": report.skipped_jobs,
+        "optimize_hit_rate": round(snapshot.optimize_hit_rate, 6),
+        "verify_hit_rate": round(snapshot.verify_hit_rate, 6),
     }
 
 

@@ -97,6 +97,35 @@ class PassManager:
                     self.ctx.count(f"pass.{function_pass.name}.changed")
         return changed
 
+    def run_function(self, function: Function,
+                     ctx: Optional[OptContext] = None) -> bool:
+        """Run the full pipeline over one function (function-major order).
+
+        Because every registered pass is a :class:`FunctionPass`, running
+        all passes over function A and then all passes over function B
+        produces the same IR as the pass-major :meth:`run` — this is what
+        lets the memoized driver optimize (and cache) functions one at a
+        time.  ``ctx`` overrides the manager's context for this call so
+        per-function bug attribution stays separable.
+        """
+        ctx = ctx if ctx is not None else self.ctx
+        tracer = self.tracer
+        traced = tracer is not None and tracer.enabled
+        changed = False
+        for function_pass in self._passes:
+            if traced:
+                begin = time.perf_counter()
+                pass_changed = function_pass.run_on_function(function, ctx)
+                tracer.record("optimize.pass." + function_pass.name, begin,
+                              time.perf_counter() - begin,
+                              function=function.name, changed=pass_changed)
+            else:
+                pass_changed = function_pass.run_on_function(function, ctx)
+            if pass_changed:
+                changed = True
+                ctx.count(f"pass.{function_pass.name}.changed")
+        return changed
+
     def _run_traced(self, module: Module, tracer) -> bool:
         """The traced twin of :meth:`run`: one span per pass."""
         changed = False

@@ -130,6 +130,18 @@ class RefinementConfig:
     limits: ExecutionLimits = field(default_factory=ExecutionLimits)
     seed: int = 0
 
+    def cache_key(self) -> tuple:
+        """A hashable key covering every knob a verdict depends on.
+
+        Two :func:`check_refinement` calls with equal source/target
+        fingerprints and equal cache keys produce the same
+        :class:`TVResult`, which is what makes verify-verdict
+        memoization sound (see :mod:`repro.fuzz.memo`).
+        """
+        return (self.max_inputs, self.max_nondet_runs,
+                self.pointer_block_size, self.seed,
+                self.limits.max_steps, self.limits.max_call_depth)
+
 
 # ---------------------------------------------------------------------------
 # Preprocessing support check (paper §III-A).

@@ -1,0 +1,198 @@
+"""Tests for structural function fingerprints (memoization keys)."""
+
+from repro.ir import (called_definitions, fingerprint_closure,
+                      fingerprint_function, references_definitions)
+
+from helpers import parsed
+
+
+def fp(text: str, name: str) -> str:
+    return fingerprint_function(parsed(text).get_function(name))
+
+
+BASE = """
+define i32 @f(i32 %x, i32 %y) {
+entry:
+  %a = add nsw i32 %x, %y
+  %c = icmp slt i32 %a, 7
+  br i1 %c, label %then, label %done
+
+then:
+  br label %done
+
+done:
+  %r = phi i32 [ %a, %entry ], [ 42, %then ]
+  ret i32 %r
+}
+"""
+
+# Alpha-renamed twin of BASE: every value, block, argument, and the
+# function itself renamed; structure untouched.
+RENAMED = """
+define i32 @g(i32 %left, i32 %right) {
+start:
+  %sum = add nsw i32 %left, %right
+  %cmp = icmp slt i32 %sum, 7
+  br i1 %cmp, label %yes, label %exit
+
+yes:
+  br label %exit
+
+exit:
+  %out = phi i32 [ %sum, %start ], [ 42, %yes ]
+  ret i32 %out
+}
+"""
+
+
+class TestAlphaEquivalence:
+    def test_renamed_everything_collides(self):
+        assert fp(BASE, "f") == fp(RENAMED, "g")
+
+    def test_fingerprint_is_stable(self):
+        assert fp(BASE, "f") == fp(BASE, "f")
+        assert parsed(BASE).get_function("f").fingerprint() == fp(BASE, "f")
+
+    def test_recursive_function_rename_collides(self):
+        recur = """
+define i32 @fact(i32 %n) {
+  %c = icmp eq i32 %n, 0
+  br i1 %c, label %base, label %rec
+
+base:
+  ret i32 1
+
+rec:
+  %m = sub i32 %n, 1
+  %r = call i32 @fact(i32 %m)
+  %p = mul i32 %r, %n
+  ret i32 %p
+}
+"""
+        assert fp(recur, "fact") == fp(recur.replace("fact", "factorial"),
+                                       "factorial")
+
+
+class TestSemanticSeparation:
+    def test_constant_value_separates(self):
+        assert fp(BASE, "f") != fp(BASE.replace("i32 %a, 7", "i32 %a, 8"),
+                                   "f")
+
+    def test_poison_flags_separate(self):
+        assert fp(BASE, "f") != fp(BASE.replace("add nsw", "add"), "f")
+        assert fp(BASE, "f") != fp(BASE.replace("add nsw", "add nuw"), "f")
+
+    def test_icmp_predicate_separates(self):
+        assert fp(BASE, "f") != fp(BASE.replace("icmp slt", "icmp sgt"), "f")
+
+    def test_opcode_separates(self):
+        assert fp(BASE, "f") != fp(BASE.replace("%a = add nsw", "%a = sub nsw"),
+                                   "f")
+
+    def test_operand_order_separates(self):
+        swapped = BASE.replace("add nsw i32 %x, %y", "add nsw i32 %y, %x")
+        assert fp(BASE, "f") != fp(swapped, "f")
+
+    def test_function_attributes_separate(self):
+        module = parsed(BASE)
+        function = module.get_function("f")
+        before = fingerprint_function(function)
+        from repro.ir import Attribute
+
+        function.attributes.add(Attribute("nofree"))
+        assert fingerprint_function(function) != before
+
+    def test_argument_attributes_separate(self):
+        module = parsed(BASE)
+        function = module.get_function("f")
+        before = fingerprint_function(function)
+        from repro.ir import Attribute
+
+        function.arguments[0].attributes.add(Attribute("noundef"))
+        assert fingerprint_function(function) != before
+
+    def test_alignment_separates(self):
+        mem = """
+define void @s(ptr %p) {
+  store i32 1, ptr %p, align 4
+  ret void
+}
+"""
+        assert fp(mem, "s") != fp(mem.replace("align 4", "align 8"), "s")
+
+    def test_callee_name_separates(self):
+        call = """
+declare i32 @a(i32)
+declare i32 @b(i32)
+
+define i32 @f(i32 %x) {
+  %r = call i32 @a(i32 %x)
+  ret i32 %r
+}
+"""
+        assert fp(call, "f") != fp(call.replace("call i32 @a", "call i32 @b"),
+                                   "f")
+
+
+CALLS = """
+define i32 @leaf(i32 %x) {
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+
+define i32 @caller(i32 %x) {
+  %r = call i32 @leaf(i32 %x)
+  ret i32 %r
+}
+
+declare void @ext(i32)
+
+define void @decl_only(i32 %x) {
+  call void @ext(i32 %x)
+  ret void
+}
+"""
+
+
+class TestClosure:
+    def test_called_definitions(self):
+        module = parsed(CALLS)
+        callees = called_definitions(module.get_function("caller"))
+        assert [f.name for f in callees] == ["leaf"]
+        assert called_definitions(module.get_function("decl_only")) == []
+
+    def test_references_definitions(self):
+        module = parsed(CALLS)
+        assert references_definitions(module.get_function("caller"))
+        assert not references_definitions(module.get_function("leaf"))
+        assert not references_definitions(module.get_function("decl_only"))
+
+    def test_self_recursion_is_not_a_reference(self):
+        recur = parsed("""
+define i32 @f(i32 %n) {
+  %r = call i32 @f(i32 %n)
+  ret i32 %r
+}
+""")
+        assert not references_definitions(recur.get_function("f"))
+        function = recur.get_function("f")
+        assert fingerprint_closure(function) == fingerprint_function(function)
+
+    def test_closure_tracks_callee_bodies(self):
+        module = parsed(CALLS)
+        caller = module.get_function("caller")
+        plain = fingerprint_function(caller)
+        closed = fingerprint_closure(caller)
+        assert closed != plain  # the closure folds @leaf in
+
+        changed = parsed(CALLS.replace("add i32 %x, 1", "add i32 %x, 2"))
+        caller2 = changed.get_function("caller")
+        # Same body => same plain fingerprint, but the callee changed, so
+        # the closures must separate (verify verdicts may differ).
+        assert fingerprint_function(caller2) == plain
+        assert fingerprint_closure(caller2) != closed
+
+    def test_leaf_closure_is_plain_fingerprint(self):
+        module = parsed(CALLS)
+        leaf = module.get_function("leaf")
+        assert fingerprint_closure(leaf) == fingerprint_function(leaf)

@@ -93,3 +93,93 @@ class TestClone:
         second = module.clone().clone()
         verify_module(second)
         assert print_module(second) == print_module(module)
+
+
+class TestCowClone:
+    """Copy-on-write cloning: shared views must be indistinguishable."""
+
+    def test_cow_clone_prints_like_deep_clone(self):
+        module = parsed(COMPLEX)
+        for mutable in (set(), {"f"}, {"helper"}, {"f", "helper"}):
+            cow = module.clone(mutable_only=mutable)
+            assert print_module(cow) == print_module(module.clone())
+
+    def test_shared_functions_are_views_not_copies(self):
+        module = parsed(COMPLEX)
+        cow = module.clone(mutable_only={"f"})
+        assert cow.get_function("helper") is module.get_function("helper")
+        assert cow.get_function("clobber") is module.get_function("clobber")
+        assert cow.get_function("f") is not module.get_function("f")
+        assert cow.shared_names() == {"helper", "clobber"}
+
+    def test_shared_functions_keep_their_parent(self):
+        module = parsed(COMPLEX)
+        cow = module.clone(mutable_only={"f"})
+        assert module.get_function("helper").parent is module
+        # Dropping the view from the CoW clone must not orphan the
+        # original's function.
+        cow.remove_function("helper")
+        assert cow.get_function("helper") is None
+        assert module.get_function("helper").parent is module
+
+    def test_mutable_calls_do_not_alias_into_original(self):
+        module = parsed(COMPLEX)
+        cow = module.clone(mutable_only={"f"})
+        fn = cow.get_function("f")
+        calls = [i for i in fn.instructions() if isinstance(i, CallInst)]
+        helper_call = [c for c in calls if c.callee.name == "helper"][0]
+        # The copied caller may point at the shared view (same object as
+        # the original's helper) — that is the whole point of CoW — but
+        # mutating the copied body must never touch the original.
+        assert helper_call.callee is cow.get_function("helper")
+
+    def test_mutating_cow_mutants_never_corrupts_seed(self):
+        from repro.mutate import Mutator, MutatorConfig
+
+        module = parsed(COMPLEX)
+        before = print_module(module)
+        mutator = Mutator(module, MutatorConfig(max_mutations=3))
+        for seed in range(25):
+            mutant, record = mutator.create_mutant(seed)
+            assert print_module(module) == before, (
+                f"seed {seed} ({record.applied}) leaked into the original"
+            )
+            verify_module(mutant)
+
+    def test_cow_mutant_matches_deep_mutant(self):
+        from repro.mutate import Mutator, MutatorConfig
+
+        for seed in range(25):
+            cow_mutator = Mutator(
+                parsed(COMPLEX), MutatorConfig(max_mutations=3)
+            )
+            deep_mutator = Mutator(
+                parsed(COMPLEX),
+                MutatorConfig(max_mutations=3, cow_clone=False),
+            )
+            cow_mutant, cow_record = cow_mutator.create_mutant(seed)
+            deep_mutant, deep_record = deep_mutator.create_mutant(seed)
+            assert print_module(cow_mutant) == print_module(deep_mutant)
+            assert cow_record.applied == deep_record.applied
+            assert cow_record.functions_copied <= deep_record.functions_copied
+
+    def test_clone_functions_into_renames(self):
+        from repro.ir import clone_functions_into
+
+        module = parsed(COMPLEX)
+        dest = module.clone(mutable_only=set())
+        dest.remove_function("helper")
+        copies = clone_functions_into(
+            {"helper": module.get_function("helper"),
+             "helper2": module.get_function("helper")},
+            dest,
+        )
+        assert set(copies) == {"helper", "helper2"}
+        assert dest.get_function("helper2").name == "helper2"
+        verify_module(dest)
+        # Both splices are detached copies of the same source.
+        source = module.get_function("helper")
+        for name in ("helper", "helper2"):
+            spliced = dest.get_function(name)
+            assert spliced is not source
+            assert spliced.arguments[0] is not source.arguments[0]
