@@ -40,6 +40,11 @@ GATES = [
     ("cow_memo", "BENCH_cow_memo.json", "speedup", "floor"),
     ("cow_memo", "BENCH_cow_memo.json", "optimize_hit_rate", "floor"),
     ("cow_memo", "BENCH_cow_memo.json", "mutants_per_sec", "floor"),
+    ("exec_compile", "BENCH_exec_compile.json", "pairs", "exact"),
+    ("exec_compile", "BENCH_exec_compile.json", "plan_fallbacks", "exact"),
+    ("exec_compile", "BENCH_exec_compile.json", "speedup", "floor"),
+    ("exec_compile", "BENCH_exec_compile.json", "plan_hit_rate", "floor"),
+    ("exec_compile", "BENCH_exec_compile.json", "checks_per_sec", "floor"),
     ("throughput", "BENCH_throughput.json", "files", "exact"),
     ("throughput", "BENCH_throughput.json", "invalid_files", "exact"),
     ("throughput", "BENCH_throughput.json", "not_verified_files", "exact"),

@@ -1,0 +1,174 @@
+"""E8 — ablation of compiled execution plans (paper §III-B, "pay once").
+
+The verify stage dominates the integrated loop (see overheads.txt), and
+most of its time used to be tree-walking dispatch: every instruction of
+every test-input execution re-inspected IR objects.  The plan compiler
+lowers each function once into specialized closures over dense frame
+slots; the global plan cache amortizes that single compilation across
+every input, path, and mutant that re-executes the function.
+
+The ablation (``--no-compiled-exec`` / ``RefinementConfig(compiled=
+False)``) tree-walks instead.  Verdicts must be identical — the plans
+are a pure performance layer — and the compiled mode must clear a 2x
+speedup floor on this verification workload.
+"""
+
+import time
+
+from repro.fuzz import FuzzConfig, FuzzDriver, corpus_modules
+from repro.ir import parse_module
+from repro.mutate import MutatorConfig
+from repro.opt import OptContext, PassManager
+from repro.tv import (RefinementConfig, check_refinement,
+                      reset_global_plan_cache)
+
+from bench_utils import scaled, write_json, write_report
+
+# The verification workload is cheap enough (~1s) to run unscaled in
+# quick mode; a smaller corpus slice would be dominated by per-check
+# setup instead of interpretation, understating the speedup.
+CORPUS_FILES = 10
+MAX_INPUTS = 24
+ROUNDS = 4
+
+
+def _pairs():
+    """(src module, optimized module, function name) verification jobs."""
+    jobs = []
+    for _, module in corpus_modules(CORPUS_FILES, seed=13):
+        optimized = module.clone()
+        PassManager(["O2"], OptContext(("53252",))).run(optimized)
+        for function in module.definitions():
+            if optimized.get_function(function.name) is None:
+                continue
+            jobs.append((module, optimized, function.name))
+    return jobs
+
+
+def test_bench_exec_compile_ablation(benchmark):
+    jobs = _pairs()
+    assert jobs
+    cache = reset_global_plan_cache()
+    results = {"compiled": float("inf"), "treewalk": float("inf")}
+    verdicts = {}
+
+    def verify_all(compiled):
+        config = RefinementConfig(max_inputs=MAX_INPUTS, compiled=compiled)
+        observed = []
+        for src_module, tgt_module, name in jobs:
+            result = check_refinement(
+                src_module.get_function(name),
+                tgt_module.get_function(name),
+                src_module, tgt_module, config)
+            observed.append((name, result.verdict.value,
+                             str(result.counterexample)))
+        return observed
+
+    def measure_both():
+        # Interleave the two modes round-robin and keep each mode's
+        # best round, so a transient load spike cannot skew the
+        # comparison.  The plan cache warms on the first compiled
+        # round, exactly as it would across a long campaign.
+        for _ in range(ROUNDS):
+            for mode, compiled in (("compiled", True),
+                                   ("treewalk", False)):
+                begin = time.perf_counter()
+                verdicts[mode] = verify_all(compiled)
+                results[mode] = min(results[mode],
+                                    time.perf_counter() - begin)
+
+    benchmark.pedantic(measure_both, rounds=1, iterations=1)
+
+    # Verdict invariance is the whole contract.
+    assert verdicts["compiled"] == verdicts["treewalk"]
+
+    hits, misses, fallbacks = cache.stats()
+    lookups = hits + misses
+    plan_hit_rate = hits / lookups if lookups else 0.0
+    speedup = results["treewalk"] / results["compiled"]
+    unsound = sum(1 for _, verdict, _ in verdicts["compiled"]
+                  if verdict == "unsound")
+
+    payload = {
+        "bench": "exec_compile",
+        "schema": 1,
+        "pairs": len(jobs),
+        "max_inputs": MAX_INPUTS,
+        "compiled_best_round": round(results["compiled"], 6),
+        "treewalk_best_round": round(results["treewalk"], 6),
+        "speedup": round(speedup, 4),
+        "checks_per_sec": round(len(jobs) / results["compiled"], 3),
+        "plan_hit_rate": round(plan_hit_rate, 6),
+        "plan_fallbacks": fallbacks,
+        "unsound_pairs": unsound,
+    }
+    write_json("BENCH_exec_compile.json", payload)
+    report = (
+        f"compiled plans:  {results['compiled']:.3f}s per best "
+        f"{len(jobs)}-pair round\n"
+        f"tree-walking:    {results['treewalk']:.3f}s per best "
+        f"{len(jobs)}-pair round\n"
+        f"speedup:         {speedup:.2f}x\n"
+        f"plan hit rate:   {plan_hit_rate:.0%} "
+        f"({fallbacks} fallbacks)\n"
+        f"verdicts (equal in both modes): {len(jobs)} pairs, "
+        f"{unsound} unsound\n"
+    )
+    write_report("exec_compile_ablation.txt", report)
+    print("\n" + report)
+
+    # Acceptance floor: compiled execution must beat tree-walking by at
+    # least 2x on this verification workload.
+    assert speedup >= 2.0
+    # After the warm-up round every plan lookup must be a cache hit.
+    assert plan_hit_rate > 0.5
+    assert fallbacks == 0
+
+
+def test_bench_exec_compile_driver_parity(benchmark):
+    """Driver-level invariance: same findings, same deterministic
+    metrics, with the compiled mode's plan cache visibly hot."""
+    seed_text = "\n".join([
+        "define i32 @clamp(i32 %x, i32 %y) {",
+        "  %c = icmp ult i32 %x, 100",
+        "  %r = select i1 %c, i32 %x, i32 100",
+        "  %s = add i32 %r, %y",
+        "  ret i32 %s",
+        "}",
+        "",
+        "define i32 @shifty(i32 %x) {",
+        "  %s = shl i32 %x, 3",
+        "  %t = lshr i32 %s, 3",
+        "  ret i32 %t",
+        "}",
+    ])
+    mutants = scaled(120, 40)
+
+    def driver_for(compiled):
+        config = FuzzConfig(
+            mutator=MutatorConfig(max_mutations=2),
+            tv=RefinementConfig(max_inputs=12, compiled=compiled),
+            enabled_bugs=("53252",),
+        )
+        return FuzzDriver(parse_module(seed_text), config,
+                          file_name="bench.ll")
+
+    def run_both():
+        reset_global_plan_cache()
+        compiled_driver = driver_for(True)
+        walked_driver = driver_for(False)
+        compiled_report = compiled_driver.run(iterations=mutants)
+        walked_report = walked_driver.run(iterations=mutants)
+        def keys(report):
+            return [(f.seed, f.kind, f.function, tuple(f.bug_ids))
+                    for f in report.findings]
+        assert keys(compiled_report) == keys(walked_report)
+        assert compiled_driver.metrics.deterministic() == \
+            walked_driver.metrics.deterministic()
+        hits = compiled_driver.metrics.counter("exec.plan_cache.hit")
+        misses = compiled_driver.metrics.counter("exec.plan_cache.miss")
+        assert hits > 0  # repeated functions are served from cache
+        assert walked_driver.metrics.counter("exec.plan_cache.miss") == 0
+        return hits, misses
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)

@@ -71,19 +71,35 @@ def test_bench_stage_decomposition(benchmark, sample):
     """In-process per-stage time (mutate / optimize / verify) plus the
     overhead classes a discrete iteration adds on top."""
     name, text = sample
-    driver = FuzzDriver(
-        parse_module(text, name),
-        FuzzConfig(pipeline="O2", mutator=MutatorConfig(max_mutations=3),
-                   tv=RefinementConfig(max_inputs=8)),
-        file_name=name)
+    rounds = 3
+    batch = 50
+    best = None
+
+    def fresh_driver():
+        return FuzzDriver(
+            parse_module(text, name),
+            FuzzConfig(pipeline="O2",
+                       mutator=MutatorConfig(max_mutations=3),
+                       tv=RefinementConfig(max_inputs=8)),
+            file_name=name)
 
     def run_batch():
-        driver.run(iterations=50)
-        return driver.report
+        # One warm-up batch pays the one-time costs (imports, execution
+        # -plan compilation), then each measured round uses a fresh
+        # driver — cold memo caches, the same shape as the seed
+        # methodology — and min-of-rounds resists load spikes.
+        nonlocal best
+        fresh_driver().run(iterations=batch)
+        for _ in range(rounds):
+            driver = fresh_driver()
+            driver.run(iterations=batch)
+            timings = driver.report.timings
+            if best is None or timings.total < sum(best):
+                best = (timings.mutate, timings.optimize, timings.verify)
 
     benchmark.pedantic(run_batch, rounds=1, iterations=1)
-    report = driver.report
-    iterations = max(report.iterations, 1)
+    mutate_s, optimize_s, verify_s = best
+    iterations = batch
 
     # Measure the discrete-only overheads once each.
     begin = time.perf_counter()
@@ -101,15 +117,15 @@ def test_bench_stage_decomposition(benchmark, sample):
         print_module(module)
     render = (time.perf_counter() - begin) / 20
 
-    per_iter = report.timings.total / iterations
+    per_iter = (mutate_s + optimize_s + verify_s) / iterations
     # One discrete iteration spawns 3 processes; each parses its input and
     # two of them print output.
     discrete_overhead = 3 * spawn + 3 * parse + 2 * render
     lines = [
         "in-process per-iteration stage times:",
-        f"  mutate:   {1e3 * report.timings.mutate / iterations:8.3f} ms",
-        f"  optimize: {1e3 * report.timings.optimize / iterations:8.3f} ms",
-        f"  verify:   {1e3 * report.timings.verify / iterations:8.3f} ms",
+        f"  mutate:   {1e3 * mutate_s / iterations:8.3f} ms",
+        f"  optimize: {1e3 * optimize_s / iterations:8.3f} ms",
+        f"  verify:   {1e3 * verify_s / iterations:8.3f} ms",
         f"  total:    {1e3 * per_iter:8.3f} ms",
         "discrete-only overheads per iteration (Figure 2's bold boxes):",
         f"  3x process create/destroy + load: {3e3 * spawn:8.1f} ms",

@@ -120,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "fingerprint memoization (the deep-clone "
                              "ablation; findings are identical either "
                              "way, throughput is not)")
+    parser.add_argument("--no-compiled-exec", action="store_true",
+                        help="disable compiled execution plans and "
+                             "tree-walk the IR during verification (the "
+                             "interpreter ablation; findings are "
+                             "identical either way, throughput is not)")
     parser.add_argument("--verify-mutants", action="store_true",
                         help="run the IR verifier on every mutant")
     return parser
@@ -171,7 +176,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         pipeline=args.passes,
         enabled_bugs=tuple(args.enable_bug),
         mutator=mutator_config,
-        tv=RefinementConfig(max_inputs=args.max_inputs),
+        tv=RefinementConfig(max_inputs=args.max_inputs,
+                            compiled=not args.no_compiled_exec),
         base_seed=args.seed,
         save_dir=args.save_dir,
         save_all=args.saveAll and args.save_dir is not None,

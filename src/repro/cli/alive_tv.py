@@ -25,6 +25,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="inputs per function pair")
     parser.add_argument("--seed", type=int, default=0,
                         help="input-generation seed")
+    parser.add_argument("--no-compiled-exec", action="store_true",
+                        help="tree-walk the IR instead of compiling "
+                             "execution plans (verdicts are identical "
+                             "either way)")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="only set the exit code")
     return parser
@@ -39,7 +43,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"alive-tv: {exc}", file=sys.stderr)
         return 2
 
-    config = RefinementConfig(max_inputs=args.max_inputs, seed=args.seed)
+    config = RefinementConfig(max_inputs=args.max_inputs, seed=args.seed,
+                              compiled=not args.no_compiled_exec)
     results = check_module_refinement(source, target, config)
     unsound = 0
     for name, result in results.items():

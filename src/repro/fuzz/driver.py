@@ -24,7 +24,7 @@ from ..mutate import MutantRecord, Mutator, MutatorConfig
 from ..obs import NULL_TRACER, MetricsRegistry, ProgressReporter, Tracer
 from ..opt import OptContext, OptimizerCrash, PassManager
 from ..tv import RefinementConfig, Verdict, check_function_supported, \
-    check_refinement
+    check_refinement, global_plan_cache
 from .findings import CRASH, MISCOMPILATION, BugLog, Finding
 from .memo import LRUCache, OptimizeEntry
 
@@ -193,7 +193,14 @@ class FuzzDriver:
             if self.config.memo else None)
         self._seed_fps: Dict[str, str] = {}
         self._seed_fp_by_id: Dict[int, str] = {}
+        # Execution-plan cache observability: the cache itself is
+        # process-wide (repro.tv.compile), so hit/miss deltas since the
+        # last snapshot are folded into this driver's metrics at stage
+        # boundaries as exec.plan_cache.* counters.
+        self._plan_stats: Optional[Tuple[int, int, int]] = (
+            global_plan_cache().stats() if self.config.tv.compiled else None)
         self._preprocess()
+        self._harvest_plan_stats()
         self.mutator = Mutator(module, self._mutator_config(),
                                tracer=self.tracer)
 
@@ -481,12 +488,27 @@ class FuzzDriver:
                     self._save(mutant, seed)
         verify_seconds = time.perf_counter() - begin
         timings.verify += verify_seconds
+        self._harvest_plan_stats()
         metrics.count("stage.verify.seconds", verify_seconds)
         self.tracer.record("verify", begin, verify_seconds, seed=seed,
                            findings=len(found))
         metrics.observe("iteration.seconds",
                         mutate_seconds + optimize_seconds + verify_seconds)
         return found
+
+    def _harvest_plan_stats(self) -> None:
+        """Fold plan-cache lookup deltas since the last call into metrics."""
+        if self._plan_stats is None:
+            return
+        stats = global_plan_cache().stats()
+        previous = self._plan_stats
+        if stats == previous:
+            return
+        for index, name in enumerate(("hit", "miss", "fallback")):
+            delta = stats[index] - previous[index]
+            if delta:
+                self.metrics.count(f"exec.plan_cache.{name}", delta)
+        self._plan_stats = stats
 
     def _verify_key(self, source: Function, target: Function,
                     fp_cache: Dict[int, str]) -> tuple:

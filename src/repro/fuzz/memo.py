@@ -12,42 +12,14 @@ never a missed finding, because cached results are replayed verbatim.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Hashable, Optional
+from typing import FrozenSet, Optional
 
 from ..ir.function import Function
 from ..opt import OptimizerCrash
+from ..tv.compile import LRUCache
 
 __all__ = ["LRUCache", "OptimizeEntry"]
-
-
-class LRUCache:
-    """A bounded mapping evicting the least-recently-used entry."""
-
-    def __init__(self, capacity: int) -> None:
-        if capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
-        self.capacity = capacity
-        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
-
-    def get(self, key: Hashable) -> Optional[Any]:
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-        return entry
-
-    def put(self, key: Hashable, value: Any) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
 
 
 @dataclass

@@ -208,7 +208,8 @@ class MetricsRegistry:
 
     def deterministic(self) -> dict:
         """The run-invariant subset: no ``.seconds`` metrics, no gauges,
-        no ``campaign.retry.*``, ``cache.*`` or ``clone.*`` counters.
+        no ``campaign.retry.*``, ``cache.*``, ``clone.*`` or ``exec.*``
+        counters.
 
         For a fixed campaign configuration this subset is identical
         across worker counts and kill/resume cycles — what legitimately
@@ -219,14 +220,18 @@ class MetricsRegistry:
         boundaries (each driver instance starts with cold caches) and
         with the ``--no-memo`` ablation, while the *findings* they feed
         stay identical — that invariance is what the deterministic
-        subset certifies.
+        subset certifies.  ``exec.*`` covers the execution-plan cache
+        counters, which likewise vary with sharding, resume boundaries
+        and the ``--no-compiled-exec`` ablation without affecting
+        verdicts.
         """
 
         def varies(name: str) -> bool:
             return (".seconds" in name
                     or name.startswith("campaign.retry.")
                     or name.startswith("cache.")
-                    or name.startswith("clone."))
+                    or name.startswith("clone.")
+                    or name.startswith("exec."))
 
         return {
             "counters": {

@@ -54,6 +54,10 @@ class ThroughputSnapshot:
     # off or no lookups happened yet.
     optimize_hit_rate: float = 0.0
     verify_hit_rate: float = 0.0
+    # Execution-plan cache effectiveness (compiled interpreter, paper
+    # §III-B "pay once"): hit rate of the global plan cache, 0.0 when
+    # compiled execution is off or no lookups happened yet.
+    exec_plan_hit_rate: float = 0.0
 
     @classmethod
     def from_metrics(
@@ -71,6 +75,9 @@ class ThroughputSnapshot:
             hits = metrics.counter(f"cache.{cache}.hit")
             total = hits + metrics.counter(f"cache.{cache}.miss")
             return hits / total if total else 0.0
+
+        plan_hits = metrics.counter("exec.plan_cache.hit")
+        plan_total = plan_hits + metrics.counter("exec.plan_cache.miss")
 
         return cls(
             elapsed=elapsed,
@@ -90,6 +97,7 @@ class ThroughputSnapshot:
             quarantined=int(metrics.counter("campaign.quarantined")),
             optimize_hit_rate=hit_rate("optimize"),
             verify_hit_rate=hit_rate("verify"),
+            exec_plan_hit_rate=plan_hits / plan_total if plan_total else 0.0,
         )
 
     def to_dict(self) -> dict:
@@ -111,6 +119,7 @@ class ThroughputSnapshot:
             "quarantined": self.quarantined,
             "optimize_hit_rate": round(self.optimize_hit_rate, 6),
             "verify_hit_rate": round(self.verify_hit_rate, 6),
+            "exec_plan_hit_rate": round(self.exec_plan_hit_rate, 6),
         }
 
     def progress_line(self) -> str:
@@ -130,6 +139,8 @@ class ThroughputSnapshot:
                 f" | memo opt {self.optimize_hit_rate:.0%} "
                 f"tv {self.verify_hit_rate:.0%}"
             )
+        if self.exec_plan_hit_rate:
+            line += f" | plan {self.exec_plan_hit_rate:.0%}"
         if self.retries or self.quarantined:
             line += (
                 f" | {self.retries} retries, "

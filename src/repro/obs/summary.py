@@ -63,6 +63,7 @@ def campaign_summary(report, name: str = "campaign") -> dict:
         "skipped_jobs": report.skipped_jobs,
         "optimize_hit_rate": round(snapshot.optimize_hit_rate, 6),
         "verify_hit_rate": round(snapshot.verify_hit_rate, 6),
+        "exec_plan_hit_rate": round(snapshot.exec_plan_hit_rate, 6),
     }
 
 

@@ -7,6 +7,8 @@ The public API mirrors how the paper uses Alive2: check one function pair
 the validator cannot handle (paper §III-A).
 """
 
+from .compile import (ExecutionPlan, PlanCache, compile_function,
+                      global_plan_cache, reset_global_plan_cache)
 from .domain import NULL_POINTER, POISON, Pointer, RuntimeValue, is_poison
 from .interp import ExecutionLimits, Interpreter, StepLimitExceeded, UBError
 from .memory import Memory, MemoryFault, UNDEF_BYTE
@@ -18,11 +20,13 @@ from .refine import (Counterexample, Outcome, RefinementConfig, TestInput,
 
 __all__ = [
     "NULL_POINTER", "POISON", "Pointer", "RuntimeValue", "is_poison",
-    "ExecutionLimits", "Interpreter", "StepLimitExceeded",
+    "ExecutionLimits", "ExecutionPlan", "Interpreter", "PlanCache",
+    "StepLimitExceeded",
     "UBError", "Memory", "MemoryFault", "UNDEF_BYTE",
     "DeterministicOracle", "Oracle", "PathOracle",
     "Counterexample", "Outcome", "RefinementConfig", "TestInput", "TVResult",
     "Verdict", "behavior_set", "check_function_supported",
-    "check_module_refinement", "check_refinement", "generate_inputs",
-    "outcome_refines", "value_refines",
+    "check_module_refinement", "check_refinement", "compile_function",
+    "generate_inputs", "global_plan_cache", "outcome_refines",
+    "reset_global_plan_cache", "value_refines",
 ]

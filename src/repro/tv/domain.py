@@ -15,7 +15,8 @@ matches LLVM's each-use-may-differ semantics under bounded enumeration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from functools import lru_cache
+from typing import Optional, Tuple, Union
 
 
 class _Poison:
@@ -74,8 +75,14 @@ def to_unsigned(value: int, width: int) -> int:
     return value & ((1 << width) - 1)
 
 
-def interesting_values(width: int) -> List[int]:
-    """Corner values used both for input generation and undef choices."""
+@lru_cache(maxsize=256)
+def interesting_values(width: int) -> Tuple[int, ...]:
+    """Corner values used both for input generation and undef choices.
+
+    Cached per width: the interpreter asks for the same few widths on
+    every undef/freeze choice, so the tuple is built once and shared
+    (callers must treat it as immutable — copy before mutating).
+    """
     mask = (1 << width) - 1
     values = [0, 1, mask]
     if width > 1:
@@ -91,7 +98,33 @@ def interesting_values(width: int) -> List[int]:
         if value not in seen:
             seen.add(value)
             unique.append(value)
-    return unique
+    return tuple(unique)
+
+
+@lru_cache(maxsize=256)
+def choice_domain(width: int) -> Tuple[int, ...]:
+    """The full value domain for a narrow integer type (width <= 3)."""
+    return tuple(range(1 << width))
+
+
+def fits_signed(value: int, width: int) -> bool:
+    return -(1 << (width - 1)) <= value <= (1 << (width - 1)) - 1
+
+
+def trunc_div(lhs: int, rhs: int) -> int:
+    """C-style division: truncate toward zero (Python // floors)."""
+    quotient = abs(lhs) // abs(rhs)
+    if (lhs < 0) != (rhs < 0):
+        quotient = -quotient
+    return quotient
+
+
+def saturate(value: int, width: int, signed: bool) -> int:
+    if signed:
+        low, high = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    else:
+        low, high = 0, (1 << width) - 1
+    return to_unsigned(max(low, min(high, value)), width)
 
 
 def describe(value: RuntimeValue, width: Optional[int] = None) -> str:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir.basicblock import BasicBlock
@@ -22,13 +23,16 @@ from ..ir.instructions import (AllocaInst, BinaryOperator, BrInst, CallInst,
 from ..ir.types import IntType, Type
 from ..ir.values import (ConstantInt, ConstantPointerNull, PoisonValue,
                          UndefValue, Value)
-from .domain import (NULL_POINTER, POISON, Pointer, RuntimeValue,
-                     interesting_values, is_poison, to_signed, to_unsigned)
+from .domain import (NULL_POINTER, POISON, Pointer, RuntimeValue, choice_domain,
+                     fits_signed, interesting_values, is_poison, saturate,
+                     to_signed, to_unsigned, trunc_div)
 from .memory import (Byte, Memory, MemoryFault, UNDEF_BYTE, byte_size_of_width,
                      bytes_to_int, int_to_bytes)
 from .oracle import DeterministicOracle, Oracle
 
 POINTER_SIZE = 8
+
+_MISSING = object()
 
 
 class UBError(Exception):
@@ -49,9 +53,15 @@ class ExecutionLimits:
     max_call_depth: int = 8
 
 
+@lru_cache(maxsize=8192)
 def block_address(block: str) -> int:
     """Deterministic numeric address for a logical block (same on both
-    sides of a refinement check, so pointer ordering is comparable)."""
+    sides of a refinement check, so pointer ordering is comparable).
+
+    Memoized: the hot loop recomputes addresses for the same handful of
+    block ids on every pointer comparison, so the crc32 is paid once per
+    id.  Bounded because ``raw:{N}`` ids are open-ended.
+    """
     if block == "null":
         return 0
     return 0x10000 + (zlib.crc32(block.encode()) & 0xFFFF) * 64
@@ -81,10 +91,21 @@ class _Frame:
 
 
 class Interpreter:
-    """Executes functions of one module under an oracle and step budget."""
+    """Executes functions of one module under an oracle and step budget.
+
+    ``compiled=True`` (the default) routes execution through per-function
+    execution plans from :mod:`repro.tv.compile`: each function is lowered
+    once into specialized closures over dense frame slots and the plan is
+    replayed on every call, falling back to the tree-walking evaluator for
+    anything the compiler declines.  Plans are shared through ``plans``
+    (defaults to the process-wide cache) and pinned per interpreter in
+    ``_plan_memo``, so functions must not be mutated between runs of the
+    same interpreter.
+    """
 
     def __init__(self, module, oracle: Optional[Oracle] = None,
-                 limits: Optional[ExecutionLimits] = None) -> None:
+                 limits: Optional[ExecutionLimits] = None, *,
+                 compiled: bool = True, plans=None) -> None:
         self.module = module
         self.oracle = oracle or DeterministicOracle()
         self.limits = limits or ExecutionLimits()
@@ -92,6 +113,12 @@ class Interpreter:
         self._steps = 0
         self._alloca_counter = 0
         self._call_counter = 0
+        self._compiled = compiled
+        self._plan_memo: Dict[int, object] = {}
+        if compiled and plans is None:
+            from .compile import global_plan_cache
+            plans = global_plan_cache()
+        self._plans = plans
 
     # -- entry point -----------------------------------------------------------
 
@@ -106,7 +133,39 @@ class Interpreter:
         except (ZeroDivisionError, RecursionError) as exc:  # defensive
             raise UBError(str(exc)) from exc
 
+    def reset(self, oracle: Optional[Oracle] = None) -> None:
+        """Rewind this interpreter for a fresh run of the same module.
+
+        Clears memory and the step/alloca/call counters exactly as a new
+        instance would, but keeps the compiled execution plans — this is
+        the arena the refinement checker reuses across inputs and
+        nondeterminism paths instead of reallocating per run.
+        """
+        if oracle is not None:
+            self.oracle = oracle
+        self.memory.reset()
+        self._steps = 0
+        self._alloca_counter = 0
+        self._call_counter = 0
+
+    def prepare(self, function: Function):
+        """Compile (or fetch from cache) ``function``'s execution plan now,
+        so later runs pay no compilation cost.  Returns the plan, or None
+        when compiled execution is off or the function is a declaration."""
+        if not self._compiled or function.is_declaration():
+            return None
+        return self._plan_for(function)
+
     # -- function execution -------------------------------------------------------
+
+    def _plan_for(self, function: Function):
+        plan = self._plan_memo.get(id(function), _MISSING)
+        if plan is _MISSING:
+            # The memo keeps a reference to the plan, and the plan keeps
+            # one to the function, so id() stays unique for our lifetime.
+            plan = self._plans.plan_for(function)
+            self._plan_memo[id(function)] = plan
+        return plan
 
     def _call(self, function: Function, args: List[RuntimeValue],
               depth: int) -> RuntimeValue:
@@ -115,6 +174,14 @@ class Interpreter:
         self._check_argument_attributes(function, args)
         if function.is_declaration():
             return self._call_external(function, args)
+        if self._compiled:
+            plan = self._plan_for(function)
+            if plan is not None:
+                return plan.execute(self, args, depth)
+        return self._tree_call(function, args, depth)
+
+    def _tree_call(self, function: Function, args: List[RuntimeValue],
+                   depth: int) -> RuntimeValue:
         frame = _Frame()
         for argument, value in zip(function.arguments, args):
             frame.values[id(argument)] = value
@@ -245,7 +312,7 @@ class Interpreter:
     def _choose_value(self, type: Type, label: str) -> RuntimeValue:
         if isinstance(type, IntType):
             if type.width <= 3:
-                options: Sequence = list(range(1 << type.width))
+                options: Sequence = choice_domain(type.width)
             else:
                 # A sample, not the full 2**width domain: tell the oracle
                 # so the refinement checker treats the source's behavior
@@ -286,7 +353,7 @@ class Interpreter:
             result = (lhs + rhs) & mask
             if inst.nuw and lhs + rhs > mask:
                 return POISON
-            if inst.nsw and not _fits_signed(
+            if inst.nsw and not fits_signed(
                     to_signed(lhs, width) + to_signed(rhs, width), width):
                 return POISON
             return result
@@ -294,7 +361,7 @@ class Interpreter:
             result = (lhs - rhs) & mask
             if inst.nuw and lhs - rhs < 0:
                 return POISON
-            if inst.nsw and not _fits_signed(
+            if inst.nsw and not fits_signed(
                     to_signed(lhs, width) - to_signed(rhs, width), width):
                 return POISON
             return result
@@ -302,7 +369,7 @@ class Interpreter:
             result = (lhs * rhs) & mask
             if inst.nuw and lhs * rhs > mask:
                 return POISON
-            if inst.nsw and not _fits_signed(
+            if inst.nsw and not fits_signed(
                     to_signed(lhs, width) * to_signed(rhs, width), width):
                 return POISON
             return result
@@ -316,7 +383,7 @@ class Interpreter:
             signed_rhs = to_signed(rhs, width)
             if signed_lhs == -(1 << (width - 1)) and signed_rhs == -1:
                 raise UBError("sdiv overflow")
-            quotient = _trunc_div(signed_lhs, signed_rhs)
+            quotient = trunc_div(signed_lhs, signed_rhs)
             if inst.exact and signed_lhs - quotient * signed_rhs != 0:
                 return POISON
             return to_unsigned(quotient, width)
@@ -327,7 +394,7 @@ class Interpreter:
             signed_rhs = to_signed(rhs, width)
             if signed_lhs == -(1 << (width - 1)) and signed_rhs == -1:
                 raise UBError("srem overflow")
-            remainder = signed_lhs - _trunc_div(signed_lhs, signed_rhs) * signed_rhs
+            remainder = signed_lhs - trunc_div(signed_lhs, signed_rhs) * signed_rhs
             return to_unsigned(remainder, width)
         if opcode in ("shl", "lshr", "ashr"):
             if rhs >= width:
@@ -537,56 +604,7 @@ class Interpreter:
         if any(is_poison(a) for a in args):
             return POISON
         mask = (1 << width) - 1 if width else 0
-        if base in ("llvm.smax", "llvm.smin"):
-            lhs = to_signed(args[0], width)
-            rhs = to_signed(args[1], width)
-            chosen = max(lhs, rhs) if base.endswith("smax") else min(lhs, rhs)
-            return to_unsigned(chosen, width)
-        if base in ("llvm.umax", "llvm.umin"):
-            return max(args[0], args[1]) if base.endswith("umax") \
-                else min(args[0], args[1])
-        if base == "llvm.abs":
-            value = to_signed(args[0], width)
-            if value == -(1 << (width - 1)):
-                if args[1] == 1:
-                    return POISON
-                return to_unsigned(value, width)
-            return abs(value)
-        if base == "llvm.ctpop":
-            return bin(args[0]).count("1")
-        if base == "llvm.ctlz":
-            if args[0] == 0:
-                return POISON if args[1] == 1 else width
-            return width - args[0].bit_length()
-        if base == "llvm.cttz":
-            if args[0] == 0:
-                return POISON if args[1] == 1 else width
-            return (args[0] & -args[0]).bit_length() - 1
-        if base == "llvm.bswap":
-            size = width // 8
-            data = int_to_bytes(args[0], size)
-            return bytes_to_int(list(reversed(data)))
-        if base == "llvm.bitreverse":
-            return int(format(args[0], f"0{width}b")[::-1], 2)
-        if base == "llvm.sadd.sat":
-            return _saturate(to_signed(args[0], width) + to_signed(args[1], width),
-                             width, signed=True)
-        if base == "llvm.ssub.sat":
-            return _saturate(to_signed(args[0], width) - to_signed(args[1], width),
-                             width, signed=True)
-        if base == "llvm.uadd.sat":
-            return _saturate(args[0] + args[1], width, signed=False)
-        if base == "llvm.usub.sat":
-            return _saturate(args[0] - args[1], width, signed=False)
-        if base in ("llvm.fshl", "llvm.fshr"):
-            amount = args[2] % width
-            concat = (args[0] << width) | args[1]
-            if base.endswith("fshl"):
-                return (concat >> (width - amount)) & mask if amount else args[0]
-            return (concat >> amount) & mask if amount else args[1]
-        if base == "llvm.umul.with.overflow.bit":
-            return int(args[0] * args[1] > mask)
-        raise UBError(f"unsupported intrinsic {name}")
+        return evaluate_intrinsic(base, name, width, mask, args)
 
     def _check_assume_bundles(self, inst: CallInst, frame: _Frame) -> None:
         for bundle in inst.bundles:
@@ -656,25 +674,63 @@ class Interpreter:
         raise UBError(f"external function returning {return_type}")
 
 
-def _fits_signed(value: int, width: int) -> bool:
-    return -(1 << (width - 1)) <= value <= (1 << (width - 1)) - 1
+def evaluate_intrinsic(base: str, name: str, width: int, mask: int,
+                       args: List[RuntimeValue]) -> RuntimeValue:
+    """Pure evaluation of a (non-assume) intrinsic on poison-free args.
 
-
-def _trunc_div(a: int, b: int) -> int:
-    """C-style division truncating toward zero."""
-    quotient = abs(a) // abs(b)
-    if (a < 0) != (b < 0):
-        quotient = -quotient
-    return quotient
-
-
-def _saturate(value: int, width: int, signed: bool) -> int:
-    if signed:
-        low, high = -(1 << (width - 1)), (1 << (width - 1)) - 1
-    else:
-        low, high = 0, (1 << width) - 1
-    clamped = min(max(value, low), high)
-    return to_unsigned(clamped, width)
+    Shared between the tree-walking evaluator and compiled execution
+    plans so the two modes cannot drift.
+    """
+    if base in ("llvm.smax", "llvm.smin"):
+        lhs = to_signed(args[0], width)
+        rhs = to_signed(args[1], width)
+        chosen = max(lhs, rhs) if base.endswith("smax") else min(lhs, rhs)
+        return to_unsigned(chosen, width)
+    if base in ("llvm.umax", "llvm.umin"):
+        return max(args[0], args[1]) if base.endswith("umax") \
+            else min(args[0], args[1])
+    if base == "llvm.abs":
+        value = to_signed(args[0], width)
+        if value == -(1 << (width - 1)):
+            if args[1] == 1:
+                return POISON
+            return to_unsigned(value, width)
+        return abs(value)
+    if base == "llvm.ctpop":
+        return bin(args[0]).count("1")
+    if base == "llvm.ctlz":
+        if args[0] == 0:
+            return POISON if args[1] == 1 else width
+        return width - args[0].bit_length()
+    if base == "llvm.cttz":
+        if args[0] == 0:
+            return POISON if args[1] == 1 else width
+        return (args[0] & -args[0]).bit_length() - 1
+    if base == "llvm.bswap":
+        size = width // 8
+        data = int_to_bytes(args[0], size)
+        return bytes_to_int(list(reversed(data)))
+    if base == "llvm.bitreverse":
+        return int(format(args[0], f"0{width}b")[::-1], 2)
+    if base == "llvm.sadd.sat":
+        return saturate(to_signed(args[0], width) + to_signed(args[1], width),
+                        width, signed=True)
+    if base == "llvm.ssub.sat":
+        return saturate(to_signed(args[0], width) - to_signed(args[1], width),
+                        width, signed=True)
+    if base == "llvm.uadd.sat":
+        return saturate(args[0] + args[1], width, signed=False)
+    if base == "llvm.usub.sat":
+        return saturate(args[0] - args[1], width, signed=False)
+    if base in ("llvm.fshl", "llvm.fshr"):
+        amount = args[2] % width
+        concat = (args[0] << width) | args[1]
+        if base.endswith("fshl"):
+            return (concat >> (width - amount)) & mask if amount else args[0]
+        return (concat >> amount) & mask if amount else args[1]
+    if base == "llvm.umul.with.overflow.bit":
+        return int(args[0] * args[1] > mask)
+    raise UBError(f"unsupported intrinsic {name}")
 
 
 def _digest_bytes(data) -> str:

@@ -41,6 +41,14 @@ class Memory:
     def __init__(self) -> None:
         self._blocks: Dict[str, List[Byte]] = {}
 
+    def reset(self) -> None:
+        """Drop every block, returning to the freshly-constructed state.
+
+        Used by :meth:`Interpreter.reset` so one memory arena serves many
+        runs instead of allocating a new ``Memory`` per execution.
+        """
+        self._blocks.clear()
+
     def add_block(self, block_id: str, size: int,
                   initial: Optional[List[int]] = None) -> Pointer:
         if block_id in self._blocks:

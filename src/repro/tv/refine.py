@@ -27,11 +27,13 @@ from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.constants_pool import ConstantPool
+from ..ir.fingerprint import fingerprint_function
 from ..ir.function import Function
 from ..ir.instructions import CallInst
 from ..ir.intrinsics import lookup as lookup_intrinsic
 from ..ir.module import Module
 from ..ir.types import IntType
+from .compile import LRUCache
 from .domain import (NULL_POINTER, POISON, Pointer, RuntimeValue,
                      interesting_values)
 from .interp import (ExecutionLimits, Interpreter, StepLimitExceeded, UBError)
@@ -129,6 +131,11 @@ class RefinementConfig:
     pointer_block_size: int = 16
     limits: ExecutionLimits = field(default_factory=ExecutionLimits)
     seed: int = 0
+    # Execute through compile-once plans (repro.tv.compile).  Off =
+    # tree-walking ablation (--no-compiled-exec).  Deliberately NOT part
+    # of cache_key(): both modes produce identical verdicts by contract
+    # (locked by the differential suite), so cached results are shared.
+    compiled: bool = True
 
     def cache_key(self) -> tuple:
         """A hashable key covering every knob a verdict depends on.
@@ -216,6 +223,26 @@ def generate_inputs(function: Function, config: RefinementConfig) -> List[TestIn
     return inputs
 
 
+# Generated inputs only depend on the function's structure (constant
+# pool, widths, argument attributes), its argument names (pointer block
+# ids are derived from them) and the config — so they are shared across
+# the repeated check_refinement calls a campaign makes for one source
+# function instead of rebuilding the ConstantPool every time.
+_INPUT_CACHE = LRUCache(256)
+
+
+def _inputs_for(function: Function,
+                config: RefinementConfig) -> Tuple[TestInput, ...]:
+    key = (fingerprint_function(function),
+           tuple(argument.name for argument in function.arguments),
+           config.cache_key())
+    inputs = _INPUT_CACHE.get(key)
+    if inputs is None:
+        inputs = tuple(generate_inputs(function, config))
+        _INPUT_CACHE.put(key, inputs)
+    return inputs
+
+
 def _int_candidates(width: int, pool: ConstantPool,
                     rng: random.Random) -> List[int]:
     mask = (1 << width) - 1
@@ -270,12 +297,17 @@ def _pointer_candidates(function: Function, arg_index: int,
 # ---------------------------------------------------------------------------
 
 
-def _materialize(function: Function, test_input: TestInput,
-                 module: Module, oracle, limits: ExecutionLimits):
-    """Build a fresh interpreter + memory + runtime args for one run."""
-    interpreter = Interpreter(module, oracle, limits)
+def _prepare_input(function: Function, test_input: TestInput):
+    """Lower one test input to (runtime args, memory blocks, observable).
+
+    The result is reusable across runs and across both sides of a
+    refinement check: ``blocks`` holds ``(id, size, contents)`` tuples
+    that are re-added to the (reset) arena before every run, and the
+    interpreter copies ``runtime_args`` before executing.
+    """
     runtime_args: List[RuntimeValue] = []
     observable: List[str] = []
+    blocks: List[Tuple[str, int, Tuple[int, ...]]] = []
     created = set()
     for argument, value in zip(function.arguments, test_input.args):
         if isinstance(value, PointerInput):
@@ -284,18 +316,22 @@ def _materialize(function: Function, test_input: TestInput,
             else:
                 if value.block not in created:
                     created.add(value.block)
-                    interpreter.memory.add_block(value.block, value.size,
-                                                 list(value.contents))
+                    blocks.append((value.block, value.size, value.contents))
                     observable.append(value.block)
                 runtime_args.append(Pointer(value.block, 0))
         else:
             runtime_args.append(value)
-    return interpreter, runtime_args, observable
+    return runtime_args, blocks, observable
 
 
-def behavior_set(function: Function, test_input: TestInput, module: Module,
-                 config: RefinementConfig) -> Tuple[List[Outcome], bool]:
-    """All observed outcomes for one input, plus an exhaustiveness flag."""
+def _enumerate_outcomes(interpreter: Interpreter, function: Function,
+                        runtime_args, blocks, observable,
+                        config: RefinementConfig) -> Tuple[List[Outcome], bool]:
+    """Walk the nondeterminism tree for one input, reusing ``interpreter``
+    as the arena: each run resets it in place (fresh oracle, cleared
+    memory and counters) instead of allocating a new interpreter+memory
+    pair per path — the per-run allocations the old ``_materialize``
+    paid on every single execution."""
     outcomes: List[Outcome] = []
     seen = set()
     path: Optional[List[int]] = []
@@ -306,8 +342,10 @@ def behavior_set(function: Function, test_input: TestInput, module: Module,
             exhausted = False
             break
         oracle = PathOracle(path)
-        interpreter, runtime_args, observable = _materialize(
-            function, test_input, module, oracle, config.limits)
+        interpreter.reset(oracle)
+        memory = interpreter.memory
+        for block_id, size, contents in blocks:
+            memory.add_block(block_id, size, list(contents))
         outcome = _run_once(interpreter, function, runtime_args, observable)
         runs += 1
         if oracle.domain_truncated:
@@ -320,6 +358,16 @@ def behavior_set(function: Function, test_input: TestInput, module: Module,
             outcomes.append(outcome)
         path = advance_path(oracle.taken, oracle.domain_sizes)
     return outcomes, exhausted
+
+
+def behavior_set(function: Function, test_input: TestInput, module: Module,
+                 config: RefinementConfig) -> Tuple[List[Outcome], bool]:
+    """All observed outcomes for one input, plus an exhaustiveness flag."""
+    interpreter = Interpreter(module, None, config.limits,
+                              compiled=config.compiled)
+    runtime_args, blocks, observable = _prepare_input(function, test_input)
+    return _enumerate_outcomes(interpreter, function, runtime_args, blocks,
+                               observable, config)
 
 
 def _run_once(interpreter: Interpreter, function: Function,
@@ -412,14 +460,31 @@ def check_refinement(src_function: Function, tgt_function: Function,
     if len(src_function.arguments) != len(tgt_function.arguments):
         return TVResult(Verdict.UNSUPPORTED, reason="signature changed")
 
-    inputs = generate_inputs(src_function, config)
+    inputs = _inputs_for(src_function, config)
+
+    # One interpreter arena per side, reused across all inputs and
+    # nondeterminism paths; plans for both functions are built up front
+    # so every run after the first is pure replay.
+    src_interp = Interpreter(src_module, None, config.limits,
+                             compiled=config.compiled)
+    tgt_interp = Interpreter(tgt_module, None, config.limits,
+                             compiled=config.compiled)
+    src_interp.prepare(src_function)
+    tgt_interp.prepare(tgt_function)
+
     inconclusive = 0
     for input_index, test_input in enumerate(inputs):
         begin = time.perf_counter() if traced else 0.0
-        src_outcomes, src_exhausted = behavior_set(
-            src_function, test_input, src_module, config)
-        tgt_outcomes, _ = behavior_set(
-            tgt_function, test_input, tgt_module, config)
+        # Arity matches (checked above) and the runtime values depend
+        # only on the test input, so one prepared input serves both sides.
+        runtime_args, blocks, observable = _prepare_input(
+            src_function, test_input)
+        src_outcomes, src_exhausted = _enumerate_outcomes(
+            src_interp, src_function, runtime_args, blocks, observable,
+            config)
+        tgt_outcomes, _ = _enumerate_outcomes(
+            tgt_interp, tgt_function, runtime_args, blocks, observable,
+            config)
         if traced:
             tracer.record(
                 "interp", begin, time.perf_counter() - begin,

@@ -1,0 +1,587 @@
+"""Differential tests for compiled execution plans (repro.tv.compile).
+
+The compiled interpreter must be observationally identical to the
+tree-walking one: same Outcomes (including UB detail strings), same
+exhaustiveness flags, same verdicts and counterexamples, same findings
+and deterministic metrics.  Every test here runs both modes and diffs.
+"""
+
+import pytest
+
+from repro.fuzz import FuzzConfig, FuzzDriver, corpus_modules
+from repro.mutate import MutatorConfig
+from repro.tv import (ExecutionLimits, Interpreter, PlanCache,
+                      RefinementConfig, behavior_set, check_refinement,
+                      compile_function, generate_inputs,
+                      reset_global_plan_cache)
+from repro.tv.compile import plan_key
+from repro.tv.refine import _inputs_for
+
+from helpers import optimize, parsed
+
+
+def both_behaviors(text, fn="f", max_inputs=24, seed=0):
+    """(compiled, tree-walk) behavior sets for every generated input."""
+    module = parsed(text)
+    function = module.get_function(fn)
+    results = []
+    for compiled in (True, False):
+        config = RefinementConfig(max_inputs=max_inputs, seed=seed,
+                                  compiled=compiled)
+        per_input = []
+        for test_input in generate_inputs(function, config):
+            outcomes, exhausted = behavior_set(function, test_input,
+                                               module, config)
+            per_input.append((tuple(outcomes), exhausted))
+        results.append(per_input)
+    return results
+
+
+def assert_identical_behaviors(text, fn="f", max_inputs=24, seed=0):
+    compiled, walked = both_behaviors(text, fn, max_inputs, seed)
+    assert compiled, "workload generated no inputs"
+    assert compiled == walked
+
+
+class TestDifferentialBehavior:
+    """behavior_set parity on targeted semantic edge cases."""
+
+    def test_arithmetic_and_poison_flags(self):
+        assert_identical_behaviors("""
+define i8 @f(i8 %x, i8 %y) {
+  %a = add nsw i8 %x, %y
+  %b = sub nuw i8 %a, 1
+  %c = mul i8 %b, %y
+  %d = xor i8 %c, 85
+  ret i8 %d
+}
+""")
+
+    def test_division_ub_ordering(self):
+        # Divisor poison / zero must raise UB before the general poison
+        # short-circuit; the detail string is part of the Outcome.
+        assert_identical_behaviors("""
+define i8 @f(i8 %x, i8 %y) {
+  %p = add nsw i8 %x, 127
+  %q = sdiv i8 %y, %p
+  ret i8 %q
+}
+""")
+
+    def test_shift_amount_poison(self):
+        assert_identical_behaviors("""
+define i8 @f(i8 %x, i8 %s) {
+  %a = shl i8 %x, %s
+  %b = lshr exact i8 %a, 1
+  ret i8 %b
+}
+""")
+
+    def test_freeze_of_poison_and_undef(self):
+        assert_identical_behaviors("""
+define i8 @f(i8 %x) {
+  %p = add nuw i8 %x, 255
+  %a = freeze i8 %p
+  %u = freeze i8 undef
+  %r = add i8 %a, %u
+  ret i8 %r
+}
+""")
+
+    def test_undef_multi_use_is_independent_choices(self):
+        # Each textual use of undef is an independent oracle choice; the
+        # compiled operand resolvers must preserve the choice order.
+        assert_identical_behaviors("""
+define i8 @f() {
+  %a = add i8 undef, 0
+  %b = add i8 undef, 0
+  %r = sub i8 %a, %b
+  ret i8 %r
+}
+""", max_inputs=4)
+
+    def test_select_evaluates_only_taken_arm(self):
+        assert_identical_behaviors("""
+define i8 @f(i1 %c, i8 %x) {
+  %d = udiv i8 1, %x
+  %r = select i1 %c, i8 %d, i8 7
+  ret i8 %r
+}
+""")
+
+    def test_icmp_and_casts(self):
+        assert_identical_behaviors("""
+define i16 @f(i8 %x, i16 %y) {
+  %c = icmp slt i8 %x, 3
+  %w = sext i8 %x to i16
+  %z = zext i8 %x to i16
+  %t = trunc i16 %y to i8
+  %u = zext i8 %t to i16
+  %r = select i1 %c, i16 %w, i16 %z
+  %s = add i16 %r, %u
+  ret i16 %s
+}
+""")
+
+    def test_phi_loop(self):
+        assert_identical_behaviors("""
+define i8 @f(i8 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i8 [ 0, %entry ], [ %next, %loop ]
+  %acc = phi i8 [ 0, %entry ], [ %acc2, %loop ]
+  %acc2 = add i8 %acc, %i
+  %next = add i8 %i, 1
+  %done = icmp uge i8 %next, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i8 %acc2
+}
+""")
+
+    def test_parallel_phi_copies(self):
+        # %a and %b swap through the back edge: the edge's phi schedule
+        # must be a parallel copy, not a sequential one.
+        assert_identical_behaviors("""
+define i32 @f(i32 %n) {
+entry:
+  br label %loop
+loop:
+  %a = phi i32 [ 1, %entry ], [ %b, %loop ]
+  %b = phi i32 [ 2, %entry ], [ %a, %loop ]
+  %count = phi i32 [ 0, %entry ], [ %inc, %loop ]
+  %inc = add i32 %count, 1
+  %done = icmp uge i32 %inc, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i32 %a
+}
+""")
+
+    def test_switch(self):
+        assert_identical_behaviors("""
+define i8 @f(i8 %x) {
+entry:
+  switch i8 %x, label %d [ i8 0, label %a i8 9, label %b ]
+a:
+  ret i8 10
+b:
+  ret i8 20
+d:
+  ret i8 30
+}
+""")
+
+    def test_memory_round_trip(self):
+        assert_identical_behaviors("""
+define i32 @f(i32 %x) {
+  %slot = alloca i32
+  store i32 %x, ptr %slot
+  %r = load i32, ptr %slot
+  ret i32 %r
+}
+""")
+
+    def test_load_of_undef_bytes(self):
+        # A fresh alloca holds undef bytes; each byte loaded is an
+        # oracle choice over the truncated undef-byte domain.
+        assert_identical_behaviors("""
+define i8 @f() {
+  %slot = alloca i8
+  %r = load i8, ptr %slot
+  ret i8 %r
+}
+""", max_inputs=4)
+
+    def test_gep_chain_and_inbounds_overflow(self):
+        assert_identical_behaviors("""
+define i8 @f(i8 %x) {
+  %slot = alloca i16
+  %p2 = getelementptr i8, ptr %slot, i64 1
+  %p1 = getelementptr i8, ptr %p2, i64 -1
+  store i8 %x, ptr %p1
+  %far = getelementptr inbounds i8, ptr %slot, i64 100
+  %r = load i8, ptr %p1
+  ret i8 %r
+}
+""")
+
+    def test_pointer_arguments(self):
+        assert_identical_behaviors("""
+define i8 @f(ptr %p) {
+  %r = load i8, ptr %p
+  ret i8 %r
+}
+""")
+
+    def test_internal_and_external_calls(self):
+        assert_identical_behaviors("""
+declare i8 @opaque(i8)
+
+define i8 @double(i8 %x) {
+  %r = add i8 %x, %x
+  ret i8 %r
+}
+
+define i8 @f(i8 %x) {
+  %a = call i8 @double(i8 %x)
+  %b = call i8 @opaque(i8 %a)
+  ret i8 %b
+}
+""", max_inputs=8)
+
+    def test_intrinsics(self):
+        assert_identical_behaviors("""
+define i8 @f(i8 %x, i8 %y) {
+  %a = call i8 @llvm.abs.i8(i8 %x, i1 false)
+  %b = call i8 @llvm.ctlz.i8(i8 %y, i1 false)
+  %c = call i8 @llvm.fshl.i8(i8 %a, i8 %b, i8 4)
+  %r = call i8 @llvm.umax.i8(i8 %c, i8 %y)
+  ret i8 %r
+}
+""")
+
+    def test_assume(self):
+        assert_identical_behaviors("""
+declare void @llvm.assume(i1)
+
+define i8 @f(i8 %x) {
+  %c = icmp ult i8 %x, 16
+  call void @llvm.assume(i1 %c)
+  %r = add i8 %x, 1
+  ret i8 %r
+}
+""")
+
+    def test_step_limit_classification(self):
+        # An infinite loop must time out at the same step count in both
+        # modes (phis are not counted as steps).
+        text = """
+define i8 @f(i8 %x) {
+entry:
+  br label %loop
+loop:
+  %i = phi i8 [ 0, %entry ], [ %next, %loop ]
+  %next = add i8 %i, 1
+  br label %loop
+}
+"""
+        module = parsed(text)
+        function = module.get_function("f")
+        limits = ExecutionLimits(max_steps=100)
+        results = []
+        for compiled in (True, False):
+            config = RefinementConfig(max_inputs=4, limits=limits,
+                                      compiled=compiled)
+            test_input = generate_inputs(function, config)[0]
+            outcomes, exhausted = behavior_set(function, test_input,
+                                               module, config)
+            interp = Interpreter(module, None, limits, compiled=compiled)
+            interp.reset()
+            with pytest.raises(Exception):
+                interp.run(function, [0])
+            results.append((tuple(outcomes), exhausted, interp._steps))
+        assert results[0] == results[1]
+        assert results[0][0][0].is_timeout()
+
+    def test_recursion_depth_limit(self):
+        assert_identical_behaviors("""
+define i8 @f(i8 %x) {
+  %r = call i8 @f(i8 %x)
+  ret i8 %r
+}
+""", max_inputs=4)
+
+    def test_unreachable_is_ub(self):
+        assert_identical_behaviors("""
+define i8 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  ret i8 1
+b:
+  unreachable
+}
+""", max_inputs=4)
+
+
+class TestVerdictParity:
+    """check_refinement parity, including over optimized corpus pairs."""
+
+    def _check_both(self, src, tgt, fn):
+        results = []
+        for compiled in (True, False):
+            config = RefinementConfig(max_inputs=24, compiled=compiled)
+            results.append(check_refinement(
+                src.get_function(fn), tgt.get_function(fn),
+                src, tgt, config))
+        return results
+
+    def test_miscompilation_counterexample_identical(self):
+        module = parsed("""
+define i32 @clamp(i32 %x) {
+  %c = icmp ult i32 %x, 100
+  %r = select i1 %c, i32 %x, i32 100
+  ret i32 %r
+}
+""")
+        optimized, _ = optimize(module, "O2", bugs=("53252",))
+        with_plans, walked = self._check_both(module, optimized, "clamp")
+        assert with_plans.verdict == walked.verdict
+        assert with_plans.counterexample == walked.counterexample
+        assert with_plans.inputs_checked == walked.inputs_checked
+        assert with_plans.inconclusive_inputs == walked.inconclusive_inputs
+
+    def test_corpus_sweep_identical_verdicts(self):
+        # The acceptance criterion in miniature: every corpus member's
+        # O2 verdict (clean and with a seeded bug) matches across modes.
+        checked = 0
+        for _, module in corpus_modules(6, seed=7):
+            for bugs in ((), ("53252",)):
+                optimized, _ = optimize(module, "O2", bugs=bugs)
+                for function in module.definitions():
+                    if optimized.get_function(function.name) is None:
+                        continue
+                    with_plans, walked = self._check_both(
+                        module, optimized, function.name)
+                    assert with_plans.verdict == walked.verdict, \
+                        function.name
+                    assert with_plans.counterexample == \
+                        walked.counterexample, function.name
+                    checked += 1
+        assert checked >= 6
+
+
+class TestPlanCache:
+    def test_hit_after_miss(self):
+        module = parsed("""
+define i8 @f(i8 %x) {
+  %r = add i8 %x, 1
+  ret i8 %r
+}
+""")
+        cache = PlanCache()
+        function = module.get_function("f")
+        first = cache.plan_for(function)
+        second = cache.plan_for(function)
+        assert first is second is not None
+        assert cache.stats() == (1, 1, 0)
+        assert len(cache) == 1
+
+    def test_alpha_renamed_twins_get_distinct_plans(self):
+        # Fingerprints normalize names away, but UB detail strings
+        # ("use of unevaluated value %x") embed them — the plan key must
+        # keep renamed twins apart.
+        a = parsed("""
+define i8 @f(i8 %x) {
+  %r = udiv i8 1, %x
+  ret i8 %r
+}
+""").get_function("f")
+        b = parsed("""
+define i8 @f(i8 %y) {
+  %q = udiv i8 1, %y
+  ret i8 %q
+}
+""").get_function("f")
+        assert plan_key(a) != plan_key(b)
+        cache = PlanCache()
+        cache.plan_for(a)
+        cache.plan_for(b)
+        assert cache.stats() == (0, 2, 0)
+
+    def test_declaration_attributes_distinguish_plans(self):
+        # _call_external consults readnone/readonly on declarations,
+        # which fingerprints ignore; the plan key must not.
+        template = """
+declare i8 @opaque(i8) {attrs}
+
+define i8 @f(i8 %x) {{
+  %r = call i8 @opaque(i8 %x)
+  ret i8 %r
+}}
+"""
+        plain = parsed(template.format(attrs="")).get_function("f")
+        pure = parsed(template.format(attrs="readnone")).get_function("f")
+        assert plan_key(plain) != plan_key(pure)
+
+    def test_declarations_fall_back(self):
+        module = parsed("""
+declare i8 @opaque(i8)
+
+define i8 @f(i8 %x) {
+  %r = call i8 @opaque(i8 %x)
+  ret i8 %r
+}
+""")
+        declaration = module.get_function("opaque")
+        with pytest.raises(ValueError):
+            compile_function(declaration)
+
+    def test_lru_eviction_recompiles(self):
+        functions = []
+        for index in range(3):
+            functions.append(parsed(f"""
+define i8 @f(i8 %x) {{
+  %r = add i8 %x, {index}
+  ret i8 %r
+}}
+""").get_function("f"))
+        cache = PlanCache(capacity=2)
+        for function in functions:
+            cache.plan_for(function)
+        # functions[0] was evicted: looking it up again is a miss.
+        cache.plan_for(functions[0])
+        hits, misses, fallbacks = cache.stats()
+        assert (hits, misses, fallbacks) == (0, 4, 0)
+
+    def test_global_cache_reset(self):
+        cache = reset_global_plan_cache()
+        assert cache.stats() == (0, 0, 0)
+        assert len(cache) == 0
+
+
+class TestInterpreterArena:
+    def test_reset_clears_memory_and_counters(self):
+        module = parsed("""
+define i32 @f(i32 %x) {
+  %slot = alloca i32
+  store i32 %x, ptr %slot
+  %r = load i32, ptr %slot
+  ret i32 %r
+}
+""")
+        interp = Interpreter(module)
+        function = module.get_function("f")
+        assert interp.run(function, [7]) == 7
+        steps = interp._steps
+        assert steps > 0
+        interp.reset()
+        assert interp._steps == 0
+        assert interp.run(function, [9]) == 9
+        assert interp._steps == steps
+
+    def test_prepare_memoizes_per_function_identity(self):
+        module = parsed("""
+define i8 @f(i8 %x) {
+  %r = add i8 %x, 1
+  ret i8 %r
+}
+""")
+        interp = Interpreter(module)
+        function = module.get_function("f")
+        plan = interp.prepare(function)
+        assert plan is not None
+        assert interp.prepare(function) is plan
+
+    def test_tree_walk_interpreter_prepares_nothing(self):
+        module = parsed("""
+define i8 @f(i8 %x) {
+  %r = add i8 %x, 1
+  ret i8 %r
+}
+""")
+        interp = Interpreter(module, compiled=False)
+        assert interp.prepare(module.get_function("f")) is None
+
+
+class TestInputCache:
+    def test_same_fingerprint_reuses_inputs(self):
+        config = RefinementConfig(max_inputs=12)
+        a = parsed("""
+define i8 @f(i8 %x) {
+  %r = add i8 %x, 1
+  ret i8 %r
+}
+""").get_function("f")
+        b = parsed("""
+define i8 @f(i8 %x) {
+  %r = add i8 %x, 1
+  ret i8 %r
+}
+""").get_function("f")
+        assert _inputs_for(a, config) is _inputs_for(b, config)
+
+    def test_config_key_separates_entries(self):
+        function = parsed("""
+define i8 @f(i8 %x) {
+  %r = add i8 %x, 1
+  ret i8 %r
+}
+""").get_function("f")
+        few = _inputs_for(function, RefinementConfig(max_inputs=4))
+        many = _inputs_for(function, RefinementConfig(max_inputs=12))
+        assert len(few) < len(many)
+
+    def test_compiled_flag_shares_the_entry(self):
+        # `compiled` is deliberately not part of cache_key(): both modes
+        # must generate identical inputs.
+        function = parsed("""
+define i8 @f(i8 %x) {
+  %r = add i8 %x, 1
+  ret i8 %r
+}
+""").get_function("f")
+        on = _inputs_for(function, RefinementConfig(compiled=True))
+        off = _inputs_for(function, RefinementConfig(compiled=False))
+        assert on is off
+
+
+MIXED = """
+define i32 @clamp(i32 %x, i32 %y) {
+  %c = icmp ult i32 %x, 100
+  %r = select i1 %c, i32 %x, i32 100
+  %s = add i32 %r, %y
+  ret i32 %s
+}
+
+define i32 @shifty(i32 %x) {
+  %s = shl i32 %x, 3
+  %t = lshr i32 %s, 3
+  ret i32 %t
+}
+"""
+
+
+def run_driver(compiled, iterations=30, **kwargs):
+    config = FuzzConfig(
+        mutator=MutatorConfig(max_mutations=2),
+        tv=RefinementConfig(max_inputs=12, compiled=compiled),
+        **kwargs,
+    )
+    driver = FuzzDriver(parsed(MIXED), config, file_name="t.ll")
+    report = driver.run(iterations=iterations)
+    return driver, report
+
+
+def finding_keys(report):
+    return [(f.seed, f.kind, f.function, tuple(f.bug_ids))
+            for f in report.findings]
+
+
+class TestDriverParity:
+    """Compiled on == compiled off: the acceptance determinism bar."""
+
+    def test_findings_identical(self):
+        _, with_plans = run_driver(True, enabled_bugs=("53252",))
+        _, walked = run_driver(False, enabled_bugs=("53252",))
+        assert with_plans.findings  # the workload must actually find bugs
+        assert finding_keys(with_plans) == finding_keys(walked)
+
+    def test_deterministic_metrics_identical(self):
+        on_driver, _ = run_driver(True, enabled_bugs=("53252",))
+        off_driver, _ = run_driver(False, enabled_bugs=("53252",))
+        assert on_driver.metrics.deterministic() == \
+            off_driver.metrics.deterministic()
+
+    def test_plan_cache_metrics_flow(self):
+        reset_global_plan_cache()
+        driver, _ = run_driver(True)
+        assert driver.metrics.counter("exec.plan_cache.miss") > 0
+        assert driver.metrics.counter("exec.plan_cache.hit") > 0
+
+    def test_tree_walk_driver_reports_no_plan_metrics(self):
+        driver, _ = run_driver(False)
+        assert driver.metrics.counter("exec.plan_cache.miss") == 0
+        assert driver.metrics.counter("exec.plan_cache.hit") == 0
