@@ -36,6 +36,13 @@ GATES = [
     ("campaign", "BENCH_campaign.json", "found_bugs", "floor"),
     ("campaign", "BENCH_campaign.json", "valid_mutant_rate", "floor"),
     ("campaign", "BENCH_campaign.json", "mutants_per_sec", "floor"),
+    ("feedback", "BENCH_feedback.json", "trials", "exact"),
+    ("feedback", "BENCH_feedback.json", "blind_found", "exact"),
+    ("feedback", "BENCH_feedback.json", "guided_found", "exact"),
+    ("feedback", "BENCH_feedback.json", "blind_iterations", "exact"),
+    ("feedback", "BENCH_feedback.json", "guided_iterations", "exact"),
+    # floor 2.0 - 25% = 1.5x: the E9 acceptance criterion.
+    ("feedback", "BENCH_feedback.json", "speedup", "floor"),
     ("cow_memo", "BENCH_cow_memo.json", "findings", "exact"),
     ("cow_memo", "BENCH_cow_memo.json", "speedup", "floor"),
     ("cow_memo", "BENCH_cow_memo.json", "optimize_hit_rate", "floor"),

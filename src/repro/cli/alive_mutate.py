@@ -32,6 +32,7 @@ from typing import List, Optional
 
 from ..fuzz.driver import ConfigError, DeadlineExceeded, FuzzConfig, \
     FuzzDriver
+from ..fuzz.feedback import SCHEDULERS, FeedbackConfig
 from ..fuzz.parallel import ShardJob, run_jobs
 from ..ir.bitcode import BitcodeError, load_module_file, write_bitcode
 from ..ir.parser import ParseError
@@ -89,6 +90,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="retry shards that hang or kill their worker "
                              "up to N times, then quarantine them "
                              "(default 0)")
+    feedback = parser.add_argument_group(
+        "coverage feedback",
+        "rule-firing feedback, runtime corpus, and adaptive scheduling "
+        "(see README \"Coverage-guided fuzzing\")")
+    feedback.add_argument("--feedback", action="store_true",
+                          help="enable rule-firing coverage feedback: "
+                               "mutants that exercise new optimizer "
+                               "behavior join a runtime corpus and are "
+                               "mutated further")
+    feedback.add_argument("--scheduler", default=None, choices=SCHEDULERS,
+                          metavar="NAME",
+                          help="adaptive (seed, mutation-class) scheduler: "
+                               "'bandit' (UCB1; the default with "
+                               "--feedback) or 'round-robin'; requires "
+                               "--feedback")
+    feedback.add_argument("--corpus-dir", default=None, metavar="DIR",
+                          help="journal admitted corpus entries under DIR "
+                               "(fsync'd JSONL) so a killed run resumes "
+                               "with its corpus; requires --feedback")
+    feedback.add_argument("--max-corpus-size", type=int, default=64,
+                          metavar="N",
+                          help="distill the runtime corpus down to a "
+                               "covering set of at most N entries "
+                               "(default 64)")
     obs = parser.add_argument_group(
         "observability",
         "throughput statistics, metrics export, and span tracing "
@@ -183,6 +208,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         save_all=args.saveAll and args.save_dir is not None,
         log_path=args.log,
         memo=not args.no_memo,
+        feedback=FeedbackConfig(
+            enabled=args.feedback,
+            corpus_dir=args.corpus_dir,
+            scheduler=args.scheduler,
+            max_corpus_size=args.max_corpus_size,
+        ),
     )
     try:
         config.validate(
@@ -250,6 +281,7 @@ def _fuzz_one(path: str, config: FuzzConfig, args) -> int:
         print(f"alive-mutate: {exc}", file=sys.stderr)
         return 2
     finally:
+        driver.close()
         if tracer is not None:
             tracer.close()
     if progress is not None:

@@ -9,11 +9,11 @@ from .campaign import (JOB_SEED_STRIDE, BugOutcome, CampaignConfig,
                        run_campaign)
 from .checkpoint import (CheckpointError, CheckpointJournal,
                          CheckpointMismatch, jobs_fingerprint)
-from .corpus import (ARCHETYPES, corpus_modules, generate_corpus,
-                     generate_large_corpus)
+from .corpus import Corpus, CorpusEntry, CorpusJournal, module_fingerprint
 from .discrete import DiscreteConfig, DiscreteReport, run_discrete_workflow
 from .driver import (ConfigError, DeadlineExceeded, FuzzConfig, FuzzDriver,
                      FuzzReport, StageTimings)
+from .feedback import Feedback, FeedbackConfig, FeedbackMap, FeedbackStats
 from .faults import FaultInjected, FaultSpec, FaultyRunner, damage_journal
 from .findings import CRASH, MISCOMPILATION, BugLog, Finding
 from .parallel import (CampaignExecutor, ShardJob, ShardResult, execute_job,
@@ -21,6 +21,9 @@ from .parallel import (CampaignExecutor, ShardJob, ShardResult, execute_job,
 from .radamsa import (BORING, INTERESTING, INVALID, ValidityStats,
                       classify_mutant, radamsa_mutate, run_validity_study)
 from .reduce import ReductionResult, reduce_module
+from .schedule import BanditScheduler
+from .seeds import (ARCHETYPES, corpus_modules, generate_corpus,
+                    generate_large_corpus)
 from .session import Session
 from .throughput import (FileTiming, ThroughputConfig, ThroughputReport,
                          run_throughput_experiment)
@@ -30,17 +33,20 @@ __all__ = [
     "QuarantinedJob", "ShardFailure", "run_campaign",
     "CheckpointError", "CheckpointJournal", "CheckpointMismatch",
     "jobs_fingerprint",
-    "ARCHETYPES", "corpus_modules", "generate_corpus",
-    "generate_large_corpus",
+    "Corpus", "CorpusEntry", "CorpusJournal", "module_fingerprint",
     "DiscreteConfig", "DiscreteReport", "run_discrete_workflow",
     "ConfigError", "DeadlineExceeded", "FuzzConfig", "FuzzDriver",
     "FuzzReport", "StageTimings",
+    "Feedback", "FeedbackConfig", "FeedbackMap", "FeedbackStats",
     "FaultInjected", "FaultSpec", "FaultyRunner", "damage_journal",
     "CRASH", "MISCOMPILATION", "BugLog", "Finding",
     "CampaignExecutor", "ShardJob", "ShardResult", "execute_job", "run_jobs",
     "BORING", "INTERESTING", "INVALID", "ValidityStats", "classify_mutant",
     "radamsa_mutate", "run_validity_study",
     "ReductionResult", "reduce_module",
+    "BanditScheduler",
+    "ARCHETYPES", "corpus_modules", "generate_corpus",
+    "generate_large_corpus",
     "Session",
     "FileTiming", "ThroughputConfig", "ThroughputReport",
     "run_throughput_experiment",

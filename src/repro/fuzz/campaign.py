@@ -20,6 +20,7 @@ from ..obs import MetricsRegistry
 from ..opt.bugs import SeededBug, all_bug_ids, all_bugs
 from ..tv import RefinementConfig
 from .driver import ConfigError, FuzzConfig, StageTimings
+from .feedback import FeedbackConfig, FeedbackStats
 from .findings import Finding
 
 # Seed-derivation contract: job ``i`` of the matrix fuzzes with driver
@@ -85,6 +86,11 @@ class CampaignConfig:
     trace_dir: Optional[str] = None
     # Keep one span in every 1/trace_sample (deterministic sampling).
     trace_sample: float = 1.0
+    # Coverage-guided fuzzing for every job (see repro.fuzz.feedback).
+    # None = use the fuzz template's own (disabled by default).  The
+    # corpus_dir inside is an operational path knob and is excluded from
+    # the checkpoint fingerprint, like trace_dir.
+    feedback: Optional[FeedbackConfig] = None
     # Per-job FuzzConfig template; each job gets a ``dataclasses.replace``
     # of it with the job's pipeline, seeds, and enabled bugs filled in.
     fuzz: FuzzConfig = field(default_factory=_default_fuzz_template)
@@ -103,7 +109,9 @@ class CampaignConfig:
                        pipeline=pipeline,
                        enabled_bugs=self.enabled(),
                        tv=tv,
-                       base_seed=self.base_seed + job_index * JOB_SEED_STRIDE)
+                       base_seed=self.base_seed + job_index * JOB_SEED_STRIDE,
+                       feedback=(self.feedback if self.feedback is not None
+                                 else self.fuzz.feedback))
 
     def validate(self) -> "CampaignConfig":
         if self.workers < 1:
@@ -218,6 +226,9 @@ class CampaignReport:
     # ``deterministic()`` subset is identical across worker counts and
     # kill/resume cycles.
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    # Merged coverage/corpus totals over every completed job (None when
+    # no job ran with feedback enabled).
+    feedback: Optional[FeedbackStats] = None
 
     def found_bugs(self) -> List[BugOutcome]:
         return [o for o in self.outcomes.values() if o.found]
@@ -251,6 +262,12 @@ class CampaignReport:
         rows.append(f"found {len(self.found_bugs())} bugs: "
                     f"{miscompilations} miscompilations, {crashes} crashes "
                     "(paper: 33 = 19 + 14)")
+        if self.feedback is not None:
+            rows.append(
+                f"coverage: {self.feedback.features_covered} features, "
+                f"{self.feedback.corpus_entries} corpus entries "
+                f"({self.feedback.admitted} admitted, "
+                f"{self.feedback.distilled} distilled)")
         rows.extend(self.health_lines())
         return "\n".join(rows)
 

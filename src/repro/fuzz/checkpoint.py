@@ -36,6 +36,7 @@ from typing import Dict, IO, Optional, Sequence
 
 from ..obs import MetricsRegistry
 from .driver import StageTimings
+from .feedback import FeedbackStats
 from .findings import Finding
 
 __all__ = ["CheckpointError", "CheckpointMismatch", "CheckpointJournal",
@@ -64,16 +65,22 @@ def jobs_fingerprint(jobs: Sequence) -> str:
     Depends only on what each job *computes* — index, seed file text,
     per-job :class:`~repro.fuzz.driver.FuzzConfig`, iteration/time
     budget, confirmation mode.  Deliberately independent of scheduling
-    (worker count, deadlines, retry policy), so operational tuning never
+    (worker count, deadlines, retry policy) and of operational path
+    knobs (``feedback.corpus_dir`` — where the corpus journal lands
+    never changes what a job computes), so operational tuning never
     invalidates completed work.
     """
     digest = hashlib.sha256()
     for job in jobs:
+        config = asdict(job.config)
+        feedback = config.get("feedback")
+        if isinstance(feedback, dict):
+            feedback["corpus_dir"] = None
         payload = {
             "index": job.job_index,
             "file": job.file_name,
             "text_sha": hashlib.sha256(job.text.encode()).hexdigest(),
-            "config": asdict(job.config),
+            "config": config,
             "iterations": job.iterations,
             "time_budget": job.time_budget,
             "confirm": job.confirm_attributions,
@@ -105,6 +112,8 @@ def result_to_dict(result) -> dict:
         "failure_kind": result.failure_kind,
         "attempts": result.attempts,
         "metrics": result.metrics.to_dict(),
+        "feedback": (result.feedback.to_dict()
+                     if result.feedback is not None else None),
     }
 
 
@@ -134,6 +143,8 @@ def result_from_dict(data: dict):
         # Journals written before metrics existed lack the key; an empty
         # registry merges as a no-op, so old checkpoints stay resumable.
         metrics=MetricsRegistry.from_dict(data.get("metrics", {})),
+        feedback=(FeedbackStats.from_dict(data["feedback"])
+                  if data.get("feedback") else None),
     )
 
 

@@ -25,8 +25,11 @@ from ..obs import NULL_TRACER, MetricsRegistry, ProgressReporter, Tracer
 from ..opt import OptContext, OptimizerCrash, PassManager
 from ..tv import RefinementConfig, Verdict, check_function_supported, \
     check_refinement, global_plan_cache
+from .corpus import Corpus, CorpusEntry, CorpusJournal, module_fingerprint
+from .feedback import (Feedback, FeedbackConfig, FeedbackStats, bug_feature)
 from .findings import CRASH, MISCOMPILATION, BugLog, Finding
 from .memo import LRUCache, OptimizeEntry
+from .schedule import create_scheduler
 
 
 class ConfigError(ValueError):
@@ -69,6 +72,10 @@ class FuzzConfig:
     memo: bool = True
     optimize_cache_size: int = 512
     verify_cache_size: int = 2048
+    # Coverage-guided fuzzing (rule-firing feedback, runtime corpus,
+    # adaptive scheduling) — one sub-config, off by default; see
+    # repro.fuzz.feedback.
+    feedback: FeedbackConfig = field(default_factory=FeedbackConfig)
 
     def validate(self, iterations: Optional[int] = None,
                  time_budget: Optional[float] = None,
@@ -109,6 +116,10 @@ class FuzzConfig:
         if self.memo and self.verify_cache_size <= 0:
             raise ConfigError("verify_cache_size must be positive, got "
                               f"{self.verify_cache_size}")
+        try:
+            self.feedback.validate()
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from None
         if iterations is not None and iterations < 0:
             raise ConfigError(f"iterations must be >= 0, got {iterations}")
         if time_budget is not None and time_budget <= 0:
@@ -144,6 +155,8 @@ class FuzzReport:
     # Per-run observability registry (see repro.obs.metrics): stage
     # seconds, mutant validity, finding counters, latency histograms.
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    # Coverage/corpus totals (None when feedback is disabled).
+    feedback: Optional[FeedbackStats] = None
 
     def summary(self) -> str:
         return (f"{self.iterations} iterations, "
@@ -152,6 +165,22 @@ class FuzzReport:
                 " miscompilations, "
                 f"{sum(1 for f in self.findings if f.kind == CRASH)} crashes)"
                 f" in {self.timings.total:.2f}s")
+
+
+@dataclass
+class _MutationSource:
+    """One module mutants can be drawn from: the seed or a corpus entry.
+
+    Each source carries its own mutator and its own fingerprint maps so
+    the copy-on-write shortcut in :meth:`FuzzDriver._optimize_memo`
+    never attributes another source's fingerprints to an untouched
+    function.
+    """
+
+    module: Module
+    mutator: Mutator
+    fps: Dict[str, str]
+    fp_by_id: Dict[int, str]
 
 
 class FuzzDriver:
@@ -203,6 +232,42 @@ class FuzzDriver:
         self._harvest_plan_stats()
         self.mutator = Mutator(module, self._mutator_config(),
                                tracer=self.tracer)
+        # Coverage-guided state (see repro.fuzz.feedback): the runtime
+        # corpus, the (source, mutation-class) scheduler, and the
+        # registry of mutation sources.  All deterministic per job.
+        self.corpus: Optional[Corpus] = None
+        self.scheduler = None
+        self.last_feedback: Optional[Feedback] = None
+        self._sources: Dict[str, _MutationSource] = {}
+        if self.config.feedback.enabled:
+            self._init_feedback()
+
+    def _init_feedback(self) -> None:
+        fb = self.config.feedback
+        journal: Optional[CorpusJournal] = None
+        if fb.corpus_dir:
+            stem = os.path.splitext(
+                os.path.basename(self.file_name or "input"))[0]
+            journal = CorpusJournal(os.path.join(
+                fb.corpus_dir,
+                f"{stem}_{self.config.base_seed}.corpus.jsonl"))
+            journal.start()
+        self.corpus = Corpus(fb.max_corpus_size, journal=journal)
+        # The seed's own baseline behavior is not "new" — pre-covering it
+        # means only mutants reaching *beyond* the seed are admitted.
+        self.corpus.cover(self._baseline_features)
+        self.scheduler = create_scheduler(
+            fb.scheduler_name(), self.mutator.config.mutation_names())
+        self.scheduler.add_source("seed")
+        self._sources["seed"] = _MutationSource(
+            module=self.module, mutator=self.mutator,
+            fps=self._seed_fps, fp_by_id=self._seed_fp_by_id)
+        self.report.feedback = FeedbackStats()
+
+    def close(self) -> None:
+        """Release per-driver resources (the corpus journal stream)."""
+        if self.corpus is not None and self.corpus.journal is not None:
+            self.corpus.journal.close()
 
     @classmethod
     def from_text(cls, text: str, config: Optional[FuzzConfig] = None,
@@ -235,6 +300,7 @@ class FuzzDriver:
         leaves untouched hit from the very first iteration.
         """
         self._targets: List[str] = []
+        self._baseline_features: Set[str] = set()
         reasons: Dict[str, Optional[str]] = {}
         candidates: List[Function] = []
         for function in self.module.definitions():
@@ -301,9 +367,11 @@ class FuzzDriver:
                 crash = exc
                 crashed = True
             union_bugs |= ctx.triggered_bugs
+            self._baseline_features.update(ctx.stats)
             if cacheable:
                 self._store_optimize_entry(self._seed_fps[original.name],
                                            function, ctx, crash)
+        self._baseline_features.update(bug_feature(b) for b in union_bugs)
         return optimized, crashed, union_bugs
 
     def _store_optimize_entry(self, fp: str, function: Function,
@@ -324,13 +392,15 @@ class FuzzDriver:
             entry = OptimizeEntry(function=None, fingerprint="",
                                   triggered_bugs=frozenset(
                                       ctx.triggered_bugs),
-                                  crash=crash)
+                                  crash=crash,
+                                  stats=dict(ctx.stats))
         else:
             entry = OptimizeEntry(function=function,
                                   fingerprint=fingerprint_function(function),
                                   triggered_bugs=frozenset(
                                       ctx.triggered_bugs),
-                                  crash=None)
+                                  crash=None,
+                                  stats=dict(ctx.stats))
         self._opt_cache.put((fp, self._pipeline_key), entry)
 
     @property
@@ -397,7 +467,16 @@ class FuzzDriver:
         found: List[Finding] = []
 
         begin = time.perf_counter()
-        mutant, record = self.mutator.create_mutant(seed)
+        arm: Optional[Tuple[str, str]] = None
+        if self.scheduler is not None:
+            arm = self.scheduler.select()
+            src = self._sources[arm[0]]
+            mutant, record = src.mutator.create_mutant(
+                seed, operators=(arm[1],))
+            source_fps, source_fp_by_id = src.fps, src.fp_by_id
+        else:
+            mutant, record = self.mutator.create_mutant(seed)
+            source_fps, source_fp_by_id = self._seed_fps, self._seed_fp_by_id
         mutate_seconds = time.perf_counter() - begin
         timings.mutate += mutate_seconds
         metrics.count("mutants.created")
@@ -417,10 +496,10 @@ class FuzzDriver:
 
         self.check_deadline()
         begin = time.perf_counter()
-        fp_cache: Dict[int, str] = dict(self._seed_fp_by_id)
+        fp_cache: Dict[int, str] = dict(source_fp_by_id)
         if self._opt_cache is not None:
             optimized, ctx, crash = self._optimize_memo(mutant, record,
-                                                        fp_cache)
+                                                        fp_cache, source_fps)
         else:
             optimized = mutant.clone()
             metrics.count("clone.functions_copied",
@@ -446,6 +525,13 @@ class FuzzDriver:
             found.append(finding)
             if self.config.save_dir and not self.config.save_all:
                 self._save(mutant, seed)
+            if self.corpus is not None:
+                # The crash feature is the only one pass-major and
+                # function-major execution agree on mid-crash.
+                self._record_feedback(
+                    seed, mutant, arm,
+                    frozenset({bug_feature(crash.bug_id)}), {},
+                    crashed=True)
             metrics.observe("iteration.seconds",
                             mutate_seconds + optimize_seconds)
             return found
@@ -492,6 +578,11 @@ class FuzzDriver:
         metrics.count("stage.verify.seconds", verify_seconds)
         self.tracer.record("verify", begin, verify_seconds, seed=seed,
                            findings=len(found))
+        if self.corpus is not None:
+            features = frozenset(ctx.stats) | frozenset(
+                bug_feature(bug) for bug in ctx.triggered_bugs)
+            self._record_feedback(seed, mutant, arm, features,
+                                  dict(ctx.stats), crashed=False)
         metrics.observe("iteration.seconds",
                         mutate_seconds + optimize_seconds + verify_seconds)
         return found
@@ -510,6 +601,80 @@ class FuzzDriver:
                 self.metrics.count(f"exec.plan_cache.{name}", delta)
         self._plan_stats = stats
 
+    # -- coverage feedback (corpus admission + scheduling reward) -----------
+
+    def _record_feedback(self, seed: int, mutant: Module,
+                         arm: Optional[Tuple[str, str]],
+                         features: frozenset, counts: Dict[str, int],
+                         crashed: bool) -> None:
+        """Close one iteration's feedback loop.
+
+        Computes the novel-feature set, admits the mutant to the corpus
+        (crashing mutants only mark coverage — every derivative would
+        re-crash identically, so they make poor mutation sources),
+        rewards the scheduler arm that produced it, and refreshes the
+        report's :class:`FeedbackStats`.
+        """
+        corpus = self.corpus
+        metrics = self.metrics
+        fresh = corpus.new_features(features)
+        admitted = False
+        if fresh:
+            if crashed:
+                corpus.cover(features)
+            else:
+                text = print_module(mutant)
+                entry = CorpusEntry(
+                    text=text, fingerprint=module_fingerprint(text),
+                    features=features, seed=seed,
+                    source=arm[0] if arm else "seed",
+                    operator=arm[1] if arm else "")
+                admitted = bool(corpus.consider(entry))
+                if admitted:
+                    metrics.count("corpus.admitted")
+                    if self.scheduler is not None \
+                            and entry.fingerprint not in self._sources:
+                        self._add_corpus_source(entry)
+            metrics.count("feedback.features.new", len(fresh))
+        if self.scheduler is not None and arm is not None:
+            self.scheduler.update(arm[0], arm[1], float(len(fresh)))
+            metrics.count("feedback.draws")
+        metrics.gauge_max("corpus.size", len(corpus))
+        metrics.gauge_max("feedback.features.covered",
+                          corpus.features_covered())
+        stats = self.report.feedback
+        stats.new_features += len(fresh)
+        if arm is not None:
+            stats.draws += 1
+        stats.features_covered = corpus.features_covered()
+        stats.corpus_entries = len(corpus)
+        stats.admitted = corpus.admitted_count
+        stats.distilled = corpus.distilled_count
+        self.last_feedback = Feedback(
+            features=features, new_features=fresh, admitted=admitted,
+            source=arm[0] if arm else "seed",
+            operator=arm[1] if arm else "", counts=counts)
+
+    def _add_corpus_source(self, entry: CorpusEntry) -> None:
+        """Turn an admitted corpus entry into a live mutation source.
+
+        The entry is re-parsed from its printed text — a fresh module
+        with its own fingerprint maps — so the copy-on-write shortcut
+        can never confuse its functions with the seed's.
+        """
+        module = parse_module(entry.text, f"corpus-{entry.fingerprint[:12]}")
+        mutator = Mutator(module, self._mutator_config(), tracer=self.tracer)
+        fps: Dict[str, str] = {}
+        fp_by_id: Dict[int, str] = {}
+        if self._opt_cache is not None:
+            for function in module.definitions():
+                fp = fingerprint_function(function)
+                fps[function.name] = fp
+                fp_by_id[id(function)] = fp
+        self._sources[entry.fingerprint] = _MutationSource(
+            module=module, mutator=mutator, fps=fps, fp_by_id=fp_by_id)
+        self.scheduler.add_source(entry.fingerprint)
+
     def _verify_key(self, source: Function, target: Function,
                     fp_cache: Dict[int, str]) -> tuple:
         """The verify-cache key for one refinement check.
@@ -527,7 +692,8 @@ class FuzzDriver:
                 self._tv_key)
 
     def _optimize_memo(self, mutant: Module, record: MutantRecord,
-                       fp_cache: Dict[int, str]
+                       fp_cache: Dict[int, str],
+                       source_fps: Optional[Dict[str, str]] = None
                        ) -> Tuple[Module, OptContext, Optional[OptimizerCrash]]:
         """Build the optimized module through the fingerprint caches.
 
@@ -541,6 +707,8 @@ class FuzzDriver:
         order wins and aborts the iteration.
         """
         metrics = self.metrics
+        if source_fps is None:
+            source_fps = self._seed_fps
         dirty = record.dirty_functions()
         ctx = OptContext(self.config.enabled_bugs)
         optimized = Module(mutant.name)
@@ -556,10 +724,10 @@ class FuzzDriver:
             fp = fp_cache.get(id(function))
             if fp is None:
                 # Copy-on-write shortcut: a target no operator changed
-                # is structurally identical to the seed function.
+                # is structurally identical to its source's function.
                 if function.name not in dirty \
-                        and function.name in self._seed_fps:
-                    fp = self._seed_fps[function.name]
+                        and function.name in source_fps:
+                    fp = source_fps[function.name]
                 else:
                     fp = fingerprint_function(function)
                 fp_cache[id(function)] = fp
@@ -570,6 +738,7 @@ class FuzzDriver:
                 continue
             metrics.count("cache.optimize.hit")
             ctx.triggered_bugs |= entry.triggered_bugs
+            ctx.stats.update(entry.stats)
             if entry.crash is not None:
                 if cached_crash is None:
                     cached_crash = (position, entry.crash)
@@ -617,6 +786,7 @@ class FuzzDriver:
             except OptimizerCrash as exc:
                 fn_crash = exc
             ctx.triggered_bugs |= fn_ctx.triggered_bugs
+            ctx.stats.update(fn_ctx.stats)
             if not references_definitions(function):
                 self._store_optimize_entry(fp_cache[id(function)], copy,
                                            fn_ctx, fn_crash)

@@ -12,8 +12,8 @@ never a missed finding, because cached results are replayed verbatim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import FrozenSet, Optional
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
 
 from ..ir.function import Function
 from ..opt import OptimizerCrash
@@ -32,10 +32,14 @@ class OptimizeEntry:
     splices never re-hash); ``triggered_bugs`` must be replayed into the
     iteration's :class:`~repro.opt.context.OptContext` on every hit so
     cache hits never mask bug attribution; ``crash`` is replayed as if
-    the pipeline had crashed again.
+    the pipeline had crashed again; ``stats`` holds the per-function
+    optimizer counters the pipeline run produced, replayed on hits so
+    coverage feedback (see :mod:`repro.fuzz.feedback`) is identical with
+    memoization on or off.
     """
 
     function: Optional[Function]
     fingerprint: str
     triggered_bugs: FrozenSet[str]
     crash: Optional[OptimizerCrash]
+    stats: Dict[str, int] = field(default_factory=dict)

@@ -44,9 +44,10 @@ from ..ir.parser import ParseError, parse_module
 from ..obs import MetricsRegistry, tracer_for_path
 from .campaign import (CampaignConfig, CampaignReport, QuarantinedJob,
                        ShardFailure, new_report)
-from .corpus import generate_corpus
 from .driver import DeadlineExceeded, FuzzConfig, FuzzDriver, StageTimings
+from .feedback import FeedbackStats
 from .findings import Finding
+from .seeds import generate_corpus
 
 __all__ = ["CampaignExecutor", "ShardJob", "ShardResult", "execute_job",
            "run_jobs"]
@@ -106,6 +107,8 @@ class ShardResult:
     # progress (only the final successful attempt of a retried job
     # contributes to CampaignReport totals).
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    # Coverage/corpus totals (None unless the job ran with feedback on).
+    feedback: Optional[FeedbackStats] = None
 
 
 JobRunner = Callable[[ShardJob], ShardResult]
@@ -140,6 +143,7 @@ def execute_job(job: ShardJob) -> ShardResult:
         tracer = tracer_for_path(
             os.path.join(job.trace_dir, f"job-{job.job_index:04d}.jsonl"),
             sample_rate=job.trace_sample)
+    driver = None
     try:
         driver = FuzzDriver(module, job.config, file_name=job.file_name,
                             metrics=result.metrics, tracer=tracer)
@@ -150,6 +154,7 @@ def execute_job(job: ShardJob) -> ShardResult:
         result.findings = report.findings
         result.dropped_functions = dict(report.dropped_functions)
         result.timings = report.timings
+        result.feedback = report.feedback
         confirm_cache: Dict[str, FuzzDriver] = {}
         for finding in report.findings:
             driver.check_deadline()
@@ -175,6 +180,8 @@ def execute_job(job: ShardJob) -> ShardResult:
                            error=f"{exc} (deadline {job.deadline}s)",
                            failure_kind=_KIND_HANG)
     finally:
+        if driver is not None:
+            driver.close()
         if tracer is not None:
             tracer.close()
     return result
@@ -733,6 +740,10 @@ class CampaignExecutor:
                 continue
             metrics.count("campaign.jobs.completed")
             metrics.merge(shard.metrics)
+            if shard.feedback is not None:
+                if report.feedback is None:
+                    report.feedback = FeedbackStats()
+                report.feedback.merge(shard.feedback)
             report.total_iterations += shard.iterations
             report.total_findings += len(shard.findings)
             _add_timings(report.timings, shard.timings)

@@ -1,0 +1,142 @@
+"""Deterministic schedulers over (mutation source, mutation class) arms.
+
+The feedback-guided loop replaces uniform mutant drawing with an
+explicit scheduling decision each iteration: *which* module to mutate
+(the seed or an admitted corpus entry) with *which* mutation class.
+Every (source, class) pair is one arm; the reward for pulling it is the
+number of new coverage features the resulting mutant reached (see
+:mod:`repro.fuzz.feedback`).
+
+Determinism is a hard requirement — a campaign's findings and
+``deterministic()`` metrics must be bit-identical across kill+resume and
+worker counts — so neither scheduler consumes randomness:
+
+* :class:`BanditScheduler` — UCB1.  Unplayed arms are pulled first in
+  registration order; afterwards the arm maximizing
+  ``mean reward + c·sqrt(ln(total)/plays)`` wins, ties broken by
+  registration order.  The pull sequence is a pure function of the
+  reward sequence, which is itself deterministic per job.
+* :class:`RoundRobinScheduler` — cycles arms in registration order,
+  ignoring rewards; the uniform-ish deterministic baseline the E9
+  ablation compares against.
+
+New arms appear mid-run when a corpus admission registers a new source;
+registration order is admission order, so the arm universe is
+deterministic too.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ArmStats", "BanditScheduler", "RoundRobinScheduler",
+           "create_scheduler"]
+
+ArmKey = Tuple[str, str]  # (source id, mutation class)
+
+
+@dataclass
+class ArmStats:
+    """Pulls and cumulative reward for one (source, class) arm."""
+
+    plays: int = 0
+    reward: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.reward / self.plays if self.plays else 0.0
+
+
+class _SchedulerBase:
+    """Arm registry shared by both schedulers."""
+
+    name = "<unnamed>"
+
+    def __init__(self, operators: Sequence[str]) -> None:
+        if not operators:
+            raise ValueError("scheduler needs at least one mutation class")
+        self.operators = list(operators)
+        self._arms: Dict[ArmKey, ArmStats] = {}
+        self._order: List[ArmKey] = []
+        self.total_plays = 0
+
+    def add_source(self, source: str) -> None:
+        """Register arms for ``source`` × every mutation class (idempotent)."""
+        for operator in self.operators:
+            key = (source, operator)
+            if key not in self._arms:
+                self._arms[key] = ArmStats()
+                self._order.append(key)
+
+    def update(self, source: str, operator: str, reward: float) -> None:
+        """Record the reward for one pull of (source, operator)."""
+        arm = self._arms[(source, operator)]
+        arm.plays += 1
+        arm.reward += reward
+        self.total_plays += 1
+
+    def arms(self) -> List[Tuple[ArmKey, ArmStats]]:
+        """Arms in registration order (the tie-break order)."""
+        return [(key, self._arms[key]) for key in self._order]
+
+    def arm_count(self) -> int:
+        return len(self._order)
+
+    def select(self) -> ArmKey:
+        raise NotImplementedError
+
+
+class BanditScheduler(_SchedulerBase):
+    """Deterministic UCB1 over (source, mutation class) arms."""
+
+    name = "bandit"
+
+    def __init__(self, operators: Sequence[str],
+                 exploration: float = math.sqrt(2.0)) -> None:
+        super().__init__(operators)
+        self.exploration = exploration
+
+    def select(self) -> ArmKey:
+        if not self._order:
+            raise ValueError("no arms registered (call add_source first)")
+        for key in self._order:
+            if self._arms[key].plays == 0:
+                return key
+        log_total = math.log(self.total_plays)
+        best: Optional[ArmKey] = None
+        best_score = -math.inf
+        for key in self._order:
+            arm = self._arms[key]
+            score = arm.mean + self.exploration * math.sqrt(
+                log_total / arm.plays)
+            if score > best_score:  # strict: first (oldest) arm wins ties
+                best, best_score = key, score
+        return best
+
+
+class RoundRobinScheduler(_SchedulerBase):
+    """Cycles arms in registration order; the no-learning baseline."""
+
+    name = "round-robin"
+
+    def __init__(self, operators: Sequence[str]) -> None:
+        super().__init__(operators)
+        self._cursor = 0
+
+    def select(self) -> ArmKey:
+        if not self._order:
+            raise ValueError("no arms registered (call add_source first)")
+        key = self._order[self._cursor % len(self._order)]
+        self._cursor += 1
+        return key
+
+
+def create_scheduler(name: str, operators: Sequence[str]) -> _SchedulerBase:
+    if name == "bandit":
+        return BanditScheduler(operators)
+    if name == "round-robin":
+        return RoundRobinScheduler(operators)
+    raise ValueError(f"unknown scheduler {name!r} "
+                     "(available: bandit, round-robin)")

@@ -24,8 +24,9 @@ from typing import List, Optional, Sequence, Tuple
 from ..ir.module import Module
 from ..ir.parser import parse_module
 from .campaign import CampaignConfig, CampaignReport
-from .corpus import generate_corpus
 from .driver import FuzzConfig, FuzzDriver, FuzzReport
+from .feedback import FeedbackStats
+from .seeds import generate_corpus
 
 __all__ = ["Session"]
 
@@ -89,9 +90,13 @@ class Session:
                                   require_budget=True)
         merged = FuzzReport()
         for index in range(len(self.sources)):
-            report = self.driver(index).run(iterations=iterations,
-                                            time_budget=time_budget,
-                                            strict=strict)
+            driver = self.driver(index)
+            try:
+                report = driver.run(iterations=iterations,
+                                    time_budget=time_budget,
+                                    strict=strict)
+            finally:
+                driver.close()
             merged.iterations += report.iterations
             merged.findings.extend(report.findings)
             merged.dropped_functions.update(report.dropped_functions)
@@ -100,6 +105,10 @@ class Session:
             merged.timings.optimize += report.timings.optimize
             merged.timings.verify += report.timings.verify
             merged.metrics.merge(report.metrics)
+            if report.feedback is not None:
+                if merged.feedback is None:
+                    merged.feedback = FeedbackStats()
+                merged.feedback.merge(report.feedback)
             for operator, count in report.mutation_counts.items():
                 merged.mutation_counts[operator] = \
                     merged.mutation_counts.get(operator, 0) + count

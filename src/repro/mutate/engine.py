@@ -115,8 +115,24 @@ class Mutator:
 
     # -- mutant creation ------------------------------------------------------
 
-    def create_mutant(self, seed: int) -> Tuple[Module, MutantRecord]:
-        """Clone + mutate; deterministic in ``seed``."""
+    def create_mutant(self, seed: int,
+                      operators: Optional[Sequence[str]] = None
+                      ) -> Tuple[Module, MutantRecord]:
+        """Clone + mutate; deterministic in ``(seed, operators)``.
+
+        ``operators`` restricts this call to the given mutation classes
+        (a feedback scheduler pins one class per iteration); None keeps
+        the engine's weighted draw over its configured classes.
+        """
+        if operators is None:
+            names = self._names
+            weights = self._weights
+        else:
+            unknown = set(operators) - set(MUTATIONS)
+            if unknown:
+                raise ValueError(f"unknown mutations: {sorted(unknown)}")
+            names = list(operators)
+            weights = [DEFAULT_WEIGHTS.get(name, 1) for name in names]
         rng = MutationRNG(seed)
         record = MutantRecord(seed=seed)
         tracer = self.tracer
@@ -131,8 +147,6 @@ class Mutator:
         record.functions_copied = (
             len(self._infos) if mutable_only is not None
             else len(self.module.definitions()))
-        names = self._names
-        weights = self._weights
 
         for function_name, info in self._infos.items():
             mutant_function = mutant_module.get_function(function_name)

@@ -58,6 +58,14 @@ class ThroughputSnapshot:
     # §III-B "pay once"): hit rate of the global plan cache, 0.0 when
     # compiled execution is off or no lookups happened yet.
     exec_plan_hit_rate: float = 0.0
+    # Coverage feedback (repro.fuzz.feedback): runtime-corpus high-water
+    # mark, features covered, and new-features-per-draw rate.  All 0
+    # when feedback is off — and every rate here guards its denominator,
+    # because an empty-target shard legitimately records zero draws,
+    # zero optimize calls, and zero of everything else.
+    corpus_size: int = 0
+    features_covered: int = 0
+    new_feature_rate: float = 0.0
 
     @classmethod
     def from_metrics(
@@ -78,6 +86,8 @@ class ThroughputSnapshot:
 
         plan_hits = metrics.counter("exec.plan_cache.hit")
         plan_total = plan_hits + metrics.counter("exec.plan_cache.miss")
+        draws = metrics.counter("feedback.draws")
+        new_features = metrics.counter("feedback.features.new")
 
         return cls(
             elapsed=elapsed,
@@ -98,6 +108,9 @@ class ThroughputSnapshot:
             optimize_hit_rate=hit_rate("optimize"),
             verify_hit_rate=hit_rate("verify"),
             exec_plan_hit_rate=plan_hits / plan_total if plan_total else 0.0,
+            corpus_size=int(metrics.gauges.get("corpus.size", 0.0)),
+            features_covered=int(metrics.gauges.get("feedback.features.covered", 0.0)),
+            new_feature_rate=new_features / draws if draws else 0.0,
         )
 
     def to_dict(self) -> dict:
@@ -120,6 +133,9 @@ class ThroughputSnapshot:
             "optimize_hit_rate": round(self.optimize_hit_rate, 6),
             "verify_hit_rate": round(self.verify_hit_rate, 6),
             "exec_plan_hit_rate": round(self.exec_plan_hit_rate, 6),
+            "corpus_size": self.corpus_size,
+            "features_covered": self.features_covered,
+            "new_feature_rate": round(self.new_feature_rate, 6),
         }
 
     def progress_line(self) -> str:
@@ -141,6 +157,8 @@ class ThroughputSnapshot:
             )
         if self.exec_plan_hit_rate:
             line += f" | plan {self.exec_plan_hit_rate:.0%}"
+        if self.corpus_size or self.features_covered:
+            line += f" | corpus {self.corpus_size} ({self.features_covered} feats)"
         if self.retries or self.quarantined:
             line += (
                 f" | {self.retries} retries, "

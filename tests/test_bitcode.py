@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.fuzz.corpus import ARCHETYPES, generate_corpus
+from repro.fuzz.seeds import ARCHETYPES, generate_corpus
 from repro.ir import parse_module, print_module, verify_module
 from repro.ir.bitcode import (BitcodeError, load_module_file, read_bitcode,
                               write_bitcode)

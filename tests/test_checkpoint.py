@@ -23,6 +23,7 @@ from repro.fuzz import (CampaignConfig, CampaignExecutor, CheckpointError,
 from repro.fuzz.checkpoint import JOURNAL_NAME, result_from_dict, \
     result_to_dict
 from repro.fuzz.driver import StageTimings
+from repro.fuzz.feedback import FeedbackConfig, FeedbackStats
 from repro.fuzz.findings import Finding
 from repro.fuzz.parallel import execute_job
 from repro.obs import MetricsRegistry
@@ -258,6 +259,65 @@ class TestCampaignResume:
         assert resumed.metrics.deterministic() == \
             reference.metrics.deterministic()
         assert resumed.metrics.counter("campaign.jobs.completed") == 6
+
+
+class TestFeedbackResume:
+    """Coverage-guided campaigns must keep the resilience contract: the
+    acceptance criterion is findings and ``deterministic()`` metrics
+    bit-identical across kill+resume with the corpus journal enabled."""
+
+    def test_result_dict_roundtrip_preserves_feedback(self):
+        result = make_result(6)
+        result.feedback = FeedbackStats(features_covered=9,
+                                        corpus_entries=3, admitted=4,
+                                        distilled=1, new_features=11,
+                                        draws=10)
+        back = result_from_dict(json.loads(
+            json.dumps(result_to_dict(result))))
+        assert back == result
+
+    def test_fingerprint_ignores_corpus_dir(self, tmp_path):
+        """Where the corpus journal lands is an operational knob, like
+        trace_dir — moving it must not invalidate completed work."""
+        def jobs(corpus_dir):
+            feedback = FeedbackConfig(enabled=True, corpus_dir=corpus_dir)
+            return CampaignExecutor(CampaignConfig(
+                feedback=feedback, **SMALL)).build_jobs()
+        assert jobs(None) and \
+            jobs_fingerprint(jobs(str(tmp_path))) == \
+            jobs_fingerprint(jobs(None))
+
+    def test_fingerprint_sensitive_to_feedback_knobs(self):
+        def fp(**feedback_kwargs):
+            return jobs_fingerprint(CampaignExecutor(CampaignConfig(
+                feedback=FeedbackConfig(**feedback_kwargs),
+                **SMALL)).build_jobs())
+        assert fp(enabled=True) != fp(enabled=False)
+        assert fp(enabled=True, scheduler="round-robin") != fp(enabled=True)
+
+    def test_kill_resume_with_corpus_journal_matches(self, tmp_path):
+        feedback = FeedbackConfig(enabled=True,
+                                  corpus_dir=str(tmp_path / "corpus"))
+        reference = run_campaign(CampaignConfig(
+            workers=1, feedback=FeedbackConfig(enabled=True), **SMALL))
+        checkpoint = str(tmp_path / "ckpt")
+        run_campaign(CampaignConfig(workers=1, checkpoint_dir=checkpoint,
+                                    feedback=feedback, **SMALL))
+        path = os.path.join(checkpoint, JOURNAL_NAME)
+        with open(path) as stream:
+            lines = stream.readlines()
+        with open(path, "w") as stream:
+            stream.writelines(lines[:1 + 3])  # header + 3 of 6 records
+        resumed = run_campaign(
+            CampaignConfig(workers=2, checkpoint_dir=checkpoint,
+                           feedback=feedback, **SMALL),
+            resume=True)
+        assert resumed.resumed_jobs == 3
+        assert report_key(resumed) == report_key(reference)
+        assert resumed.metrics.deterministic() == \
+            reference.metrics.deterministic()
+        assert resumed.feedback == reference.feedback
+        assert resumed.feedback is not None and resumed.feedback.draws > 0
 
 
 class PartialHangRunner:

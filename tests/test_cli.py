@@ -189,6 +189,49 @@ class TestAliveMutate:
                                   "--stats-interval", "0"]) == 2
         assert "--stats-interval" in capsys.readouterr().err
 
+    def test_feedback_flags_run_and_journal_corpus(self, input_file,
+                                                   tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        code = alive_mutate.main([input_file, "-n", "20", "--feedback",
+                                  "--scheduler", "bandit",
+                                  "--corpus-dir", str(corpus_dir),
+                                  "--stats", "--stats-interval", "0.001"])
+        assert code == 0
+        assert "corpus" in capsys.readouterr().err
+        journals = list(corpus_dir.glob("*.corpus.jsonl"))
+        assert len(journals) == 1
+
+    def test_feedback_flags_require_feedback(self, input_file, capsys):
+        assert alive_mutate.main([input_file, "-n", "2",
+                                  "--scheduler", "bandit"]) == 2
+        assert "feedback.scheduler" in capsys.readouterr().err
+        assert alive_mutate.main([input_file, "-n", "2",
+                                  "--corpus-dir", "/tmp/x"]) == 2
+        assert "feedback.corpus_dir" in capsys.readouterr().err
+
+    def test_stats_survives_empty_target_shard(self, input_file, tmp_path,
+                                               capsys):
+        """The --stats divide-by-zero regression: a shard whose functions
+        are all dropped reports zero optimize calls, and every derived
+        rate must render as 0 instead of raising."""
+        empty = tmp_path / "wide.ll"
+        empty.write_text("define i128 @wide(i128 %x) {\n"
+                         "  ret i128 %x\n}\n")
+        code = alive_mutate.main([input_file, str(empty), "-n", "5",
+                                  "-j", "2", "--stats"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "total:" in err
+
+    def test_stats_all_shards_empty_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "wide.ll"
+        empty.write_text("define i128 @wide(i128 %x) {\n"
+                         "  ret i128 %x\n}\n")
+        code = alive_mutate.main([str(empty), "-n", "5", "-j", "2",
+                                  "--stats"])
+        assert code == 2
+        assert "no processable functions" in capsys.readouterr().err
+
     def test_console_scripts_run_as_modules(self, input_file):
         result = subprocess.run(
             [sys.executable, "-m", "repro.cli.opt_tool", input_file,

@@ -219,7 +219,7 @@ define i7 @f(i7 %x) {
 class TestFullBackendPipelineSoundness:
     @pytest.mark.parametrize("index", range(12))
     def test_corpus_files_sound_through_backend(self, index):
-        from repro.fuzz.corpus import generate_corpus
+        from repro.fuzz.seeds import generate_corpus
         from repro.tv import RefinementConfig, check_module_refinement
 
         name, text = generate_corpus(12, seed=77)[index]

@@ -1,77 +1,246 @@
-"""Tests for the synthetic corpus generator."""
+"""Tests for the runtime coverage corpus (``repro.fuzz.corpus``).
+
+Admission and distillation invariants, journal durability (same model as
+the campaign checkpoint: a crash damages at most the trailing line), and
+the one-release deprecation shim for the seed generators that used to
+live in this module.
+"""
+
+import json
+import warnings
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
-from repro.fuzz.corpus import ARCHETYPES, corpus_modules, generate_corpus
-from repro.ir import is_valid_module, parse_module
-from repro.tv import check_function_supported
+from repro.fuzz.corpus import (Corpus, CorpusEntry, CorpusJournal,
+                               module_fingerprint)
 
+common_settings = settings(
+    max_examples=60, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
 
-class TestGeneration:
-    def test_deterministic(self):
-        assert generate_corpus(20, seed=3) == generate_corpus(20, seed=3)
-
-    def test_different_seeds_differ(self):
-        assert generate_corpus(20, seed=3) != generate_corpus(20, seed=4)
-
-    def test_all_archetypes_cycled(self):
-        files = generate_corpus(len(ARCHETYPES), seed=0)
-        prefixes = {name.rsplit("_", 1)[0] for name, _ in files}
-        assert len(prefixes) == len(ARCHETYPES)
-
-    @pytest.mark.parametrize("seed", [0, 1, 99])
-    def test_every_file_parses_and_verifies(self, seed):
-        for name, module in corpus_modules(2 * len(ARCHETYPES), seed=seed):
-            assert is_valid_module(module), name
-
-    def test_files_are_small_like_the_papers(self):
-        # The paper used files < 2 KB from the InstCombine suite.
-        for name, text in generate_corpus(60, seed=5):
-            assert len(text.encode()) < 2048, name
-
-    def test_most_functions_supported_by_validator(self):
-        unsupported = 0
-        total = 0
-        for name, module in corpus_modules(len(ARCHETYPES), seed=0):
-            for fn in module.definitions():
-                total += 1
-                if check_function_supported(fn) is not None:
-                    unsupported += 1
-        assert unsupported <= total // 10
-
-    def test_multi_function_archetype_has_inlinable_helpers(self):
-        files = [m for n, m in corpus_modules(len(ARCHETYPES), seed=0)
-                 if n.startswith("multi")]
-        assert files
-        assert len(files[0].definitions()) >= 3
+# A small feature alphabet keeps overlap (and therefore rejection and
+# distillation pressure) high.
+features_strategy = st.frozensets(
+    st.sampled_from([f"feat{i}" for i in range(12)]), max_size=6)
 
 
-class TestLargeCorpus:
-    def test_sizes_exceed_threshold(self):
-        from repro.fuzz.corpus import generate_large_corpus
+def entry(index, features, text=None):
+    text = text if text is not None else f"module {index}"
+    return CorpusEntry(text=text, fingerprint=module_fingerprint(text),
+                       features=frozenset(features), seed=index)
 
-        for name, text in generate_large_corpus(4, seed=1):
-            assert len(text.encode()) >= 2048, name
 
-    def test_all_parse_and_verify(self):
-        from repro.fuzz.corpus import generate_large_corpus
+def build_corpus(feature_sets, max_size=64, journal=None):
+    corpus = Corpus(max_size=max_size, journal=journal)
+    for index, features in enumerate(feature_sets):
+        corpus.consider(entry(index, features))
+    return corpus
 
-        for name, text in generate_large_corpus(4, seed=2):
-            assert is_valid_module(parse_module(text, name)), name
 
-    def test_deterministic(self):
-        from repro.fuzz.corpus import generate_large_corpus
+class TestAdmission:
+    def test_first_entry_with_features_is_admitted(self):
+        corpus = Corpus()
+        fresh = corpus.consider(entry(0, {"a", "b"}))
+        assert fresh == {"a", "b"}
+        assert len(corpus) == 1
+        assert corpus.admitted_count == 1
 
-        assert generate_large_corpus(3, seed=9) == \
-            generate_large_corpus(3, seed=9)
+    def test_duplicate_coverage_is_rejected(self):
+        corpus = build_corpus([{"a", "b"}])
+        assert corpus.consider(entry(1, {"a"})) == frozenset()
+        assert corpus.consider(entry(2, {"b", "a"})) == frozenset()
+        assert len(corpus) == 1
 
-    def test_mutable_and_fuzzable(self):
-        from repro.fuzz.corpus import generate_large_corpus
-        from repro.mutate import Mutator, MutatorConfig
+    def test_partial_novelty_admits_and_reports_only_the_novel_part(self):
+        corpus = build_corpus([{"a"}])
+        assert corpus.consider(entry(1, {"a", "b"})) == {"b"}
+        assert corpus.covered == {"a", "b"}
 
-        name, text = generate_large_corpus(1, seed=5)[0]
-        mutator = Mutator(parse_module(text, name),
-                          MutatorConfig(max_mutations=2))
-        for seed in range(5):
-            mutant, _ = mutator.create_mutant(seed)
-            assert is_valid_module(mutant)
+    def test_featureless_entry_is_rejected(self):
+        corpus = Corpus()
+        assert corpus.consider(entry(0, ())) == frozenset()
+        assert len(corpus) == 0
+
+    def test_cover_marks_features_without_admitting(self):
+        corpus = Corpus()
+        corpus.cover({"baseline"})
+        assert corpus.consider(entry(0, {"baseline"})) == frozenset()
+        assert len(corpus) == 0
+        assert corpus.features_covered() == 1
+
+    def test_lookup_by_fingerprint(self):
+        corpus = build_corpus([{"a"}])
+        admitted = corpus.entries()[0]
+        assert admitted.fingerprint in corpus
+        assert corpus.get(admitted.fingerprint) == admitted
+        assert corpus.get("nope") is None
+
+    def test_max_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Corpus(max_size=0)
+
+    @common_settings
+    @given(sets=st.lists(features_strategy, max_size=20))
+    def test_admitted_entries_cover_exactly_the_union(self, sets):
+        """Coverage == union of considered feature sets, always."""
+        corpus = build_corpus(sets)
+        union = set()
+        for features in sets:
+            union |= features
+        assert corpus.covered == union
+        covered_by_entries = set()
+        for admitted in corpus.entries():
+            covered_by_entries |= admitted.features
+        assert covered_by_entries == union
+
+    @common_settings
+    @given(sets=st.lists(features_strategy, max_size=20))
+    def test_every_admission_contributed_a_new_feature(self, sets):
+        corpus = Corpus()
+        seen = set()
+        for index, features in enumerate(sets):
+            fresh = corpus.consider(entry(index, features))
+            assert fresh == features - seen or fresh == frozenset()
+            if fresh:
+                assert not fresh & seen
+            seen |= corpus.covered
+        assert corpus.admitted_count == len(corpus)
+
+
+class TestDistillation:
+    def test_distilled_is_a_subset_covering_the_union(self):
+        corpus = build_corpus([{"a"}, {"b"}, {"a", "b", "c"}])
+        distilled = corpus.distill()
+        assert set(e.fingerprint for e in distilled) <= \
+            set(e.fingerprint for e in corpus.entries())
+        covered = set()
+        for kept in distilled:
+            covered |= kept.features
+        assert covered == {"a", "b", "c"}
+
+    def test_greedy_prefers_the_largest_contributor(self):
+        corpus = build_corpus([{"a"}, {"b"}, {"c"}, {"a", "b", "c", "d"}])
+        distilled = corpus.distill()
+        assert distilled[0].features == {"a", "b", "c", "d"}
+        assert len(distilled) == 1
+
+    def test_ties_break_by_admission_order(self):
+        corpus = build_corpus([{"a", "b"}, {"c", "d"}])
+        distilled = corpus.distill()
+        assert [e.seed for e in distilled] == [0, 1]
+
+    def test_compact_respects_max_size_and_is_monotone(self):
+        corpus = build_corpus(
+            [{f"f{i}"} for i in range(5)], max_size=3)
+        assert len(corpus) == 3
+        assert corpus.distilled_count > 0
+        # Monotone coverage: dropped witnesses stay covered, so their
+        # features can never be re-admitted.
+        assert corpus.features_covered() == 5
+        assert corpus.consider(entry(99, {"f0"})) == frozenset()
+
+    @common_settings
+    @given(sets=st.lists(features_strategy, max_size=24),
+           max_size=st.integers(1, 8))
+    def test_distill_properties(self, sets, max_size):
+        """distilled ⊆ admitted; cover preserved when it fits."""
+        corpus = build_corpus(sets, max_size=max_size)
+        assert len(corpus) <= max_size
+        live = {e.fingerprint for e in corpus.entries()}
+        distilled = corpus.distill()
+        assert {e.fingerprint for e in distilled} <= live
+        assert len({e.fingerprint for e in distilled}) == len(distilled)
+        union = set()
+        for features in sets:
+            union |= features
+        assert corpus.covered == union  # coverage is monotone
+
+    @common_settings
+    @given(sets=st.lists(features_strategy, max_size=24))
+    def test_distillation_is_deterministic(self, sets):
+        first = [e.fingerprint for e in build_corpus(sets).distill()]
+        second = [e.fingerprint for e in build_corpus(sets).distill()]
+        assert first == second
+
+
+class TestJournal:
+    def path(self, tmp_path):
+        return str(tmp_path / "run.corpus.jsonl")
+
+    def test_roundtrip(self, tmp_path):
+        path = self.path(tmp_path)
+        with CorpusJournal(path) as journal:
+            corpus = build_corpus([{"a"}, {"b"}, {"a", "c"}],
+                                  journal=journal)
+        loaded = Corpus.load(path)
+        assert [e.fingerprint for e in loaded.entries()] == \
+            [e.fingerprint for e in corpus.entries()]
+        assert loaded.covered == corpus.covered
+        reloaded_entry = loaded.entries()[0]
+        assert reloaded_entry.text == "module 0"
+        assert reloaded_entry.seed == 0
+
+    def test_fresh_journal_truncates(self, tmp_path):
+        path = self.path(tmp_path)
+        with CorpusJournal(path) as journal:
+            build_corpus([{"a"}], journal=journal)
+        with CorpusJournal(path) as journal:
+            journal.start()
+        assert len(Corpus.load(path)) == 0
+
+    def test_damaged_tail_is_dropped(self, tmp_path):
+        path = self.path(tmp_path)
+        with CorpusJournal(path) as journal:
+            build_corpus([{"a"}, {"b"}], journal=journal)
+        with open(path, "a") as stream:
+            stream.write('{"kind": "entry", "trunca')
+        loaded = Corpus.load(path)
+        assert loaded.covered == {"a", "b"}
+
+    def test_newline_less_tail_is_dropped(self, tmp_path):
+        path = self.path(tmp_path)
+        with CorpusJournal(path) as journal:
+            build_corpus([{"a"}], journal=journal)
+        with open(path, "a") as stream:
+            stream.write(json.dumps(entry(9, {"z"}).to_dict()))  # no \n
+        assert Corpus.load(path).covered == {"a"}
+
+    def test_damage_in_the_middle_is_loud(self, tmp_path):
+        path = self.path(tmp_path)
+        with CorpusJournal(path) as journal:
+            build_corpus([{"a"}, {"b"}], journal=journal)
+        with open(path) as stream:
+            lines = stream.readlines()
+        lines[1] = lines[1][:10] + "\n"
+        with open(path, "w") as stream:
+            stream.writelines(lines)
+        with pytest.raises(ValueError):
+            Corpus.load(path)
+
+    def test_entry_dict_roundtrip(self):
+        original = CorpusEntry(text="m", fingerprint=module_fingerprint("m"),
+                               features=frozenset({"x", "y"}), seed=7,
+                               source="abc123", operator="swap-operands")
+        back = CorpusEntry.from_dict(json.loads(
+            json.dumps(original.to_dict())))
+        assert back == original
+
+
+class TestSeedsMoveShim:
+    def test_legacy_import_warns_and_resolves(self):
+        import repro.fuzz.corpus as corpus_module
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            generate_corpus = corpus_module.generate_corpus
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        from repro.fuzz.seeds import generate_corpus as canonical
+        assert generate_corpus is canonical
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.fuzz.corpus as corpus_module
+        with pytest.raises(AttributeError):
+            corpus_module.no_such_name

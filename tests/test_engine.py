@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.fuzz.corpus import generate_corpus
+from repro.fuzz.seeds import generate_corpus
 from repro.ir import is_valid_module, parse_module, print_module
 from repro.mutate import MutantRecord, Mutator, MutatorConfig
 

@@ -272,9 +272,36 @@ class TestSnapshots:
         assert snapshot.findings == 3
 
     def test_empty_metrics_are_all_zeros(self):
+        """The empty-target-shard regression: a shard whose functions
+        were all dropped records zero optimize calls, zero draws, zero
+        everything — every derived rate must guard its denominator
+        rather than divide by zero."""
         snapshot = ThroughputSnapshot.from_metrics(MetricsRegistry(), 0.0)
         assert snapshot.mutants_per_sec == 0.0
         assert snapshot.valid_mutant_rate == 0.0
+        assert snapshot.optimize_hit_rate == 0.0
+        assert snapshot.verify_hit_rate == 0.0
+        assert snapshot.exec_plan_hit_rate == 0.0
+        assert snapshot.new_feature_rate == 0.0
+        assert snapshot.corpus_size == 0
+        # ... and the progress line renders without blowing up.
+        line = snapshot.progress_line()
+        assert "0 mutants" in line
+        assert "corpus" not in line  # only shown when feedback ran
+
+    def test_feedback_derivation(self):
+        metrics = loaded_metrics()
+        metrics.count("feedback.draws", 40)
+        metrics.count("feedback.features.new", 10)
+        metrics.gauge_max("corpus.size", 5)
+        metrics.gauge_max("feedback.features.covered", 17)
+        snapshot = ThroughputSnapshot.from_metrics(metrics, 20.0)
+        assert snapshot.new_feature_rate == pytest.approx(0.25)
+        assert snapshot.corpus_size == 5
+        assert snapshot.features_covered == 17
+        assert "corpus 5 (17 feats)" in snapshot.progress_line()
+        assert snapshot.to_dict()["new_feature_rate"] == \
+            pytest.approx(0.25)
 
     def test_progress_line(self):
         line = ThroughputSnapshot.from_metrics(loaded_metrics(),

@@ -8,7 +8,7 @@ declarations added by rules, promoted widths, expanded idioms).
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.fuzz.corpus import ARCHETYPES, generate_corpus
+from repro.fuzz.seeds import ARCHETYPES, generate_corpus
 from repro.ir import parse_module, print_module, verify_module
 from repro.ir.bitcode import read_bitcode, write_bitcode
 from repro.mutate import Mutator, MutatorConfig

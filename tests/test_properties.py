@@ -12,7 +12,7 @@ These are the invariants the whole reproduction rests on:
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.fuzz.corpus import ARCHETYPES, generate_corpus
+from repro.fuzz.seeds import ARCHETYPES, generate_corpus
 from repro.ir import (is_valid_module, parse_module, print_module,
                       verify_module)
 from repro.mutate import Mutator, MutatorConfig

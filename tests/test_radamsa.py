@@ -3,7 +3,7 @@
 from repro.fuzz.radamsa import (BORING, INTERESTING, INVALID, ValidityStats,
                                 classify_mutant, radamsa_mutate,
                                 run_validity_study)
-from repro.fuzz.corpus import generate_corpus
+from repro.fuzz.seeds import generate_corpus
 
 SAMPLE = """define i32 @f(i32 %x) {
   %r = add i32 %x, 42

@@ -1,0 +1,138 @@
+"""Tests for the deterministic (source, mutation-class) schedulers.
+
+The hard requirement is determinism: the pull sequence must be a pure
+function of the reward sequence and the arm-registration order, because
+campaign findings and ``deterministic()`` metrics must be bit-identical
+across kill+resume and worker counts.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.schedule import (ArmStats, BanditScheduler,
+                                 RoundRobinScheduler, create_scheduler)
+
+OPERATORS = ["swap", "widen", "reorder"]
+
+
+def play(scheduler, rewards):
+    """Drive ``scheduler`` through ``rewards``; return the pull sequence."""
+    pulls = []
+    for reward in rewards:
+        arm = scheduler.select()
+        scheduler.update(*arm, reward)
+        pulls.append(arm)
+    return pulls
+
+
+class TestBandit:
+    def test_unplayed_arms_first_in_registration_order(self):
+        scheduler = BanditScheduler(OPERATORS)
+        scheduler.add_source("seed")
+        pulls = play(scheduler, [0.0] * len(OPERATORS))
+        assert pulls == [("seed", op) for op in OPERATORS]
+
+    def test_rewarding_arm_gets_replayed(self):
+        scheduler = BanditScheduler(OPERATORS, exploration=0.1)
+        scheduler.add_source("seed")
+        # One sweep of the unplayed arms: only "widen" pays out.
+        for operator in OPERATORS:
+            scheduler.update("seed", operator,
+                             5.0 if operator == "widen" else 0.0)
+        assert scheduler.select() == ("seed", "widen")
+
+    def test_ties_break_toward_the_oldest_arm(self):
+        scheduler = BanditScheduler(OPERATORS)
+        scheduler.add_source("seed")
+        for operator in OPERATORS:
+            scheduler.update("seed", operator, 1.0)
+        assert scheduler.select() == ("seed", OPERATORS[0])
+
+    def test_new_source_arms_are_pulled_next(self):
+        scheduler = BanditScheduler(OPERATORS)
+        scheduler.add_source("seed")
+        play(scheduler, [1.0] * len(OPERATORS))
+        scheduler.add_source("corpus-abc")
+        assert scheduler.select() == ("corpus-abc", OPERATORS[0])
+
+    def test_add_source_is_idempotent(self):
+        scheduler = BanditScheduler(OPERATORS)
+        scheduler.add_source("seed")
+        scheduler.add_source("seed")
+        assert scheduler.arm_count() == len(OPERATORS)
+
+    def test_select_without_arms_raises(self):
+        with pytest.raises(ValueError):
+            BanditScheduler(OPERATORS).select()
+
+    def test_needs_operators(self):
+        with pytest.raises(ValueError):
+            BanditScheduler([])
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(rewards=st.lists(
+        st.floats(0.0, 10.0, allow_nan=False), max_size=60),
+        admissions=st.sets(st.integers(0, 40), max_size=4))
+    def test_pull_sequence_is_deterministic(self, rewards, admissions):
+        """Same rewards + same mid-run source admissions ⇒ identical
+        pulls and identical final arm statistics — no hidden RNG."""
+        def run():
+            scheduler = BanditScheduler(OPERATORS)
+            scheduler.add_source("seed")
+            pulls = []
+            for step, reward in enumerate(rewards):
+                if step in admissions:
+                    scheduler.add_source(f"corpus-{step}")
+                arm = scheduler.select()
+                scheduler.update(*arm, reward)
+                pulls.append(arm)
+            return pulls, [(key, stats.plays, stats.reward)
+                           for key, stats in scheduler.arms()]
+        assert run() == run()
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(rewards=st.lists(st.floats(0.0, 5.0, allow_nan=False),
+                            min_size=len(OPERATORS), max_size=50))
+    def test_every_pull_is_a_registered_arm(self, rewards):
+        scheduler = BanditScheduler(OPERATORS)
+        scheduler.add_source("seed")
+        for arm in play(scheduler, rewards):
+            assert arm[0] == "seed" and arm[1] in OPERATORS
+        assert scheduler.total_plays == len(rewards)
+        assert sum(stats.plays for _, stats in scheduler.arms()) == \
+            len(rewards)
+
+
+class TestRoundRobin:
+    def test_cycles_in_registration_order(self):
+        scheduler = RoundRobinScheduler(OPERATORS)
+        scheduler.add_source("seed")
+        pulls = play(scheduler, [9.0] * (2 * len(OPERATORS)))
+        expected = [("seed", op) for op in OPERATORS]
+        assert pulls == expected + expected  # rewards change nothing
+
+    def test_new_source_joins_the_cycle(self):
+        scheduler = RoundRobinScheduler(["a", "b"])
+        scheduler.add_source("seed")
+        play(scheduler, [0.0, 0.0])
+        scheduler.add_source("c1")
+        pulls = play(scheduler, [0.0] * 4)
+        assert pulls == [("c1", "a"), ("c1", "b"), ("seed", "a"),
+                         ("seed", "b")]
+
+
+class TestFactoryAndStats:
+    def test_create_scheduler(self):
+        assert isinstance(create_scheduler("bandit", OPERATORS),
+                          BanditScheduler)
+        assert isinstance(create_scheduler("round-robin", OPERATORS),
+                          RoundRobinScheduler)
+        with pytest.raises(ValueError):
+            create_scheduler("thompson", OPERATORS)
+
+    def test_arm_stats_mean_guards_zero_plays(self):
+        assert ArmStats().mean == 0.0
+        assert ArmStats(plays=4, reward=6.0).mean == pytest.approx(1.5)

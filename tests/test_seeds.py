@@ -1,0 +1,78 @@
+"""Tests for the synthetic seed-corpus generator."""
+
+import pytest
+
+from repro.fuzz.seeds import (ARCHETYPES, corpus_modules,
+                              generate_corpus)
+from repro.ir import is_valid_module, parse_module
+from repro.tv import check_function_supported
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        assert generate_corpus(20, seed=3) == generate_corpus(20, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert generate_corpus(20, seed=3) != generate_corpus(20, seed=4)
+
+    def test_all_archetypes_cycled(self):
+        files = generate_corpus(len(ARCHETYPES), seed=0)
+        prefixes = {name.rsplit("_", 1)[0] for name, _ in files}
+        assert len(prefixes) == len(ARCHETYPES)
+
+    @pytest.mark.parametrize("seed", [0, 1, 99])
+    def test_every_file_parses_and_verifies(self, seed):
+        for name, module in corpus_modules(2 * len(ARCHETYPES), seed=seed):
+            assert is_valid_module(module), name
+
+    def test_files_are_small_like_the_papers(self):
+        # The paper used files < 2 KB from the InstCombine suite.
+        for name, text in generate_corpus(60, seed=5):
+            assert len(text.encode()) < 2048, name
+
+    def test_most_functions_supported_by_validator(self):
+        unsupported = 0
+        total = 0
+        for name, module in corpus_modules(len(ARCHETYPES), seed=0):
+            for fn in module.definitions():
+                total += 1
+                if check_function_supported(fn) is not None:
+                    unsupported += 1
+        assert unsupported <= total // 10
+
+    def test_multi_function_archetype_has_inlinable_helpers(self):
+        files = [m for n, m in corpus_modules(len(ARCHETYPES), seed=0)
+                 if n.startswith("multi")]
+        assert files
+        assert len(files[0].definitions()) >= 3
+
+
+class TestLargeCorpus:
+    def test_sizes_exceed_threshold(self):
+        from repro.fuzz.seeds import generate_large_corpus
+
+        for name, text in generate_large_corpus(4, seed=1):
+            assert len(text.encode()) >= 2048, name
+
+    def test_all_parse_and_verify(self):
+        from repro.fuzz.seeds import generate_large_corpus
+
+        for name, text in generate_large_corpus(4, seed=2):
+            assert is_valid_module(parse_module(text, name)), name
+
+    def test_deterministic(self):
+        from repro.fuzz.seeds import generate_large_corpus
+
+        assert generate_large_corpus(3, seed=9) == \
+            generate_large_corpus(3, seed=9)
+
+    def test_mutable_and_fuzzable(self):
+        from repro.fuzz.seeds import generate_large_corpus
+        from repro.mutate import Mutator, MutatorConfig
+
+        name, text = generate_large_corpus(1, seed=5)[0]
+        mutator = Mutator(parse_module(text, name),
+                          MutatorConfig(max_mutations=2))
+        for seed in range(5):
+            mutant, _ = mutator.create_mutant(seed)
+            assert is_valid_module(mutant)
