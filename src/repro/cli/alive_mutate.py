@@ -19,6 +19,14 @@ crash or Ctrl-C), ``--job-deadline`` bounds each shard's wall clock
 (stuck workers are killed by a watchdog when sharded), and
 ``--max-job-retries`` retries-then-quarantines shards that hang or
 kill their worker.
+
+``--node --queue-dir DIR`` joins a *distributed* campaign as a worker
+node instead: jobs (seed text included) come from the shared queue
+directory a coordinator published, are run under time-bounded leases
+with heartbeat renewal, and results are parked back in the queue — no
+input files, no fuzzing flags.  The coordinator side is the Python API
+(``CampaignConfig(dist=DistConfig(queue_dir=...))``); see README
+"Distributed campaigns".
 """
 
 from __future__ import annotations
@@ -48,8 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="alive-mutate",
         description="mutation-based fuzzing for the LLVM-like IR with "
                     "integrated translation validation")
-    parser.add_argument("inputs", nargs="+", metavar="input",
-                        help="input .ll file(s)")
+    parser.add_argument("inputs", nargs="*", metavar="input",
+                        help="input .ll file(s) (not used with --node: "
+                             "jobs come from the queue)")
     parser.add_argument("-n", "--num-mutants", type=int, default=10,
                         help="number of mutants per file (default 10)")
     parser.add_argument("-t", "--time", type=float, default=None,
@@ -114,6 +123,29 @@ def build_parser() -> argparse.ArgumentParser:
                           help="distill the runtime corpus down to a "
                                "covering set of at most N entries "
                                "(default 64)")
+    dist = parser.add_argument_group(
+        "distributed campaigns",
+        "join a coordinator's shared-dir work queue as a node (see "
+        "README \"Distributed campaigns\")")
+    dist.add_argument("--node", nargs="?", const="", default=None,
+                      metavar="NAME",
+                      help="run as a worker node named NAME (default: "
+                           "node-<pid>): claim jobs from --queue-dir "
+                           "under leases, run them, park results; "
+                           "requires --queue-dir, ignores input files "
+                           "and fuzzing flags")
+    dist.add_argument("--queue-dir", default=None, metavar="DIR",
+                      help="the shared queue directory the coordinator "
+                           "published (required with --node)")
+    dist.add_argument("--wait-manifest", type=float, default=30.0,
+                      metavar="SECONDS",
+                      help="with --node, wait up to this long for the "
+                           "coordinator's manifest to appear "
+                           "(default 30)")
+    dist.add_argument("--max-node-jobs", type=int, default=None,
+                      metavar="N",
+                      help="with --node, exit after running N jobs "
+                           "(default: drain the queue)")
     obs = parser.add_argument_group(
         "observability",
         "throughput statistics, metrics export, and span tracing "
@@ -167,6 +199,20 @@ def _load(path: str):
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.node is not None:
+        if not args.queue_dir:
+            print("alive-mutate: --node requires --queue-dir DIR",
+                  file=sys.stderr)
+            return 2
+        if args.inputs:
+            print("alive-mutate: --node takes no input files (jobs come "
+                  "from the queue)", file=sys.stderr)
+            return 2
+        return _run_node(args)
+    if not args.inputs:
+        print("alive-mutate: at least one input .ll file is required",
+              file=sys.stderr)
+        return 2
     mutator_config = MutatorConfig(max_mutations=args.max_mutations,
                                    verify_mutants=args.verify_mutants,
                                    cow_clone=not args.no_memo)
@@ -246,6 +292,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     if len(args.inputs) == 1 and args.jobs <= 1 and not args.checkpoint:
         return _fuzz_one(args.inputs[0], config, args)
     return _fuzz_sharded(config, args)
+
+
+def _run_node(args) -> int:
+    """Join a distributed campaign as a worker node (``--node``)."""
+    from ..fuzz.dist import NodeRunner, WorkQueue
+
+    queue = WorkQueue(args.queue_dir, node=args.node)
+    runner = NodeRunner(queue, workers=max(1, args.jobs))
+    print(f"alive-mutate: node {queue.node} joining queue "
+          f"{args.queue_dir}", file=sys.stderr)
+    report = runner.run(time_budget=args.time,
+                        max_jobs=args.max_node_jobs,
+                        wait_for_manifest=args.wait_manifest)
+    if args.metrics_out:
+        _write_metrics(report.metrics, args.metrics_out)
+    print(f"node {report.node}: ran {report.jobs_run} jobs, "
+          f"published {report.published} results "
+          f"({report.duplicates} duplicates dropped, "
+          f"{report.released} released for retry) "
+          f"in {report.elapsed:.2f}s")
+    return 0
 
 
 def _write_metrics(metrics: MetricsRegistry, path: str) -> None:

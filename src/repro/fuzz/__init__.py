@@ -1,20 +1,25 @@
 """Fuzzing harnesses: in-process driver, discrete baseline, corpus,
-radamsa study, bug campaign (sequential or sharded, with checkpoint/
-resume, watchdog deadlines, and quarantine), the fault-injection test
-harness, the throughput experiment, and the ``Session`` facade tying
-them together."""
+radamsa study, bug campaign (sequential, sharded, or distributed across
+nodes via the lease-based work queue — with checkpoint/resume, watchdog
+deadlines, and quarantine), the fault-injection/chaos test harness, the
+throughput experiment, and the ``Session`` facade tying them
+together."""
 
 from .campaign import (JOB_SEED_STRIDE, BugOutcome, CampaignConfig,
                        CampaignReport, QuarantinedJob, ShardFailure,
                        run_campaign)
 from .checkpoint import (CheckpointError, CheckpointJournal,
                          CheckpointMismatch, jobs_fingerprint)
-from .corpus import Corpus, CorpusEntry, CorpusJournal, module_fingerprint
+from .corpus import (Corpus, CorpusEntry, CorpusJournal, merge_journals,
+                     module_fingerprint)
 from .discrete import DiscreteConfig, DiscreteReport, run_discrete_workflow
+from .dist import (DistConfig, NodeReport, NodeRunner, QueueError,
+                   QueueMismatch, WorkQueue)
 from .driver import (ConfigError, DeadlineExceeded, FuzzConfig, FuzzDriver,
                      FuzzReport, StageTimings)
 from .feedback import Feedback, FeedbackConfig, FeedbackMap, FeedbackStats
-from .faults import FaultInjected, FaultSpec, FaultyRunner, damage_journal
+from .faults import (ChaosQueue, FaultInjected, FaultSpec, FaultyRunner,
+                     damage_journal, torn_write)
 from .findings import CRASH, MISCOMPILATION, BugLog, Finding
 from .parallel import (CampaignExecutor, ShardJob, ShardResult, execute_job,
                        run_jobs)
@@ -33,12 +38,16 @@ __all__ = [
     "QuarantinedJob", "ShardFailure", "run_campaign",
     "CheckpointError", "CheckpointJournal", "CheckpointMismatch",
     "jobs_fingerprint",
-    "Corpus", "CorpusEntry", "CorpusJournal", "module_fingerprint",
+    "Corpus", "CorpusEntry", "CorpusJournal", "merge_journals",
+    "module_fingerprint",
     "DiscreteConfig", "DiscreteReport", "run_discrete_workflow",
+    "DistConfig", "NodeReport", "NodeRunner", "QueueError", "QueueMismatch",
+    "WorkQueue",
     "ConfigError", "DeadlineExceeded", "FuzzConfig", "FuzzDriver",
     "FuzzReport", "StageTimings",
     "Feedback", "FeedbackConfig", "FeedbackMap", "FeedbackStats",
-    "FaultInjected", "FaultSpec", "FaultyRunner", "damage_journal",
+    "ChaosQueue", "FaultInjected", "FaultSpec", "FaultyRunner",
+    "damage_journal", "torn_write",
     "CRASH", "MISCOMPILATION", "BugLog", "Finding",
     "CampaignExecutor", "ShardJob", "ShardResult", "execute_job", "run_jobs",
     "BORING", "INTERESTING", "INVALID", "ValidityStats", "classify_mutant",

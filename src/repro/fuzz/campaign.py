@@ -75,6 +75,15 @@ class CampaignConfig:
     # times, then quarantined into ``CampaignReport.quarantined``.
     max_job_retries: int = 0
     retry_backoff: float = 0.25
+    # Optional decorrelation jitter on the retry backoff: each delay is
+    # stretched by up to ``retry_jitter`` of itself (a factor in
+    # ``[1, 1 + retry_jitter)``), so a fleet of workers retrying the
+    # same transient fault does not stampede in lockstep.  The jitter is
+    # *seeded from the campaign fingerprint* (plus job index and attempt
+    # number), so a re-run of the same campaign jitters identically —
+    # reproducibility is preserved.  0.0 (the default) disables it and
+    # keeps the exact historical delays.
+    retry_jitter: float = 0.0
     # Directory for the campaign's checkpoint journal.  Each completed
     # shard is appended (fsync'd JSONL); ``execute(resume=True)`` skips
     # already-journaled jobs and merges their cached results.
@@ -91,6 +100,14 @@ class CampaignConfig:
     # corpus_dir inside is an operational path knob and is excluded from
     # the checkpoint fingerprint, like trace_dir.
     feedback: Optional[FeedbackConfig] = None
+    # Distributed execution (see repro.fuzz.dist): when set, execute()
+    # runs as the *coordinator* of a multi-node campaign — the job
+    # matrix is published to ``dist.queue_dir`` and fuzzed by external
+    # ``NodeRunner`` processes under time-bounded leases; node loss is
+    # handled by lease expiry + reclaim.  None = single-host execution.
+    # Like checkpoint_dir/trace_dir, this is an operational knob and is
+    # excluded from the campaign fingerprint.
+    dist: Optional["DistConfig"] = None  # noqa: F821 — see repro.fuzz.dist
     # Per-job FuzzConfig template; each job gets a ``dataclasses.replace``
     # of it with the job's pipeline, seeds, and enabled bugs filled in.
     fuzz: FuzzConfig = field(default_factory=_default_fuzz_template)
@@ -139,6 +156,11 @@ class CampaignConfig:
         if self.retry_backoff < 0:
             raise ConfigError(
                 f"retry_backoff must be >= 0, got {self.retry_backoff}")
+        if self.retry_jitter < 0:
+            raise ConfigError(
+                f"retry_jitter must be >= 0, got {self.retry_jitter}")
+        if self.dist is not None:
+            self.dist.validate()
         if not 0.0 <= self.trace_sample <= 1.0:
             raise ConfigError("trace_sample must be in [0, 1], "
                               f"got {self.trace_sample}")
@@ -165,9 +187,10 @@ class ShardFailure:
 
     ``kind`` classifies the failure: ``"error"`` (the job raised),
     ``"hang"`` (deadline exceeded, cooperatively or via supervisor
-    kill), ``"crash"`` (the worker process died), or ``"parse"`` (the
-    seed file did not parse; these live in
-    :attr:`CampaignReport.parse_failures`).
+    kill), ``"crash"`` (the worker process died), ``"node_lost"`` (a
+    distributed campaign lost every node that leased the job — see
+    :mod:`repro.fuzz.dist`), or ``"parse"`` (the seed file did not
+    parse; these live in :attr:`CampaignReport.parse_failures`).
     """
 
     job_index: int

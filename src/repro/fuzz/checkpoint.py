@@ -92,7 +92,14 @@ def jobs_fingerprint(jobs: Sequence) -> str:
 
 
 def result_to_dict(result) -> dict:
-    """A JSON-safe dict for one :class:`ShardResult` (inverse below)."""
+    """A JSON-safe dict for one :class:`ShardResult` (inverse below).
+
+    Doubles as the wire format of the distributed queue's result files
+    (:mod:`repro.fuzz.dist`): a result parked by a node and a result
+    journaled by the checkpoint are the same record, which is what lets
+    the coordinator journal collected results straight into the
+    ordinary checkpoint and resume across the two transports.
+    """
     return {
         "kind": "shard",
         "job_index": result.job_index,

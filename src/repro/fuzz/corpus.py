@@ -36,7 +36,8 @@ import os
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
-__all__ = ["Corpus", "CorpusEntry", "CorpusJournal", "module_fingerprint"]
+__all__ = ["Corpus", "CorpusEntry", "CorpusJournal", "merge_journals",
+           "module_fingerprint"]
 
 # Seed-generator names re-exported from repro.fuzz.seeds for one release.
 _LEGACY_SEED_NAMES = ("ARCHETYPES", "STANDARD_WIDTHS", "corpus_modules",
@@ -298,6 +299,35 @@ class Corpus:
                 raise ValueError(f"{path}: malformed entry at line "
                                  f"{position + 1}")
         return corpus
+
+
+def merge_journals(paths: Iterable[str], out_path: str,
+                   max_size: int = 4096) -> int:
+    """Merge several corpus journals into one, in the order given.
+
+    The cross-job (and cross-node) corpus merge: entries from each
+    journal are re-admitted under the usual admit-iff-new-features rule
+    into one corpus backed by a fresh journal at ``out_path``, so the
+    merged journal is itself loadable and can seed the next campaign.
+    Order matters for which duplicate witness survives — callers pass
+    paths in job-index order so the merge is deterministic regardless
+    of which node produced which delta.  Unreadable or damaged-beyond-
+    the-tail journals are skipped (a torn delta loses only its own
+    entries).  Returns the merged corpus size.
+    """
+    journal = CorpusJournal(out_path)
+    merged = Corpus(max_size=max_size, journal=journal)
+    try:
+        for path in paths:
+            try:
+                delta = Corpus.load(path, max_size=max_size)
+            except (OSError, ValueError):
+                continue
+            for entry in delta.entries():
+                merged.consider(entry)
+    finally:
+        journal.close()
+    return len(merged)
 
 
 def __getattr__(name: str):

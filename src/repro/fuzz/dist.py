@@ -1,0 +1,1073 @@
+"""Distributed campaigns: lease-based work distribution over a shared dir.
+
+One coordinated campaign across many hosts, built from the pieces the
+single-host runtime already guarantees: deterministic per-job seeds,
+scheduling-invariant campaign fingerprints, associative metric merges,
+and idempotent per-job results.  The transport is deliberately the
+dumbest thing that can be made crash-safe — a shared directory (NFS,
+bind mount, or plain local disk for same-host fleets) holding one small
+JSON file per protocol step — so there is no broker to operate and no
+state that lives anywhere but the filesystem.
+
+Protocol
+--------
+The coordinator publishes the job matrix and a ``manifest.json`` naming
+the campaign fingerprint; node runners then race over the jobs:
+
+* **claim** — a node takes a job by *exclusively creating* its lease
+  file (``os.link`` of a unique temp file, which fails atomically if a
+  lease exists).  A lease is time-bounded: it names the node, the
+  attempt number, and an expiry timestamp.
+* **heartbeat** — the owning node periodically rewrites the lease
+  (atomic ``os.replace``) with a fresh expiry.  A node that stops
+  heartbeating — SIGKILL, kernel panic, unplugged cable — simply stops
+  renewing, and the lease expires on its own.
+* **reclaim** — any node (or the coordinator's sweep) that finds an
+  expired lease may take the job over, bumping the attempt number and
+  honoring the quarantine machinery's exponential backoff (plus the
+  campaign's optional decorrelation jitter).  Node loss is therefore
+  *the existing hang/retry path*: attempts are bounded, and a job whose
+  every lease expired is retired as ``ShardFailure(kind="node_lost")``.
+* **result** — a finished job's :class:`~repro.fuzz.parallel.ShardResult`
+  is parked as a result file via exclusive create.  Jobs are
+  *at-least-once*: a resurrected node may finish a job that was already
+  reclaimed and re-run elsewhere, but results are keyed by (job index,
+  campaign fingerprint) and only the first publish lands — duplicates
+  are dropped deterministically, and since job execution is
+  deterministic the dropped copy is bit-identical anyway.
+* **tombstone** — a job retired without a usable result (attempts
+  exhausted) gets a tombstone so nodes stop reclaiming it.
+
+Every mutation is crash-safe: files are written to a unique temp name,
+fsync'd, then atomically linked or renamed into place, so a SIGKILL at
+any instant leaves either the old state or the new state, never a torn
+protocol file.  Readers treat an unparsable lease as expired (the claim
+protocol re-takes it) and an unparsable result as absent (the job
+re-runs and the repaired result replaces the torn file).
+
+Failure matrix
+--------------
+=====================  ====================================================
+node killed mid-job    lease expires; job reclaimed with backoff; partial
+                       node-local state discarded (jobs are atomic)
+node killed            result already parked; coordinator collects it;
+after publish          nothing re-runs
+coordinator killed     nodes keep draining their leases and park results;
+                       a restarted coordinator re-publishes the (identical)
+                       manifest, collects parked results, and resumes
+torn queue file        impossible via the protocol (atomic rename); if
+                       injected anyway (chaos), damaged leases read as
+                       expired and damaged results as absent
+clock skew             leases are compared against the *reader's* clock;
+                       skew shortens or stretches effective lease time but
+                       never breaks exclusivity (claims are exclusive file
+                       creation, not timestamp arbitration)
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..mutate import MutatorConfig
+from ..obs import MetricsRegistry
+from ..tv import RefinementConfig
+from ..tv.interp import ExecutionLimits
+from .campaign import CampaignReport, new_report
+from .checkpoint import (CheckpointJournal, jobs_fingerprint, result_from_dict,
+                         result_to_dict)
+from .driver import FuzzConfig
+from .feedback import FeedbackConfig
+from .parallel import (KIND_NODE_LOST, JobRunner, ShardJob, ShardResult,
+                       _SignalGuard, execute_job, retry_delay, run_jobs)
+
+__all__ = ["DistConfig", "NodeReport", "NodeRunner", "QueueError",
+           "QueueMismatch", "WorkQueue", "job_from_dict", "job_to_dict",
+           "run_coordinator"]
+
+MANIFEST_NAME = "manifest.json"
+QUEUE_VERSION = 1
+MERGED_CORPUS_NAME = "merged.corpus.jsonl"
+
+#: Tombstone/terminal reasons.
+REASON_NODE_LOST = KIND_NODE_LOST
+REASON_QUARANTINE = "quarantine"
+
+
+class QueueError(RuntimeError):
+    """The work queue directory cannot be used (I/O or format problem)."""
+
+
+class QueueMismatch(QueueError):
+    """The queue directory belongs to a different campaign.
+
+    Raised when a manifest's fingerprint disagrees with the campaign
+    about to be published or joined: mixing two campaigns in one queue
+    directory would merge findings across configurations.
+    """
+
+
+@dataclass
+class DistConfig:
+    """Coordinator-side knobs for a distributed campaign.
+
+    Operational only — none of these affect what any job computes, so
+    (like ``checkpoint_dir``) they are excluded from the campaign
+    fingerprint and may differ between a run and its resume.
+    """
+
+    # The shared queue directory every node and the coordinator mount.
+    queue_dir: str = ""
+    # Seconds a lease lives between heartbeats.  Short leases detect
+    # node loss quickly but demand frequent heartbeats; the node
+    # heartbeats every lease_duration / 3 by default.
+    lease_duration: float = 30.0
+    # Total attempts (initial + reclaims) before a job is retired.
+    max_attempts: int = 3
+    # Coordinator poll interval while waiting for results, seconds.
+    poll_interval: float = 0.05
+    # Coordinator wait cap, seconds (None = wait for every job; the
+    # campaign's global_time_budget also applies if set).
+    wait_timeout: Optional[float] = None
+
+    def validate(self) -> "DistConfig":
+        if not self.queue_dir:
+            raise ValueError("dist.queue_dir is required")
+        if self.lease_duration <= 0:
+            raise ValueError("dist.lease_duration must be positive, "
+                             f"got {self.lease_duration}")
+        if self.max_attempts < 1:
+            raise ValueError("dist.max_attempts must be >= 1, "
+                             f"got {self.max_attempts}")
+        if self.poll_interval <= 0:
+            raise ValueError("dist.poll_interval must be positive, "
+                             f"got {self.poll_interval}")
+        if self.wait_timeout is not None and self.wait_timeout < 0:
+            raise ValueError("dist.wait_timeout must be >= 0, "
+                             f"got {self.wait_timeout}")
+        return self
+
+
+# ---------------------------------------------------------------------------
+# ShardJob <-> JSON (the wire format of the jobs/ directory).
+# ---------------------------------------------------------------------------
+
+
+def job_to_dict(job: ShardJob) -> dict:
+    """A JSON-safe dict for one :class:`ShardJob` (inverse below).
+
+    ``dataclasses.asdict`` flattens the nested config dataclasses; the
+    result round-trips through :func:`job_from_dict` to a job whose
+    :func:`~repro.fuzz.checkpoint.jobs_fingerprint` matches the
+    original's, which is what lets a node verify it is running the
+    campaign the manifest claims.
+    """
+    return asdict(job)
+
+
+def job_from_dict(data: dict) -> ShardJob:
+    """Rehydrate a :class:`ShardJob` serialized by :func:`job_to_dict`."""
+    config = dict(data["config"])
+    mutator = dict(config.pop("mutator"))
+    tv = dict(config.pop("tv"))
+    limits = dict(tv.pop("limits"))
+    feedback = dict(config.pop("feedback"))
+    return ShardJob(
+        job_index=data["job_index"],
+        file_name=data["file_name"],
+        text=data["text"],
+        config=FuzzConfig(
+            mutator=MutatorConfig(**mutator),
+            tv=RefinementConfig(limits=ExecutionLimits(**limits), **tv),
+            feedback=FeedbackConfig(**feedback),
+            **config),
+        iterations=data.get("iterations"),
+        time_budget=data.get("time_budget"),
+        confirm_attributions=data.get("confirm_attributions", False),
+        deadline=data.get("deadline"),
+        trace_dir=data.get("trace_dir"),
+        trace_sample=data.get("trace_sample", 1.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The filesystem-backed work queue.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Lease:
+    """One lease record as stored in ``leases/job-<index>.json``."""
+
+    node: str
+    attempt: int
+    claimed_at: float
+    expires_at: float
+    # A node that watched its own job hang/crash *releases* the lease
+    # (expiry now, failure recorded) instead of silently vanishing, so
+    # the reclaim path can tell a retryable failure from node loss.
+    released: bool = False
+    failure_kind: str = ""
+    error: str = ""
+
+    def to_dict(self) -> dict:
+        return {"kind": "lease", **asdict(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Lease":
+        return cls(node=data["node"], attempt=int(data["attempt"]),
+                   claimed_at=float(data["claimed_at"]),
+                   expires_at=float(data["expires_at"]),
+                   released=bool(data.get("released", False)),
+                   failure_kind=data.get("failure_kind", ""),
+                   error=data.get("error", ""))
+
+
+class WorkQueue:
+    """Crash-safe lease/result protocol over one shared directory.
+
+    Every instance (coordinator or node) talks to the same directory;
+    there is no in-memory state another process could need.  All
+    mutations go through :meth:`_write_atomic` (write temp + fsync +
+    ``os.replace``) or :meth:`_create_exclusive` (write temp + fsync +
+    ``os.link``), so a SIGKILL at any instant leaves a recoverable
+    state.  ``clock`` is injectable for chaos tests (clock skew) and
+    deterministic simulations.
+    """
+
+    def __init__(self, directory: str, node: str = "",
+                 clock: Callable[[], float] = time.time) -> None:
+        self.directory = directory
+        self.node = node or f"node-{os.getpid()}"
+        self.clock = clock
+        self.metrics = MetricsRegistry()
+        self._tmp_serial = 0
+        self._job_cache: Dict[int, ShardJob] = {}
+
+    # -- paths --------------------------------------------------------------
+
+    def _dir(self, name: str) -> str:
+        return os.path.join(self.directory, name)
+
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    def job_path(self, job_index: int) -> str:
+        return os.path.join(self._dir("jobs"), f"job-{job_index:06d}.json")
+
+    def lease_path(self, job_index: int) -> str:
+        return os.path.join(self._dir("leases"), f"job-{job_index:06d}.json")
+
+    def result_path(self, job_index: int) -> str:
+        return os.path.join(self._dir("results"), f"job-{job_index:06d}.json")
+
+    def tombstone_path(self, job_index: int) -> str:
+        return os.path.join(self._dir("tombstones"),
+                            f"job-{job_index:06d}.json")
+
+    def corpus_path(self, job_index: int) -> str:
+        return os.path.join(self._dir("corpus"),
+                            f"job-{job_index:06d}.corpus.jsonl")
+
+    # -- atomic file primitives --------------------------------------------
+
+    def _tmp_path(self, final_path: str) -> str:
+        self._tmp_serial += 1
+        directory, base = os.path.split(final_path)
+        return os.path.join(directory, f".{base}.{self.node}."
+                                       f"{os.getpid()}.{self._tmp_serial}.tmp")
+
+    def _write_payload(self, tmp: str, payload: dict) -> None:
+        with open(tmp, "w") as stream:
+            stream.write(json.dumps(payload, sort_keys=True) + "\n")
+            stream.flush()
+            os.fsync(stream.fileno())
+
+    def _write_atomic(self, path: str, payload: dict) -> None:
+        """Last-writer-wins atomic replace (heartbeats, reclaims)."""
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = self._tmp_path(path)
+        self._write_payload(tmp, payload)
+        os.replace(tmp, path)
+
+    def _create_exclusive(self, path: str, payload: dict) -> bool:
+        """First-writer-wins atomic create (claims, results, tombstones).
+
+        Returns False if ``path`` already exists — the caller lost the
+        race (or is a duplicate publisher) and must not assume
+        ownership.
+        """
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = self._tmp_path(path)
+        self._write_payload(tmp, payload)
+        try:
+            os.link(tmp, path)
+            return True
+        except FileExistsError:
+            return False
+        finally:
+            os.unlink(tmp)
+
+    def _read_json(self, path: str) -> Optional[dict]:
+        """Parse one protocol file; None if absent *or damaged*.
+
+        Damage (torn writes injected by chaos, or a reader racing a
+        non-atomic writer on an exotic filesystem) is indistinguishable
+        from absence by design: a damaged lease is reclaimable, a
+        damaged result re-runs.
+        """
+        try:
+            with open(path, "rb") as stream:
+                raw = stream.read()
+        except OSError:
+            return None
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self.metrics.count("dist.files.damaged")
+            return None
+        return data if isinstance(data, dict) else None
+
+    # -- coordinator: publish ----------------------------------------------
+
+    def publish(self, jobs: Sequence[ShardJob], fingerprint: str,
+                total_jobs: Optional[int] = None,
+                lease_duration: float = 30.0, max_attempts: int = 3,
+                retry_backoff: float = 0.25,
+                retry_jitter: float = 0.0) -> None:
+        """Publish ``jobs`` and the campaign manifest.
+
+        Job files land first, the manifest last (atomically), so nodes
+        never observe a campaign whose jobs are still being written.  A
+        coordinator killed mid-publish leaves no manifest (or the old,
+        identical one); re-running ``publish`` is idempotent.  An
+        existing manifest with a different fingerprint raises
+        :class:`QueueMismatch` — one queue directory serves one
+        campaign.
+        """
+        existing = self._read_json(self.manifest_path())
+        if existing is not None \
+                and existing.get("fingerprint") != fingerprint:
+            raise QueueMismatch(
+                f"{self.directory} already serves campaign "
+                f"{existing.get('fingerprint', '?')[:12]}, not "
+                f"{fingerprint[:12]}; use a fresh queue directory")
+        for job in jobs:
+            self._write_atomic(self.job_path(job.job_index), {
+                "kind": "job",
+                "fingerprint": fingerprint,
+                "job": job_to_dict(job),
+            })
+            self.metrics.count("dist.jobs.published")
+        self._write_atomic(self.manifest_path(), {
+            "kind": "manifest",
+            "version": QUEUE_VERSION,
+            "fingerprint": fingerprint,
+            "total_jobs": (total_jobs if total_jobs is not None
+                           else len(jobs)),
+            "lease_duration": lease_duration,
+            "max_attempts": max_attempts,
+            "retry_backoff": retry_backoff,
+            "retry_jitter": retry_jitter,
+        })
+
+    def manifest(self) -> Optional[dict]:
+        """The campaign manifest, or None until a coordinator publishes."""
+        data = self._read_json(self.manifest_path())
+        if data is not None and data.get("kind") != "manifest":
+            return None
+        return data
+
+    # -- nodes: jobs and claims --------------------------------------------
+
+    def published_indexes(self) -> List[int]:
+        """Every published job index, sorted."""
+        try:
+            names = os.listdir(self._dir("jobs"))
+        except OSError:
+            return []
+        indexes = []
+        for name in names:
+            if name.startswith("job-") and name.endswith(".json"):
+                try:
+                    indexes.append(int(name[4:-5]))
+                except ValueError:
+                    continue
+        return sorted(indexes)
+
+    def load_job(self, job_index: int) -> Optional[ShardJob]:
+        cached = self._job_cache.get(job_index)
+        if cached is not None:
+            return cached
+        data = self._read_json(self.job_path(job_index))
+        if data is None or data.get("kind") != "job":
+            return None
+        try:
+            job = job_from_dict(data["job"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        self._job_cache[job_index] = job
+        return job
+
+    def read_lease(self, job_index: int) -> Optional[Lease]:
+        data = self._read_json(self.lease_path(job_index))
+        if data is None or data.get("kind") != "lease":
+            return None
+        try:
+            return Lease.from_dict(data)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def has_result(self, job_index: int) -> bool:
+        return self._read_json(self.result_path(job_index)) is not None
+
+    def has_tombstone(self, job_index: int) -> bool:
+        return self._read_json(self.tombstone_path(job_index)) is not None
+
+    def settled(self, job_index: int) -> bool:
+        """True once the job has a (readable) result or tombstone."""
+        return self.has_result(job_index) or self.has_tombstone(job_index)
+
+    def drained(self) -> bool:
+        """True when every published job is settled."""
+        return all(self.settled(index) for index in self.published_indexes())
+
+    def claim(self, job_index: int,
+              manifest: Optional[dict] = None) -> Optional[Tuple[ShardJob,
+                                                                 Lease]]:
+        """Try to take one job; None if it is settled, leased, or backing
+        off.
+
+        Fresh jobs are claimed by exclusive lease creation; expired (or
+        damaged, or released-for-retry) leases are reclaimed by atomic
+        replace followed by a read-back ownership check — two nodes may
+        race the replace, but exactly one sees itself as the owner
+        afterwards, and even a double-run is safe (results dedup).
+        Reclaims honor the campaign's retry backoff + jitter and retire
+        the job with a tombstone once ``max_attempts`` is exhausted.
+        """
+        manifest = manifest or self.manifest()
+        if manifest is None:
+            return None
+        if self.settled(job_index):
+            return None
+        job = self.load_job(job_index)
+        if job is None:
+            return None
+        now = self.clock()
+        duration = float(manifest.get("lease_duration", 30.0))
+        previous = self.read_lease(job_index)
+        if previous is None:
+            attempt = 1
+            if os.path.exists(self.lease_path(job_index)):
+                # Damaged lease file: crash-consistency says treat it as
+                # expired with unknown history; replace it outright.
+                lease = Lease(node=self.node, attempt=attempt,
+                              claimed_at=now, expires_at=now + duration)
+                self._write_atomic(self.lease_path(job_index),
+                                   lease.to_dict())
+                self.metrics.count("dist.lease.reclaims")
+            else:
+                lease = Lease(node=self.node, attempt=attempt,
+                              claimed_at=now, expires_at=now + duration)
+                if not self._create_exclusive(self.lease_path(job_index),
+                                              lease.to_dict()):
+                    return None  # lost the race
+                self.metrics.count("dist.lease.claims")
+        else:
+            if previous.expires_at > now and not previous.released:
+                return None  # live lease
+            if previous.attempt >= int(manifest.get("max_attempts", 3)):
+                self.retire(job_index, previous)
+                return None
+            backoff = retry_delay(
+                float(manifest.get("retry_backoff", 0.25)),
+                previous.attempt,
+                float(manifest.get("retry_jitter", 0.0)),
+                manifest.get("fingerprint", ""), job_index)
+            if now < previous.expires_at + backoff:
+                return None  # still backing off
+            attempt = previous.attempt + 1
+            lease = Lease(node=self.node, attempt=attempt,
+                          claimed_at=now, expires_at=now + duration)
+            self._write_atomic(self.lease_path(job_index), lease.to_dict())
+            self.metrics.count("dist.lease.reclaims")
+            # Read-back ownership check: if another node replaced after
+            # us, it owns the job now (at most one of the racers sees
+            # its own write).
+            current = self.read_lease(job_index)
+            if current is None or current.node != self.node \
+                    or current.claimed_at != lease.claimed_at:
+                return None
+        return job, lease
+
+    def claim_next(self, limit: int = 1) -> List[Tuple[ShardJob, Lease]]:
+        """Claim up to ``limit`` runnable jobs, lowest index first."""
+        manifest = self.manifest()
+        if manifest is None:
+            return []
+        claimed: List[Tuple[ShardJob, Lease]] = []
+        for index in self.published_indexes():
+            if len(claimed) >= limit:
+                break
+            taken = self.claim(index, manifest)
+            if taken is not None:
+                claimed.append(taken)
+        return claimed
+
+    def heartbeat(self, job_index: int, lease_duration: float) -> bool:
+        """Renew this node's lease; False if the lease was lost.
+
+        A lost heartbeat means the lease expired (e.g. a long GC pause
+        or clock skew) and someone else reclaimed the job.  The caller
+        may keep running — the duplicate result will be dropped — but
+        should stop renewing.
+        """
+        current = self.read_lease(job_index)
+        if current is None or current.node != self.node:
+            self.metrics.count("dist.lease.lost")
+            return False
+        now = self.clock()
+        renewed = Lease(node=self.node, attempt=current.attempt,
+                        claimed_at=current.claimed_at,
+                        expires_at=now + lease_duration)
+        self._write_atomic(self.lease_path(job_index), renewed.to_dict())
+        self.metrics.count("dist.heartbeats")
+        return True
+
+    def release_for_retry(self, job_index: int, lease: Lease,
+                          failure_kind: str, error: str) -> None:
+        """Give a hang/crash job back to the queue for reclaim-with-backoff.
+
+        The lease stays on disk as the attempt record, expired as of
+        now, with the failure recorded — the next claim bumps the
+        attempt and (once attempts are exhausted) the failure kind
+        decides between a ``quarantine`` and a ``node_lost`` retirement.
+        """
+        released = Lease(node=self.node, attempt=lease.attempt,
+                         claimed_at=lease.claimed_at,
+                         expires_at=self.clock(), released=True,
+                         failure_kind=failure_kind, error=error)
+        self._write_atomic(self.lease_path(job_index), released.to_dict())
+        self.metrics.count("dist.lease.released")
+
+    def retire(self, job_index: int, lease: Lease) -> bool:
+        """Tombstone a job whose attempts are exhausted.
+
+        ``released`` leases retire as ``quarantine`` (the node watched
+        the job hang or crash and said so); silently expired leases
+        retire as ``node_lost`` (the node vanished mid-lease).
+        """
+        reason = REASON_QUARANTINE if lease.released else REASON_NODE_LOST
+        error = lease.error or (f"lease of node {lease.node!r} expired "
+                                f"(attempt {lease.attempt})")
+        created = self._create_exclusive(self.tombstone_path(job_index), {
+            "kind": "tombstone",
+            "reason": reason,
+            "attempts": lease.attempt,
+            "node": lease.node,
+            "failure_kind": lease.failure_kind or reason,
+            "error": error,
+        })
+        if created:
+            self.metrics.count("dist.tombstones")
+        return created
+
+    # -- nodes: publishing results -----------------------------------------
+
+    def publish_result(self, result: ShardResult, fingerprint: str,
+                       attempt: int = 1) -> bool:
+        """Park one terminal shard result; False if it was a duplicate.
+
+        First-writer-wins (exclusive create).  A torn result file left
+        by chaos injection parses as absent, so the retry's publish
+        *repairs* it via atomic replace instead of dropping the good
+        copy.
+        """
+        payload = {
+            "kind": "result",
+            "fingerprint": fingerprint,
+            "node": self.node,
+            "attempt": attempt,
+            "result": result_to_dict(result),
+        }
+        path = self.result_path(result.job_index)
+        if self._create_exclusive(path, payload):
+            self.metrics.count("dist.results.published")
+            self._drop_lease(result.job_index)
+            return True
+        if self._read_json(path) is None:
+            # Existing file is torn/unreadable: repair it.
+            self._write_atomic(path, payload)
+            self.metrics.count("dist.results.repaired")
+            self._drop_lease(result.job_index)
+            return True
+        self.metrics.count("dist.results.duplicate")
+        return False
+
+    def publish_corpus(self, job_index: int, journal_path: str) -> bool:
+        """Park a job's corpus-journal delta next to its result."""
+        path = self.corpus_path(job_index)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = self._tmp_path(path)
+        try:
+            shutil.copyfile(journal_path, tmp)
+        except OSError:
+            return False
+        with open(tmp, "rb") as stream:
+            os.fsync(stream.fileno())
+        os.replace(tmp, path)
+        self.metrics.count("dist.corpus.published")
+        return True
+
+    def corpus_paths(self) -> List[Tuple[int, str]]:
+        """Published corpus deltas as (job index, path), index-sorted."""
+        try:
+            names = os.listdir(self._dir("corpus"))
+        except OSError:
+            return []
+        deltas = []
+        for name in names:
+            if name.startswith("job-") and name.endswith(".corpus.jsonl"):
+                try:
+                    index = int(name[4:-len(".corpus.jsonl")])
+                except ValueError:
+                    continue
+                deltas.append((index, os.path.join(self._dir("corpus"),
+                                                   name)))
+        return sorted(deltas)
+
+    def _drop_lease(self, job_index: int) -> None:
+        try:
+            os.unlink(self.lease_path(job_index))
+        except OSError:
+            pass
+
+    # -- coordinator: collection and sweeping ------------------------------
+
+    def collect_results(self, fingerprint: str) -> Dict[int, ShardResult]:
+        """Every parked result of *this* campaign, keyed by job index.
+
+        Results carrying a foreign fingerprint (a resurrected node from
+        an older campaign that somehow shares the directory) are
+        dropped; damaged files read as absent and the job re-runs.
+        """
+        results: Dict[int, ShardResult] = {}
+        try:
+            names = sorted(os.listdir(self._dir("results")))
+        except OSError:
+            return results
+        for name in names:
+            if not (name.startswith("job-") and name.endswith(".json")):
+                continue
+            data = self._read_json(os.path.join(self._dir("results"), name))
+            if data is None or data.get("kind") != "result":
+                continue
+            if data.get("fingerprint") != fingerprint:
+                self.metrics.count("dist.results.foreign")
+                continue
+            try:
+                result = result_from_dict(data["result"])
+            except (KeyError, TypeError):
+                continue
+            results[result.job_index] = result
+        return results
+
+    def collect_tombstones(self) -> Dict[int, dict]:
+        stones: Dict[int, dict] = {}
+        try:
+            names = sorted(os.listdir(self._dir("tombstones")))
+        except OSError:
+            return stones
+        for name in names:
+            if not (name.startswith("job-") and name.endswith(".json")):
+                continue
+            data = self._read_json(os.path.join(self._dir("tombstones"),
+                                                name))
+            if data is None or data.get("kind") != "tombstone":
+                continue
+            try:
+                stones[int(name[4:-5])] = data
+            except ValueError:
+                continue
+        return stones
+
+    def sweep(self) -> int:
+        """Retire jobs whose attempts are exhausted; count lost leases.
+
+        Nodes normally do the reclaiming themselves, but if the whole
+        fleet died the coordinator's sweep is what turns the silence
+        into ``node_lost`` tombstones instead of an eternal wait.
+        Returns how many jobs were newly retired.
+        """
+        manifest = self.manifest()
+        if manifest is None:
+            return 0
+        now = self.clock()
+        max_attempts = int(manifest.get("max_attempts", 3))
+        retired = 0
+        for index in self.published_indexes():
+            if self.settled(index):
+                continue
+            lease = self.read_lease(index)
+            if lease is None:
+                continue
+            if lease.expires_at > now and not lease.released:
+                continue
+            if not lease.released:
+                self.metrics.count("dist.lease.expired")
+            if lease.attempt >= max_attempts:
+                if self.retire(index, lease):
+                    retired += 1
+                    if not lease.released:
+                        self.metrics.count("dist.node_lost")
+        return retired
+
+
+# ---------------------------------------------------------------------------
+# The node runner.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class NodeReport:
+    """What one node did with its share of the queue."""
+
+    node: str
+    jobs_run: int = 0
+    published: int = 0
+    duplicates: int = 0
+    released: int = 0
+    elapsed: float = 0.0
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+
+class NodeRunner:
+    """Pull jobs from a :class:`WorkQueue` and run them to completion.
+
+    Claimed jobs run through the existing execution stack —
+    :func:`repro.fuzz.parallel.run_jobs` in isolated (process-per-job)
+    mode whenever a deadline is present, so the hard watchdog and crash
+    containment of single-host campaigns apply unchanged on a node.  A
+    heartbeat thread renews every active lease at
+    ``lease_duration / 3``; if the node is SIGKILLed the thread dies
+    with it and the leases expire on their own, which *is* the
+    node-loss protocol.
+
+    Hang/crash results are not published: the lease is released for
+    retry instead, so the queue-level backoff/quarantine machinery —
+    not the node — decides the job's fate.  Deterministic in-job errors
+    (a raising job, a parse failure) are terminal and publish normally,
+    matching single-host semantics where only hangs and crashes retry.
+    """
+
+    def __init__(self, queue: WorkQueue, workers: int = 1,
+                 runner: JobRunner = execute_job,
+                 poll_interval: float = 0.05,
+                 work_dir: Optional[str] = None) -> None:
+        self.queue = queue
+        self.workers = max(1, workers)
+        self.runner = runner
+        self.poll_interval = poll_interval
+        self.work_dir = work_dir
+        self.report = NodeReport(node=queue.node, metrics=queue.metrics)
+        self._active: Dict[int, Lease] = {}
+        self._active_lock = threading.Lock()
+        self._hb_stop = threading.Event()
+
+    # -- the heartbeat thread ----------------------------------------------
+
+    def _heartbeat_loop(self, lease_duration: float) -> None:
+        interval = max(0.01, lease_duration / 3.0)
+        while not self._hb_stop.wait(interval):
+            with self._active_lock:
+                active = list(self._active)
+            for job_index in active:
+                if not self.queue.heartbeat(job_index, lease_duration):
+                    # Lease lost (expired + reclaimed elsewhere): stop
+                    # renewing; the in-flight run still publishes and
+                    # dedups.
+                    with self._active_lock:
+                        self._active.pop(job_index, None)
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, time_budget: Optional[float] = None,
+            max_jobs: Optional[int] = None,
+            should_stop: Optional[Callable[[], bool]] = None,
+            wait_for_manifest: Optional[float] = None) -> NodeReport:
+        """Drain the queue: claim, run, publish, until nothing is left.
+
+        Exits when every published job is settled (or ``time_budget``
+        / ``max_jobs`` / ``should_stop`` says so).  With
+        ``wait_for_manifest`` the node waits up to that many seconds
+        for a coordinator to publish before giving up.
+        """
+        started = time.monotonic()
+
+        def out_of_time() -> bool:
+            if time_budget is not None \
+                    and time.monotonic() - started >= time_budget:
+                return True
+            return should_stop is not None and should_stop()
+
+        manifest = self.queue.manifest()
+        while manifest is None:
+            if out_of_time() or wait_for_manifest is None \
+                    or time.monotonic() - started >= wait_for_manifest:
+                self.report.elapsed = time.monotonic() - started
+                return self.report
+            time.sleep(self.poll_interval)
+            manifest = self.queue.manifest()
+        lease_duration = float(manifest.get("lease_duration", 30.0))
+        heartbeat = threading.Thread(target=self._heartbeat_loop,
+                                     args=(lease_duration,), daemon=True)
+        heartbeat.start()
+        try:
+            while not out_of_time():
+                if max_jobs is not None \
+                        and self.report.jobs_run >= max_jobs:
+                    break
+                claimed = self.queue.claim_next(limit=self.workers)
+                if not claimed:
+                    if self.queue.drained():
+                        break
+                    time.sleep(self.poll_interval)
+                    continue
+                self._run_batch(claimed, manifest)
+        finally:
+            self._hb_stop.set()
+            heartbeat.join()
+        self.report.elapsed = time.monotonic() - started
+        return self.report
+
+    def run_once(self) -> Optional[int]:
+        """Claim and run at most one job (test/chaos hook).
+
+        Returns the settled job's index, or None if nothing was
+        claimable.
+        """
+        manifest = self.queue.manifest()
+        if manifest is None:
+            return None
+        claimed = self.queue.claim_next(limit=1)
+        if not claimed:
+            return None
+        self._run_batch(claimed, manifest)
+        return claimed[0][0].job_index
+
+    def _run_batch(self, claimed: Sequence[Tuple[ShardJob, Lease]],
+                   manifest: dict) -> None:
+        fingerprint = manifest.get("fingerprint", "")
+        leases = {job.job_index: lease for job, lease in claimed}
+        jobs = [self._localize(job) for job, _lease in claimed]
+        with self._active_lock:
+            self._active.update(leases)
+        isolate = any(job.deadline is not None for job in jobs)
+
+        def publish(result: ShardResult) -> None:
+            with self._active_lock:
+                self._active.pop(result.job_index, None)
+            self.report.jobs_run += 1
+            lease = leases[result.job_index]
+            result.worker = f"{self.queue.node}/{result.worker}" \
+                if result.worker else self.queue.node
+            result.attempts = lease.attempt
+            if result.failure_kind in ("hang", "crash"):
+                self.queue.release_for_retry(
+                    result.job_index, lease, result.failure_kind,
+                    result.error)
+                self.report.released += 1
+                return
+            self._publish_corpus(result.job_index)
+            if self.queue.publish_result(result, fingerprint,
+                                         attempt=lease.attempt):
+                self.report.published += 1
+            else:
+                self.report.duplicates += 1
+
+        try:
+            run_jobs(jobs, workers=self.workers, runner=self.runner,
+                     on_result=publish, isolate=isolate)
+        finally:
+            with self._active_lock:
+                for job_index in leases:
+                    self._active.pop(job_index, None)
+
+    # -- node-local paths ---------------------------------------------------
+
+    def _localize(self, job: ShardJob) -> ShardJob:
+        """Point a job's corpus journal at node-local scratch space.
+
+        The coordinator's ``feedback.corpus_dir`` (if any) names a path
+        on *its* filesystem; on the node the journal is written to a
+        private per-job directory and *published* into the queue after
+        the job completes — the shared dir sees only whole, settled
+        deltas.  ``corpus_dir`` is excluded from the campaign
+        fingerprint, so the rewrite does not change the job's identity.
+        """
+        if not job.config.feedback.enabled:
+            return job
+        from dataclasses import replace
+        work_dir = self.work_dir or os.path.join(
+            tempfile.gettempdir(), f"repro-dist-{self.queue.node}")
+        job_dir = os.path.join(work_dir, f"job-{job.job_index:06d}")
+        os.makedirs(job_dir, exist_ok=True)
+        feedback = replace(job.config.feedback, corpus_dir=job_dir)
+        return replace(job, config=replace(job.config, feedback=feedback))
+
+    def _publish_corpus(self, job_index: int) -> None:
+        work_dir = self.work_dir or os.path.join(
+            tempfile.gettempdir(), f"repro-dist-{self.queue.node}")
+        job_dir = os.path.join(work_dir, f"job-{job_index:06d}")
+        try:
+            names = sorted(os.listdir(job_dir))
+        except OSError:
+            return
+        for name in names:
+            if name.endswith(".corpus.jsonl"):
+                self.queue.publish_corpus(job_index,
+                                          os.path.join(job_dir, name))
+                return
+
+
+# ---------------------------------------------------------------------------
+# The coordinator.
+# ---------------------------------------------------------------------------
+
+
+def synthesize_tombstone_result(job: ShardJob, stone: dict) -> ShardResult:
+    """A terminal :class:`ShardResult` for a tombstoned job.
+
+    ``node_lost`` retirements surface as
+    ``ShardFailure(kind="node_lost")`` in the merged report; released
+    hang/crash retirements ride the existing quarantine path.
+    """
+    reason = stone.get("reason", REASON_NODE_LOST)
+    kind = REASON_QUARANTINE if reason == REASON_QUARANTINE \
+        else KIND_NODE_LOST
+    return ShardResult(
+        job_index=job.job_index, file_name=job.file_name,
+        pipeline=job.config.pipeline, seed=job.config.base_seed,
+        error=stone.get("error", "job retired"),
+        failure_kind=kind,
+        attempts=int(stone.get("attempts", 1)))
+
+
+def merge_corpus_journals(queue: WorkQueue, out_path: str,
+                          max_size: int = 4096) -> int:
+    """Merge every published corpus delta into one campaign journal.
+
+    This closes the cross-job corpus sharing loop: per-job corpora are
+    admitted in job-index order (deterministic regardless of which node
+    produced which delta) into one campaign-level corpus via
+    :func:`repro.fuzz.corpus.merge_journals`, and the merged journal
+    can seed the next campaign via ``Corpus.load``.  Returns the number
+    of entries in the merged corpus.
+    """
+    from .corpus import merge_journals
+    deltas = queue.corpus_paths()
+    if not deltas:
+        return 0
+    return merge_journals([path for _index, path in deltas], out_path,
+                          max_size=max_size)
+
+
+def run_coordinator(executor, resume: bool = False) -> CampaignReport:
+    """Drive a distributed campaign from the coordinator seat.
+
+    Publishes the job matrix to the queue, then polls: collected
+    results are journaled to the campaign checkpoint (if configured) as
+    they arrive, expired leases are swept, and tombstones become
+    terminal failures.  The merge is the single-host merge —
+    job-index-ordered over deduplicated results — so the report is
+    bit-identical to an uninterrupted single-host run whenever every
+    job eventually completed.
+
+    A killed coordinator loses nothing: nodes keep draining their
+    leases and parking results; re-running with ``resume=True`` (or
+    even without a checkpoint — the queue itself holds every parked
+    result) collects them and continues.
+    """
+    config = executor.config
+    dist = config.dist.validate()
+    report = new_report(config)
+    started = time.perf_counter()
+    jobs = executor.build_jobs()
+    by_index = {job.job_index: job for job in jobs}
+    fingerprint = jobs_fingerprint(jobs)
+    journal: Optional[CheckpointJournal] = None
+    cached: Dict[int, ShardResult] = {}
+    if config.checkpoint_dir:
+        journal = CheckpointJournal(config.checkpoint_dir)
+        cached = journal.start(fingerprint, total_jobs=len(jobs),
+                               resume=resume)
+    queue = WorkQueue(dist.queue_dir, node="coordinator")
+    todo = [job for job in jobs if job.job_index not in cached]
+    queue.publish(todo, fingerprint, total_jobs=len(jobs),
+                  lease_duration=dist.lease_duration,
+                  max_attempts=dist.max_attempts,
+                  retry_backoff=config.retry_backoff,
+                  retry_jitter=config.retry_jitter)
+    stop = executor._stop
+    collected: Dict[int, ShardResult] = {}
+    stones: Dict[int, dict] = {}
+    outstanding: Set[int] = {job.job_index for job in todo}
+
+    def out_of_time() -> bool:
+        elapsed = time.perf_counter() - started
+        if config.global_time_budget is not None \
+                and elapsed >= config.global_time_budget:
+            return True
+        if dist.wait_timeout is not None and elapsed >= dist.wait_timeout:
+            return True
+        return stop.requested
+
+    try:
+        with _SignalGuard(stop):
+            while outstanding:
+                results = queue.collect_results(fingerprint)
+                for index, result in results.items():
+                    if index in collected or index not in outstanding:
+                        continue
+                    collected[index] = result
+                    outstanding.discard(index)
+                    if journal is not None:
+                        journal.append(result)
+                queue.sweep()
+                for index, stone in queue.collect_tombstones().items():
+                    if index in stones or index not in outstanding:
+                        continue
+                    stones[index] = stone
+                    outstanding.discard(index)
+                if not outstanding or out_of_time():
+                    break
+                time.sleep(dist.poll_interval)
+    finally:
+        if journal is not None:
+            journal.close()
+    terminal: List[ShardResult] = list(cached.values()) \
+        + list(collected.values())
+    for index, stone in stones.items():
+        job = by_index.get(index)
+        if job is not None:
+            terminal.append(synthesize_tombstone_result(job, stone))
+    terminal.sort(key=lambda result: result.job_index)
+    executor._merge(report, jobs, terminal)
+    report.metrics.merge(queue.metrics)
+    merged_entries = merge_corpus_journals(
+        queue, os.path.join(dist.queue_dir, MERGED_CORPUS_NAME))
+    if merged_entries:
+        report.metrics.count("dist.corpus.merged_entries", merged_entries)
+    report.resumed_jobs = len(cached)
+    report.interrupted = stop.requested
+    report.interrupt_signal = stop.signal_name
+    report.elapsed = time.perf_counter() - started
+    return report

@@ -101,19 +101,23 @@ class BugLog:
 
         A record is only complete once its trailing newline is on disk,
         so a crash mid-append leaves at most one damaged *final* line;
-        that line is dropped.  Damage anywhere else is real corruption
-        and still raises ``json.JSONDecodeError``.
+        that line is dropped — including the case where the truncation
+        split a multi-byte UTF-8 sequence, which is why the file is
+        read as bytes and decoded per line rather than as a whole
+        (whole-file text decode would raise ``UnicodeDecodeError``
+        before any tolerance logic could run).  Damage anywhere else is
+        real corruption and still raises.
         """
         log = cls()
-        with open(path) as stream:
-            text = stream.read()
-        lines = [line for line in text.split("\n") if line.strip()]
-        ends_complete = text.endswith("\n")
+        with open(path, "rb") as stream:
+            raw = stream.read()
+        lines = [line for line in raw.split(b"\n") if line.strip()]
+        ends_complete = raw.endswith(b"\n")
         for position, line in enumerate(lines):
             last = position == len(lines) - 1
             try:
-                finding = Finding.from_json(line)
-            except (json.JSONDecodeError, KeyError):
+                finding = Finding.from_json(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError, KeyError):
                 if last:
                     break  # truncated trailing record: crash mid-append
                 raise

@@ -49,8 +49,8 @@ from .feedback import FeedbackStats
 from .findings import Finding
 from .seeds import generate_corpus
 
-__all__ = ["CampaignExecutor", "ShardJob", "ShardResult", "execute_job",
-           "run_jobs"]
+__all__ = ["CampaignExecutor", "KIND_NODE_LOST", "ShardJob", "ShardResult",
+           "execute_job", "retry_delay", "run_jobs"]
 
 
 @dataclass
@@ -117,6 +117,30 @@ JobRunner = Callable[[ShardJob], ShardResult]
 _KIND_HANG = "hang"
 _KIND_CRASH = "crash"
 _KIND_QUARANTINE = "quarantine"
+# A distributed campaign retired the job after losing every node that
+# leased it (see repro.fuzz.dist).
+KIND_NODE_LOST = "node_lost"
+
+
+def retry_delay(backoff: float, attempt: int, jitter: float = 0.0,
+                jitter_seed: str = "", job_index: int = 0) -> float:
+    """The backoff delay before retry ``attempt + 1`` of a job.
+
+    Exponential in the attempt number (``backoff * 2**(attempt - 1)``),
+    optionally stretched by a *decorrelation jitter* factor in
+    ``[1, 1 + jitter)`` so concurrent retries de-synchronize.  The
+    jitter is a pure function of ``(jitter_seed, job_index, attempt)``
+    — campaigns seed it with the campaign fingerprint, so the same
+    campaign always jitters the same way and stays reproducible.
+    """
+    delay = backoff * (2 ** (attempt - 1))
+    if jitter <= 0.0 or delay <= 0.0:
+        return delay
+    import hashlib
+    digest = hashlib.sha256(
+        f"{jitter_seed}:{job_index}:{attempt}".encode()).digest()
+    unit = int.from_bytes(digest[:8], "big") / float(1 << 64)  # [0, 1)
+    return delay * (1.0 + jitter * unit)
 
 
 def execute_job(job: ShardJob) -> ShardResult:
@@ -242,8 +266,11 @@ def run_jobs(jobs: Sequence[ShardJob], workers: int = 1,
              grace_factor: float = 2.0,
              max_retries: int = 0,
              retry_backoff: float = 0.25,
+             retry_jitter: float = 0.0,
+             jitter_seed: str = "",
              on_result: ResultSink = None,
-             should_stop: StopFlag = None) -> List[ShardResult]:
+             should_stop: StopFlag = None,
+             isolate: bool = False) -> List[ShardResult]:
     """Run ``jobs`` and return their results ordered by job index.
 
     ``workers <= 1`` runs on the calling process; otherwise jobs are
@@ -257,15 +284,25 @@ def run_jobs(jobs: Sequence[ShardJob], workers: int = 1,
     fast path), and a process-per-job *supervised* scheduler that adds
     a hard watchdog kill at ``deadline * grace_factor`` plus bounded
     hang/crash retries.  The supervised path engages automatically when
-    any job carries a deadline or ``max_retries > 0``.
+    any job carries a deadline or ``max_retries > 0``; ``isolate=True``
+    forces it even for ``workers=1`` (distributed node runners use this
+    so a single-worker node still gets the hard watchdog and crash
+    containment of process-per-job execution).
+
+    ``retry_jitter``/``jitter_seed`` add deterministic decorrelation
+    jitter to the retry backoff (see :func:`retry_delay`).
     """
-    if workers <= 1:
+    supervised = (max_retries > 0
+                  or any(job.deadline is not None for job in jobs))
+    if workers <= 1 and not (isolate and jobs):
         return _run_sequential(jobs, runner, time_budget, on_result,
                                should_stop)
-    if max_retries > 0 or any(job.deadline is not None for job in jobs):
-        return _run_supervised(jobs, workers, runner, time_budget,
+    if supervised or isolate:
+        return _run_supervised(jobs, max(1, workers), runner, time_budget,
                                grace_factor, max_retries, retry_backoff,
-                               on_result, should_stop)
+                               on_result, should_stop,
+                               retry_jitter=retry_jitter,
+                               jitter_seed=jitter_seed)
     return _run_pool(jobs, workers, runner, time_budget, on_result,
                      should_stop)
 
@@ -407,7 +444,9 @@ def _run_supervised(jobs: Sequence[ShardJob], workers: int,
                     grace_factor: float, max_retries: int,
                     retry_backoff: float,
                     on_result: ResultSink = None,
-                    should_stop: StopFlag = None) -> List[ShardResult]:
+                    should_stop: StopFlag = None,
+                    retry_jitter: float = 0.0,
+                    jitter_seed: str = "") -> List[ShardResult]:
     """Process-per-job scheduling with hard hang containment.
 
     Unlike the shared pool, every job owns a dedicated worker process
@@ -447,7 +486,8 @@ def _run_supervised(jobs: Sequence[ShardJob], workers: int,
         can account for discarded work without counting it as progress.
         """
         if attempt <= max_retries:
-            delay = retry_backoff * (2 ** (attempt - 1))
+            delay = retry_delay(retry_backoff, attempt, retry_jitter,
+                                jitter_seed, job.job_index)
             delayed.append((time.perf_counter() + delay, job, attempt + 1))
             return
         terminal_kind = kind if max_retries == 0 else _KIND_QUARANTINE
@@ -661,14 +701,20 @@ class CampaignExecutor:
         config.validate()
         if resume and not config.checkpoint_dir:
             raise ValueError("resume=True requires config.checkpoint_dir")
+        if config.dist is not None:
+            from .dist import run_coordinator
+            return run_coordinator(self, resume=resume)
         report = new_report(config)
         started = time.perf_counter()
         jobs = self.build_jobs()
         journal: Optional[CheckpointJournal] = None
         cached: Dict[int, ShardResult] = {}
+        fingerprint = ""
+        if config.checkpoint_dir or config.retry_jitter > 0.0:
+            fingerprint = jobs_fingerprint(jobs)
         if config.checkpoint_dir:
             journal = CheckpointJournal(config.checkpoint_dir)
-            cached = journal.start(jobs_fingerprint(jobs),
+            cached = journal.start(fingerprint,
                                    total_jobs=len(jobs), resume=resume)
         todo = [job for job in jobs if job.job_index not in cached]
         stop = self._stop
@@ -680,6 +726,8 @@ class CampaignExecutor:
                     grace_factor=config.grace_factor,
                     max_retries=config.max_job_retries,
                     retry_backoff=config.retry_backoff,
+                    retry_jitter=config.retry_jitter,
+                    jitter_seed=fingerprint,
                     on_result=journal.append if journal else None,
                     should_stop=lambda: stop.requested)
         finally:

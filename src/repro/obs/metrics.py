@@ -208,8 +208,8 @@ class MetricsRegistry:
 
     def deterministic(self) -> dict:
         """The run-invariant subset: no ``.seconds`` metrics, no gauges,
-        no ``campaign.retry.*``, ``cache.*``, ``clone.*`` or ``exec.*``
-        counters.
+        no ``campaign.retry.*``, ``cache.*``, ``clone.*``, ``exec.*``,
+        ``dist.*`` or ``chaos.*`` counters.
 
         For a fixed campaign configuration this subset is identical
         across worker counts and kill/resume cycles — what legitimately
@@ -223,7 +223,11 @@ class MetricsRegistry:
         subset certifies.  ``exec.*`` covers the execution-plan cache
         counters, which likewise vary with sharding, resume boundaries
         and the ``--no-compiled-exec`` ablation without affecting
-        verdicts.
+        verdicts.  ``dist.*``/``chaos.*`` cover the distributed queue's
+        protocol bookkeeping (claims, heartbeats, reclaims, dedups) and
+        injected chaos — which node ran which job and how many leases
+        expired is scheduling history, not computation, and must not
+        break the kill-and-resume == uninterrupted invariant.
         """
 
         def varies(name: str) -> bool:
@@ -231,7 +235,9 @@ class MetricsRegistry:
                     or name.startswith("campaign.retry.")
                     or name.startswith("cache.")
                     or name.startswith("clone.")
-                    or name.startswith("exec."))
+                    or name.startswith("exec.")
+                    or name.startswith("dist.")
+                    or name.startswith("chaos."))
 
         return {
             "counters": {

@@ -6,8 +6,16 @@ contains each failure mode exactly as documented: hangs are detected
 within deadline × grace, poison jobs are quarantined after bounded
 retries without failing the campaign, and transient faults heal on
 retry with results identical to a fault-free run.
+
+Also home to the on-disk crash-consistency matrix: every fsync'd
+journal (checkpoint, corpus, findings) and every single-record queue
+file survives a torn write or a truncated multi-byte UTF-8 tail — the
+reader drops exactly the damaged record, never raises, and never
+parses half a record as state.
 """
 
+import json
+import os
 import time
 
 import pytest
@@ -174,3 +182,151 @@ class TestSupervisedScheduler:
             job_runner=runner).execute()
         table = report.table()
         assert "quarantined" in table
+
+
+class TestRetryJitter:
+    """CampaignConfig.retry_jitter: decorrelated but reproducible backoff."""
+
+    def test_default_off_preserves_exact_delays(self):
+        from repro.fuzz.parallel import retry_delay
+        assert retry_delay(0.5, 1) == 0.5
+        assert retry_delay(0.5, 3) == 2.0
+        assert retry_delay(0.5, 3, jitter=0.0, jitter_seed="abc") == 2.0
+
+    def test_jitter_is_seeded_and_bounded(self):
+        from repro.fuzz.parallel import retry_delay
+        base = retry_delay(0.5, 2)
+        jittered = retry_delay(0.5, 2, jitter=0.5, jitter_seed="fp", job_index=3)
+        assert base <= jittered < base * 1.5
+        # Pure function of (seed, job, attempt): reproducible...
+        assert jittered == retry_delay(0.5, 2, jitter=0.5,
+                                       jitter_seed="fp", job_index=3)
+        # ...and decorrelated across jobs and attempts.
+        delays = {retry_delay(0.5, 2, jitter=0.5, jitter_seed="fp",
+                              job_index=j) for j in range(8)}
+        assert len(delays) > 1
+
+    def test_jittered_campaign_matches_reference(self, tmp_path, reference):
+        """Jitter changes retry *timing* only, never findings."""
+        runner = FaultyRunner({1: FaultSpec("exit", times=1)},
+                              state_dir=str(tmp_path))
+        report = CampaignExecutor(
+            CampaignConfig(workers=2, max_job_retries=2, retry_backoff=0.01,
+                           retry_jitter=0.5, **SMALL),
+            job_runner=runner).execute()
+        assert report_key(report) == report_key(reference)
+        assert not report.quarantined
+
+    def test_negative_jitter_rejected(self):
+        from repro.fuzz.campaign import ConfigError
+        with pytest.raises(ConfigError):
+            CampaignConfig(retry_jitter=-0.1, **SMALL).validate()
+
+
+# ---------------------------------------------------------------------------
+# Crash consistency of every fsync'd journal and queue file.
+# ---------------------------------------------------------------------------
+
+# A detail string whose JSON encoding ends in multi-byte UTF-8, so a
+# byte-level truncation of the final record splits a sequence.
+MULTIBYTE = "péché λόγος ✓"
+
+
+def truncate_tail_bytes(path, count=2):
+    """Cut the last ``count`` bytes — mid-UTF-8-sequence by design."""
+    size = os.path.getsize(path)
+    with open(path, "rb+") as stream:
+        stream.truncate(size - count)
+
+
+class TestJournalCrashConsistency:
+    def test_buglog_tolerates_truncated_multibyte_tail(self, tmp_path):
+        from repro.fuzz import BugLog, Finding
+        path = str(tmp_path / "bugs.jsonl")
+        log = BugLog(path, fsync=True)
+        log.record(Finding(kind="crash", seed=1, detail="plain"))
+        log.record(Finding(kind="miscompilation", seed=2, detail=MULTIBYTE))
+        truncate_tail_bytes(path)
+        loaded = BugLog.load(path)
+        assert [f.seed for f in loaded.findings] == [1]
+
+    def test_buglog_tolerates_torn_write_tail(self, tmp_path):
+        from repro.fuzz import BugLog, Finding, torn_write
+        path = str(tmp_path / "bugs.jsonl")
+        log = BugLog(path, fsync=True)
+        log.record(Finding(kind="crash", seed=1))
+        with open(path, "rb") as stream:
+            good = stream.read()
+        partial = Finding(kind="crash", seed=2,
+                          detail=MULTIBYTE).to_json().encode("utf-8")
+        torn_write(path, good + partial, fraction=0.9)
+        loaded = BugLog.load(path)
+        assert [f.seed for f in loaded.findings] == [1]
+
+    def test_corpus_journal_tolerates_truncated_multibyte_tail(
+            self, tmp_path):
+        from repro.fuzz import Corpus, CorpusEntry, CorpusJournal
+        path = str(tmp_path / "corpus.jsonl")
+        journal = CorpusJournal(path)
+        corpus = Corpus(max_size=8, journal=journal)
+        corpus.consider(CorpusEntry(text="a", fingerprint="fa",
+                                    features=frozenset(("x",))))
+        corpus.consider(CorpusEntry(text=MULTIBYTE, fingerprint="fb",
+                                    features=frozenset(("y",))))
+        journal.close()
+        truncate_tail_bytes(path)
+        loaded = Corpus.load(path, max_size=8)
+        assert [e.fingerprint for e in loaded.entries()] == ["fa"]
+
+    def test_checkpoint_journal_tolerates_truncated_multibyte_tail(
+            self, tmp_path, reference):
+        from repro.fuzz.checkpoint import JOURNAL_NAME
+        config = CampaignConfig(workers=1, checkpoint_dir=str(tmp_path),
+                                **SMALL)
+        run_campaign(config)
+        path = os.path.join(str(tmp_path), JOURNAL_NAME)
+        # Graft a record whose tail is a split multi-byte sequence.
+        with open(path, "ab") as stream:
+            stream.write(json.dumps({"kind": "shard", "job_index": 99,
+                                     "error": MULTIBYTE}).encode()[:-2])
+        resumed = run_campaign(config, resume=True)
+        assert report_key(resumed) == report_key(reference)
+
+    def test_damage_journal_on_corpus_journal(self, tmp_path):
+        from repro.fuzz import (Corpus, CorpusEntry, CorpusJournal,
+                                damage_journal)
+        path = str(tmp_path / "corpus.jsonl")
+        journal = CorpusJournal(path)
+        corpus = Corpus(max_size=8, journal=journal)
+        corpus.consider(CorpusEntry(text="a", fingerprint="fa",
+                                    features=frozenset(("x",))))
+        corpus.consider(CorpusEntry(text="b", fingerprint="fb",
+                                    features=frozenset(("y",))))
+        journal.close()
+        damage_journal(path)
+        loaded = Corpus.load(path, max_size=8)
+        assert [e.fingerprint for e in loaded.entries()] == ["fa"]
+
+    def test_damage_journal_on_single_record_queue_file(self, tmp_path):
+        from repro.fuzz import damage_journal
+        from repro.fuzz.dist import WorkQueue
+        queue = WorkQueue(str(tmp_path), node="n1")
+        queue._write_atomic(queue.lease_path(0),
+                            {"kind": "lease", "node": "n1", "attempt": 1,
+                             "claimed_at": 0.0, "expires_at": 9.0})
+        with pytest.raises(ValueError):
+            damage_journal(queue.lease_path(0))  # journal contract kept
+        damage_journal(queue.lease_path(0), allow_single=True)
+        assert queue.read_lease(0) is None  # damaged == absent
+
+    def test_torn_queue_files_read_as_absent(self, tmp_path):
+        from repro.fuzz import torn_write
+        from repro.fuzz.dist import WorkQueue
+        queue = WorkQueue(str(tmp_path), node="n1")
+        payload = json.dumps({"kind": "manifest", "fingerprint": "f" * 64,
+                              "detail": MULTIBYTE}).encode("utf-8")
+        torn_write(queue.manifest_path(), payload, fraction=0.6)
+        assert queue.manifest() is None
+        os.makedirs(os.path.dirname(queue.tombstone_path(0)), exist_ok=True)
+        torn_write(queue.tombstone_path(0), payload, fraction=0.3)
+        assert not queue.has_tombstone(0)
