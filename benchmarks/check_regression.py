@@ -2,15 +2,22 @@
 """Gate benchmark summaries against the committed baseline.
 
 Reads the normalized ``BENCH_*.json`` summaries that the benchmark
-modules write under ``benchmarks/out/`` and compares them against
-``benchmarks/baseline.json``.  Deterministic metrics must match the
-baseline exactly; performance metrics may not regress by more than
+modules write under ``benchmarks/out/`` and compares them against a
+committed baseline.  Deterministic metrics must match the baseline
+exactly; performance metrics may not regress by more than
 ``--tolerance`` (default 25%).
 
-To refresh the baseline after an intentional workload change, run the
-benches with ``BENCH_QUICK=1`` and copy the new deterministic values
-from ``benchmarks/out/BENCH_*.json`` into ``baseline.json`` (leave the
-conservative performance floors alone unless the workload shape moved).
+Two baseline modes exist, selected with ``--mode``: ``quick`` (the
+``BENCH_QUICK=1`` smoke workload CI's bench-smoke job runs, gated by
+``baseline.json``) and ``full`` (the unscaled suite the nightly-bench
+workflow runs, gated by ``baseline_full.json``).
+
+To refresh a baseline after an intentional workload change, run the
+suite in the matching mode and then ``check_regression.py --mode <mode>
+--update``: exact metrics are copied from the fresh summaries and every
+performance floor is backed off by ``--backoff`` (default 20%) below
+the measured value, so runner variance does not turn the gate into a
+coin flip.  Review the diff before committing it.
 
 Exit status: 0 when every gate passes, 1 on any regression, 2 when a
 required summary file is missing.
@@ -22,7 +29,10 @@ import os
 import sys
 
 HERE = os.path.dirname(os.path.abspath(__file__))
-DEFAULT_BASELINE = os.path.join(HERE, "baseline.json")
+BASELINES = {
+    "quick": os.path.join(HERE, "baseline.json"),
+    "full": os.path.join(HERE, "baseline_full.json"),
+}
 DEFAULT_OUT_DIR = os.path.join(HERE, "out")
 
 # (baseline section, summary file, metric, kind)
@@ -52,41 +62,49 @@ GATES = [
     ("exec_compile", "BENCH_exec_compile.json", "speedup", "floor"),
     ("exec_compile", "BENCH_exec_compile.json", "plan_hit_rate", "floor"),
     ("exec_compile", "BENCH_exec_compile.json", "checks_per_sec", "floor"),
+    # floor 2.0 - 25% = 1.5x: the E10 acceptance criterion.
+    ("batch_exec", "BENCH_batch_exec.json", "pairs", "exact"),
+    ("batch_exec", "BENCH_batch_exec.json", "scalar_fallbacks", "exact"),
+    ("batch_exec", "BENCH_batch_exec.json", "speedup", "floor"),
+    ("batch_exec", "BENCH_batch_exec.json", "lanes_per_batch", "floor"),
+    ("batch_exec", "BENCH_batch_exec.json", "checks_per_sec", "floor"),
     ("throughput", "BENCH_throughput.json", "files", "exact"),
     ("throughput", "BENCH_throughput.json", "invalid_files", "exact"),
     ("throughput", "BENCH_throughput.json", "not_verified_files", "exact"),
     ("throughput", "BENCH_throughput.json", "speedup_avg", "floor"),
 ]
 
+_NOTE = (
+    "{mode}-mode reference for check_regression.py. Metrics gated 'exact' "
+    "are deterministic for the seeded {mode} workload; metrics gated "
+    "'floor' fail when they drop more than the tolerance (default 25%) "
+    "below the value here. Floors are written by --update with a "
+    "conservative back-off below the measured run to absorb CI-runner "
+    "variance."
+)
 
-def main(argv=None):
-    parser = argparse.ArgumentParser(
-        description="Compare BENCH_*.json summaries against baseline.json",
-    )
-    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
-    parser.add_argument("--out-dir", default=DEFAULT_OUT_DIR)
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.25,
-        help="allowed fractional drop for 'floor' metrics (default 0.25)",
-    )
-    args = parser.parse_args(argv)
 
-    with open(args.baseline) as stream:
-        baseline = json.load(stream)
-
+def load_summaries(out_dir):
+    """Read every summary file the gates reference; None if one is
+    missing (the caller reports and exits 2)."""
     summaries = {}
+    for _, file_name, _, _ in GATES:
+        if file_name in summaries:
+            continue
+        path = os.path.join(out_dir, file_name)
+        if not os.path.exists(path):
+            print(f"missing summary: {path}", file=sys.stderr)
+            return None
+        with open(path) as stream:
+            summaries[file_name] = json.load(stream)
+    return summaries
+
+
+def check(baseline, summaries, tolerance):
+    """Compare summaries against the baseline; returns failure list."""
     failures = []
     checked = 0
     for section, file_name, metric, kind in GATES:
-        if file_name not in summaries:
-            path = os.path.join(args.out_dir, file_name)
-            if not os.path.exists(path):
-                print(f"missing summary: {path}", file=sys.stderr)
-                return 2
-            with open(path) as stream:
-                summaries[file_name] = json.load(stream)
         expected = baseline.get(section, {}).get(metric)
         if expected is None:
             continue  # metric not pinned by this baseline
@@ -100,16 +118,96 @@ def main(argv=None):
             ok = actual == expected
             detail = f"expected exactly {expected}, got {actual}"
         else:
-            floor = expected * (1.0 - args.tolerance)
+            floor = expected * (1.0 - tolerance)
             ok = actual >= floor
             detail = (
                 f"floor {floor:.4f} (baseline {expected} "
-                f"- {args.tolerance:.0%}), got {actual}"
+                f"- {tolerance:.0%}), got {actual}"
             )
         print(f"{'ok  ' if ok else 'FAIL'} {section}.{metric}: {detail}")
         if not ok:
             failures.append(f"{section}.{metric}: {detail}")
+    return failures, checked
 
+
+def rebuild(summaries, mode, backoff):
+    """A fresh baseline document from the latest summaries: exact
+    metrics copied, performance floors backed off conservatively."""
+    baseline = {
+        "_note": _NOTE.format(mode=mode),
+        "schema": 1,
+        "mode": mode,
+    }
+    missing = []
+    for section, file_name, metric, kind in GATES:
+        actual = summaries[file_name].get(metric)
+        if actual is None:
+            missing.append(f"{section}.{metric} missing from {file_name}")
+            continue
+        if kind == "floor":
+            actual = round(actual * (1.0 - backoff), 4)
+        baseline.setdefault(section, {})[metric] = actual
+    return baseline, missing
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Compare BENCH_*.json summaries against baseline.json",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=sorted(BASELINES),
+        default="quick",
+        help="workload the summaries came from: quick (BENCH_QUICK=1 "
+        "smoke) or full (the nightly unscaled suite)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: per-mode committed baseline)",
+    )
+    parser.add_argument("--out-dir", default=DEFAULT_OUT_DIR)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop for 'floor' metrics (default 0.25)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the latest summaries instead "
+        "of checking against it",
+    )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.20,
+        help="fractional back-off applied to 'floor' metrics when "
+        "rewriting the baseline with --update (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    baseline_path = args.baseline or BASELINES[args.mode]
+
+    summaries = load_summaries(args.out_dir)
+    if summaries is None:
+        return 2
+
+    if args.update:
+        baseline, missing = rebuild(summaries, args.mode, args.backoff)
+        if missing:
+            for entry in missing:
+                print(f"cannot update: {entry}", file=sys.stderr)
+            return 2
+        with open(baseline_path, "w") as stream:
+            json.dump(baseline, stream, indent=2)
+            stream.write("\n")
+        print(f"wrote {baseline_path} from {args.out_dir} summaries")
+        return 0
+
+    with open(baseline_path) as stream:
+        baseline = json.load(stream)
+    failures, checked = check(baseline, summaries, args.tolerance)
     if failures:
         print(
             f"\n{len(failures)} regression(s) out of {checked} gates",

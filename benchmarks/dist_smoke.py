@@ -31,8 +31,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 from repro.fuzz import CampaignConfig, run_campaign  # noqa: E402
 from repro.fuzz.dist import DistConfig  # noqa: E402
 
-SMOKE = dict(corpus_size=6, mutants_per_file=12, max_inputs=8,
-             pipelines=("O2",))
+SMOKE = dict(corpus_size=6, mutants_per_file=12, max_inputs=8, pipelines=("O2",))
 VICTIM = "smoke-victim"
 SURVIVOR = "smoke-survivor"
 
@@ -41,9 +40,10 @@ def report_key(report):
     return {
         "total_iterations": report.total_iterations,
         "total_findings": report.total_findings,
-        "outcomes": {bug_id: [o.found, o.first_file, o.first_seed,
-                              o.findings]
-                     for bug_id, o in sorted(report.outcomes.items())},
+        "outcomes": {
+            bug_id: [o.found, o.first_file, o.first_seed, o.findings]
+            for bug_id, o in sorted(report.outcomes.items())
+        },
         "failed_shards": len(report.failed_shards),
         "quarantined": len(report.quarantined),
     }
@@ -52,13 +52,27 @@ def report_key(report):
 def spawn_node(name, queue_dir):
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
-        p for p in ("src", env.get("PYTHONPATH", "")) if p)
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
     return subprocess.Popen(
-        [sys.executable, "-m", "repro.cli.alive_mutate",
-         "--node", name, "--queue-dir", queue_dir,
-         "--wait-manifest", "60", "-j", "1"],
-        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
-        text=True)
+        [
+            sys.executable,
+            "-m",
+            "repro.cli.alive_mutate",
+            "--node",
+            name,
+            "--queue-dir",
+            queue_dir,
+            "--wait-manifest",
+            "60",
+            "-j",
+            "1",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
 
 
 def wait_for_lease(queue_dir, node, timeout=60.0):
@@ -86,15 +100,23 @@ def wait_for_lease(queue_dir, node, timeout=60.0):
 def main():
     print("dist-smoke: single-host reference run ...", flush=True)
     reference = run_campaign(CampaignConfig(workers=1, **SMOKE))
-    print(f"dist-smoke: reference: {reference.total_iterations} iterations, "
-          f"{reference.total_findings} findings", flush=True)
+    print(
+        f"dist-smoke: reference: {reference.total_iterations} iterations, "
+        f"{reference.total_findings} findings",
+        flush=True,
+    )
 
     queue_dir = os.path.join(tempfile.mkdtemp(prefix="dist-smoke-"), "queue")
     config = CampaignConfig(
         workers=1,
-        dist=DistConfig(queue_dir=queue_dir, lease_duration=3.0,
-                        max_attempts=5, wait_timeout=300.0),
-        **SMOKE)
+        dist=DistConfig(
+            queue_dir=queue_dir,
+            lease_duration=3.0,
+            max_attempts=5,
+            wait_timeout=300.0,
+        ),
+        **SMOKE,
+    )
 
     box = {}
 
@@ -111,11 +133,17 @@ def main():
         if wait_for_lease(queue_dir, VICTIM, timeout=60.0):
             victim.send_signal(signal.SIGKILL)
             killed = True
-            print(f"dist-smoke: SIGKILLed {VICTIM} (pid {victim.pid}) "
-                  "while it held a lease", flush=True)
+            print(
+                f"dist-smoke: SIGKILLed {VICTIM} (pid {victim.pid}) "
+                "while it held a lease",
+                flush=True,
+            )
         else:
-            print(f"dist-smoke: {VICTIM} never claimed a lease",
-                  file=sys.stderr, flush=True)
+            print(
+                f"dist-smoke: {VICTIM} never claimed a lease",
+                file=sys.stderr,
+                flush=True,
+            )
         coordinator.join(timeout=300)
         if coordinator.is_alive():
             print("dist-smoke: coordinator did not finish", file=sys.stderr)
@@ -129,8 +157,11 @@ def main():
     if not killed:
         # The victim drained too fast to be killed mid-lease (tiny CI
         # runners); parity must hold regardless, but say so.
-        print("dist-smoke: node kill was not injected; checking parity "
-              "of the clean two-node run", flush=True)
+        print(
+            "dist-smoke: node kill was not injected; checking parity "
+            "of the clean two-node run",
+            flush=True,
+        )
 
     survivor_output = survivor.stdout.read() if survivor.stdout else ""
     print("dist-smoke: survivor output:", flush=True)
@@ -141,18 +172,18 @@ def main():
     expected, actual = report_key(reference), report_key(report)
     if actual != expected:
         print("dist-smoke: PARITY FAILURE", file=sys.stderr)
-        print(f"  expected: {json.dumps(expected, indent=2)}",
-              file=sys.stderr)
-        print(f"  actual:   {json.dumps(actual, indent=2)}",
-              file=sys.stderr)
+        print(f"  expected: {json.dumps(expected, indent=2)}", file=sys.stderr)
+        print(f"  actual:   {json.dumps(actual, indent=2)}", file=sys.stderr)
         return 1
     if report.metrics.deterministic() != reference.metrics.deterministic():
-        print("dist-smoke: deterministic() metrics diverged",
-              file=sys.stderr)
+        print("dist-smoke: deterministic() metrics diverged", file=sys.stderr)
         return 1
-    print(f"dist-smoke: OK — {report.total_iterations} iterations, "
-          f"{report.total_findings} findings, parity with single-host run "
-          f"(node kill injected: {killed})", flush=True)
+    print(
+        f"dist-smoke: OK — {report.total_iterations} iterations, "
+        f"{report.total_findings} findings, parity with single-host run "
+        f"(node kill injected: {killed})",
+        flush=True,
+    )
     return 0
 
 

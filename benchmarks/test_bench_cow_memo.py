@@ -37,9 +37,7 @@ def _workload() -> str:
         lines.append(f"define i128 @cold{index}(i128 %x) {{")
         prev = "%x"
         for step in range(COLD_BODY_ADDS):
-            lines.append(
-                f"  %v{step} = add i128 {prev}, {index * 31 + step + 1}"
-            )
+            lines.append(f"  %v{step} = add i128 {prev}, {index * 31 + step + 1}")
             prev = f"%v{step}"
         lines += [f"  ret i128 {prev}", "}", ""]
     lines += [
@@ -96,8 +94,7 @@ def test_bench_cow_memo_ablation(benchmark):
                 for offset in range(BATCH):
                     found = driver.run_one(round_index * BATCH + offset)
                     findings[mode].extend(_finding_keys(found))
-                results[mode] = min(results[mode],
-                                    time.perf_counter() - begin)
+                results[mode] = min(results[mode], time.perf_counter() - begin)
 
     benchmark.pedantic(measure_both, rounds=1, iterations=1)
 

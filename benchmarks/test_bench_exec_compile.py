@@ -19,8 +19,7 @@ from repro.fuzz import FuzzConfig, FuzzDriver, corpus_modules
 from repro.ir import parse_module
 from repro.mutate import MutatorConfig
 from repro.opt import OptContext, PassManager
-from repro.tv import (RefinementConfig, check_refinement,
-                      reset_global_plan_cache)
+from repro.tv import RefinementConfig, check_refinement, reset_global_plan_cache
 
 from bench_utils import scaled, write_json, write_report
 
@@ -59,9 +58,11 @@ def test_bench_exec_compile_ablation(benchmark):
             result = check_refinement(
                 src_module.get_function(name),
                 tgt_module.get_function(name),
-                src_module, tgt_module, config)
-            observed.append((name, result.verdict.value,
-                             str(result.counterexample)))
+                src_module,
+                tgt_module,
+                config,
+            )
+            observed.append((name, result.verdict.value, str(result.counterexample)))
         return observed
 
     def measure_both():
@@ -70,12 +71,10 @@ def test_bench_exec_compile_ablation(benchmark):
         # comparison.  The plan cache warms on the first compiled
         # round, exactly as it would across a long campaign.
         for _ in range(ROUNDS):
-            for mode, compiled in (("compiled", True),
-                                   ("treewalk", False)):
+            for mode, compiled in (("compiled", True), ("treewalk", False)):
                 begin = time.perf_counter()
                 verdicts[mode] = verify_all(compiled)
-                results[mode] = min(results[mode],
-                                    time.perf_counter() - begin)
+                results[mode] = min(results[mode], time.perf_counter() - begin)
 
     benchmark.pedantic(measure_both, rounds=1, iterations=1)
 
@@ -86,8 +85,7 @@ def test_bench_exec_compile_ablation(benchmark):
     lookups = hits + misses
     plan_hit_rate = hits / lookups if lookups else 0.0
     speedup = results["treewalk"] / results["compiled"]
-    unsound = sum(1 for _, verdict, _ in verdicts["compiled"]
-                  if verdict == "unsound")
+    unsound = sum(1 for _, verdict, _ in verdicts["compiled"] if verdict == "unsound")
 
     payload = {
         "bench": "exec_compile",
@@ -150,8 +148,7 @@ def test_bench_exec_compile_driver_parity(benchmark):
             tv=RefinementConfig(max_inputs=12, compiled=compiled),
             enabled_bugs=("53252",),
         )
-        return FuzzDriver(parse_module(seed_text), config,
-                          file_name="bench.ll")
+        return FuzzDriver(parse_module(seed_text), config, file_name="bench.ll")
 
     def run_both():
         reset_global_plan_cache()
@@ -159,12 +156,17 @@ def test_bench_exec_compile_driver_parity(benchmark):
         walked_driver = driver_for(False)
         compiled_report = compiled_driver.run(iterations=mutants)
         walked_report = walked_driver.run(iterations=mutants)
+
         def keys(report):
-            return [(f.seed, f.kind, f.function, tuple(f.bug_ids))
-                    for f in report.findings]
+            return [
+                (f.seed, f.kind, f.function, tuple(f.bug_ids))
+                for f in report.findings
+            ]
         assert keys(compiled_report) == keys(walked_report)
-        assert compiled_driver.metrics.deterministic() == \
-            walked_driver.metrics.deterministic()
+        assert (
+            compiled_driver.metrics.deterministic()
+            == walked_driver.metrics.deterministic()
+        )
         hits = compiled_driver.metrics.counter("exec.plan_cache.hit")
         misses = compiled_driver.metrics.counter("exec.plan_cache.miss")
         assert hits > 0  # repeated functions are served from cache

@@ -62,8 +62,9 @@ def _config(guided: bool, base_seed: int) -> FuzzConfig:
 
 def _iterations_to_find(guided: bool, base_seed: int) -> int:
     """Iterations until bug 53252 is found (CAP if the budget runs out)."""
-    driver = FuzzDriver(parse_module(CLAMP), _config(guided, base_seed),
-                        file_name="bench.ll")
+    driver = FuzzDriver(
+        parse_module(CLAMP), _config(guided, base_seed), file_name="bench.ll"
+    )
     try:
         for offset in range(CAP):
             findings = driver.run_one(base_seed + offset)
@@ -103,7 +104,8 @@ def test_bench_feedback_ablation(benchmark):
     assert guided_found == TRIALS
     assert speedup >= MIN_SPEEDUP, (
         f"guided loop took {guided_total} iterations vs {blind_total} "
-        f"blind ({speedup:.2f}x < {MIN_SPEEDUP}x)")
+        f"blind ({speedup:.2f}x < {MIN_SPEEDUP}x)"
+    )
 
     payload = {
         "bench": "feedback",

@@ -39,8 +39,7 @@ define i32 @test9(ptr %p, ptr %q) {
 @pytest.fixture(scope="module")
 def prepared():
     module = parse_module(SEED_TEXT)
-    infos = {fn.name: OriginalFunctionInfo(fn)
-             for fn in module.definitions()}
+    infos = {fn.name: OriginalFunctionInfo(fn) for fn in module.definitions()}
     return module, infos
 
 
@@ -72,13 +71,14 @@ def test_bench_mutation_applicability(benchmark):
             applied = attempts = 0
             for name, text in corpus:
                 module = parse_module(text, name)
-                infos = {fn.name: OriginalFunctionInfo(fn)
-                         for fn in module.definitions()}
+                infos = {
+                    fn.name: OriginalFunctionInfo(fn)
+                    for fn in module.definitions()
+                }
                 for seed in range(6):
                     clone = module.clone()
                     for fn_name, info in infos.items():
-                        overlay = MutantOverlay(
-                            clone.get_function(fn_name), info)
+                        overlay = MutantOverlay(clone.get_function(fn_name), info)
                         attempts += 1
                         if mutation(overlay, MutationRNG(seed * 977 + 1)):
                             applied += 1
@@ -104,8 +104,7 @@ def test_bench_mutation_applicability(benchmark):
 
 def test_bench_full_engine_throughput(benchmark):
     """Whole-engine mutant creation rate (all operators, weighted)."""
-    mutator = Mutator(parse_module(SEED_TEXT),
-                      MutatorConfig(max_mutations=3))
+    mutator = Mutator(parse_module(SEED_TEXT), MutatorConfig(max_mutations=3))
     counter = iter(range(10**9))
 
     def create():

@@ -31,8 +31,7 @@ def test_bench_process_spawn_overhead(benchmark):
     """Cost of one no-op tool process (spawn + interpreter + teardown)."""
 
     def spawn():
-        subprocess.run([sys.executable, "-c", "import repro"],
-                       capture_output=True)
+        subprocess.run([sys.executable, "-c", "import repro"], capture_output=True)
 
     benchmark.pedantic(spawn, rounds=5, iterations=1)
 
@@ -78,10 +77,13 @@ def test_bench_stage_decomposition(benchmark, sample):
     def fresh_driver():
         return FuzzDriver(
             parse_module(text, name),
-            FuzzConfig(pipeline="O2",
-                       mutator=MutatorConfig(max_mutations=3),
-                       tv=RefinementConfig(max_inputs=8)),
-            file_name=name)
+            FuzzConfig(
+                pipeline="O2",
+                mutator=MutatorConfig(max_mutations=3),
+                tv=RefinementConfig(max_inputs=8),
+            ),
+            file_name=name,
+        )
 
     def run_batch():
         # One warm-up batch pays the one-time costs (imports, execution
@@ -103,8 +105,7 @@ def test_bench_stage_decomposition(benchmark, sample):
 
     # Measure the discrete-only overheads once each.
     begin = time.perf_counter()
-    subprocess.run([sys.executable, "-c", "import repro"],
-                   capture_output=True)
+    subprocess.run([sys.executable, "-c", "import repro"], capture_output=True)
     spawn = time.perf_counter() - begin
 
     module = parse_module(text)

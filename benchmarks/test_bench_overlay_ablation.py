@@ -18,8 +18,12 @@ from bench_utils import write_report
 def _make_cfg_heavy_seed(diamonds: int = 16) -> str:
     """A chain of diamonds: 2 + 3*diamonds blocks, so dominator-tree
     construction is a real cost relative to cloning."""
-    lines = ["define i32 @f(i32 %x, i32 %y) {", "entry:",
-             "  %v0 = add i32 %x, %y", "  br label %d0_head"]
+    lines = [
+        "define i32 @f(i32 %x, i32 %y) {",
+        "entry:",
+        "  %v0 = add i32 %x, %y",
+        "  br label %d0_head",
+    ]
     for i in range(diamonds):
         lines += [
             f"d{i}_head:",
@@ -48,10 +52,14 @@ MUTANTS = 300
 
 
 def _mutator(mode: str) -> Mutator:
-    return Mutator(parse_module(SEED_TEXT),
-                   MutatorConfig(max_mutations=3,
-                                 enabled_mutations=DOMINANCE_HEAVY,
-                                 overlay_mode=mode))
+    return Mutator(
+        parse_module(SEED_TEXT),
+        MutatorConfig(
+            max_mutations=3,
+            enabled_mutations=DOMINANCE_HEAVY,
+            overlay_mode=mode,
+        ),
+    )
 
 
 @pytest.mark.parametrize("mode", ["two-level", "recompute"])
@@ -76,15 +84,13 @@ def test_bench_overlay_ablation_summary(benchmark):
         # Interleave the two modes round-robin and keep each mode's best
         # round, so a transient load spike cannot skew the comparison.
         best = {"two-level": float("inf"), "recompute": float("inf")}
-        mutators = {mode: _mutator(mode)
-                    for mode in ("two-level", "recompute")}
+        mutators = {mode: _mutator(mode) for mode in ("two-level", "recompute")}
         for round_index in range(ROUNDS):
             for mode, mutator in mutators.items():
                 begin = time.perf_counter()
                 for seed in range(BATCH):
                     mutator.create_mutant(round_index * BATCH + seed)
-                best[mode] = min(best[mode],
-                                 time.perf_counter() - begin)
+                best[mode] = min(best[mode], time.perf_counter() - begin)
         results.update(best)
 
     benchmark.pedantic(measure_both, rounds=1, iterations=1)

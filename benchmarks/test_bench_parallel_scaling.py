@@ -30,8 +30,10 @@ def _campaign_config(workers):
 
 
 def _attribution_key(report):
-    return {bug_id: (outcome.found, outcome.first_file, outcome.first_seed)
-            for bug_id, outcome in report.outcomes.items()}
+    return {
+        bug_id: (outcome.found, outcome.first_file, outcome.first_seed)
+        for bug_id, outcome in report.outcomes.items()
+    }
 
 
 def test_bench_parallel_scaling(benchmark):
@@ -51,8 +53,10 @@ def test_bench_parallel_scaling(benchmark):
     rows = holder["rows"]
 
     base_elapsed = rows[0][1]
-    header = (f"{'workers':>7} {'elapsed_s':>10} {'mutants/s':>10} "
-              f"{'speedup':>8} {'bugs':>5} {'failed':>7} {'skipped':>8}")
+    header = (
+        f"{'workers':>7} {'elapsed_s':>10} {'mutants/s':>10} "
+        f"{'speedup':>8} {'bugs':>5} {'failed':>7} {'skipped':>8}"
+    )
     lines = [
         "parallel campaign scaling "
         f"(corpus={CORPUS_SIZE}, mutants/file={MUTANTS_PER_FILE}, "
@@ -64,7 +68,8 @@ def test_bench_parallel_scaling(benchmark):
             f"{workers:>7} {elapsed:>10.2f} {report.throughput:>10.0f} "
             f"{base_elapsed / elapsed:>8.2f} "
             f"{len(report.found_bugs()):>5} "
-            f"{len(report.failed_shards):>7} {report.skipped_jobs:>8}")
+            f"{len(report.failed_shards):>7} {report.skipped_jobs:>8}"
+        )
     text = "\n".join(lines) + "\n"
     write_report("parallel_scaling.txt", text)
     print("\n" + text)
@@ -72,10 +77,10 @@ def test_bench_parallel_scaling(benchmark):
     # The engine's contract: sharding never changes what is found.
     base_key = _attribution_key(rows[0][2])
     for workers, _, report in rows[1:]:
-        assert _attribution_key(report) == base_key, \
+        assert _attribution_key(report) == base_key, (
             f"workers={workers} diverged from the sequential report"
+        )
     base = rows[0][2]
-    assert all(r.total_iterations == base.total_iterations
-               for _, _, r in rows)
+    assert all(r.total_iterations == base.total_iterations for _, _, r in rows)
     assert not base.failed_shards
     assert base.total_iterations > 0

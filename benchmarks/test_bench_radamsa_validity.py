@@ -23,7 +23,8 @@ def test_bench_radamsa_validity_study(benchmark):
 
     def study():
         holder["stats"] = run_validity_study(
-            corpus, mutants_per_file=MUTANTS_PER_FILE, seed=0)
+            corpus, mutants_per_file=MUTANTS_PER_FILE, seed=0
+        )
         return holder["stats"]
 
     benchmark.pedantic(study, rounds=1, iterations=1)
@@ -32,8 +33,7 @@ def test_bench_radamsa_validity_study(benchmark):
     # Alive-mutate on the same corpus: count valid mutants.
     total = valid = 0
     for name, text in corpus:
-        mutator = Mutator(parse_module(text, name),
-                          MutatorConfig(max_mutations=3))
+        mutator = Mutator(parse_module(text, name), MutatorConfig(max_mutations=3))
         for seed in range(MUTANTS_PER_FILE):
             mutant, _ = mutator.create_mutant(seed)
             total += 1

@@ -56,7 +56,8 @@ def test_bench_table1_campaign(benchmark):
     # Shape assertions.
     assert len(report.outcomes) == 33
     assert len(report.found_bugs()) >= FOUND_FLOOR, [
-        o.bug.issue_id for o in report.outcomes.values() if not o.found]
+        o.bug.issue_id for o in report.outcomes.values() if not o.found
+    ]
     assert miscompilations >= MISCOMPILATION_FLOOR
     assert crashes >= CRASH_FLOOR
     # The optimizer itself is clean: every finding traces to a seeded bug.
@@ -74,10 +75,14 @@ def test_bench_campaign_single_file_rate(benchmark):
     name, text = generate_corpus(2, seed=5)[0]
     driver = FuzzDriver(
         parse_module(text, name),
-        FuzzConfig(pipeline="O2+backend", enabled_bugs=all_bug_ids(),
-                   mutator=MutatorConfig(max_mutations=3),
-                   tv=RefinementConfig(max_inputs=16)),
-        file_name=name)
+        FuzzConfig(
+            pipeline="O2+backend",
+            enabled_bugs=all_bug_ids(),
+            mutator=MutatorConfig(max_mutations=3),
+            tv=RefinementConfig(max_inputs=16),
+        ),
+        file_name=name,
+    )
     counter = iter(range(10**9))
 
     def one_iteration():

@@ -11,9 +11,15 @@ format) to ``benchmarks/out/``.
 """
 
 
-from repro.fuzz import (DiscreteConfig, FuzzConfig, FuzzDriver,
-                        ThroughputConfig, generate_corpus,
-                        run_discrete_workflow, run_throughput_experiment)
+from repro.fuzz import (
+    DiscreteConfig,
+    FuzzConfig,
+    FuzzDriver,
+    ThroughputConfig,
+    generate_corpus,
+    run_discrete_workflow,
+    run_throughput_experiment,
+)
 from repro.ir import parse_module
 from repro.mutate import MutatorConfig
 from repro.obs import throughput_summary
@@ -28,10 +34,13 @@ MUTANTS_PER_FILE = scaled(40, 15)  # paper: 1000 mutants per file
 def _driver(text, name):
     return FuzzDriver(
         parse_module(text, name),
-        FuzzConfig(pipeline="O2",
-                   mutator=MutatorConfig(max_mutations=3),
-                   tv=RefinementConfig(max_inputs=8)),
-        file_name=name)
+        FuzzConfig(
+            pipeline="O2",
+            mutator=MutatorConfig(max_mutations=3),
+            tv=RefinementConfig(max_inputs=8),
+        ),
+        file_name=name,
+    )
 
 
 def test_bench_in_process_iteration(benchmark):
@@ -55,8 +64,8 @@ def test_bench_discrete_iteration(benchmark, tmp_path):
 
     def one_iteration():
         run_discrete_workflow(
-            str(path), 1,
-            DiscreteConfig(base_seed=next(counter), max_inputs=8))
+            str(path), 1, DiscreteConfig(base_seed=next(counter), max_inputs=8)
+        )
 
     benchmark.pedantic(one_iteration, rounds=5, iterations=1)
 
@@ -64,8 +73,7 @@ def test_bench_discrete_iteration(benchmark, tmp_path):
 def test_bench_full_throughput_experiment(benchmark):
     """The full §V-B comparison; regenerates res.txt (Listing 20)."""
     corpus = generate_corpus(CORPUS_FILES, seed=42)
-    config = ThroughputConfig(count=MUTANTS_PER_FILE, pipeline="O2",
-                              max_inputs=8)
+    config = ThroughputConfig(count=MUTANTS_PER_FILE, pipeline="O2", max_inputs=8)
     holder = {}
 
     def experiment():
@@ -93,10 +101,12 @@ def test_bench_full_throughput_experiment(benchmark):
     # mutants per file leave the per-file ratio noisier.
     assert report.timings, "no files measured"
     assert report.average_perf > scaled(5.0, 3.0), (
-        "in-process workflow should be several times faster on average")
+        "in-process workflow should be several times faster on average"
+    )
     assert report.best_perf > report.average_perf
     assert report.worst_perf > 0.5, (
-        "even the worst case should never be dramatically slower")
+        "even the worst case should never be dramatically slower"
+    )
     assert not report.not_verified, "clean pipeline must verify everywhere"
 
 
@@ -110,8 +120,7 @@ def test_bench_throughput_large_files(benchmark):
     from repro.fuzz import generate_large_corpus
 
     corpus = generate_large_corpus(scaled(4, 2), seed=42)
-    config = ThroughputConfig(count=scaled(15, 6), pipeline="O2",
-                              max_inputs=8)
+    config = ThroughputConfig(count=scaled(15, 6), pipeline="O2", max_inputs=8)
     holder = {}
 
     def experiment():

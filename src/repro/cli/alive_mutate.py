@@ -182,6 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "tree-walk the IR during verification (the "
                              "interpreter ablation; findings are "
                              "identical either way, throughput is not)")
+    parser.add_argument("--no-batched-exec", action="store_true",
+                        help="run enumerated inputs one at a time "
+                             "instead of struct-of-arrays batches (the "
+                             "batching ablation; findings are identical "
+                             "either way, throughput is not)")
     parser.add_argument("--verify-mutants", action="store_true",
                         help="run the IR verifier on every mutant")
     return parser
@@ -248,7 +253,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         enabled_bugs=tuple(args.enable_bug),
         mutator=mutator_config,
         tv=RefinementConfig(max_inputs=args.max_inputs,
-                            compiled=not args.no_compiled_exec),
+                            compiled=not args.no_compiled_exec,
+                            batched=not args.no_batched_exec),
         base_seed=args.seed,
         save_dir=args.save_dir,
         save_all=args.saveAll and args.save_dir is not None,

@@ -29,6 +29,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="tree-walk the IR instead of compiling "
                              "execution plans (verdicts are identical "
                              "either way)")
+    parser.add_argument("--no-batched-exec", action="store_true",
+                        help="run enumerated inputs one at a time "
+                             "instead of struct-of-arrays batches "
+                             "(verdicts are identical either way)")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="only set the exit code")
     return parser
@@ -44,7 +48,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     config = RefinementConfig(max_inputs=args.max_inputs, seed=args.seed,
-                              compiled=not args.no_compiled_exec)
+                              compiled=not args.no_compiled_exec,
+                              batched=not args.no_batched_exec)
     results = check_module_refinement(source, target, config)
     unsound = 0
     for name, result in results.items():

@@ -24,7 +24,7 @@ from ..mutate import MutantRecord, Mutator, MutatorConfig
 from ..obs import NULL_TRACER, MetricsRegistry, ProgressReporter, Tracer
 from ..opt import OptContext, OptimizerCrash, PassManager
 from ..tv import RefinementConfig, Verdict, check_function_supported, \
-    check_refinement, global_plan_cache
+    check_refinement, global_batch_stats, global_plan_cache
 from .corpus import Corpus, CorpusEntry, CorpusJournal, module_fingerprint
 from .feedback import (Feedback, FeedbackConfig, FeedbackStats, bug_feature)
 from .findings import CRASH, MISCOMPILATION, BugLog, Finding
@@ -228,8 +228,15 @@ class FuzzDriver:
         # boundaries as exec.plan_cache.* counters.
         self._plan_stats: Optional[Tuple[int, int, int]] = (
             global_plan_cache().stats() if self.config.tv.compiled else None)
+        # Batched-execution observability follows the same delta-fold
+        # pattern: exec.batch.* counters record lanes driven per batch,
+        # divergence regrouping, and scalar fallbacks.
+        self._batch_stats: Optional[Tuple[int, int, int, int]] = (
+            global_batch_stats().stats()
+            if self.config.tv.compiled and self.config.tv.batched else None)
         self._preprocess()
         self._harvest_plan_stats()
+        self._harvest_batch_stats()
         self.mutator = Mutator(module, self._mutator_config(),
                                tracer=self.tracer)
         # Coverage-guided state (see repro.fuzz.feedback): the runtime
@@ -575,6 +582,7 @@ class FuzzDriver:
         verify_seconds = time.perf_counter() - begin
         timings.verify += verify_seconds
         self._harvest_plan_stats()
+        self._harvest_batch_stats()
         metrics.count("stage.verify.seconds", verify_seconds)
         self.tracer.record("verify", begin, verify_seconds, seed=seed,
                            findings=len(found))
@@ -600,6 +608,21 @@ class FuzzDriver:
             if delta:
                 self.metrics.count(f"exec.plan_cache.{name}", delta)
         self._plan_stats = stats
+
+    def _harvest_batch_stats(self) -> None:
+        """Fold batched-execution deltas since the last call into metrics."""
+        if self._batch_stats is None:
+            return
+        stats = global_batch_stats().stats()
+        previous = self._batch_stats
+        if stats == previous:
+            return
+        names = ("batches", "lanes", "divergence_splits", "scalar_fallbacks")
+        for index, name in enumerate(names):
+            delta = stats[index] - previous[index]
+            if delta:
+                self.metrics.count(f"exec.batch.{name}", delta)
+        self._batch_stats = stats
 
     # -- coverage feedback (corpus admission + scheduling reward) -----------
 

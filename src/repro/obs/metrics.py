@@ -231,13 +231,15 @@ class MetricsRegistry:
         """
 
         def varies(name: str) -> bool:
-            return (".seconds" in name
-                    or name.startswith("campaign.retry.")
-                    or name.startswith("cache.")
-                    or name.startswith("clone.")
-                    or name.startswith("exec.")
-                    or name.startswith("dist.")
-                    or name.startswith("chaos."))
+            return (
+                ".seconds" in name
+                or name.startswith("campaign.retry.")
+                or name.startswith("cache.")
+                or name.startswith("clone.")
+                or name.startswith("exec.")
+                or name.startswith("dist.")
+                or name.startswith("chaos.")
+            )
 
         return {
             "counters": {

@@ -58,6 +58,12 @@ class ThroughputSnapshot:
     # §III-B "pay once"): hit rate of the global plan cache, 0.0 when
     # compiled execution is off or no lookups happened yet.
     exec_plan_hit_rate: float = 0.0
+    # Batched execution (repro.tv.batch): average lanes driven per batch
+    # walk, divergence regroupings, and checks that fell back to scalar
+    # enumeration.  All 0 when batching is off or nothing verified yet.
+    exec_batch_lanes_per_batch: float = 0.0
+    exec_batch_divergence_splits: int = 0
+    exec_batch_scalar_fallbacks: int = 0
     # Coverage feedback (repro.fuzz.feedback): runtime-corpus high-water
     # mark, features covered, and new-features-per-draw rate.  All 0
     # when feedback is off — and every rate here guards its denominator,
@@ -86,6 +92,8 @@ class ThroughputSnapshot:
 
         plan_hits = metrics.counter("exec.plan_cache.hit")
         plan_total = plan_hits + metrics.counter("exec.plan_cache.miss")
+        batches = metrics.counter("exec.batch.batches")
+        batch_lanes = metrics.counter("exec.batch.lanes")
         draws = metrics.counter("feedback.draws")
         new_features = metrics.counter("feedback.features.new")
 
@@ -108,6 +116,15 @@ class ThroughputSnapshot:
             optimize_hit_rate=hit_rate("optimize"),
             verify_hit_rate=hit_rate("verify"),
             exec_plan_hit_rate=plan_hits / plan_total if plan_total else 0.0,
+            exec_batch_lanes_per_batch=(
+                batch_lanes / batches if batches else 0.0
+            ),
+            exec_batch_divergence_splits=int(
+                metrics.counter("exec.batch.divergence_splits")
+            ),
+            exec_batch_scalar_fallbacks=int(
+                metrics.counter("exec.batch.scalar_fallbacks")
+            ),
             corpus_size=int(metrics.gauges.get("corpus.size", 0.0)),
             features_covered=int(metrics.gauges.get("feedback.features.covered", 0.0)),
             new_feature_rate=new_features / draws if draws else 0.0,
@@ -133,6 +150,11 @@ class ThroughputSnapshot:
             "optimize_hit_rate": round(self.optimize_hit_rate, 6),
             "verify_hit_rate": round(self.verify_hit_rate, 6),
             "exec_plan_hit_rate": round(self.exec_plan_hit_rate, 6),
+            "exec_batch_lanes_per_batch": round(
+                self.exec_batch_lanes_per_batch, 3
+            ),
+            "exec_batch_divergence_splits": self.exec_batch_divergence_splits,
+            "exec_batch_scalar_fallbacks": self.exec_batch_scalar_fallbacks,
             "corpus_size": self.corpus_size,
             "features_covered": self.features_covered,
             "new_feature_rate": round(self.new_feature_rate, 6),
@@ -157,6 +179,8 @@ class ThroughputSnapshot:
             )
         if self.exec_plan_hit_rate:
             line += f" | plan {self.exec_plan_hit_rate:.0%}"
+        if self.exec_batch_lanes_per_batch:
+            line += f" | batch {self.exec_batch_lanes_per_batch:.1f} lanes"
         if self.corpus_size or self.features_covered:
             line += f" | corpus {self.corpus_size} ({self.features_covered} feats)"
         if self.retries or self.quarantined:

@@ -64,6 +64,11 @@ def campaign_summary(report, name: str = "campaign") -> dict:
         "optimize_hit_rate": round(snapshot.optimize_hit_rate, 6),
         "verify_hit_rate": round(snapshot.verify_hit_rate, 6),
         "exec_plan_hit_rate": round(snapshot.exec_plan_hit_rate, 6),
+        "exec_batch_lanes_per_batch": round(
+            snapshot.exec_batch_lanes_per_batch, 3
+        ),
+        "exec_batch_divergence_splits": snapshot.exec_batch_divergence_splits,
+        "exec_batch_scalar_fallbacks": snapshot.exec_batch_scalar_fallbacks,
         "corpus_size": snapshot.corpus_size,
         "features_covered": snapshot.features_covered,
         "new_feature_rate": round(snapshot.new_feature_rate, 6),

@@ -7,26 +7,81 @@ The public API mirrors how the paper uses Alive2: check one function pair
 the validator cannot handle (paper §III-A).
 """
 
-from .compile import (ExecutionPlan, PlanCache, compile_function,
-                      global_plan_cache, reset_global_plan_cache)
+from .batch import (
+    BatchProgram,
+    BatchRunner,
+    BatchStats,
+    batch_program_for,
+    compile_batch_program,
+    global_batch_stats,
+    reset_global_batch_stats,
+)
+from .compile import (
+    ExecutionPlan,
+    PlanCache,
+    compile_function,
+    global_plan_cache,
+    reset_global_plan_cache,
+)
 from .domain import NULL_POINTER, POISON, Pointer, RuntimeValue, is_poison
 from .interp import ExecutionLimits, Interpreter, StepLimitExceeded, UBError
 from .memory import Memory, MemoryFault, UNDEF_BYTE
 from .oracle import DeterministicOracle, Oracle, PathOracle
-from .refine import (Counterexample, Outcome, RefinementConfig, TestInput,
-                     TVResult, Verdict, behavior_set, check_function_supported,
-                     check_module_refinement, check_refinement,
-                     generate_inputs, outcome_refines, value_refines)
+from .refine import (
+    Counterexample,
+    Outcome,
+    RefinementConfig,
+    TestInput,
+    TVResult,
+    Verdict,
+    behavior_set,
+    check_function_supported,
+    check_module_refinement,
+    check_refinement,
+    generate_inputs,
+    outcome_refines,
+    value_refines,
+)
 
 __all__ = [
-    "NULL_POINTER", "POISON", "Pointer", "RuntimeValue", "is_poison",
-    "ExecutionLimits", "ExecutionPlan", "Interpreter", "PlanCache",
+    "NULL_POINTER",
+    "POISON",
+    "Pointer",
+    "RuntimeValue",
+    "is_poison",
+    "BatchProgram",
+    "BatchRunner",
+    "BatchStats",
+    "batch_program_for",
+    "compile_batch_program",
+    "global_batch_stats",
+    "reset_global_batch_stats",
+    "ExecutionLimits",
+    "ExecutionPlan",
+    "Interpreter",
+    "PlanCache",
     "StepLimitExceeded",
-    "UBError", "Memory", "MemoryFault", "UNDEF_BYTE",
-    "DeterministicOracle", "Oracle", "PathOracle",
-    "Counterexample", "Outcome", "RefinementConfig", "TestInput", "TVResult",
-    "Verdict", "behavior_set", "check_function_supported",
-    "check_module_refinement", "check_refinement", "compile_function",
-    "generate_inputs", "global_plan_cache", "outcome_refines",
-    "reset_global_plan_cache", "value_refines",
+    "UBError",
+    "Memory",
+    "MemoryFault",
+    "UNDEF_BYTE",
+    "DeterministicOracle",
+    "Oracle",
+    "PathOracle",
+    "Counterexample",
+    "Outcome",
+    "RefinementConfig",
+    "TestInput",
+    "TVResult",
+    "Verdict",
+    "behavior_set",
+    "check_function_supported",
+    "check_module_refinement",
+    "check_refinement",
+    "compile_function",
+    "generate_inputs",
+    "global_plan_cache",
+    "outcome_refines",
+    "reset_global_plan_cache",
+    "value_refines",
 ]

@@ -42,17 +42,48 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 from ..ir.basicblock import BasicBlock
 from ..ir.fingerprint import _referenced_functions, fingerprint_closure
 from ..ir.function import Function
-from ..ir.instructions import (AllocaInst, BinaryOperator, BrInst, CallInst,
-                               CastInst, FreezeInst, GEPInst, ICmpInst,
-                               Instruction, LoadInst, RetInst, SelectInst,
-                               StoreInst, SwitchInst, UnreachableInst)
+from ..ir.instructions import (
+    AllocaInst,
+    BinaryOperator,
+    BrInst,
+    CallInst,
+    CastInst,
+    FreezeInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
 from ..ir.types import IntType
-from ..ir.values import (ConstantInt, ConstantPointerNull, PoisonValue,
-                         UndefValue, Value)
-from .domain import (NULL_POINTER, POISON, Pointer, RuntimeValue, fits_signed,
-                     to_signed, to_unsigned, trunc_div)
-from .interp import (StepLimitExceeded, UBError, byte_size_of_type,
-                     evaluate_intrinsic, pointer_address)
+from ..ir.values import (
+    ConstantInt,
+    ConstantPointerNull,
+    PoisonValue,
+    UndefValue,
+    Value,
+)
+from .domain import (
+    NULL_POINTER,
+    POISON,
+    Pointer,
+    RuntimeValue,
+    fits_signed,
+    to_signed,
+    to_unsigned,
+    trunc_div,
+)
+from .interp import (
+    StepLimitExceeded,
+    UBError,
+    byte_size_of_type,
+    evaluate_intrinsic,
+    pointer_address,
+)
 from .memory import UNDEF_BYTE, int_to_bytes, bytes_to_int
 
 __all__ = [
@@ -124,8 +155,9 @@ class _Edge:
 
     __slots__ = ("target", "slots", "resolvers")
 
-    def __init__(self, target: _Block, slots: Tuple[int, ...],
-                 resolvers: Tuple[Resolver, ...]) -> None:
+    def __init__(
+        self, target: _Block, slots: Tuple[int, ...], resolvers: Tuple[Resolver, ...]
+    ) -> None:
         self.target = target
         self.slots = slots
         self.resolvers = resolvers
@@ -134,19 +166,33 @@ class _Edge:
 class ExecutionPlan:
     """One function lowered to slot-indexed specialized closures."""
 
-    __slots__ = ("function", "frame_size", "num_args", "depth_slot",
-                 "entry_edge")
+    __slots__ = (
+        "function",
+        "frame_size",
+        "num_args",
+        "depth_slot",
+        "entry_edge",
+        "batch_program",
+    )
 
-    def __init__(self, function: Function, frame_size: int, num_args: int,
-                 depth_slot: int, entry_edge: _Edge) -> None:
+    def __init__(
+        self,
+        function: Function,
+        frame_size: int,
+        num_args: int,
+        depth_slot: int,
+        entry_edge: _Edge,
+    ) -> None:
         self.function = function
         self.frame_size = frame_size
         self.num_args = num_args
         self.depth_slot = depth_slot
         self.entry_edge = entry_edge
+        # Lazily-compiled struct-of-arrays twin (repro.tv.batch); cached
+        # here so the plan cache shares batch programs across mutants.
+        self.batch_program = None
 
-    def execute(self, interp, args: List[RuntimeValue],
-                depth: int) -> RuntimeValue:
+    def execute(self, interp, args: List[RuntimeValue], depth: int) -> RuntimeValue:
         """Replay the plan.  Mirrors ``Interpreter._tree_call`` exactly:
         same step accounting, same phi-copy atomicity, same UB points."""
         frame: List[Any] = [_UNSET] * self.frame_size
@@ -255,7 +301,8 @@ def _binary_fn(opcode: str, width: int, nuw: bool, nsw: bool, exact: bool):
             if nuw and total > mask:
                 return POISON
             if nsw and not fits_signed(
-                    to_signed(lhs, width) + to_signed(rhs, width), width):
+                to_signed(lhs, width) + to_signed(rhs, width), width
+            ):
                 return POISON
             return result
         return fn
@@ -268,7 +315,8 @@ def _binary_fn(opcode: str, width: int, nuw: bool, nsw: bool, exact: bool):
             if nuw and difference < 0:
                 return POISON
             if nsw and not fits_signed(
-                    to_signed(lhs, width) - to_signed(rhs, width), width):
+                to_signed(lhs, width) - to_signed(rhs, width), width
+            ):
                 return POISON
             return result
         return fn
@@ -281,7 +329,8 @@ def _binary_fn(opcode: str, width: int, nuw: bool, nsw: bool, exact: bool):
             if nuw and product > mask:
                 return POISON
             if nsw and not fits_signed(
-                    to_signed(lhs, width) * to_signed(rhs, width), width):
+                to_signed(lhs, width) * to_signed(rhs, width), width
+            ):
                 return POISON
             return result
         return fn
@@ -339,8 +388,7 @@ def _binary_fn(opcode: str, width: int, nuw: bool, nsw: bool, exact: bool):
             signed_rhs = to_signed(rhs, width)
             if signed_lhs == int_min and signed_rhs == -1:
                 raise UBError("srem overflow")
-            remainder = (signed_lhs
-                         - trunc_div(signed_lhs, signed_rhs) * signed_rhs)
+            remainder = signed_lhs - trunc_div(signed_lhs, signed_rhs) * signed_rhs
             return to_unsigned(remainder, width)
         return fn
     if opcode == "shl":
@@ -353,8 +401,7 @@ def _binary_fn(opcode: str, width: int, nuw: bool, nsw: bool, exact: bool):
             result = full & mask
             if nuw and full > mask:
                 return POISON
-            if nsw and to_signed(result, width) != \
-                    to_signed(lhs, width) * (1 << rhs):
+            if nsw and to_signed(result, width) != to_signed(lhs, width) * (1 << rhs):
                 return POISON
             return result
         return fn
@@ -421,18 +468,25 @@ class _Compiler:
         self.depth_slot = position
         self.frame_size = position + 1
         self.blocks: Dict[int, _Block] = {
-            id(block): _Block() for block in function.blocks}
+            id(block): _Block() for block in function.blocks
+        }
 
     def build(self) -> ExecutionPlan:
         for block in self.function.blocks:
             compiled = self.blocks[id(block)]
             start = block.first_non_phi_index()
-            compiled.steps = [self.compile_instruction(block, inst)
-                              for inst in block.instructions[start:]]
+            compiled.steps = [
+                self.compile_instruction(block, inst)
+                for inst in block.instructions[start:]
+            ]
         entry = self.function.entry_block()
-        return ExecutionPlan(self.function, self.frame_size,
-                             len(self.function.arguments), self.depth_slot,
-                             self.edge(None, entry))
+        return ExecutionPlan(
+            self.function,
+            self.frame_size,
+            len(self.function.arguments),
+            self.depth_slot,
+            self.edge(None, entry),
+        )
 
     # -- operands --------------------------------------------------------
 
@@ -483,8 +537,7 @@ class _Compiler:
         for phi in succ.phis():
             incoming = phi.incoming_value_for(pred)
             if incoming is None:
-                resolvers.append(
-                    _ub_raiser("phi has no incoming value for edge"))
+                resolvers.append(_ub_raiser("phi has no incoming value for edge"))
             else:
                 resolvers.append(self.operand(incoming))
             slots.append(self.slots[id(phi)])
@@ -492,8 +545,7 @@ class _Compiler:
 
     # -- instructions ----------------------------------------------------
 
-    def compile_instruction(self, block: BasicBlock,
-                            inst: Instruction) -> Resolver:
+    def compile_instruction(self, block: BasicBlock, inst: Instruction) -> Resolver:
         if isinstance(inst, BinaryOperator):
             return self.compile_binary(inst)
         if isinstance(inst, ICmpInst):
@@ -528,8 +580,7 @@ class _Compiler:
     def compile_binary(self, inst: BinaryOperator) -> Resolver:
         lhs = self.operand(inst.lhs)
         rhs = self.operand(inst.rhs)
-        fn = _binary_fn(inst.opcode, inst.type.width,
-                        inst.nuw, inst.nsw, inst.exact)
+        fn = _binary_fn(inst.opcode, inst.type.width, inst.nuw, inst.nsw, inst.exact)
         slot = self.slots[id(inst)]
 
         def step(interp, frame):
@@ -541,8 +592,7 @@ class _Compiler:
         rhs = self.operand(inst.rhs)
         compare = _ICMP_COMPARATORS[inst.predicate]
         signed = inst.predicate in _SIGNED_ICMP
-        width = (inst.lhs.type.width
-                 if isinstance(inst.lhs.type, IntType) else 64)
+        width = inst.lhs.type.width if isinstance(inst.lhs.type, IntType) else 64
         # Constant-pointer operands: their address is part of the plan's
         # constant table instead of a per-comparison crc32.
         lhs_address = _constant_pointer_address(inst.lhs)
@@ -620,7 +670,8 @@ class _Compiler:
                     frame[slot] = POISON
                 else:
                     frame[slot] = to_unsigned(
-                        to_signed(resolved, src_width), dst_width)
+                        to_signed(resolved, src_width), dst_width
+                    )
             return step
 
         def step(interp, frame):  # constructor-validated; defensive
@@ -652,7 +703,8 @@ class _Compiler:
             if error is not None:
                 raise ValueError(error)
             frame[slot] = interp.memory.add_block(
-                f"alloca:{interp._alloca_counter}", size)
+                f"alloca:{interp._alloca_counter}", size
+            )
         return step
 
     def compile_load(self, inst: LoadInst) -> Resolver:
@@ -698,8 +750,11 @@ class _Compiler:
             for index, byte in enumerate(data):
                 if byte is UNDEF_BYTE:
                     interp._note_truncated_domain()
-                    concrete.append(interp.oracle.choose(
-                        f"{undef_label}:{index}", _UNDEF_BYTE_CHOICES))
+                    concrete.append(
+                        interp.oracle.choose(
+                            f"{undef_label}:{index}", _UNDEF_BYTE_CHOICES
+                        )
+                    )
                 elif isinstance(byte, tuple):  # pointer byte as integer
                     concrete.append(interp._pointer_byte_as_int(byte))
                 else:
@@ -724,8 +779,10 @@ class _Compiler:
             if stored is POISON:
                 data: List[Any] = [POISON] * size
             elif isinstance(stored, Pointer):
-                data = [("ptr", stored.block, stored.offset, index)
-                        for index in range(size)]
+                data = [
+                    ("ptr", stored.block, stored.offset, index)
+                    for index in range(size)
+                ]
             else:
                 data = int_to_bytes(stored, size)
             interp.memory.store_bytes(resolved, data)
@@ -735,7 +792,8 @@ class _Compiler:
         pointer = self.operand(inst.pointer)
         element_size, error = _safe_size(inst.source_type)
         index_parts = tuple(
-            (self.operand(index), index.type.width) for index in inst.indices)
+            (self.operand(index), index.type.width) for index in inst.indices
+        )
         inbounds = inst.inbounds
         slot = self.slots[id(inst)]
 
@@ -775,7 +833,8 @@ class _Compiler:
         nonnull_checks = tuple(
             (index, argument.attributes.has("noundef"))
             for index, argument in enumerate(callee.arguments)
-            if index < len(inst.args) and argument.attributes.has("nonnull"))
+            if index < len(inst.args) and argument.attributes.has("nonnull")
+        )
         has_result = not inst.type.is_void()
         slot = self.slots[id(inst)] if has_result else None
         depth_slot = self.depth_slot
@@ -793,16 +852,22 @@ class _Compiler:
                 frame[slot] = result
         return step
 
-    def compile_intrinsic(self, inst: CallInst,
-                          resolvers: Tuple[Resolver, ...]) -> Resolver:
+    def compile_intrinsic(
+        self, inst: CallInst, resolvers: Tuple[Resolver, ...]
+    ) -> Resolver:
         base = inst.intrinsic_name()
         name = inst.callee.name
         if base == "llvm.assume":
             bundle_checks = tuple(
-                (bundle.tag,
-                 tuple(self.operand(value)
-                       for value in inst.bundle_operands(bundle)))
-                for bundle in inst.bundles)
+                (
+                    bundle.tag,
+                    tuple(
+                        self.operand(value)
+                        for value in inst.bundle_operands(bundle)
+                    ),
+                )
+                for bundle in inst.bundles
+            )
 
             def step(interp, frame):
                 args = [resolve(interp, frame) for resolve in resolvers]
@@ -812,8 +877,9 @@ class _Compiler:
                 if condition != 1:
                     raise UBError("assume of false")
                 for tag, operand_resolvers in bundle_checks:
-                    operands = [resolve(interp, frame)
-                                for resolve in operand_resolvers]
+                    operands = [
+                        resolve(interp, frame) for resolve in operand_resolvers
+                    ]
                     if tag == "align" and len(operands) == 2:
                         pointer, align = operands
                         if pointer is POISON or align is POISON:
@@ -922,8 +988,9 @@ def _local_names(function: Function) -> Tuple[str, ...]:
     return tuple(names)
 
 
-def plan_key(function: Function,
-             fp_cache: Optional[Dict[int, str]] = None) -> Hashable:
+def plan_key(
+    function: Function, fp_cache: Optional[Dict[int, str]] = None
+) -> Hashable:
     """Cache key under which ``function``'s plan may be shared.
 
     Covers the structural closure fingerprint, local value names of the
@@ -946,9 +1013,12 @@ def plan_key(function: Function,
             if callee.is_declaration():
                 declarations[callee.name] = (
                     str(callee.attributes),
-                    tuple((argument.name, str(argument.attributes))
-                          for argument in callee.arguments),
-                    str(callee.return_type))
+                    tuple(
+                        (argument.name, str(argument.attributes))
+                        for argument in callee.arguments
+                    ),
+                    str(callee.return_type),
+                )
             else:
                 names.append(_local_names(callee))
                 stack.append(callee)
@@ -975,9 +1045,9 @@ class PlanCache:
         self.misses = 0
         self.fallbacks = 0
 
-    def plan_for(self, function: Function,
-                 fp_cache: Optional[Dict[int, str]] = None
-                 ) -> Optional[ExecutionPlan]:
+    def plan_for(
+        self, function: Function, fp_cache: Optional[Dict[int, str]] = None
+    ) -> Optional[ExecutionPlan]:
         """The cached plan for ``function`` (compiling on first sight),
         or None when the function must be tree-walked."""
         key = plan_key(function, fp_cache)
@@ -1014,8 +1084,7 @@ def global_plan_cache() -> PlanCache:
     return _GLOBAL_PLAN_CACHE
 
 
-def reset_global_plan_cache(
-        capacity: int = DEFAULT_PLAN_CACHE_CAPACITY) -> PlanCache:
+def reset_global_plan_cache(capacity: int = DEFAULT_PLAN_CACHE_CAPACITY) -> PlanCache:
     """Replace the process-wide cache (tests and long-lived sessions)."""
     global _GLOBAL_PLAN_CACHE
     _GLOBAL_PLAN_CACHE = PlanCache(capacity)

@@ -15,19 +15,55 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
-from ..ir.instructions import (AllocaInst, BinaryOperator, BrInst, CallInst,
-                               CastInst, FreezeInst, GEPInst, ICmpInst,
-                               Instruction, LoadInst, PhiNode, RetInst,
-                               SelectInst, StoreInst, SwitchInst,
-                               UnreachableInst)
+from ..ir.instructions import (
+    AllocaInst,
+    BinaryOperator,
+    BrInst,
+    CallInst,
+    CastInst,
+    FreezeInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiNode,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
 from ..ir.types import IntType, Type
-from ..ir.values import (ConstantInt, ConstantPointerNull, PoisonValue,
-                         UndefValue, Value)
-from .domain import (NULL_POINTER, POISON, Pointer, RuntimeValue, choice_domain,
-                     fits_signed, interesting_values, is_poison, saturate,
-                     to_signed, to_unsigned, trunc_div)
-from .memory import (Byte, Memory, MemoryFault, UNDEF_BYTE, byte_size_of_width,
-                     bytes_to_int, int_to_bytes)
+from ..ir.values import (
+    ConstantInt,
+    ConstantPointerNull,
+    PoisonValue,
+    UndefValue,
+    Value,
+)
+from .domain import (
+    NULL_POINTER,
+    POISON,
+    Pointer,
+    RuntimeValue,
+    choice_domain,
+    fits_signed,
+    interesting_values,
+    is_poison,
+    saturate,
+    to_signed,
+    to_unsigned,
+    trunc_div,
+)
+from .memory import (
+    Byte,
+    Memory,
+    MemoryFault,
+    UNDEF_BYTE,
+    byte_size_of_width,
+    bytes_to_int,
+    int_to_bytes,
+)
 from .oracle import DeterministicOracle, Oracle
 
 POINTER_SIZE = 8
@@ -103,9 +139,15 @@ class Interpreter:
     same interpreter.
     """
 
-    def __init__(self, module, oracle: Optional[Oracle] = None,
-                 limits: Optional[ExecutionLimits] = None, *,
-                 compiled: bool = True, plans=None) -> None:
+    def __init__(
+        self,
+        module,
+        oracle: Optional[Oracle] = None,
+        limits: Optional[ExecutionLimits] = None,
+        *,
+        compiled: bool = True,
+        plans=None,
+    ) -> None:
         self.module = module
         self.oracle = oracle or DeterministicOracle()
         self.limits = limits or ExecutionLimits()
@@ -122,8 +164,7 @@ class Interpreter:
 
     # -- entry point -----------------------------------------------------------
 
-    def run(self, function: Function,
-            args: Sequence[RuntimeValue]) -> RuntimeValue:
+    def run(self, function: Function, args: Sequence[RuntimeValue]) -> RuntimeValue:
         """Execute ``function``; returns its value or raises UBError /
         StepLimitExceeded / MemoryFault-as-UB."""
         try:
@@ -167,8 +208,9 @@ class Interpreter:
             self._plan_memo[id(function)] = plan
         return plan
 
-    def _call(self, function: Function, args: List[RuntimeValue],
-              depth: int) -> RuntimeValue:
+    def _call(
+        self, function: Function, args: List[RuntimeValue], depth: int
+    ) -> RuntimeValue:
         if depth > self.limits.max_call_depth:
             raise StepLimitExceeded("call depth exceeded")
         self._check_argument_attributes(function, args)
@@ -180,8 +222,9 @@ class Interpreter:
                 return plan.execute(self, args, depth)
         return self._tree_call(function, args, depth)
 
-    def _tree_call(self, function: Function, args: List[RuntimeValue],
-                   depth: int) -> RuntimeValue:
+    def _tree_call(
+        self, function: Function, args: List[RuntimeValue], depth: int
+    ) -> RuntimeValue:
         frame = _Frame()
         for argument, value in zip(function.arguments, args):
             frame.values[id(argument)] = value
@@ -249,7 +292,8 @@ class Interpreter:
             self._alloca_counter += 1
             block_id = f"alloca:{self._alloca_counter}"
             pointer = self.memory.add_block(
-                block_id, byte_size_of_type(inst.allocated_type))
+                block_id, byte_size_of_type(inst.allocated_type)
+            )
             frame.set(inst, pointer)
             return None
         if isinstance(inst, LoadInst):
@@ -276,8 +320,8 @@ class Interpreter:
             condition = frame.get(inst.condition, self)
             if is_poison(condition):
                 raise UBError("branch on poison")
-            return ("branch", inst.operands[1] if condition == 1
-                    else inst.operands[2])
+            taken = inst.operands[1] if condition == 1 else inst.operands[2]
+            return ("branch", taken)
         if isinstance(inst, SwitchInst):
             value = frame.get(inst.value, self)
             if is_poison(value):
@@ -354,7 +398,8 @@ class Interpreter:
             if inst.nuw and lhs + rhs > mask:
                 return POISON
             if inst.nsw and not fits_signed(
-                    to_signed(lhs, width) + to_signed(rhs, width), width):
+                to_signed(lhs, width) + to_signed(rhs, width), width
+            ):
                 return POISON
             return result
         if opcode == "sub":
@@ -362,7 +407,8 @@ class Interpreter:
             if inst.nuw and lhs - rhs < 0:
                 return POISON
             if inst.nsw and not fits_signed(
-                    to_signed(lhs, width) - to_signed(rhs, width), width):
+                to_signed(lhs, width) - to_signed(rhs, width), width
+            ):
                 return POISON
             return result
         if opcode == "mul":
@@ -370,7 +416,8 @@ class Interpreter:
             if inst.nuw and lhs * rhs > mask:
                 return POISON
             if inst.nsw and not fits_signed(
-                    to_signed(lhs, width) * to_signed(rhs, width), width):
+                to_signed(lhs, width) * to_signed(rhs, width), width
+            ):
                 return POISON
             return result
         if opcode == "udiv":
@@ -404,7 +451,8 @@ class Interpreter:
                 result = full & mask
                 if inst.nuw and full > mask:
                     return POISON
-                if inst.nsw and to_signed(result, width) != to_signed(lhs, width) * (1 << rhs):
+                shifted = to_signed(lhs, width) * (1 << rhs)
+                if inst.nsw and to_signed(result, width) != shifted:
                     return POISON
                 return result
             if opcode == "lshr":
@@ -485,8 +533,9 @@ class Interpreter:
         for i, byte in enumerate(data):
             if byte is UNDEF_BYTE:
                 self._note_truncated_domain()
-                concrete.append(self.oracle.choose(
-                    f"loadundef:{id(inst)}:{i}", [0, 0xFF, 0x5A]))
+                concrete.append(
+                    self.oracle.choose(f"loadundef:{id(inst)}:{i}", [0, 0xFF, 0x5A])
+                )
             elif isinstance(byte, tuple):  # pointer byte read as integer
                 concrete.append(self._pointer_byte_as_int(byte))
             else:
@@ -539,9 +588,13 @@ class Interpreter:
         if isinstance(first, tuple) and first[0] == "ptr":
             _, block, offset, start = first
             consistent = all(
-                isinstance(b, tuple) and b[0] == "ptr" and b[1] == block
-                and b[2] == offset and b[3] == start + i
-                for i, b in enumerate(data))
+                isinstance(b, tuple)
+                and b[0] == "ptr"
+                and b[1] == block
+                and b[2] == offset
+                and b[3] == start + i
+                for i, b in enumerate(data)
+            )
             if consistent and start == 0:
                 return Pointer(block, offset)
         if all(isinstance(b, int) for b in data):
@@ -559,20 +612,24 @@ class Interpreter:
 
     # -- calls -----------------------------------------------------------------------
 
-    def _check_argument_attributes(self, function: Function,
-                                   args: List[RuntimeValue]) -> None:
+    def _check_argument_attributes(
+        self, function: Function, args: List[RuntimeValue]
+    ) -> None:
         for argument, value in zip(function.arguments, args):
             if argument.attributes.has("noundef") and is_poison(value):
                 raise UBError(f"poison passed to noundef arg %{argument.name}")
             dereferenceable = argument.attributes.get_int("dereferenceable")
             if dereferenceable and isinstance(value, Pointer):
                 if value.is_null() or not self.memory.has_block(value.block):
-                    raise UBError("non-dereferenceable pointer passed to "
-                                  f"dereferenceable({dereferenceable}) arg")
+                    raise UBError(
+                        "non-dereferenceable pointer passed to "
+                        f"dereferenceable({dereferenceable}) arg"
+                    )
                 available = self.memory.block_size(value.block) - value.offset
                 if available < dereferenceable:
-                    raise UBError("pointer does not cover "
-                                  f"dereferenceable({dereferenceable})")
+                    raise UBError(
+                        f"pointer does not cover dereferenceable({dereferenceable})"
+                    )
 
     def _eval_call(self, inst: CallInst, frame: _Frame, depth: int) -> RuntimeValue:
         callee = inst.callee
@@ -582,15 +639,19 @@ class Interpreter:
         # nonnull on the callee's parameters: violating it yields poison
         # (or UB when combined with noundef).
         for index, (argument, value) in enumerate(zip(callee.arguments, args)):
-            if argument.attributes.has("nonnull") and isinstance(value, Pointer) \
-                    and value.is_null():
+            if (
+                argument.attributes.has("nonnull")
+                and isinstance(value, Pointer)
+                and value.is_null()
+            ):
                 if argument.attributes.has("noundef"):
                     raise UBError("null passed to nonnull noundef argument")
                 args[index] = POISON
         return self._call(callee, args, depth + 1)
 
-    def _eval_intrinsic(self, inst: CallInst, name: str,
-                        args: List[RuntimeValue], frame: _Frame) -> RuntimeValue:
+    def _eval_intrinsic(
+        self, inst: CallInst, name: str, args: List[RuntimeValue], frame: _Frame
+    ) -> RuntimeValue:
         base = inst.intrinsic_name()
         if base == "llvm.assume":
             condition = args[0]
@@ -623,8 +684,9 @@ class Interpreter:
 
     # -- external (opaque) functions -----------------------------------------------
 
-    def _call_external(self, function: Function,
-                       args: List[RuntimeValue]) -> RuntimeValue:
+    def _call_external(
+        self, function: Function, args: List[RuntimeValue]
+    ) -> RuntimeValue:
         """Deterministic model of an unknown external function.
 
         The function's behavior is a pure function of its name, the call
@@ -660,8 +722,10 @@ class Interpreter:
             # Clobber memory reachable through pointer args deterministically.
             for pointer in pointer_args:
                 size = self.memory.block_size(pointer.block)
-                new_bytes = [(seed + 31 * i + zlib.crc32(pointer.block.encode()))
-                             & 0xFF for i in range(size)]
+                new_bytes = [
+                    (seed + 31 * i + zlib.crc32(pointer.block.encode())) & 0xFF
+                    for i in range(size)
+                ]
                 self.memory.fill(pointer.block, new_bytes)
 
         return_type = function.return_type
@@ -674,8 +738,9 @@ class Interpreter:
         raise UBError(f"external function returning {return_type}")
 
 
-def evaluate_intrinsic(base: str, name: str, width: int, mask: int,
-                       args: List[RuntimeValue]) -> RuntimeValue:
+def evaluate_intrinsic(
+    base: str, name: str, width: int, mask: int, args: List[RuntimeValue]
+) -> RuntimeValue:
     """Pure evaluation of a (non-assume) intrinsic on poison-free args.
 
     Shared between the tree-walking evaluator and compiled execution
@@ -687,8 +752,7 @@ def evaluate_intrinsic(base: str, name: str, width: int, mask: int,
         chosen = max(lhs, rhs) if base.endswith("smax") else min(lhs, rhs)
         return to_unsigned(chosen, width)
     if base in ("llvm.umax", "llvm.umin"):
-        return max(args[0], args[1]) if base.endswith("umax") \
-            else min(args[0], args[1])
+        return max(args[0], args[1]) if base.endswith("umax") else min(args[0], args[1])
     if base == "llvm.abs":
         value = to_signed(args[0], width)
         if value == -(1 << (width - 1)):
@@ -713,11 +777,11 @@ def evaluate_intrinsic(base: str, name: str, width: int, mask: int,
     if base == "llvm.bitreverse":
         return int(format(args[0], f"0{width}b")[::-1], 2)
     if base == "llvm.sadd.sat":
-        return saturate(to_signed(args[0], width) + to_signed(args[1], width),
-                        width, signed=True)
+        total = to_signed(args[0], width) + to_signed(args[1], width)
+        return saturate(total, width, signed=True)
     if base == "llvm.ssub.sat":
-        return saturate(to_signed(args[0], width) - to_signed(args[1], width),
-                        width, signed=True)
+        total = to_signed(args[0], width) - to_signed(args[1], width)
+        return saturate(total, width, signed=True)
     if base == "llvm.uadd.sat":
         return saturate(args[0] + args[1], width, signed=False)
     if base == "llvm.usub.sat":

@@ -49,8 +49,9 @@ class Memory:
         """
         self._blocks.clear()
 
-    def add_block(self, block_id: str, size: int,
-                  initial: Optional[List[int]] = None) -> Pointer:
+    def add_block(
+        self, block_id: str, size: int, initial: Optional[List[int]] = None
+    ) -> Pointer:
         if block_id in self._blocks:
             raise ValueError(f"duplicate block {block_id}")
         if initial is not None:
@@ -75,8 +76,7 @@ class Memory:
         if block is None:
             raise MemoryFault(f"access to dead block {pointer.block}")
         if pointer.offset < 0 or pointer.offset + size > len(block):
-            raise MemoryFault(
-                f"out-of-bounds access at {pointer!r} size {size}")
+            raise MemoryFault(f"out-of-bounds access at {pointer!r} size {size}")
         return block, pointer.offset
 
     def load_bytes(self, pointer: Pointer, size: int) -> List[Byte]:
@@ -96,8 +96,11 @@ class Memory:
 
     def snapshot(self, block_ids) -> Dict[str, Tuple[Byte, ...]]:
         """Immutable copy of selected blocks (for refinement comparison)."""
-        return {block_id: tuple(self._blocks[block_id])
-                for block_id in block_ids if block_id in self._blocks}
+        return {
+            block_id: tuple(self._blocks[block_id])
+            for block_id in block_ids
+            if block_id in self._blocks
+        }
 
     def observable_digest(self, block_id: str) -> Tuple[Byte, ...]:
         return tuple(self._blocks[block_id])

@@ -33,10 +33,16 @@ from ..ir.instructions import CallInst
 from ..ir.intrinsics import lookup as lookup_intrinsic
 from ..ir.module import Module
 from ..ir.types import IntType
+from .batch import BatchRunner, batch_program_for, global_batch_stats
 from .compile import LRUCache
-from .domain import (NULL_POINTER, POISON, Pointer, RuntimeValue,
-                     interesting_values)
-from .interp import (ExecutionLimits, Interpreter, StepLimitExceeded, UBError)
+from .domain import (
+    NULL_POINTER,
+    POISON,
+    Pointer,
+    RuntimeValue,
+    interesting_values,
+)
+from .interp import ExecutionLimits, Interpreter, StepLimitExceeded, UBError
 from .memory import POISON as _POISON_BYTE, UNDEF_BYTE
 from .oracle import PathOracle, advance_path
 
@@ -106,9 +112,11 @@ class Counterexample:
 
     def __str__(self) -> str:
         src = "; ".join(_describe_outcome(o) for o in self.src_outcomes)
-        return (f"refinement failure in @{self.function_name} for "
-                f"[{self.input_description}]: source gives {{{src}}} but "
-                f"target gives {_describe_outcome(self.tgt_outcome)}")
+        return (
+            f"refinement failure in @{self.function_name} for "
+            f"[{self.input_description}]: source gives {{{src}}} but "
+            f"target gives {_describe_outcome(self.tgt_outcome)}"
+        )
 
 
 @dataclass
@@ -136,6 +144,12 @@ class RefinementConfig:
     # of cache_key(): both modes produce identical verdicts by contract
     # (locked by the differential suite), so cached results are shared.
     compiled: bool = True
+    # Drive whole input sets through struct-of-arrays batched plan runs
+    # (repro.tv.batch) instead of one scalar run per (input, path).  Off
+    # = per-input ablation (--no-batched-exec).  Requires ``compiled``;
+    # like it, deliberately NOT part of cache_key(): lane results are
+    # bit-identical to scalar runs (locked by tests/test_batch_exec.py).
+    batched: bool = True
 
     def cache_key(self) -> tuple:
         """A hashable key covering every knob a verdict depends on.
@@ -145,9 +159,14 @@ class RefinementConfig:
         :class:`TVResult`, which is what makes verify-verdict
         memoization sound (see :mod:`repro.fuzz.memo`).
         """
-        return (self.max_inputs, self.max_nondet_runs,
-                self.pointer_block_size, self.seed,
-                self.limits.max_steps, self.limits.max_call_depth)
+        return (
+            self.max_inputs,
+            self.max_nondet_runs,
+            self.pointer_block_size,
+            self.seed,
+            self.limits.max_steps,
+            self.limits.max_call_depth,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -164,8 +183,11 @@ def check_function_supported(function: Function) -> Optional[str]:
             return f"unsupported parameter type {argument.type}"
         if argument.type.is_integer() and argument.type.width > 64:
             return "integer parameter wider than 64 bits"
-    if not (function.return_type.is_void() or function.return_type.is_integer()
-            or function.return_type.is_pointer()):
+    if not (
+        function.return_type.is_void()
+        or function.return_type.is_integer()
+        or function.return_type.is_pointer()
+    ):
         return f"unsupported return type {function.return_type}"
     for inst in function.instructions():
         if isinstance(inst, CallInst) and inst.callee.name.startswith("llvm."):
@@ -231,11 +253,12 @@ def generate_inputs(function: Function, config: RefinementConfig) -> List[TestIn
 _INPUT_CACHE = LRUCache(256)
 
 
-def _inputs_for(function: Function,
-                config: RefinementConfig) -> Tuple[TestInput, ...]:
-    key = (fingerprint_function(function),
-           tuple(argument.name for argument in function.arguments),
-           config.cache_key())
+def _inputs_for(function: Function, config: RefinementConfig) -> Tuple[TestInput, ...]:
+    key = (
+        fingerprint_function(function),
+        tuple(argument.name for argument in function.arguments),
+        config.cache_key(),
+    )
     inputs = _INPUT_CACHE.get(key)
     if inputs is None:
         inputs = tuple(generate_inputs(function, config))
@@ -243,8 +266,7 @@ def _inputs_for(function: Function,
     return inputs
 
 
-def _int_candidates(width: int, pool: ConstantPool,
-                    rng: random.Random) -> List[int]:
+def _int_candidates(width: int, pool: ConstantPool, rng: random.Random) -> List[int]:
     mask = (1 << width) - 1
     if width <= 4:
         return list(range(1 << width))
@@ -264,9 +286,12 @@ def _int_candidates(width: int, pool: ConstantPool,
     return unique
 
 
-def _pointer_candidates(function: Function, arg_index: int,
-                        config: RefinementConfig,
-                        rng: random.Random) -> List[PointerInput]:
+def _pointer_candidates(
+    function: Function,
+    arg_index: int,
+    config: RefinementConfig,
+    rng: random.Random,
+) -> List[PointerInput]:
     argument = function.arguments[arg_index]
     size = config.pointer_block_size
     dereferenceable = argument.attributes.get_int("dereferenceable") or 0
@@ -282,8 +307,11 @@ def _pointer_candidates(function: Function, arg_index: int,
     # what load/store optimizations get wrong.
     for earlier_index in range(arg_index):
         earlier = function.arguments[earlier_index]
-        if earlier.type.is_pointer() and not argument.attributes.has("noalias") \
-                and not earlier.attributes.has("noalias"):
+        if (
+            earlier.type.is_pointer()
+            and not argument.attributes.has("noalias")
+            and not earlier.attributes.has("noalias")
+        ):
             earlier_name = earlier.name or str(earlier_index)
             candidates.append(PointerInput(f"arg:{earlier_name}", 0, ()))
             break
@@ -324,9 +352,14 @@ def _prepare_input(function: Function, test_input: TestInput):
     return runtime_args, blocks, observable
 
 
-def _enumerate_outcomes(interpreter: Interpreter, function: Function,
-                        runtime_args, blocks, observable,
-                        config: RefinementConfig) -> Tuple[List[Outcome], bool]:
+def _enumerate_outcomes(
+    interpreter: Interpreter,
+    function: Function,
+    runtime_args,
+    blocks,
+    observable,
+    config: RefinementConfig,
+) -> Tuple[List[Outcome], bool]:
     """Walk the nondeterminism tree for one input, reusing ``interpreter``
     as the arena: each run resets it in place (fresh oracle, cleared
     memory and counters) instead of allocating a new interpreter+memory
@@ -360,18 +393,26 @@ def _enumerate_outcomes(interpreter: Interpreter, function: Function,
     return outcomes, exhausted
 
 
-def behavior_set(function: Function, test_input: TestInput, module: Module,
-                 config: RefinementConfig) -> Tuple[List[Outcome], bool]:
+def behavior_set(
+    function: Function,
+    test_input: TestInput,
+    module: Module,
+    config: RefinementConfig,
+) -> Tuple[List[Outcome], bool]:
     """All observed outcomes for one input, plus an exhaustiveness flag."""
-    interpreter = Interpreter(module, None, config.limits,
-                              compiled=config.compiled)
+    interpreter = Interpreter(module, None, config.limits, compiled=config.compiled)
     runtime_args, blocks, observable = _prepare_input(function, test_input)
-    return _enumerate_outcomes(interpreter, function, runtime_args, blocks,
-                               observable, config)
+    return _enumerate_outcomes(
+        interpreter, function, runtime_args, blocks, observable, config
+    )
 
 
-def _run_once(interpreter: Interpreter, function: Function,
-              runtime_args, observable: List[str]) -> Outcome:
+def _run_once(
+    interpreter: Interpreter,
+    function: Function,
+    runtime_args,
+    observable: List[str],
+) -> Outcome:
     try:
         value = interpreter.run(function, runtime_args)
     except UBError as ub:
@@ -381,6 +422,62 @@ def _run_once(interpreter: Interpreter, function: Function,
     snapshot = interpreter.memory.snapshot(observable)
     memory = tuple(sorted(snapshot.items()))
     return Outcome("ok", value=value, memory=memory)
+
+
+def _enumerate_all_batched(
+    runner: BatchRunner,
+    function: Function,
+    program,
+    prepared,
+    config: RefinementConfig,
+):
+    """Batched analog of one ``_enumerate_outcomes`` call per input.
+
+    Round ``r`` drives every still-pending input's ``r``-th
+    nondeterminism path through a single struct-of-arrays plan walk
+    (one lane per input).  Each lane keeps its own :class:`PathOracle`,
+    so the per-input path tree, dedup order, run budget, and
+    truncated-domain accounting replicate the scalar loop exactly —
+    only the grouping of runs into plan walks changes.  Returns one
+    ``(outcomes, exhausted)`` pair per input, in input order.
+    """
+    count = len(prepared)
+    outcomes: List[List[Outcome]] = [[] for _ in range(count)]
+    seen = [set() for _ in range(count)]
+    exhausted = [True] * count
+    if config.max_nondet_runs <= 0:
+        # The scalar loop exhausts its budget before the first run.
+        return [([], False) for _ in range(count)]
+    paths: List[Optional[List[int]]] = [[] for _ in range(count)]
+    runs = [0] * count
+    pending = list(range(count))
+    while pending:
+        oracles = [PathOracle(paths[index]) for index in pending]
+        lanes = [
+            prepared[index] + (oracle,) for index, oracle in zip(pending, oracles)
+        ]
+        results = runner.run_batch(function, program, lanes)
+        next_pending = []
+        for position, input_index in enumerate(pending):
+            status, value, memory, detail, _steps = results[position]
+            outcome = Outcome(status, value=value, memory=memory, detail=detail)
+            runs[input_index] += 1
+            oracle = oracles[position]
+            if oracle.domain_truncated:
+                exhausted[input_index] = False
+            if outcome not in seen[input_index]:
+                seen[input_index].add(outcome)
+                outcomes[input_index].append(outcome)
+            path = advance_path(oracle.taken, oracle.domain_sizes)
+            if path is None:
+                continue
+            if runs[input_index] >= config.max_nondet_runs:
+                exhausted[input_index] = False
+                continue
+            paths[input_index] = path
+            next_pending.append(input_index)
+        pending = next_pending
+    return list(zip(outcomes, exhausted))
 
 
 # ---------------------------------------------------------------------------
@@ -426,8 +523,9 @@ def outcome_refines(tgt: Outcome, src: Outcome) -> bool:
     if src.is_timeout() or tgt.is_timeout():
         # Not comparable; handled by the caller as inconclusive.
         return False
-    return (value_refines(tgt.value, src.value)
-            and memory_refines(tgt.memory, src.memory))
+    return value_refines(tgt.value, src.value) and memory_refines(
+        tgt.memory, src.memory
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -435,11 +533,14 @@ def outcome_refines(tgt: Outcome, src: Outcome) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def check_refinement(src_function: Function, tgt_function: Function,
-                     src_module: Optional[Module] = None,
-                     tgt_module: Optional[Module] = None,
-                     config: Optional[RefinementConfig] = None,
-                     tracer=None) -> TVResult:
+def check_refinement(
+    src_function: Function,
+    tgt_function: Function,
+    src_module: Optional[Module] = None,
+    tgt_module: Optional[Module] = None,
+    config: Optional[RefinementConfig] = None,
+    tracer=None,
+) -> TVResult:
     """Does ``tgt_function`` refine ``src_function``? (Bounded check.)
 
     ``tracer`` (a :class:`repro.obs.Tracer`) records one ``interp``
@@ -465,32 +566,72 @@ def check_refinement(src_function: Function, tgt_function: Function,
     # One interpreter arena per side, reused across all inputs and
     # nondeterminism paths; plans for both functions are built up front
     # so every run after the first is pure replay.
-    src_interp = Interpreter(src_module, None, config.limits,
-                             compiled=config.compiled)
-    tgt_interp = Interpreter(tgt_module, None, config.limits,
-                             compiled=config.compiled)
-    src_interp.prepare(src_function)
-    tgt_interp.prepare(tgt_function)
+    src_interp = Interpreter(src_module, None, config.limits, compiled=config.compiled)
+    tgt_interp = Interpreter(tgt_module, None, config.limits, compiled=config.compiled)
+    src_plan = src_interp.prepare(src_function)
+    tgt_plan = tgt_interp.prepare(tgt_function)
+
+    # Batched mode: whole input sets ride through one struct-of-arrays
+    # plan walk per nondeterminism round instead of N scalar runs.  Any
+    # side the batch compiler declines drops the whole check back to the
+    # scalar path (verdicts are identical either way by contract).
+    src_results = tgt_results = None
+    if config.batched and config.compiled:
+        src_program = batch_program_for(src_plan)
+        tgt_program = batch_program_for(tgt_plan)
+        if src_program is None or tgt_program is None:
+            global_batch_stats().scalar_fallbacks += 1
+        else:
+            prepared = [
+                _prepare_input(src_function, test_input) for test_input in inputs
+            ]
+            begin = time.perf_counter() if traced else 0.0
+            src_runner = BatchRunner(src_module, config.limits)
+            tgt_runner = BatchRunner(tgt_module, config.limits)
+            src_results = _enumerate_all_batched(
+                src_runner, src_function, src_program, prepared, config
+            )
+            tgt_results = _enumerate_all_batched(
+                tgt_runner, tgt_function, tgt_program, prepared, config
+            )
+            if traced:
+                tracer.record(
+                    "interp",
+                    begin,
+                    time.perf_counter() - begin,
+                    function=src_function.name,
+                    inputs=len(inputs),
+                    src_outcomes=sum(len(o) for o, _ in src_results),
+                    tgt_outcomes=sum(len(o) for o, _ in tgt_results),
+                )
 
     inconclusive = 0
     for input_index, test_input in enumerate(inputs):
-        begin = time.perf_counter() if traced else 0.0
-        # Arity matches (checked above) and the runtime values depend
-        # only on the test input, so one prepared input serves both sides.
-        runtime_args, blocks, observable = _prepare_input(
-            src_function, test_input)
-        src_outcomes, src_exhausted = _enumerate_outcomes(
-            src_interp, src_function, runtime_args, blocks, observable,
-            config)
-        tgt_outcomes, _ = _enumerate_outcomes(
-            tgt_interp, tgt_function, runtime_args, blocks, observable,
-            config)
-        if traced:
-            tracer.record(
-                "interp", begin, time.perf_counter() - begin,
-                function=src_function.name, input=input_index,
-                src_outcomes=len(src_outcomes),
-                tgt_outcomes=len(tgt_outcomes))
+        if src_results is not None:
+            src_outcomes, src_exhausted = src_results[input_index]
+            tgt_outcomes, _ = tgt_results[input_index]
+        else:
+            begin = time.perf_counter() if traced else 0.0
+            # Arity matches (checked above) and the runtime values depend
+            # only on the test input, so one prepared input serves both
+            # sides.
+            runtime_args, blocks, observable = _prepare_input(src_function, test_input)
+            src_outcomes, src_exhausted = _enumerate_outcomes(
+                src_interp, src_function, runtime_args, blocks, observable, config
+            )
+            tgt_outcomes, _ = _enumerate_outcomes(
+                tgt_interp, tgt_function, runtime_args, blocks, observable, config
+            )
+            if traced:
+                tracer.record(
+                    "interp",
+                    begin,
+                    time.perf_counter() - begin,
+                    function=src_function.name,
+                    input=input_index,
+                    src_outcomes=len(src_outcomes),
+                    tgt_outcomes=len(tgt_outcomes),
+                )
 
         if any(o.is_ub() for o in src_outcomes):
             # Some source nondeterminism hits UB; under the refinement
@@ -501,8 +642,10 @@ def check_refinement(src_function: Function, tgt_function: Function,
             inconclusive += 1
             continue
         for tgt_outcome in tgt_outcomes:
-            if any(outcome_refines(tgt_outcome, src_outcome)
-                   for src_outcome in src_outcomes):
+            if any(
+                outcome_refines(tgt_outcome, src_outcome)
+                for src_outcome in src_outcomes
+            ):
                 continue
             if not src_exhausted:
                 inconclusive += 1
@@ -514,28 +657,38 @@ def check_refinement(src_function: Function, tgt_function: Function,
                 src_outcomes=src_outcomes,
                 tgt_outcome=tgt_outcome,
             )
-            return TVResult(Verdict.UNSOUND, counterexample,
-                            inputs_checked=len(inputs),
-                            inconclusive_inputs=inconclusive)
+            return TVResult(
+                Verdict.UNSOUND,
+                counterexample,
+                inputs_checked=len(inputs),
+                inconclusive_inputs=inconclusive,
+            )
     # No definite violation; inconclusive inputs are recorded but do not
     # downgrade the verdict (bounded TV is inherently incomplete).
-    return TVResult(Verdict.CORRECT, inputs_checked=len(inputs),
-                    inconclusive_inputs=inconclusive)
+    return TVResult(
+        Verdict.CORRECT,
+        inputs_checked=len(inputs),
+        inconclusive_inputs=inconclusive,
+    )
 
 
-def check_module_refinement(src_module: Module, tgt_module: Module,
-                            config: Optional[RefinementConfig] = None
-                            ) -> Dict[str, TVResult]:
+def check_module_refinement(
+    src_module: Module,
+    tgt_module: Module,
+    config: Optional[RefinementConfig] = None,
+) -> Dict[str, TVResult]:
     """Pair functions by name and check each definition."""
     results: Dict[str, TVResult] = {}
     for src_function in src_module.definitions():
         tgt_function = tgt_module.get_function(src_function.name)
         if tgt_function is None or tgt_function.is_declaration():
             results[src_function.name] = TVResult(
-                Verdict.UNSUPPORTED, reason="function missing in target")
+                Verdict.UNSUPPORTED, reason="function missing in target"
+            )
             continue
         results[src_function.name] = check_refinement(
-            src_function, tgt_function, src_module, tgt_module, config)
+            src_function, tgt_function, src_module, tgt_module, config
+        )
     return results
 
 
