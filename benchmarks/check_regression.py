@@ -53,6 +53,14 @@ GATES = [
     ("feedback", "BENCH_feedback.json", "guided_iterations", "exact"),
     # floor 2.0 - 25% = 1.5x: the E9 acceptance criterion.
     ("feedback", "BENCH_feedback.json", "speedup", "floor"),
+    ("incremental_opt", "BENCH_incremental_opt.json", "findings", "exact"),
+    # floor 2.0 - 25% = 1.5x: the E11 acceptance criterion.
+    ("incremental_opt", "BENCH_incremental_opt.json", "optimize_speedup",
+     "floor"),
+    ("incremental_opt", "BENCH_incremental_opt.json", "worklist_runs",
+     "floor"),
+    ("incremental_opt", "BENCH_incremental_opt.json", "mutants_per_sec",
+     "floor"),
     ("cow_memo", "BENCH_cow_memo.json", "findings", "exact"),
     ("cow_memo", "BENCH_cow_memo.json", "speedup", "floor"),
     ("cow_memo", "BENCH_cow_memo.json", "optimize_hit_rate", "floor"),

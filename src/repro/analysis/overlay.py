@@ -16,7 +16,7 @@ computes a mutant-level replacement lazily.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, FrozenSet, List, Optional, Set
 
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
@@ -42,6 +42,17 @@ class OriginalFunctionInfo:
         self.blocks_by_name: Dict[str, BasicBlock] = {
             block.name: block for block in function.blocks if block.name
         }
+        # Mutation-site descriptors keyed by kind, shared by every mutant
+        # cloned from this function (see MutantOverlay.enumerate_sites).
+        self._site_cache: Dict[str, List[tuple]] = {}
+
+    def cached_sites(self, kind: str,
+                     scan: Callable[[Function], List[tuple]]) -> List[tuple]:
+        sites = self._site_cache.get(kind)
+        if sites is None:
+            sites = scan(self.function)
+            self._site_cache[kind] = sites
+        return sites
 
 
 class MutantOverlay:
@@ -64,6 +75,13 @@ class MutantOverlay:
         # preserves names, so the name lookup runs once per block.
         self._translation: Dict[int, Optional[BasicBlock]] = {}
         self._stats = {"original_hits": 0, "mutant_computes": 0}
+        # Incremental-optimization support: names of the blocks the
+        # applied mutations touched (None = effects could not be
+        # localized, degrade to whole-function), plus a note counter the
+        # engine uses to auto-degrade uninstrumented operators and to
+        # recognize pristine (not-yet-mutated) clones.
+        self._touched: Optional[Set[str]] = set()
+        self._touch_notes = 0
 
     def signature_is_frozen(self) -> bool:
         """May the mutant's signature not change (fresh parameters)?
@@ -89,6 +107,81 @@ class MutantOverlay:
                     if self._has_callers:
                         break
         return self._has_callers
+
+    # -- touched-region tracking ---------------------------------------------
+
+    @property
+    def touch_notes(self) -> int:
+        """How many touched-region notes operators have recorded."""
+        return self._touch_notes
+
+    def note_touched_block(self, block: Optional[BasicBlock]) -> None:
+        """Record that a mutation changed something inside ``block``."""
+        self._touch_notes += 1
+        if self._touched is None:
+            return
+        if block is None or not block.name:
+            self._touched = None
+        else:
+            self._touched.add(block.name)
+
+    def note_touched_value(self, value: Value) -> None:
+        """Record a touched instruction (its block); other value kinds —
+        arguments, constants — are not rule anchors and need no note."""
+        if isinstance(value, Instruction):
+            self.note_touched_block(value.parent)
+
+    def note_touched_all(self) -> None:
+        """Degrade to whole-function: the effect cannot be localized."""
+        self._touch_notes += 1
+        self._touched = None
+
+    def note_touched_nothing(self) -> None:
+        """Record a mutation the pass pipeline cannot observe.
+
+        For mutations that change only function/parameter attributes (or
+        other metadata no optimizer pass or analysis reads): the note
+        keeps the engine from auto-degrading to whole-function while
+        leaving the touched set empty.  Any future pass that starts
+        consulting attributes must make its mutation call
+        :meth:`note_touched_all` instead.
+        """
+        self._touch_notes += 1
+
+    def touched_blocks(self) -> Optional[FrozenSet[str]]:
+        """Names of mutation-touched blocks, or None for whole-function."""
+        if self._touched is None:
+            return None
+        return frozenset(self._touched)
+
+    # -- mutation-site enumeration -------------------------------------------
+
+    def enumerate_sites(self, kind: str,
+                        scan: Callable[[Function], List[tuple]]) -> List:
+        """Mutation sites of ``kind`` resolved against the mutant.
+
+        ``scan(function)`` returns positional descriptors — ``(block
+        index, instruction index)`` tuples, optionally with trailing
+        extras.  While the mutant is pristine (no operator has changed
+        it yet) the descriptors are computed once per *original*
+        function and shared by all of its mutants; after the first
+        mutation they are recomputed live.  Resolution preserves the
+        scan order, so cached and live enumeration present candidates
+        identically (same RNG draws either way).
+        """
+        if self._touch_notes == 0:
+            descriptors = self.original.cached_sites(kind, scan)
+        else:
+            descriptors = scan(self.mutant)
+        blocks = self.mutant.blocks
+        sites: List = []
+        for descriptor in descriptors:
+            inst = blocks[descriptor[0]].instructions[descriptor[1]]
+            if len(descriptor) > 2:
+                sites.append((inst, *descriptor[2:]))
+            else:
+                sites.append(inst)
+        return sites
 
     # -- invalidation --------------------------------------------------------
 

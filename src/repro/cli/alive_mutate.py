@@ -177,6 +177,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "fingerprint memoization (the deep-clone "
                              "ablation; findings are identical either "
                              "way, throughput is not)")
+    parser.add_argument("--no-incremental-opt", action="store_true",
+                        help="disable incremental re-optimization: "
+                             "per-(function, pass) skip memos and "
+                             "worklist-driven pass sweeps (the "
+                             "incremental-optimizer ablation; findings "
+                             "are identical either way, throughput is "
+                             "not)")
     parser.add_argument("--no-compiled-exec", action="store_true",
                         help="disable compiled execution plans and "
                              "tree-walk the IR during verification (the "
@@ -260,6 +267,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         save_all=args.saveAll and args.save_dir is not None,
         log_path=args.log,
         memo=not args.no_memo,
+        incremental=not args.no_incremental_opt,
         feedback=FeedbackConfig(
             enabled=args.feedback,
             corpus_dir=args.corpus_dir,
@@ -358,7 +366,14 @@ def _fuzz_one(path: str, config: FuzzConfig, args) -> int:
         if tracer is not None:
             tracer.close()
     if progress is not None:
-        progress.emit(driver.metrics)
+        snapshot = progress.emit(driver.metrics)
+        if snapshot.pass_seconds:
+            breakdown = " ".join(
+                f"{name} {seconds:.2f}s"
+                for name, seconds in sorted(snapshot.pass_seconds.items(),
+                                            key=lambda item: -item[1]))
+            print(f"alive-mutate: optimize passes: {breakdown}",
+                  file=sys.stderr)
     if args.metrics_out:
         _write_metrics(driver.metrics, args.metrics_out)
     print(report.summary())
@@ -500,6 +515,14 @@ def _fuzz_sharded(config: FuzzConfig, args) -> int:
             snapshot = ThroughputSnapshot.from_metrics(merged, elapsed)
             print(f"alive-mutate: total: {snapshot.progress_line()}",
                   file=sys.stderr)
+            if snapshot.pass_seconds:
+                breakdown = " ".join(
+                    f"{name} {seconds:.2f}s"
+                    for name, seconds in sorted(
+                        snapshot.pass_seconds.items(),
+                        key=lambda item: -item[1]))
+                print(f"alive-mutate: optimize passes: {breakdown}",
+                      file=sys.stderr)
         if args.metrics_out:
             _write_metrics(merged, args.metrics_out)
     print(f"total: {total_iterations} iterations, {total_findings} findings "

@@ -82,7 +82,14 @@ def _instruction_payload(inst) -> str:
 
 
 def _canonical_tokens(function: Function) -> List[str]:
-    """The token stream the fingerprint hashes, exposed for tests."""
+    """The token stream the fingerprint hashes, exposed for tests.
+
+    This sits on the driver's hot path (every mutant function is hashed
+    at least twice per iteration), so the inner loop caches the two
+    encodings that repeat heavily — type strings (type objects are
+    interned per width) and constant operands (shared pool objects) —
+    and inlines the common positional-operand lookup.
+    """
     ids: Dict[int, str] = {id(function): "self"}
     for index, argument in enumerate(function.arguments):
         ids[id(argument)] = f"A{index}"
@@ -103,18 +110,34 @@ def _canonical_tokens(function: Function) -> List[str]:
         if attrs:
             tokens.append(f"aattrs{index}:{attrs}")
 
+    type_strs: Dict[int, str] = {}
+    operand_strs: Dict[int, str] = {}
+    ids_get = ids.get
+    append = tokens.append
     for block in function.blocks:
-        tokens.append(f"block:{ids[id(block)]}")
+        append(f"block:{ids[id(block)]}")
         for inst in block.instructions:
             # Operands are encoded positionally; the CallInst callee is a
             # separate attribute, not an operand, so encode it explicitly.
-            operands = ",".join(
-                _encode_operand(operand, ids) for operand in inst.operands)
+            parts = []
+            for operand in inst.operands:
+                key = id(operand)
+                label = ids_get(key)
+                if label is None:
+                    label = operand_strs.get(key)
+                    if label is None:
+                        label = _encode_operand(operand, ids)
+                        operand_strs[key] = label
+                parts.append(label)
             payload = _instruction_payload(inst)
             if isinstance(inst, CallInst):
                 payload = f"{_encode_operand(inst.callee, ids)};{payload}"
-            tokens.append(f"{ids[id(inst)]}={inst.opcode}:{inst.type}:"
-                          f"{inst.flags_repr()}:{payload}({operands})")
+            type_key = id(inst.type)
+            type_str = type_strs.get(type_key)
+            if type_str is None:
+                type_str = type_strs[type_key] = str(inst.type)
+            append(f"{ids[id(inst)]}={inst.opcode}:{type_str}:"
+                   f"{inst.flags_repr()}:{payload}({','.join(parts)})")
     return tokens
 
 

@@ -35,9 +35,22 @@ def apply(overlay: MutantOverlay, rng: MutationRNG) -> bool:
     return replace_constant(overlay, rng)
 
 
-def _binops(overlay: MutantOverlay) -> List[BinaryOperator]:
-    return [inst for inst in overlay.mutant.instructions()
+def _binop_scan(function) -> List[tuple]:
+    return [(bi, ii)
+            for bi, block in enumerate(function.blocks)
+            for ii, inst in enumerate(block.instructions)
             if isinstance(inst, BinaryOperator)]
+
+
+def _icmp_scan(function) -> List[tuple]:
+    return [(bi, ii)
+            for bi, block in enumerate(function.blocks)
+            for ii, inst in enumerate(block.instructions)
+            if isinstance(inst, ICmpInst)]
+
+
+def _binops(overlay: MutantOverlay) -> List[BinaryOperator]:
+    return overlay.enumerate_sites("binops", _binop_scan)
 
 
 def change_opcode(overlay: MutantOverlay, rng: MutationRNG) -> bool:
@@ -52,19 +65,20 @@ def change_opcode(overlay: MutantOverlay, rng: MutationRNG) -> bool:
         victim.nuw = victim.nsw = False
     if victim.opcode not in EXACT_FLAG_OPCODES:
         victim.exact = False
+    overlay.note_touched_value(victim)
     return True
 
 
 def swap_operands(overlay: MutantOverlay, rng: MutationRNG) -> bool:
     candidates: List[Instruction] = list(_binops(overlay))
-    candidates.extend(inst for inst in overlay.mutant.instructions()
-                      if isinstance(inst, ICmpInst))
+    candidates.extend(overlay.enumerate_sites("icmps", _icmp_scan))
     victim = rng.maybe_choice(candidates)
     if victim is None:
         return False
     lhs, rhs = victim.operands[0], victim.operands[1]
     victim.set_operand(0, rhs)
     victim.set_operand(1, lhs)
+    overlay.note_touched_value(victim)
     return True
 
 
@@ -83,35 +97,41 @@ def toggle_flags(overlay: MutantOverlay, rng: MutationRNG) -> bool:
             victim.nsw = not victim.nsw
     else:
         victim.exact = not victim.exact
+    overlay.note_touched_value(victim)
     return True
 
 
 def change_predicate(overlay: MutantOverlay, rng: MutationRNG) -> bool:
-    candidates = [inst for inst in overlay.mutant.instructions()
-                  if isinstance(inst, ICmpInst)]
+    candidates = overlay.enumerate_sites("icmps", _icmp_scan)
     victim = rng.maybe_choice(candidates)
     if victim is None:
         return False
     others = [p for p in ICMP_PREDICATES if p != victim.predicate]
     victim.predicate = rng.choice(others)
+    overlay.note_touched_value(victim)
     return True
 
 
-def _constant_sites(overlay: MutantOverlay) -> List[Tuple[Instruction, int]]:
-    """(instruction, operand index) pairs holding a mutable literal.
+def _constant_scan(function) -> List[tuple]:
+    """(block, instruction, operand) descriptors holding a mutable literal.
 
     Switch case values are excluded (uniqueness constraint); everything
     else — including intrinsic flag arguments and assume-bundle operands,
     which is how the campaign reaches the alignment bug — is fair game.
     """
-    sites: List[Tuple[Instruction, int]] = []
-    for inst in overlay.mutant.instructions():
-        if isinstance(inst, SwitchInst):
-            continue
-        for index, operand in enumerate(inst.operands):
-            if isinstance(operand, ConstantInt):
-                sites.append((inst, index))
+    sites: List[tuple] = []
+    for bi, block in enumerate(function.blocks):
+        for ii, inst in enumerate(block.instructions):
+            if isinstance(inst, SwitchInst):
+                continue
+            for index, operand in enumerate(inst.operands):
+                if isinstance(operand, ConstantInt):
+                    sites.append((bi, ii, index))
     return sites
+
+
+def _constant_sites(overlay: MutantOverlay) -> List[Tuple[Instruction, int]]:
+    return overlay.enumerate_sites("constants", _constant_scan)
 
 
 def replace_constant(overlay: MutantOverlay, rng: MutationRNG) -> bool:
@@ -123,4 +143,5 @@ def replace_constant(overlay: MutantOverlay, rng: MutationRNG) -> bool:
     replacement = random_constant(old.type, overlay, rng,
                                   allow_undef=rng.chance(0.5))
     inst.set_operand(index, replacement)
+    overlay.note_touched_value(inst)
     return True

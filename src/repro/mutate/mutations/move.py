@@ -19,16 +19,20 @@ from ..primitives import replace_operand_with_dominating
 from ..rng import MutationRNG
 
 
-def _movable(overlay: MutantOverlay) -> List[Instruction]:
-    movable = []
-    for block in overlay.mutant.blocks:
+def _movable_scan(function) -> List[tuple]:
+    movable: List[tuple] = []
+    for bi, block in enumerate(function.blocks):
         lo = block.first_non_phi_index()
         hi = len(block.instructions)
         if block.terminator() is not None:
             hi -= 1
         if hi - lo >= 2:
-            movable.extend(block.instructions[lo:hi])
+            movable.extend((bi, ii) for ii in range(lo, hi))
     return movable
+
+
+def _movable(overlay: MutantOverlay) -> List[Instruction]:
+    return overlay.enumerate_sites("movable", _movable_scan)
 
 
 def apply(overlay: MutantOverlay, rng: MutationRNG) -> bool:
@@ -68,5 +72,6 @@ def apply(overlay: MutantOverlay, rng: MutationRNG) -> bool:
             user_index = block.index_of(user)
             if old_index <= user_index < block.index_of(victim):
                 replace_operand_with_dominating(overlay, user, use.index, rng)
+    overlay.note_touched_value(victim)
     overlay.invalidate_positions()
     return True

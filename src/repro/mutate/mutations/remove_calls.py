@@ -7,28 +7,52 @@ has no result to have users.
 
 from __future__ import annotations
 
+from typing import List
+
 from ...analysis.overlay import MutantOverlay
-from ...ir.instructions import CallInst
+from ...ir.instructions import CallInst, Instruction
 from ..rng import MutationRNG
 
 
+def _void_call_scan(function) -> List[tuple]:
+    return [(bi, ii)
+            for bi, block in enumerate(function.blocks)
+            for ii, inst in enumerate(block.instructions)
+            if isinstance(inst, CallInst) and inst.type.is_void()
+            and inst.intrinsic_name() != "llvm.assume"]
+
+
+def _any_void_call_scan(function) -> List[tuple]:
+    return [(bi, ii)
+            for bi, block in enumerate(function.blocks)
+            for ii, inst in enumerate(block.instructions)
+            if isinstance(inst, CallInst) and inst.type.is_void()]
+
+
+def _erase(overlay: MutantOverlay, victim: CallInst) -> None:
+    overlay.note_touched_value(victim)
+    # The arguments each lose a use; note them so one-use rules at their
+    # remaining users are re-examined.
+    operands = [op for op in victim.operands if isinstance(op, Instruction)]
+    victim.erase_from_parent()
+    for operand in operands:
+        overlay.note_touched_value(operand)
+
+
 def apply(overlay: MutantOverlay, rng: MutationRNG) -> bool:
-    candidates = [inst for inst in overlay.mutant.instructions()
-                  if isinstance(inst, CallInst) and inst.type.is_void()
-                  and inst.intrinsic_name() != "llvm.assume"]
+    candidates = overlay.enumerate_sites("void-calls", _void_call_scan)
     victim = rng.maybe_choice(candidates)
     if victim is None:
         return False
-    victim.erase_from_parent()
+    _erase(overlay, victim)
     return True
 
 
 def apply_including_assumes(overlay: MutantOverlay, rng: MutationRNG) -> bool:
     """Variant that may also drop llvm.assume calls (strictly weakening)."""
-    candidates = [inst for inst in overlay.mutant.instructions()
-                  if isinstance(inst, CallInst) and inst.type.is_void()]
+    candidates = overlay.enumerate_sites("void-calls-all", _any_void_call_scan)
     victim = rng.maybe_choice(candidates)
     if victim is None:
         return False
-    victim.erase_from_parent()
+    _erase(overlay, victim)
     return True

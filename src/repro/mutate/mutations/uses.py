@@ -16,22 +16,27 @@ from ..primitives import replace_operand_with_dominating
 from ..rng import MutationRNG
 
 
-def _use_sites(overlay: MutantOverlay) -> List[Tuple[Instruction, int]]:
-    sites: List[Tuple[Instruction, int]] = []
-    for inst in overlay.mutant.instructions():
-        if isinstance(inst, SwitchInst):
-            continue  # case constants / labels have structural constraints
-        for index, operand in enumerate(inst.operands):
-            if isinstance(operand, BasicBlock):
-                continue
-            if isinstance(inst, PhiNode) and index % 2 == 1:
-                continue
-            if isinstance(inst, BrInst) and index > 0:
-                continue
-            if not operand.type.is_first_class():
-                continue
-            sites.append((inst, index))
+def _use_scan(function) -> List[tuple]:
+    sites: List[tuple] = []
+    for bi, block in enumerate(function.blocks):
+        for ii, inst in enumerate(block.instructions):
+            if isinstance(inst, SwitchInst):
+                continue  # case constants / labels: structural constraints
+            for index, operand in enumerate(inst.operands):
+                if isinstance(operand, BasicBlock):
+                    continue
+                if isinstance(inst, PhiNode) and index % 2 == 1:
+                    continue
+                if isinstance(inst, BrInst) and index > 0:
+                    continue
+                if not operand.type.is_first_class():
+                    continue
+                sites.append((bi, ii, index))
     return sites
+
+
+def _use_sites(overlay: MutantOverlay) -> List[Tuple[Instruction, int]]:
+    return overlay.enumerate_sites("uses", _use_scan)
 
 
 def apply(overlay: MutantOverlay, rng: MutationRNG) -> bool:

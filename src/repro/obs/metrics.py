@@ -228,6 +228,10 @@ class MetricsRegistry:
         injected chaos — which node ran which job and how many leases
         expired is scheduling history, not computation, and must not
         break the kill-and-resume == uninterrupted invariant.
+        ``opt.incremental.*`` covers the incremental optimizer's
+        skip/worklist bookkeeping, which varies with memo warmth and the
+        ``--no-incremental-opt`` ablation while the optimized IR, stats,
+        and findings it produces stay bit-identical.
         """
 
         def varies(name: str) -> bool:
@@ -239,6 +243,7 @@ class MetricsRegistry:
                 or name.startswith("exec.")
                 or name.startswith("dist.")
                 or name.startswith("chaos.")
+                or name.startswith("opt.incremental.")
             )
 
         return {

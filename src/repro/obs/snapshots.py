@@ -72,6 +72,14 @@ class ThroughputSnapshot:
     corpus_size: int = 0
     features_covered: int = 0
     new_feature_rate: float = 0.0
+    # Incremental optimization (repro.opt.incremental): share of pass
+    # dispatches answered from the skip memo, worklist (dirty-region)
+    # runs, and the per-pass wall-clock breakdown of the optimize stage
+    # (from the ``optimize.pass.<name>.seconds`` counters).  All 0/empty
+    # when incremental optimization is off or nothing optimized yet.
+    incremental_skip_rate: float = 0.0
+    incremental_worklist_runs: int = 0
+    pass_seconds: Dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def from_metrics(
@@ -96,6 +104,22 @@ class ThroughputSnapshot:
         batch_lanes = metrics.counter("exec.batch.lanes")
         draws = metrics.counter("feedback.draws")
         new_features = metrics.counter("feedback.features.new")
+        skips = (
+            metrics.counter("opt.incremental.memo_skips")
+            + metrics.counter("opt.incremental.memo_crash_skips")
+        )
+        dispatches = (
+            skips
+            + metrics.counter("opt.incremental.full_runs")
+            + metrics.counter("opt.incremental.worklist_runs")
+        )
+        prefix = "optimize.pass."
+        suffix = ".seconds"
+        pass_seconds = {
+            name[len(prefix) : -len(suffix)]: seconds
+            for name, seconds in metrics.counters_with_prefix(prefix).items()
+            if name.endswith(suffix)
+        }
 
         return cls(
             elapsed=elapsed,
@@ -128,6 +152,11 @@ class ThroughputSnapshot:
             corpus_size=int(metrics.gauges.get("corpus.size", 0.0)),
             features_covered=int(metrics.gauges.get("feedback.features.covered", 0.0)),
             new_feature_rate=new_features / draws if draws else 0.0,
+            incremental_skip_rate=skips / dispatches if dispatches else 0.0,
+            incremental_worklist_runs=int(
+                metrics.counter("opt.incremental.worklist_runs")
+            ),
+            pass_seconds=pass_seconds,
         )
 
     def to_dict(self) -> dict:
@@ -158,6 +187,12 @@ class ThroughputSnapshot:
             "corpus_size": self.corpus_size,
             "features_covered": self.features_covered,
             "new_feature_rate": round(self.new_feature_rate, 6),
+            "incremental_skip_rate": round(self.incremental_skip_rate, 6),
+            "incremental_worklist_runs": self.incremental_worklist_runs,
+            "pass_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self.pass_seconds.items())
+            },
         }
 
     def progress_line(self) -> str:
@@ -181,6 +216,11 @@ class ThroughputSnapshot:
             line += f" | plan {self.exec_plan_hit_rate:.0%}"
         if self.exec_batch_lanes_per_batch:
             line += f" | batch {self.exec_batch_lanes_per_batch:.1f} lanes"
+        if self.incremental_skip_rate or self.incremental_worklist_runs:
+            line += (
+                f" | inc skip {self.incremental_skip_rate:.0%}"
+                f" wl {self.incremental_worklist_runs}"
+            )
         if self.corpus_size or self.features_covered:
             line += f" | corpus {self.corpus_size} ({self.features_covered} feats)"
         if self.retries or self.quarantined:

@@ -23,6 +23,7 @@ class OptimizerCrash(Exception):
     def __init__(self, bug_id: str, message: str) -> None:
         super().__init__(f"[bug {bug_id}] {message}")
         self.bug_id = bug_id
+        self.message = message
 
 
 class OptContext:

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..ir.instructions import (BinaryOperator, CallInst, CastInst, ICmpInst,
-                               Instruction, SelectInst)
+from ..ir.instructions import (BINARY_OPCODES, CAST_OPCODES, BinaryOperator,
+                               CallInst, CastInst, ICmpInst, Instruction,
+                               SelectInst)
 from ..ir.types import IntType
 from ..ir.values import Constant, ConstantInt, PoisonValue
 
@@ -202,36 +203,60 @@ def _clamp_signed(value: int, width: int) -> int:
     return min(max(value, low), high)
 
 
+def _fold_binary_inst(inst: BinaryOperator) -> Optional[Constant]:
+    if isinstance(inst.lhs, Constant) and isinstance(inst.rhs, Constant):
+        return fold_binary(inst.opcode, inst.lhs, inst.rhs,
+                           inst.type.width, nuw=inst.nuw, nsw=inst.nsw,
+                           exact=inst.exact)
+    return None
+
+
+def _fold_icmp_inst(inst: ICmpInst) -> Optional[Constant]:
+    if isinstance(inst.lhs, Constant) and isinstance(inst.rhs, Constant) \
+            and isinstance(inst.lhs.type, IntType):
+        return fold_icmp(inst.predicate, inst.lhs, inst.rhs,
+                         inst.lhs.type.width)
+    return None
+
+
+def _fold_cast_inst(inst: CastInst) -> Optional[Constant]:
+    if isinstance(inst.value, Constant):
+        return fold_cast(inst.opcode, inst.value, inst.src_type.width,
+                         inst.type.width)
+    return None
+
+
+def _fold_select_inst(inst: SelectInst) -> Optional[Constant]:
+    condition = inst.condition
+    if isinstance(condition, PoisonValue):
+        return PoisonValue(inst.type)
+    if isinstance(condition, ConstantInt):
+        chosen = inst.true_value if condition.value else inst.false_value
+        return chosen if isinstance(chosen, Constant) else None
+    return None
+
+
+def _fold_call_inst(inst: CallInst) -> Optional[Constant]:
+    if inst.is_intrinsic() and isinstance(inst.type, IntType) \
+            and all(isinstance(a, Constant) for a in inst.args):
+        return fold_intrinsic(inst.intrinsic_name(), inst.args,
+                              inst.type.width)
+    return None
+
+
+# Opcode-keyed dispatch (see repro.opt.rewrite): each opcode names exactly
+# one instruction class, so the per-class isinstance chain collapses into
+# one dict probe and instructions with no folder (phi, load, br, ...) are
+# rejected without trying any of them.
+_FOLDERS = {"icmp": _fold_icmp_inst, "select": _fold_select_inst,
+            "call": _fold_call_inst}
+for _opcode in BINARY_OPCODES:
+    _FOLDERS[_opcode] = _fold_binary_inst
+for _opcode in CAST_OPCODES:
+    _FOLDERS[_opcode] = _fold_cast_inst
+
+
 def fold_instruction(inst: Instruction) -> Optional[Constant]:
     """Fold a whole instruction if its operands allow it."""
-    if isinstance(inst, BinaryOperator):
-        if isinstance(inst.lhs, Constant) and isinstance(inst.rhs, Constant):
-            return fold_binary(inst.opcode, inst.lhs, inst.rhs,
-                               inst.type.width, nuw=inst.nuw, nsw=inst.nsw,
-                               exact=inst.exact)
-        return None
-    if isinstance(inst, ICmpInst):
-        if isinstance(inst.lhs, Constant) and isinstance(inst.rhs, Constant) \
-                and isinstance(inst.lhs.type, IntType):
-            return fold_icmp(inst.predicate, inst.lhs, inst.rhs,
-                             inst.lhs.type.width)
-        return None
-    if isinstance(inst, CastInst):
-        if isinstance(inst.value, Constant):
-            return fold_cast(inst.opcode, inst.value, inst.src_type.width,
-                             inst.type.width)
-        return None
-    if isinstance(inst, SelectInst):
-        condition = inst.condition
-        if isinstance(condition, PoisonValue):
-            return PoisonValue(inst.type)
-        if isinstance(condition, ConstantInt):
-            chosen = inst.true_value if condition.value else inst.false_value
-            return chosen if isinstance(chosen, Constant) else None
-        return None
-    if isinstance(inst, CallInst) and inst.is_intrinsic() \
-            and isinstance(inst.type, IntType):
-        base = inst.intrinsic_name()
-        if all(isinstance(a, Constant) for a in inst.args):
-            return fold_intrinsic(base, inst.args, inst.type.width)
-    return None
+    folder = _FOLDERS.get(inst.opcode)
+    return folder(inst) if folder is not None else None

@@ -21,9 +21,17 @@ class FunctionPass:
     """Base class: transform one function, report whether IR changed."""
 
     name = "<unnamed>"
+    # Worklist-capable passes can re-optimize just a dirty region through
+    # :meth:`run_on_worklist` (see ``repro.opt.incremental``); everything
+    # else is always run over the whole function.
+    supports_worklist = False
 
     def run_on_function(self, function: Function, ctx: OptContext) -> bool:
         raise NotImplementedError
+
+    def run_on_worklist(self, function: Function, ctx: OptContext,
+                        dirty) -> bool:
+        raise NotImplementedError(f"pass {self.name} is not worklist-capable")
 
     def __repr__(self) -> str:
         return f"<pass {self.name}>"
@@ -62,14 +70,19 @@ def replace_and_erase(inst: Instruction, replacement: Value) -> None:
 class PassManager:
     """Runs a sequence of function passes over a module.
 
-    ``tracer`` (a :class:`repro.obs.Tracer`) records one
-    ``optimize.pass.<name>`` span per pass execution when tracing is
-    enabled — the per-pass breakdown of the loop's optimize stage.
+    Every execution of one pass over one function funnels through
+    :meth:`_apply`, which owns the cross-cutting bookkeeping: wall-clock
+    accumulation into :attr:`pass_seconds`, ``optimize.pass.<name>.seconds``
+    counters when a ``metrics`` registry is attached, one
+    ``optimize.pass.<name>`` span per (pass, function) when a ``tracer``
+    is enabled, the ``pass.<name>.changed`` stat, and — when an
+    :class:`repro.opt.incremental.IncrementalRun` is threaded through
+    :meth:`run_function` — skip-memo/worklist dispatch.
     """
 
     def __init__(self, pass_names: Sequence[str],
                  ctx: Optional[OptContext] = None,
-                 tracer=None) -> None:
+                 tracer=None, metrics=None) -> None:
         from . import pipelines  # late import: pipelines needs the registry
 
         expanded: List[str] = []
@@ -78,27 +91,51 @@ class PassManager:
         self.pass_names = expanded
         self.ctx = ctx or OptContext()
         self.tracer = tracer
+        self.metrics = metrics
+        self.pass_seconds: Dict[str, float] = {}
         self._passes = [create_pass(name) for name in expanded]
 
+    def _apply(self, function_pass: FunctionPass, function: Function,
+               ctx: OptContext, incremental=None) -> bool:
+        """Run (or incrementally dispatch) one pass over one function."""
+        name = function_pass.name
+        begin = time.perf_counter()
+        try:
+            if incremental is not None:
+                pass_changed = incremental.dispatch(function_pass, function,
+                                                    ctx)
+            else:
+                pass_changed = function_pass.run_on_function(function, ctx)
+        finally:
+            elapsed = time.perf_counter() - begin
+            self.pass_seconds[name] = \
+                self.pass_seconds.get(name, 0.0) + elapsed
+            if self.metrics is not None:
+                self.metrics.count(f"optimize.pass.{name}.seconds", elapsed)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.record("optimize.pass." + name, begin, elapsed,
+                          function=function.name, changed=pass_changed)
+        if pass_changed:
+            ctx.count(f"pass.{name}.changed")
+        return pass_changed
+
     def run(self, module: Module) -> bool:
-        """Run the full pipeline; True if anything changed.
+        """Run the full pipeline (pass-major); True if anything changed.
 
         Seeded crash bugs raise :class:`OptimizerCrash` out of this method,
         the analog of the optimizer process dying.
         """
-        tracer = self.tracer
-        if tracer is not None and tracer.enabled:
-            return self._run_traced(module, tracer)
         changed = False
         for function_pass in self._passes:
             for function in module.definitions():
-                if function_pass.run_on_function(function, self.ctx):
+                if self._apply(function_pass, function, self.ctx):
                     changed = True
-                    self.ctx.count(f"pass.{function_pass.name}.changed")
         return changed
 
     def run_function(self, function: Function,
-                     ctx: Optional[OptContext] = None) -> bool:
+                     ctx: Optional[OptContext] = None,
+                     incremental=None) -> bool:
         """Run the full pipeline over one function (function-major order).
 
         Because every registered pass is a :class:`FunctionPass`, running
@@ -106,39 +143,15 @@ class PassManager:
         produces the same IR as the pass-major :meth:`run` — this is what
         lets the memoized driver optimize (and cache) functions one at a
         time.  ``ctx`` overrides the manager's context for this call so
-        per-function bug attribution stays separable.
+        per-function bug attribution stays separable.  ``incremental`` is
+        an optional :class:`repro.opt.incremental.IncrementalRun` carrying
+        this function's skip-memo/worklist state.
         """
         ctx = ctx if ctx is not None else self.ctx
-        tracer = self.tracer
-        traced = tracer is not None and tracer.enabled
         changed = False
         for function_pass in self._passes:
-            if traced:
-                begin = time.perf_counter()
-                pass_changed = function_pass.run_on_function(function, ctx)
-                tracer.record("optimize.pass." + function_pass.name, begin,
-                              time.perf_counter() - begin,
-                              function=function.name, changed=pass_changed)
-            else:
-                pass_changed = function_pass.run_on_function(function, ctx)
-            if pass_changed:
+            if self._apply(function_pass, function, ctx, incremental):
                 changed = True
-                ctx.count(f"pass.{function_pass.name}.changed")
-        return changed
-
-    def _run_traced(self, module: Module, tracer) -> bool:
-        """The traced twin of :meth:`run`: one span per pass."""
-        changed = False
-        for function_pass in self._passes:
-            begin = time.perf_counter()
-            pass_changed = False
-            for function in module.definitions():
-                if function_pass.run_on_function(function, self.ctx):
-                    pass_changed = True
-                    self.ctx.count(f"pass.{function_pass.name}.changed")
-            tracer.record("optimize.pass." + function_pass.name, begin,
-                          time.perf_counter() - begin, changed=pass_changed)
-            changed = changed or pass_changed
         return changed
 
 

@@ -25,14 +25,29 @@ class ConstantFolding(FunctionPass):
       folded select condition is 0 or 1 *after* poison substitution.
     """
 
+    supports_worklist = True
+
     def run_on_function(self, function: Function, ctx: OptContext) -> bool:
+        return self._run(function, ctx, None)
+
+    def run_on_worklist(self, function: Function, ctx: OptContext,
+                        dirty) -> bool:
+        from ..incremental import SweepState
+
+        return self._run(function, ctx, SweepState(dirty))
+
+    def _run(self, function: Function, ctx: OptContext, sweep) -> bool:
         changed = True
         any_change = False
         while changed:
             changed = False
             for block in function.blocks:
+                if sweep is not None and not sweep.block_active(block):
+                    continue
                 for inst in list(block.instructions):
                     if inst.parent is None:
+                        continue
+                    if sweep is not None and not sweep.should_visit(inst):
                         continue
                     if ctx.bug_enabled("56945") and isinstance(inst, CallInst) \
                             and inst.is_intrinsic() \
@@ -45,8 +60,12 @@ class ConstantFolding(FunctionPass):
                                   "assert(isa<ConstantInt>(Cond)) is too strong")
                     folded = fold_instruction(inst)
                     if folded is not None:
+                        if sweep is not None:
+                            sweep.note_rewrite(inst)
                         replace_and_erase(inst, folded)
                         ctx.count("constfold.folded")
                         changed = True
                         any_change = True
+            if sweep is not None and changed:
+                sweep.finish_sweep()
         return any_change

@@ -5,11 +5,18 @@ constant folding, InstSimplify, and a library of pattern-based rewrite
 rules.  InstCombine was the single buggiest LLVM component found both by
 Csmith (2011) and by alive-mutate (Table I), and the seeded versions of
 those bugs live in these rule modules.
+
+Rules are registered with their root opcodes (see ``repro.opt.rewrite``),
+so each visited instruction only tries the rules whose pattern is
+anchored at its opcode instead of the whole library.  Within a bucket
+the registration order is preserved, and every rule's first test is its
+root-opcode guard, so the indexed sweep fires exactly the rewrites the
+linear scan would — in the same order.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import List, Optional
 
 from ....ir.builder import IRBuilder
 from ....ir.function import Function
@@ -17,13 +24,10 @@ from ....ir.instructions import Instruction
 from ....ir.module import Module
 from ....ir.values import Value
 from ...context import OptContext
+from ...incremental import SweepState
 from ...pass_manager import FunctionPass, register_pass, replace_and_erase
+from ...rewrite import RewriteRule, RuleIndex
 from ..instsimplify import simplify_instruction
-
-# A rule inspects one instruction and either returns a replacement Value,
-# or performs an in-place change and returns the instruction itself, or
-# returns None when it does not apply.
-Rule = Callable[[Instruction, "CombineContext"], Optional[Value]]
 
 
 class CombineContext:
@@ -43,12 +47,12 @@ class CombineContext:
         return self.function.parent
 
 
-def _load_rules() -> List[Tuple[str, Rule]]:
+def _load_rules() -> List[RewriteRule]:
     from . import (rules_addsub, rules_bitwise, rules_casts, rules_icmp,
                    rules_intrinsics, rules_logic_icmp, rules_muldiv,
                    rules_select, rules_select_binop, rules_shifts)
 
-    rules: List[Tuple[str, Rule]] = []
+    rules: List[RewriteRule] = []
     for module in (rules_addsub, rules_muldiv, rules_shifts, rules_bitwise,
                    rules_icmp, rules_logic_icmp, rules_select,
                    rules_select_binop, rules_casts, rules_intrinsics):
@@ -56,14 +60,18 @@ def _load_rules() -> List[Tuple[str, Rule]]:
     return rules
 
 
-_RULES: Optional[List[Tuple[str, Rule]]] = None
+_INDEX: Optional[RuleIndex] = None
 
 
-def all_rules() -> List[Tuple[str, Rule]]:
-    global _RULES
-    if _RULES is None:
-        _RULES = _load_rules()
-    return _RULES
+def rule_index() -> RuleIndex:
+    global _INDEX
+    if _INDEX is None:
+        _INDEX = RuleIndex(_load_rules())
+    return _INDEX
+
+
+def all_rules() -> List[RewriteRule]:
+    return list(rule_index().rules)
 
 
 MAX_ITERATIONS = 8
@@ -71,15 +79,29 @@ MAX_ITERATIONS = 8
 
 @register_pass("instcombine")
 class InstCombine(FunctionPass):
+    supports_worklist = True
+
     def run_on_function(self, function: Function, ctx: OptContext) -> bool:
+        return self._run(function, ctx, None)
+
+    def run_on_worklist(self, function: Function, ctx: OptContext,
+                        dirty) -> bool:
+        return self._run(function, ctx, SweepState(dirty))
+
+    def _run(self, function: Function, ctx: OptContext,
+             sweep: Optional[SweepState]) -> bool:
         combine = CombineContext(function, ctx)
-        rules = all_rules()
+        index = rule_index()
         any_change = False
         for _ in range(MAX_ITERATIONS):
             changed = False
             for block in function.blocks:
+                if sweep is not None and not sweep.block_active(block):
+                    continue
                 for inst in list(block.instructions):
                     if inst.parent is None:
+                        continue
+                    if sweep is not None and not sweep.should_visit(inst):
                         continue
                     if inst.is_terminator():
                         continue
@@ -87,30 +109,44 @@ class InstCombine(FunctionPass):
                     if not inst.type.is_void():
                         simplified = simplify_instruction(inst, ctx)
                     if simplified is not None and simplified is not inst:
+                        if sweep is not None:
+                            sweep.note_rewrite(inst)
                         replace_and_erase(inst, simplified)
                         ctx.count("instcombine.simplified")
                         changed = True
                         continue
-                    for rule_name, rule in rules:
-                        result = rule(inst, combine)
+                    for entry in index.rules_for(inst.opcode):
+                        if sweep is not None:
+                            # Rules build replacement chains right before
+                            # the anchor; snapshot its position so the
+                            # fresh instructions can be found afterwards.
+                            pos_before = block.index_of(inst)
+                        result = entry.fn(inst, combine)
                         if result is None:
                             continue
-                        ctx.count(f"instcombine.rule.{rule_name}")
+                        ctx.count(f"instcombine.rule.{entry.name}")
                         changed = True
+                        if sweep is not None:
+                            new_insts = block.instructions[
+                                pos_before:block.index_of(inst)]
+                            sweep.note_rewrite(inst, new_insts)
                         if result is not inst:
                             replace_and_erase(inst, result)
                         break
             if changed:
                 # Like LLVM's InstCombine, retire instructions its rewrites
                 # have made dead before the next sweep.
-                self._erase_trivially_dead(function, ctx)
+                self._erase_trivially_dead(function, ctx, sweep)
             any_change = any_change or changed
             if not changed:
                 break
+            if sweep is not None:
+                sweep.finish_sweep()
         return any_change
 
     @staticmethod
-    def _erase_trivially_dead(function: Function, ctx: OptContext) -> None:
+    def _erase_trivially_dead(function: Function, ctx: OptContext,
+                              sweep: Optional[SweepState] = None) -> None:
         from ..dce import is_trivially_dead
 
         worklist = list(function.instructions())
@@ -123,3 +159,7 @@ class InstCombine(FunctionPass):
             inst.erase_from_parent()
             ctx.count("instcombine.dead")
             worklist.extend(operands)
+            if sweep is not None:
+                # Each operand just lost a use; one-use rules at its
+                # remaining users may now fire.
+                sweep.note_affected(operands)

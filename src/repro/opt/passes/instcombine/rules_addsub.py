@@ -7,6 +7,7 @@ from typing import Optional
 from ....ir.instructions import BinaryOperator
 from ....ir.values import ConstantInt, Value
 from ...matchers import Capture, is_one_use, m_any, m_neg, m_not
+from ...rewrite import rule
 
 
 def rule_add_self_to_shl(inst, combine) -> Optional[Value]:
@@ -112,11 +113,11 @@ def rule_sub_constant_to_add(inst, combine) -> Optional[Value]:
 
 
 RULES = [
-    ("add-self-to-shl", rule_add_self_to_shl),
-    ("add-not-one-to-neg", rule_add_of_not_is_neg_like),
-    ("sub-of-sub-const", rule_sub_of_sub_constant),
-    ("sub-neg-to-add", rule_sub_neg_to_add),
-    ("add-sub-cancel", rule_add_sub_cancel),
-    ("sub-add-cancel", rule_sub_add_cancel),
-    ("sub-const-to-add", rule_sub_constant_to_add),
+    rule("add-self-to-shl", rule_add_self_to_shl, "add"),
+    rule("add-not-one-to-neg", rule_add_of_not_is_neg_like, "add"),
+    rule("sub-of-sub-const", rule_sub_of_sub_constant, "sub"),
+    rule("sub-neg-to-add", rule_sub_neg_to_add, "sub"),
+    rule("add-sub-cancel", rule_add_sub_cancel, "add"),
+    rule("sub-add-cancel", rule_sub_add_cancel, "sub"),
+    rule("sub-const-to-add", rule_sub_constant_to_add, "sub"),
 ]

@@ -9,6 +9,7 @@ from ....ir.instructions import BinaryOperator, ICmpInst
 from ....ir.types import IntType
 from ....ir.values import ConstantInt, Value
 from ...matchers import is_one_use
+from ...rewrite import rule
 
 
 def rule_xor_of_icmp_inverts(inst, combine) -> Optional[Value]:
@@ -119,10 +120,12 @@ def rule_xor_icmp_pair(inst, combine) -> Optional[Value]:
 
 
 RULES = [
-    ("xor-icmp-invert", rule_xor_of_icmp_inverts),
-    ("demorgan", rule_demorgan),
-    ("and-or-absorb", rule_and_or_absorb),
-    ("and-known-mask", rule_and_with_known_mask),
-    ("or-disjoint-add", rule_or_disjoint_to_add),
-    ("xor-icmp-pair", rule_xor_icmp_pair),
+    rule("xor-icmp-invert", rule_xor_of_icmp_inverts, "xor"),
+    rule("demorgan", rule_demorgan, "and", "or"),
+    rule("and-or-absorb", rule_and_or_absorb, "and", "or"),
+    rule("and-known-mask", rule_and_with_known_mask, "and"),
+    # Anchored at an *add* of disjoint bits (rewritten to or), despite
+    # living in the bitwise module.
+    rule("or-disjoint-add", rule_or_disjoint_to_add, "add"),
+    rule("xor-icmp-pair", rule_xor_icmp_pair, "xor"),
 ]

@@ -8,6 +8,7 @@ from ....analysis.knownbits import is_known_non_negative
 from ....ir.instructions import CastInst
 from ....ir.values import ConstantInt, Value
 from ...matchers import is_one_use
+from ...rewrite import rule
 
 
 def rule_trunc_of_ext(inst, combine) -> Optional[Value]:
@@ -70,8 +71,8 @@ def rule_sext_of_nonnegative(inst, combine) -> Optional[Value]:
 
 
 RULES = [
-    ("trunc-of-ext", rule_trunc_of_ext),
-    ("ext-of-ext", rule_ext_of_ext),
-    ("zext-trunc-to-and", rule_zext_of_trunc_same_width),
-    ("sext-nonneg-to-zext", rule_sext_of_nonnegative),
+    rule("trunc-of-ext", rule_trunc_of_ext, "trunc"),
+    rule("ext-of-ext", rule_ext_of_ext, "zext", "sext"),
+    rule("zext-trunc-to-and", rule_zext_of_trunc_same_width, "zext"),
+    rule("sext-nonneg-to-zext", rule_sext_of_nonnegative, "sext"),
 ]

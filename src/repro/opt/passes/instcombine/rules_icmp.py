@@ -8,6 +8,7 @@ from ....ir.instructions import BinaryOperator, CastInst, ICmpInst
 from ....ir.types import IntType
 from ....ir.values import ConstantInt, Value
 from ...matchers import is_one_use
+from ...rewrite import rule
 
 _NONSTRICT_TO_STRICT = {
     # pred -> (strict pred, constant delta, boundary constant to skip)
@@ -136,9 +137,9 @@ def rule_icmp_signed_of_zext(inst, combine) -> Optional[Value]:
 
 
 RULES = [
-    ("icmp-strict-canonical", rule_canonicalize_strict),
-    ("icmp-eq-add-const", rule_icmp_eq_add_const),
-    ("icmp-ult-add-nuw", rule_icmp_ult_add_nuw),
-    ("icmp-of-zext", rule_icmp_of_zext),
-    ("icmp-signed-of-zext", rule_icmp_signed_of_zext),
+    rule("icmp-strict-canonical", rule_canonicalize_strict, "icmp"),
+    rule("icmp-eq-add-const", rule_icmp_eq_add_const, "icmp"),
+    rule("icmp-ult-add-nuw", rule_icmp_ult_add_nuw, "icmp"),
+    rule("icmp-of-zext", rule_icmp_of_zext, "icmp"),
+    rule("icmp-signed-of-zext", rule_icmp_signed_of_zext, "icmp"),
 ]

@@ -18,6 +18,7 @@ from ....analysis.knownbits import is_known_non_negative
 from ....ir.instructions import BinaryOperator, CallInst
 from ....ir.intrinsics import declare_intrinsic, supports_width
 from ....ir.values import ConstantInt, UndefValue, Value
+from ...rewrite import rule
 
 
 def _intrinsic_call(inst, base: str) -> bool:
@@ -150,9 +151,9 @@ def rule_call_site_noundef(inst, combine) -> Optional[Value]:
 
 
 RULES = [
-    ("minmax-identity", rule_minmax_identity),
-    ("minmax-of-minmax", rule_minmax_of_minmax),
-    ("abs-of-nonneg", rule_abs_of_nonnegative),
-    ("abs-of-abs", rule_abs_of_abs),
-    ("call-noundef-crash", rule_call_site_noundef),
+    rule("minmax-identity", rule_minmax_identity, "call"),
+    rule("minmax-of-minmax", rule_minmax_of_minmax, "call"),
+    rule("abs-of-nonneg", rule_abs_of_nonnegative, "call"),
+    rule("abs-of-abs", rule_abs_of_abs, "call"),
+    rule("call-noundef-crash", rule_call_site_noundef, "call"),
 ]

@@ -12,6 +12,7 @@ from ....ir.instructions import BinaryOperator, ICmpInst
 from ....ir.types import IntType
 from ....ir.values import ConstantInt, Value
 from ...matchers import is_one_use
+from ...rewrite import rule
 
 
 def _unsigned_range_pair(inst) -> Optional[tuple]:
@@ -139,9 +140,10 @@ def rule_and_icmp_eq_zero_pair(inst, combine) -> Optional[Value]:
 
 
 RULES = [
-    ("andor-unsigned-range", rule_and_or_of_unsigned_range),
-    ("and-empty-range", rule_and_of_empty_range),
-    ("or-full-range", rule_or_of_full_range),
-    ("pow2-bit-test", rule_power_of_two_bit_test),
-    ("and-eqzero-pair", rule_and_icmp_eq_zero_pair),
+    rule("andor-unsigned-range", rule_and_or_of_unsigned_range, "and", "or"),
+    rule("and-empty-range", rule_and_of_empty_range, "and"),
+    rule("or-full-range", rule_or_of_full_range, "or"),
+    # Matches an icmp-ne whose operand chain is the bit test.
+    rule("pow2-bit-test", rule_power_of_two_bit_test, "icmp"),
+    rule("and-eqzero-pair", rule_and_icmp_eq_zero_pair, "and"),
 ]

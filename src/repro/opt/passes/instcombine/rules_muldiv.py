@@ -13,6 +13,7 @@ from typing import Optional
 
 from ....ir.instructions import BinaryOperator, CastInst
 from ....ir.values import ConstantInt, Value
+from ...rewrite import rule
 
 
 def _log2_exact(value: int) -> Optional[int]:
@@ -143,10 +144,10 @@ def rule_mul_shl_operand(inst, combine) -> Optional[Value]:
 
 
 RULES = [
-    ("mul-pow2-to-shl", rule_mul_pow2_to_shl),
-    ("mul-allones-to-neg", rule_mul_allones_to_neg),
-    ("mul-zext-zext-nuw", rule_mul_of_zexts_is_nuw),
-    ("udiv-pow2-to-lshr", rule_udiv_pow2_to_lshr),
-    ("urem-pow2-to-and", rule_urem_pow2_to_and),
-    ("mul-shl-regroup", rule_mul_shl_operand),
+    rule("mul-pow2-to-shl", rule_mul_pow2_to_shl, "mul"),
+    rule("mul-allones-to-neg", rule_mul_allones_to_neg, "mul"),
+    rule("mul-zext-zext-nuw", rule_mul_of_zexts_is_nuw, "mul"),
+    rule("udiv-pow2-to-lshr", rule_udiv_pow2_to_lshr, "udiv"),
+    rule("urem-pow2-to-and", rule_urem_pow2_to_and, "urem"),
+    rule("mul-shl-regroup", rule_mul_shl_operand, "mul"),
 ]

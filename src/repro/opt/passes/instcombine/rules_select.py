@@ -14,6 +14,7 @@ from ....ir.intrinsics import declare_intrinsic, supports_width
 from ....ir.types import IntType
 from ....ir.values import ConstantInt, Value, same_value
 from ...matchers import is_one_use
+from ...rewrite import rule
 
 
 def rule_select_inverted_condition(inst, combine) -> Optional[Value]:
@@ -147,10 +148,10 @@ def rule_select_zext_arms(inst, combine) -> Optional[Value]:
 
 
 RULES = [
-    ("select-inverted-cond", rule_select_inverted_condition),
-    ("select-bool-const-arms", rule_select_bool_constant_arms),
-    ("canonicalize-clamp-like", rule_canonicalize_clamp_like),
-    ("select-eq-operands", rule_select_same_compare_operands),
-    ("select-of-selects", rule_select_of_selects),
-    ("select-zext-arms", rule_select_zext_arms),
+    rule("select-inverted-cond", rule_select_inverted_condition, "select"),
+    rule("select-bool-const-arms", rule_select_bool_constant_arms, "select"),
+    rule("canonicalize-clamp-like", rule_canonicalize_clamp_like, "select"),
+    rule("select-eq-operands", rule_select_same_compare_operands, "select"),
+    rule("select-of-selects", rule_select_of_selects, "select"),
+    rule("select-zext-arms", rule_select_zext_arms, "select"),
 ]

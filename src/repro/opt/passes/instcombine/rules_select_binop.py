@@ -5,9 +5,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ....ir.instructions import BinaryOperator, ICmpInst, SelectInst
+from ....ir.instructions import (BINARY_OPCODES, BinaryOperator, ICmpInst,
+                                 SelectInst)
 from ....ir.values import ConstantInt, Value, same_value
 from ...matchers import is_one_use
+from ...rewrite import rule
 
 
 def rule_binop_of_select_constants(inst, combine) -> Optional[Value]:
@@ -112,8 +114,9 @@ def rule_shared_operand_select(inst, combine) -> Optional[Value]:
 
 
 RULES = [
-    ("binop-select-consts", rule_binop_of_select_constants),
-    ("select-eq-const-arm", rule_select_icmp_eq_constant_arm),
-    ("select-neg-canon", rule_select_of_sub_zero),
-    ("binop-two-selects", rule_shared_operand_select),
+    rule("binop-select-consts", rule_binop_of_select_constants,
+         *BINARY_OPCODES),
+    rule("select-eq-const-arm", rule_select_icmp_eq_constant_arm, "select"),
+    rule("select-neg-canon", rule_select_of_sub_zero, "select"),
+    rule("binop-two-selects", rule_shared_operand_select, *BINARY_OPCODES),
 ]

@@ -11,6 +11,7 @@ from typing import Optional
 
 from ....ir.instructions import BinaryOperator, CastInst
 from ....ir.values import ConstantInt, Value
+from ...rewrite import rule
 
 
 def rule_shl_shl_combine(inst, combine) -> Optional[Value]:
@@ -110,9 +111,9 @@ def rule_ashr_of_nonnegative_to_lshr(inst, combine) -> Optional[Value]:
 
 
 RULES = [
-    ("shl-shl", rule_shl_shl_combine),
-    ("lshr-lshr", rule_lshr_lshr_combine),
-    ("shl-lshr-to-and", rule_shl_then_lshr_to_and),
-    ("opposite-shifts-allones", rule_opposite_shifts_of_allones),
-    ("ashr-nonneg-to-lshr", rule_ashr_of_nonnegative_to_lshr),
+    rule("shl-shl", rule_shl_shl_combine, "shl"),
+    rule("lshr-lshr", rule_lshr_lshr_combine, "lshr"),
+    rule("shl-lshr-to-and", rule_shl_then_lshr_to_and, "lshr"),
+    rule("opposite-shifts-allones", rule_opposite_shifts_of_allones, "lshr"),
+    rule("ashr-nonneg-to-lshr", rule_ashr_of_nonnegative_to_lshr, "ashr"),
 ]

@@ -175,20 +175,39 @@ def _simplify_freeze(inst: FreezeInst) -> Optional[Value]:
 
 @register_pass("instsimplify")
 class InstSimplify(FunctionPass):
+    supports_worklist = True
+
     def run_on_function(self, function: Function, ctx: OptContext) -> bool:
+        return self._run(function, ctx, None)
+
+    def run_on_worklist(self, function: Function, ctx: OptContext,
+                        dirty) -> bool:
+        from ..incremental import SweepState
+
+        return self._run(function, ctx, SweepState(dirty))
+
+    def _run(self, function: Function, ctx: OptContext, sweep) -> bool:
         changed = True
         any_change = False
         while changed:
             changed = False
             for block in function.blocks:
+                if sweep is not None and not sweep.block_active(block):
+                    continue
                 for inst in list(block.instructions):
                     if inst.parent is None or inst.type.is_void() \
                             or inst.is_terminator():
                         continue
+                    if sweep is not None and not sweep.should_visit(inst):
+                        continue
                     simplified = simplify_instruction(inst, ctx)
                     if simplified is not None and simplified is not inst:
+                        if sweep is not None:
+                            sweep.note_rewrite(inst)
                         replace_and_erase(inst, simplified)
                         ctx.count("instsimplify.simplified")
                         changed = True
                         any_change = True
+            if sweep is not None and changed:
+                sweep.finish_sweep()
         return any_change
