@@ -80,6 +80,16 @@ GATES = [
     ("throughput", "BENCH_throughput.json", "invalid_files", "exact"),
     ("throughput", "BENCH_throughput.json", "not_verified_files", "exact"),
     ("throughput", "BENCH_throughput.json", "speedup_avg", "floor"),
+    ("wire", "BENCH_wire.json", "modules", "exact"),
+    ("wire", "BENCH_wire.json", "claims", "exact"),
+    ("wire", "BENCH_wire.json", "jobs", "exact"),
+    ("wire", "BENCH_wire.json", "result_mismatches", "exact"),
+    ("wire", "BENCH_wire.json", "decode_hit_rate", "exact"),
+    # floor 6.67 - 25% = 5.0x: the E12 codec acceptance criterion.
+    ("wire", "BENCH_wire.json", "codec_speedup", "floor"),
+    # floor 2.67 - 25% = 2.0x: the E12 dispatch acceptance criterion.
+    ("wire", "BENCH_wire.json", "dispatch_speedup", "floor"),
+    ("wire", "BENCH_wire.json", "socket_jobs_per_sec", "floor"),
 ]
 
 _NOTE = (

@@ -12,11 +12,19 @@ Standalone script (not pytest-collected) so the ``dist-smoke`` CI job
 can run it directly:
 
     PYTHONPATH=src python benchmarks/dist_smoke.py
+    PYTHONPATH=src python benchmarks/dist_smoke.py --transport socket
+
+``--transport socket`` runs the same drill over the wire tier instead
+of the shared directory: an in-process :class:`QueueBroker` (journal-
+backed) serves the queue, the worker processes connect with
+``--queue addr:HOST:PORT``, and the SIGKILLed node's leases expire on
+disconnect rather than by timeout.
 
 Exit status 0 = parity held, 1 = divergence (with a diff dump), 2 =
 harness failure (nodes never started, queue never drained, ...).
 """
 
+import argparse
 import json
 import os
 import signal
@@ -30,6 +38,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
 from repro.fuzz import CampaignConfig, run_campaign  # noqa: E402
 from repro.fuzz.dist import DistConfig  # noqa: E402
+from repro.fuzz.net import QueueBroker  # noqa: E402
 
 SMOKE = dict(corpus_size=6, mutants_per_file=12, max_inputs=8, pipelines=("O2",))
 VICTIM = "smoke-victim"
@@ -49,7 +58,7 @@ def report_key(report):
     }
 
 
-def spawn_node(name, queue_dir):
+def spawn_node(name, queue_spec):
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in ("src", env.get("PYTHONPATH", "")) if p
@@ -61,8 +70,8 @@ def spawn_node(name, queue_dir):
             "repro.cli.alive_mutate",
             "--node",
             name,
-            "--queue-dir",
-            queue_dir,
+            "--queue",
+            queue_spec,
             "--wait-manifest",
             "60",
             "-j",
@@ -97,7 +106,23 @@ def wait_for_lease(queue_dir, node, timeout=60.0):
     return False
 
 
+def wait_for_broker_lease(broker, node, timeout=60.0):
+    """Socket-mode twin of :func:`wait_for_lease`."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if any(lease.node == node for lease in broker.leases().values()):
+            return True
+        time.sleep(0.05)
+    return False
+
+
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--transport", choices=("dir", "socket"),
+                        default="dir",
+                        help="queue transport for the worker processes")
+    args = parser.parse_args()
+
     print("dist-smoke: single-host reference run ...", flush=True)
     reference = run_campaign(CampaignConfig(workers=1, **SMOKE))
     print(
@@ -106,17 +131,29 @@ def main():
         flush=True,
     )
 
-    queue_dir = os.path.join(tempfile.mkdtemp(prefix="dist-smoke-"), "queue")
-    config = CampaignConfig(
-        workers=1,
-        dist=DistConfig(
+    work_dir = tempfile.mkdtemp(prefix="dist-smoke-")
+    queue_dir = os.path.join(work_dir, "queue")
+    broker = None
+    if args.transport == "socket":
+        broker = QueueBroker(journal_dir=os.path.join(work_dir, "broker"))
+        host, port = broker.start()
+        queue_spec = f"addr:{host}:{port}"
+        dist = DistConfig(
+            queue_addr=f"{host}:{port}",
+            lease_duration=3.0,
+            max_attempts=5,
+            wait_timeout=300.0,
+        )
+        print(f"dist-smoke: broker serving on {host}:{port}", flush=True)
+    else:
+        queue_spec = f"dir:{queue_dir}"
+        dist = DistConfig(
             queue_dir=queue_dir,
             lease_duration=3.0,
             max_attempts=5,
             wait_timeout=300.0,
-        ),
-        **SMOKE,
-    )
+        )
+    config = CampaignConfig(workers=1, dist=dist, **SMOKE)
 
     box = {}
 
@@ -126,11 +163,13 @@ def main():
     coordinator = threading.Thread(target=coordinate)
     coordinator.start()
 
-    victim = spawn_node(VICTIM, queue_dir)
-    survivor = spawn_node(SURVIVOR, queue_dir)
+    victim = spawn_node(VICTIM, queue_spec)
+    survivor = spawn_node(SURVIVOR, queue_spec)
     killed = False
     try:
-        if wait_for_lease(queue_dir, VICTIM, timeout=60.0):
+        if (wait_for_broker_lease(broker, VICTIM, timeout=60.0)
+                if broker is not None
+                else wait_for_lease(queue_dir, VICTIM, timeout=60.0)):
             victim.send_signal(signal.SIGKILL)
             killed = True
             print(
@@ -153,6 +192,8 @@ def main():
             if proc.poll() is None:
                 proc.kill()
             proc.wait(timeout=60)
+        if broker is not None:
+            broker.stop()
 
     if not killed:
         # The victim drained too fast to be killed mid-lease (tiny CI
@@ -181,7 +222,7 @@ def main():
     print(
         f"dist-smoke: OK — {report.total_iterations} iterations, "
         f"{report.total_findings} findings, parity with single-host run "
-        f"(node kill injected: {killed})",
+        f"({args.transport} transport, node kill injected: {killed})",
         flush=True,
     )
     return 0

@@ -1,0 +1,14 @@
+; Cast chains through odd widths: zext/trunc/sext round-trips the
+; width-narrowing rules fold, plus a select over the result.
+define i1 @narrow(i32 %x) {
+entry:
+  %w = zext i32 %x to i64
+  %t = trunc i64 %w to i57
+  %m = mul i57 %t, %t
+  %b = zext i57 %m to i64
+  %s = sext i32 %x to i64
+  %c = icmp ule i64 %b, 4294967295
+  %pick = select i1 %c, i64 %b, i64 %s
+  %r = icmp eq i64 %pick, %b
+  ret i1 %r
+}

@@ -1,0 +1,10 @@
+; Instruction flags the mutation classes toggle: nuw/nsw on adds and
+; shifts, exact on division and right-shift.
+define i32 @flags(i32 %x, i32 %y) {
+  %a = add nuw nsw i32 %x, %y
+  %b = shl nsw i32 %a, 2
+  %c = lshr exact i32 %b, 1
+  %d = sdiv exact i32 %c, 4
+  %e = sub nuw i32 %d, %y
+  ret i32 %e
+}

@@ -1,0 +1,13 @@
+; Pointer arithmetic and memory traffic: inbounds GEPs, mixed-width
+; loads and stores through the same object, and an alloca slot.
+define i64 @walk(ptr %base, i64 %i) {
+  %slot = alloca i64
+  %p = getelementptr inbounds i64, ptr %base, i64 %i
+  %v = load i64, ptr %p
+  store i64 %v, ptr %slot
+  %q = getelementptr i64, ptr %base, i64 1
+  %w = load i64, ptr %q
+  %s = load i64, ptr %slot
+  %r = add i64 %w, %s
+  ret i64 %r
+}

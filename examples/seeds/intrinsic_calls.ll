@@ -1,0 +1,12 @@
+; Intrinsic calls with immarg-style boolean arguments and saturating
+; arithmetic — the call-heavy seed for attribute round-trips.
+declare i64 @llvm.abs.i64(i64, i1)
+declare i64 @llvm.umax.i64(i64, i64)
+declare i64 @llvm.uadd.sat.i64(i64, i64)
+
+define i64 @combined(i64 %x, i64 %y) {
+  %a = call i64 @llvm.abs.i64(i64 %x, i1 false)
+  %m = call i64 @llvm.umax.i64(i64 %a, i64 %y)
+  %s = call i64 @llvm.uadd.sat.i64(i64 %m, i64 1024)
+  ret i64 %s
+}

@@ -1,0 +1,21 @@
+; A counted loop with two phis and a loop-invariant computation —
+; the shape the worklist optimizer and loop rules care about.
+define i8 @accumulate(i8 %n, i8 %k) {
+entry:
+  br label %header
+
+header:
+  %i = phi i8 [ 0, %entry ], [ %next, %body ]
+  %acc = phi i8 [ 0, %entry ], [ %acc2, %body ]
+  %cmp = icmp ult i8 %i, %n
+  br i1 %cmp, label %body, label %exit
+
+body:
+  %inv = xor i8 %k, 85
+  %acc2 = add i8 %acc, %inv
+  %next = add nuw i8 %i, 1
+  br label %header
+
+exit:
+  ret i8 %acc
+}

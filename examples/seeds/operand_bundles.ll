@@ -1,0 +1,12 @@
+; Operand bundles on llvm.assume: the align bundle the driver's
+; assume-aware rules consume, plus a plain boolean assume.
+declare void @llvm.assume(i1)
+
+define i16 @aligned_load(ptr %p, i16 %x) {
+  call void @llvm.assume(i1 true) [ "align"(ptr %p, i64 64) ]
+  %v = load i16, ptr %p
+  %c = icmp sgt i16 %x, 0
+  call void @llvm.assume(i1 %c)
+  %r = add nsw i16 %v, %x
+  ret i16 %r
+}

@@ -1,0 +1,28 @@
+; Phi edge cases: undef and poison incoming values, a self-feeding
+; loop phi, and a freeze of the merged value.
+define i8 @merge(i1 %c, i8 %n) {
+entry:
+  br i1 %c, label %a, label %b
+
+a:
+  br label %join
+
+b:
+  br label %join
+
+join:
+  %v = phi i8 [ undef, %a ], [ poison, %b ]
+  %f = freeze i8 %v
+  br label %loop
+
+loop:
+  %i = phi i8 [ 0, %join ], [ %next, %loop ]
+  %acc = phi i8 [ %f, %join ], [ %acc2, %loop ]
+  %next = add nuw i8 %i, 1
+  %acc2 = xor i8 %acc, %i
+  %done = icmp uge i8 %next, %n
+  br i1 %done, label %exit, label %loop
+
+exit:
+  ret i8 %acc2
+}

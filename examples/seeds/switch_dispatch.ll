@@ -1,0 +1,29 @@
+; Dense switch dispatch: exercises switch case tables and the
+; multi-successor CFG edges the mutators rewire.
+define i32 @dispatch(i32 %x) {
+entry:
+  switch i32 %x, label %default [
+    i32 0, label %zero
+    i32 1, label %one
+    i32 2, label %two
+    i32 7, label %seven
+  ]
+
+zero:
+  ret i32 10
+
+one:
+  %a = add i32 %x, 20
+  ret i32 %a
+
+two:
+  %b = mul i32 %x, 11
+  ret i32 %b
+
+seven:
+  %c = shl i32 %x, 3
+  ret i32 %c
+
+default:
+  ret i32 -1
+}

@@ -21,12 +21,20 @@ crash or Ctrl-C), ``--job-deadline`` bounds each shard's wall clock
 kill their worker.
 
 ``--node --queue-dir DIR`` joins a *distributed* campaign as a worker
-node instead: jobs (seed text included) come from the shared queue
+node instead: jobs (seed payload included) come from the shared queue
 directory a coordinator published, are run under time-bounded leases
 with heartbeat renewal, and results are parked back in the queue — no
 input files, no fuzzing flags.  The coordinator side is the Python API
 (``CampaignConfig(dist=DistConfig(queue_dir=...))``); see README
 "Distributed campaigns".
+
+For fleets without a shared filesystem, ``--serve-queue HOST:PORT``
+runs the same queue over a socket (:mod:`repro.fuzz.net`): the broker
+owns queue state in memory (journal-backed with ``--broker-journal``),
+coordinators publish with ``DistConfig(queue_addr="HOST:PORT")``, and
+nodes join with ``--node --queue addr:HOST:PORT``.  Module payloads
+travel as compact binary bitcode referenced by content hash, so a seed
+crosses the wire once per node no matter how many jobs reuse it.
 """
 
 from __future__ import annotations
@@ -125,18 +133,33 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default 64)")
     dist = parser.add_argument_group(
         "distributed campaigns",
-        "join a coordinator's shared-dir work queue as a node (see "
-        "README \"Distributed campaigns\")")
+        "join a coordinator's work queue as a node, or serve one over "
+        "a socket (see README \"Distributed campaigns\")")
     dist.add_argument("--node", nargs="?", const="", default=None,
                       metavar="NAME",
                       help="run as a worker node named NAME (default: "
-                           "node-<pid>): claim jobs from --queue-dir "
+                           "node-<pid>): claim jobs from the queue "
                            "under leases, run them, park results; "
-                           "requires --queue-dir, ignores input files "
-                           "and fuzzing flags")
+                           "requires --queue-dir or --queue, ignores "
+                           "input files and fuzzing flags")
     dist.add_argument("--queue-dir", default=None, metavar="DIR",
                       help="the shared queue directory the coordinator "
-                           "published (required with --node)")
+                           "published (shared-dir transport)")
+    dist.add_argument("--queue", default=None, metavar="SPEC",
+                      help="the queue to join: 'addr:HOST:PORT' connects "
+                           "to a broker started with --serve-queue, "
+                           "'dir:DIR' is the shared directory (same as "
+                           "--queue-dir DIR)")
+    dist.add_argument("--serve-queue", default=None, metavar="HOST:PORT",
+                      help="run a queue broker on HOST:PORT (port 0 "
+                           "picks a free one) instead of fuzzing; "
+                           "coordinators publish with "
+                           "DistConfig(queue_addr=...), nodes join with "
+                           "--node --queue addr:HOST:PORT")
+    dist.add_argument("--broker-journal", default=None, metavar="DIR",
+                      help="with --serve-queue, journal broker state "
+                           "under DIR so a killed broker recovers "
+                           "(default: in-memory only)")
     dist.add_argument("--wait-manifest", type=float, default=30.0,
                       metavar="SECONDS",
                       help="with --node, wait up to this long for the "
@@ -211,10 +234,12 @@ def _load(path: str):
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.serve_queue is not None:
+        return _serve_queue(args)
     if args.node is not None:
-        if not args.queue_dir:
-            print("alive-mutate: --node requires --queue-dir DIR",
-                  file=sys.stderr)
+        if not args.queue_dir and not args.queue:
+            print("alive-mutate: --node requires --queue-dir DIR or "
+                  "--queue addr:HOST:PORT", file=sys.stderr)
             return 2
         if args.inputs:
             print("alive-mutate: --node takes no input files (jobs come "
@@ -308,17 +333,69 @@ def main(argv: Optional[List[str]] = None) -> int:
     return _fuzz_sharded(config, args)
 
 
+def _serve_queue(args) -> int:
+    """Run a socket queue broker (``--serve-queue HOST:PORT``)."""
+    from ..fuzz.net import QueueBroker, parse_address
+
+    from ..fuzz.dist import QueueError
+    try:
+        host, port = parse_address(args.serve_queue)
+    except QueueError as exc:
+        print(f"alive-mutate: {exc}", file=sys.stderr)
+        return 2
+    broker = QueueBroker(host=host, port=port,
+                         journal_dir=args.broker_journal)
+    host, port = broker.start()
+    durability = (f"journal {args.broker_journal}" if args.broker_journal
+                  else "in-memory")
+    print(f"alive-mutate: queue broker serving on {host}:{port} "
+          f"({durability})", file=sys.stderr)
+    try:
+        broker.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        broker.stop()
+    return 0
+
+
+def _open_node_queue(args):
+    """The transport a node's ``--queue``/``--queue-dir`` flags name."""
+    from ..fuzz.dist import QueueError, WorkQueue
+
+    spec = args.queue
+    if spec:
+        if spec.startswith("addr:"):
+            from ..fuzz.net import SocketQueue
+            return SocketQueue(spec[len("addr:"):], node=args.node)
+        if spec.startswith("dir:"):
+            return WorkQueue(spec[len("dir:"):], node=args.node)
+        raise QueueError(f"--queue must be 'addr:HOST:PORT' or "
+                         f"'dir:DIR', got {spec!r}")
+    return WorkQueue(args.queue_dir, node=args.node)
+
+
 def _run_node(args) -> int:
     """Join a distributed campaign as a worker node (``--node``)."""
-    from ..fuzz.dist import NodeRunner, WorkQueue
+    from ..fuzz.dist import NodeRunner, QueueError
 
-    queue = WorkQueue(args.queue_dir, node=args.node)
+    try:
+        queue = _open_node_queue(args)
+    except QueueError as exc:
+        print(f"alive-mutate: {exc}", file=sys.stderr)
+        return 2
     runner = NodeRunner(queue, workers=max(1, args.jobs))
     print(f"alive-mutate: node {queue.node} joining queue "
-          f"{args.queue_dir}", file=sys.stderr)
-    report = runner.run(time_budget=args.time,
-                        max_jobs=args.max_node_jobs,
-                        wait_for_manifest=args.wait_manifest)
+          f"{args.queue or args.queue_dir}", file=sys.stderr)
+    try:
+        report = runner.run(time_budget=args.time,
+                            max_jobs=args.max_node_jobs,
+                            wait_for_manifest=args.wait_manifest)
+    except QueueError as exc:
+        print(f"alive-mutate: queue failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        queue.close()
     if args.metrics_out:
         _write_metrics(report.metrics, args.metrics_out)
     print(f"node {report.node}: ran {report.jobs_run} jobs, "

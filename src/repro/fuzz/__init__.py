@@ -14,13 +14,15 @@ from .corpus import (Corpus, CorpusEntry, CorpusJournal, merge_journals,
                      module_fingerprint)
 from .discrete import DiscreteConfig, DiscreteReport, run_discrete_workflow
 from .dist import (DistConfig, NodeReport, NodeRunner, QueueError,
-                   QueueMismatch, WorkQueue)
+                   QueueMismatch, Transport, WorkQueue, open_queue)
 from .driver import (ConfigError, DeadlineExceeded, FuzzConfig, FuzzDriver,
                      FuzzReport, StageTimings)
 from .feedback import Feedback, FeedbackConfig, FeedbackMap, FeedbackStats
-from .faults import (ChaosQueue, FaultInjected, FaultSpec, FaultyRunner,
-                     damage_journal, torn_write)
+from .faults import (ChaosQueue, ChaosSocketQueue, FaultInjected,
+                     FaultSpec, FaultyRunner, damage_journal, torn_write)
 from .findings import CRASH, MISCOMPILATION, BugLog, Finding
+from .net import QueueBroker, SocketQueue
+from .wire import BlobStore, DecodeCache
 from .parallel import (CampaignExecutor, ShardJob, ShardResult, execute_job,
                        run_jobs)
 from .radamsa import (BORING, INTERESTING, INVALID, ValidityStats,
@@ -42,12 +44,13 @@ __all__ = [
     "module_fingerprint",
     "DiscreteConfig", "DiscreteReport", "run_discrete_workflow",
     "DistConfig", "NodeReport", "NodeRunner", "QueueError", "QueueMismatch",
-    "WorkQueue",
+    "Transport", "WorkQueue", "open_queue",
+    "QueueBroker", "SocketQueue", "BlobStore", "DecodeCache",
     "ConfigError", "DeadlineExceeded", "FuzzConfig", "FuzzDriver",
     "FuzzReport", "StageTimings",
     "Feedback", "FeedbackConfig", "FeedbackMap", "FeedbackStats",
-    "ChaosQueue", "FaultInjected", "FaultSpec", "FaultyRunner",
-    "damage_journal", "torn_write",
+    "ChaosQueue", "ChaosSocketQueue", "FaultInjected", "FaultSpec",
+    "FaultyRunner", "damage_journal", "torn_write",
     "CRASH", "MISCOMPILATION", "BugLog", "Finding",
     "CampaignExecutor", "ShardJob", "ShardResult", "execute_job", "run_jobs",
     "BORING", "INTERESTING", "INVALID", "ValidityStats", "classify_mutant",

@@ -30,11 +30,16 @@ importable from here for one release via a ``DeprecationWarning`` shim
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import json
 import os
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from ..ir.bitcode import BitcodeError, read_bitcode, write_bitcode
+from ..ir.parser import ParseError, parse_module
+from ..ir.printer import print_module
 
 __all__ = ["Corpus", "CorpusEntry", "CorpusJournal", "merge_journals",
            "module_fingerprint"]
@@ -69,20 +74,58 @@ class CorpusEntry:
     source: str = "seed"
     operator: str = ""
 
-    def to_dict(self) -> dict:
-        return {
+    def to_dict(self, payload_format: str = "text") -> dict:
+        """The journal record; ``payload_format="bitcode"`` stores the
+        module as base64 bitcode instead of printed text.
+
+        Corpus text is always printed-module text, and print∘parse is a
+        fixpoint, so the bitcode record reconstructs the identical text
+        on read — the entry fingerprint (a text hash) carries over
+        unchanged.  A module outside the bitcode-encodable subset falls
+        back to a text record; readers handle both (see
+        :meth:`from_dict`), so journals may mix formats freely.
+        """
+        record = {
             "kind": "entry",
-            "text": self.text,
             "fingerprint": self.fingerprint,
             "features": sorted(self.features),
             "seed": self.seed,
             "source": self.source,
             "operator": self.operator,
         }
+        if payload_format == "bitcode":
+            try:
+                data = write_bitcode(parse_module(self.text))
+            except (ParseError, BitcodeError):
+                pass
+            else:
+                record["format"] = "bitcode"
+                record["data"] = base64.b64encode(data).decode("ascii")
+                return record
+        record["text"] = self.text
+        return record
 
     @classmethod
     def from_dict(cls, data: dict) -> "CorpusEntry":
-        return cls(text=data["text"],
+        """Rebuild an entry from a text *or* bitcode journal record.
+
+        Mixed journals are the norm once a campaign upgrades formats:
+        old text records keep loading, bitcode records decode through
+        ``read_bitcode`` + ``print_module``.  Raises ``KeyError`` when
+        neither payload is present and ``ValueError`` on undecodable
+        bitcode (both are treated as damage by :meth:`Corpus.load`).
+        """
+        if "text" in data:
+            text = data["text"]
+        elif data.get("format") == "bitcode":
+            try:
+                raw = base64.b64decode(data["data"], validate=True)
+                text = print_module(read_bitcode(raw))
+            except (KeyError, TypeError, ValueError, BitcodeError) as exc:
+                raise ValueError(f"undecodable bitcode entry: {exc}")
+        else:
+            raise KeyError("text")
+        return cls(text=text,
                    fingerprint=data["fingerprint"],
                    features=frozenset(data.get("features", ())),
                    seed=int(data.get("seed", -1)),
@@ -101,8 +144,12 @@ class CorpusJournal:
     corpus), and :meth:`Corpus.load` rehydrates it for later sessions.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, payload_format: str = "text") -> None:
+        if payload_format not in ("text", "bitcode"):
+            raise ValueError(f"payload_format must be 'text' or "
+                             f"'bitcode', got {payload_format!r}")
         self.path = path
+        self.payload_format = payload_format
         self._stream = None
 
     def start(self) -> None:
@@ -111,13 +158,15 @@ class CorpusJournal:
             os.makedirs(directory, exist_ok=True)
         self._stream = open(self.path, "w")
         self._write_line(json.dumps(
-            {"kind": "header", "version": CORPUS_JOURNAL_VERSION},
+            {"kind": "header", "version": CORPUS_JOURNAL_VERSION,
+             "format": self.payload_format},
             sort_keys=True))
 
     def append(self, entry: CorpusEntry) -> None:
         if self._stream is None:
             self.start()
-        self._write_line(json.dumps(entry.to_dict(), sort_keys=True))
+        self._write_line(json.dumps(entry.to_dict(self.payload_format),
+                                    sort_keys=True))
 
     def close(self) -> None:
         if self._stream is not None:
@@ -293,7 +342,7 @@ class Corpus:
                 continue  # header or foreign record
             try:
                 corpus.consider(CorpusEntry.from_dict(data))
-            except KeyError:
+            except (KeyError, ValueError):
                 if last:
                     break
                 raise ValueError(f"{path}: malformed entry at line "

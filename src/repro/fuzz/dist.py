@@ -74,7 +74,8 @@ import tempfile
 import threading
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (Callable, Dict, List, Optional, Protocol, Sequence, Set,
+                    Tuple)
 
 from ..mutate import MutatorConfig
 from ..obs import MetricsRegistry
@@ -87,14 +88,18 @@ from .driver import FuzzConfig
 from .feedback import FeedbackConfig
 from .parallel import (KIND_NODE_LOST, JobRunner, ShardJob, ShardResult,
                        _SignalGuard, execute_job, retry_delay, run_jobs)
+from .wire import (FORMAT_BITCODE, PAYLOAD_FORMATS, BlobStore, DecodeCache,
+                   WireError, encode_payload)
 
 __all__ = ["DistConfig", "NodeReport", "NodeRunner", "QueueError",
-           "QueueMismatch", "WorkQueue", "job_from_dict", "job_to_dict",
+           "QueueMismatch", "Transport", "WorkQueue", "job_from_dict",
+           "job_from_wire", "job_to_dict", "job_to_wire", "open_queue",
            "run_coordinator"]
 
 MANIFEST_NAME = "manifest.json"
-QUEUE_VERSION = 1
+QUEUE_VERSION = 2
 MERGED_CORPUS_NAME = "merged.corpus.jsonl"
+BLOBS_DIR = "blobs"
 
 #: Tombstone/terminal reasons.
 REASON_NODE_LOST = KIND_NODE_LOST
@@ -123,8 +128,18 @@ class DistConfig:
     fingerprint and may differ between a run and its resume.
     """
 
-    # The shared queue directory every node and the coordinator mount.
+    # The shared queue directory every node and the coordinator mount
+    # (the filesystem transport; exclusive with queue_addr).
     queue_dir: str = ""
+    # A ``host:port`` broker address (the socket transport — a
+    # :class:`repro.fuzz.net.QueueBroker` someone is serving; exclusive
+    # with queue_dir).
+    queue_addr: str = ""
+    # How module payloads travel: "bitcode" (the compact binary format,
+    # content-addressed and decoded once per node) or "text" (printed
+    # IR verbatim — the ablation/debug path).  Findings and
+    # deterministic() metrics are identical either way.
+    payload_format: str = FORMAT_BITCODE
     # Seconds a lease lives between heartbeats.  Short leases detect
     # node loss quickly but demand frequent heartbeats; the node
     # heartbeats every lease_duration / 3 by default.
@@ -138,8 +153,15 @@ class DistConfig:
     wait_timeout: Optional[float] = None
 
     def validate(self) -> "DistConfig":
-        if not self.queue_dir:
-            raise ValueError("dist.queue_dir is required")
+        if not self.queue_dir and not self.queue_addr:
+            raise ValueError("dist.queue_dir or dist.queue_addr is required")
+        if self.queue_dir and self.queue_addr:
+            raise ValueError("dist.queue_dir and dist.queue_addr are "
+                             "exclusive: one campaign, one transport")
+        if self.payload_format not in PAYLOAD_FORMATS:
+            raise ValueError(f"dist.payload_format must be one of "
+                             f"{PAYLOAD_FORMATS}, got "
+                             f"{self.payload_format!r}")
         if self.lease_duration <= 0:
             raise ValueError("dist.lease_duration must be positive, "
                              f"got {self.lease_duration}")
@@ -161,33 +183,41 @@ class DistConfig:
 
 
 def job_to_dict(job: ShardJob) -> dict:
-    """A JSON-safe dict for one :class:`ShardJob` (inverse below).
+    """A self-contained JSON-safe dict for one :class:`ShardJob`.
 
     ``dataclasses.asdict`` flattens the nested config dataclasses; the
     result round-trips through :func:`job_from_dict` to a job whose
     :func:`~repro.fuzz.checkpoint.jobs_fingerprint` matches the
     original's, which is what lets a node verify it is running the
-    campaign the manifest claims.
+    campaign the manifest claims.  This full form is the
+    checkpoint/debug representation; the queue itself ships the deduped
+    :func:`job_to_wire` form (shared config in the manifest, module
+    payload by content hash).
     """
     return asdict(job)
 
 
-def job_from_dict(data: dict) -> ShardJob:
-    """Rehydrate a :class:`ShardJob` serialized by :func:`job_to_dict`."""
-    config = dict(data["config"])
+def config_from_dict(config: dict) -> FuzzConfig:
+    """Rebuild a :class:`FuzzConfig` from its ``asdict`` flattening."""
+    config = dict(config)
     mutator = dict(config.pop("mutator"))
     tv = dict(config.pop("tv"))
     limits = dict(tv.pop("limits"))
     feedback = dict(config.pop("feedback"))
+    return FuzzConfig(
+        mutator=MutatorConfig(**mutator),
+        tv=RefinementConfig(limits=ExecutionLimits(**limits), **tv),
+        feedback=FeedbackConfig(**feedback),
+        **config)
+
+
+def job_from_dict(data: dict) -> ShardJob:
+    """Rehydrate a :class:`ShardJob` serialized by :func:`job_to_dict`."""
     return ShardJob(
         job_index=data["job_index"],
         file_name=data["file_name"],
         text=data["text"],
-        config=FuzzConfig(
-            mutator=MutatorConfig(**mutator),
-            tv=RefinementConfig(limits=ExecutionLimits(**limits), **tv),
-            feedback=FeedbackConfig(**feedback),
-            **config),
+        config=config_from_dict(data["config"]),
         iterations=data.get("iterations"),
         time_budget=data.get("time_budget"),
         confirm_attributions=data.get("confirm_attributions", False),
@@ -195,6 +225,139 @@ def job_from_dict(data: dict) -> ShardJob:
         trace_dir=data.get("trace_dir"),
         trace_sample=data.get("trace_sample", 1.0),
     )
+
+
+def _jsonified(value):
+    """``value`` normalized through a JSON round-trip (tuples -> lists),
+    so configs hydrated from disk diff cleanly against fresh ones."""
+    return json.loads(json.dumps(value, sort_keys=True, default=str))
+
+
+def _dict_diff(full: dict, base: dict) -> dict:
+    """The sparse nested overrides turning ``base`` into ``full``.
+
+    Both sides are same-shape ``asdict`` flattenings of the same config
+    dataclasses, so keys always align; only differing values (recursing
+    into nested dicts) appear in the result.
+    """
+    overrides = {}
+    for key, value in full.items():
+        other = base.get(key)
+        if isinstance(value, dict) and isinstance(other, dict):
+            nested = _dict_diff(value, other)
+            if nested:
+                overrides[key] = nested
+        elif value != other:
+            overrides[key] = value
+    return overrides
+
+
+def _dict_merge(base: dict, overrides: dict) -> dict:
+    """Apply :func:`_dict_diff` overrides to a deep copy of ``base``."""
+    merged = dict(base)
+    for key, value in overrides.items():
+        other = merged.get(key)
+        if isinstance(value, dict) and isinstance(other, dict):
+            merged[key] = _dict_merge(other, value)
+        else:
+            merged[key] = value
+    return merged
+
+
+def job_to_wire(job: ShardJob, shared_config: dict,
+                payload_sha: str, payload_format: str) -> dict:
+    """The deduped queue record for one job.
+
+    The shared :class:`FuzzConfig` lives once in the manifest
+    (``shared_config``); each job carries only its sparse config
+    overrides (seeds, pipeline) and references its module payload by
+    content hash — so a re-published retry job whose state is unchanged
+    re-serializes nothing.
+    """
+    full = _jsonified(asdict(job.config))
+    return {
+        "job_index": job.job_index,
+        "file_name": job.file_name,
+        "payload": {"sha": payload_sha, "format": payload_format},
+        "config": _dict_diff(full, shared_config),
+        "iterations": job.iterations,
+        "time_budget": job.time_budget,
+        "confirm_attributions": job.confirm_attributions,
+        "deadline": job.deadline,
+        "trace_dir": job.trace_dir,
+        "trace_sample": job.trace_sample,
+    }
+
+
+def job_from_wire(record: dict, shared_config: dict,
+                  text: str) -> ShardJob:
+    """Rehydrate a job from its deduped record + resolved module text."""
+    config = _dict_merge(shared_config, record.get("config", {}))
+    return ShardJob(
+        job_index=record["job_index"],
+        file_name=record["file_name"],
+        text=text,
+        config=config_from_dict(config),
+        iterations=record.get("iterations"),
+        time_budget=record.get("time_budget"),
+        confirm_attributions=record.get("confirm_attributions", False),
+        deadline=record.get("deadline"),
+        trace_dir=record.get("trace_dir"),
+        trace_sample=record.get("trace_sample", 1.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The transport protocol.
+# ---------------------------------------------------------------------------
+
+
+class Transport(Protocol):
+    """The queue verbs :func:`run_coordinator` and :class:`NodeRunner` use.
+
+    Extracted from :class:`WorkQueue` so the runtime is
+    transport-agnostic: the shared-dir queue and the socket queue
+    (:class:`repro.fuzz.net.SocketQueue`) implement the same surface,
+    and everything above this line — claims, heartbeats, retries,
+    result dedup, corpus merging — behaves identically over both.
+    """
+
+    node: str
+    metrics: MetricsRegistry
+
+    def manifest(self) -> Optional[dict]: ...
+
+    def publish(self, jobs: Sequence[ShardJob], fingerprint: str,
+                total_jobs: Optional[int] = None,
+                lease_duration: float = 30.0, max_attempts: int = 3,
+                retry_backoff: float = 0.25,
+                retry_jitter: float = 0.0) -> None: ...
+
+    def claim_next(self, limit: int = 1) -> List[Tuple[ShardJob,
+                                                       "Lease"]]: ...
+
+    def heartbeat(self, job_index: int, lease_duration: float) -> bool: ...
+
+    def release_for_retry(self, job_index: int, lease: "Lease",
+                          failure_kind: str, error: str) -> None: ...
+
+    def publish_result(self, result: ShardResult, fingerprint: str,
+                       attempt: int = 1) -> bool: ...
+
+    def publish_corpus(self, job_index: int, journal_path: str) -> bool: ...
+
+    def corpus_paths(self) -> List[Tuple[int, str]]: ...
+
+    def collect_results(self, fingerprint: str) -> Dict[int,
+                                                        ShardResult]: ...
+
+    def collect_tombstones(self) -> Dict[int, dict]: ...
+
+    def sweep(self) -> int: ...
+
+    def drained(self) -> bool: ...
+
+    def close(self) -> None: ...
 
 
 # ---------------------------------------------------------------------------
@@ -243,13 +406,19 @@ class WorkQueue:
     """
 
     def __init__(self, directory: str, node: str = "",
-                 clock: Callable[[], float] = time.time) -> None:
+                 clock: Callable[[], float] = time.time,
+                 payload_format: str = FORMAT_BITCODE) -> None:
         self.directory = directory
         self.node = node or f"node-{os.getpid()}"
         self.clock = clock
+        self.payload_format = payload_format
         self.metrics = MetricsRegistry()
+        self.blobs = BlobStore(os.path.join(directory, BLOBS_DIR),
+                               metrics=self.metrics)
+        self.decode_cache = DecodeCache(metrics=self.metrics)
         self._tmp_serial = 0
         self._job_cache: Dict[int, ShardJob] = {}
+        self._manifest_cache: Optional[dict] = None
 
     # -- paths --------------------------------------------------------------
 
@@ -359,12 +528,32 @@ class WorkQueue:
                 f"{self.directory} already serves campaign "
                 f"{existing.get('fingerprint', '?')[:12]}, not "
                 f"{fingerprint[:12]}; use a fresh queue directory")
+        # The config-diff base: once a manifest exists its shared config
+        # is authoritative (a resume's re-publish may cover a different
+        # job subset, and the already-published records diff against the
+        # original base); a fresh campaign derives it from the first job.
+        shared_config = None
+        if existing is not None:
+            shared_config = existing.get("shared_config")
+        if shared_config is None and jobs:
+            shared_config = _jsonified(asdict(jobs[0].config))
         for job in jobs:
-            self._write_atomic(self.job_path(job.job_index), {
+            payload, actual_format = encode_payload(
+                job.text, self.payload_format, metrics=self.metrics)
+            sha = self.blobs.put(payload)
+            record = {
                 "kind": "job",
                 "fingerprint": fingerprint,
-                "job": job_to_dict(job),
-            })
+                "job": job_to_wire(job, shared_config, sha, actual_format),
+            }
+            current = self._read_json(self.job_path(job.job_index))
+            if current == record:
+                # Re-published retry job with unchanged state: the blob
+                # is content-addressed and the record identical, so
+                # nothing is re-serialized.
+                self.metrics.count("dist.jobs.unchanged")
+                continue
+            self._write_atomic(self.job_path(job.job_index), record)
             self.metrics.count("dist.jobs.published")
         self._write_atomic(self.manifest_path(), {
             "kind": "manifest",
@@ -376,13 +565,21 @@ class WorkQueue:
             "max_attempts": max_attempts,
             "retry_backoff": retry_backoff,
             "retry_jitter": retry_jitter,
+            "shared_config": shared_config,
         })
+        self._manifest_cache = None
 
     def manifest(self) -> Optional[dict]:
         """The campaign manifest, or None until a coordinator publishes."""
+        if self._manifest_cache is not None:
+            return self._manifest_cache
         data = self._read_json(self.manifest_path())
         if data is not None and data.get("kind") != "manifest":
             return None
+        if data is not None:
+            # Manifests are immutable once published (same fingerprint,
+            # same content), so one read serves the whole session.
+            self._manifest_cache = data
         return data
 
     # -- nodes: jobs and claims --------------------------------------------
@@ -409,12 +606,40 @@ class WorkQueue:
         data = self._read_json(self.job_path(job_index))
         if data is None or data.get("kind") != "job":
             return None
+        record = data.get("job")
+        if not isinstance(record, dict):
+            return None
         try:
-            job = job_from_dict(data["job"])
-        except (KeyError, TypeError, ValueError):
+            if "text" in record:
+                # Legacy self-contained record (queue version 1): full
+                # config and inline text; still loadable so old queue
+                # directories drain cleanly.
+                job = job_from_dict(record)
+            else:
+                job = self._job_from_record(record)
+        except (KeyError, TypeError, ValueError, WireError):
+            return None
+        if job is None:
             return None
         self._job_cache[job_index] = job
         return job
+
+    def _job_from_record(self, record: dict) -> Optional[ShardJob]:
+        """Resolve a deduped record: manifest config + blob payload."""
+        manifest = self.manifest()
+        if manifest is None:
+            return None
+        shared_config = manifest.get("shared_config")
+        if not isinstance(shared_config, dict):
+            return None
+        payload = record.get("payload", {})
+        sha = payload.get("sha", "")
+        data = self.blobs.get(sha)
+        if data is None:
+            return None
+        text = self.decode_cache.text(sha, data,
+                                      payload.get("format", "text"))
+        return job_from_wire(record, shared_config, text)
 
     def read_lease(self, job_index: int) -> Optional[Lease]:
         data = self._read_json(self.lease_path(job_index))
@@ -730,6 +955,25 @@ class WorkQueue:
                         self.metrics.count("dist.node_lost")
         return retired
 
+    def close(self) -> None:
+        """Release transport resources (none: the directory is the state)."""
+
+
+def open_queue(dist: DistConfig, node: str = "") -> "Transport":
+    """The transport a :class:`DistConfig` names.
+
+    ``queue_dir`` opens the shared-directory :class:`WorkQueue`;
+    ``queue_addr`` connects a :class:`repro.fuzz.net.SocketQueue` to a
+    running broker.  Everything above the :class:`Transport` surface is
+    identical over both.
+    """
+    if dist.queue_addr:
+        from .net import SocketQueue
+        return SocketQueue(dist.queue_addr, node=node,
+                           payload_format=dist.payload_format)
+    return WorkQueue(dist.queue_dir, node=node,
+                     payload_format=dist.payload_format)
+
 
 # ---------------------------------------------------------------------------
 # The node runner.
@@ -750,7 +994,7 @@ class NodeReport:
 
 
 class NodeRunner:
-    """Pull jobs from a :class:`WorkQueue` and run them to completion.
+    """Pull jobs from a :class:`Transport` and run them to completion.
 
     Claimed jobs run through the existing execution stack —
     :func:`repro.fuzz.parallel.run_jobs` in isolated (process-per-job)
@@ -768,7 +1012,7 @@ class NodeRunner:
     matching single-host semantics where only hangs and crashes retry.
     """
 
-    def __init__(self, queue: WorkQueue, workers: int = 1,
+    def __init__(self, queue: "Transport", workers: int = 1,
                  runner: JobRunner = execute_job,
                  poll_interval: float = 0.05,
                  work_dir: Optional[str] = None) -> None:
@@ -961,7 +1205,7 @@ def synthesize_tombstone_result(job: ShardJob, stone: dict) -> ShardResult:
         attempts=int(stone.get("attempts", 1)))
 
 
-def merge_corpus_journals(queue: WorkQueue, out_path: str,
+def merge_corpus_journals(queue: "Transport", out_path: str,
                           max_size: int = 4096) -> int:
     """Merge every published corpus delta into one campaign journal.
 
@@ -1009,7 +1253,7 @@ def run_coordinator(executor, resume: bool = False) -> CampaignReport:
         journal = CheckpointJournal(config.checkpoint_dir)
         cached = journal.start(fingerprint, total_jobs=len(jobs),
                                resume=resume)
-    queue = WorkQueue(dist.queue_dir, node="coordinator")
+    queue = open_queue(dist, node="coordinator")
     todo = [job for job in jobs if job.job_index not in cached]
     queue.publish(todo, fingerprint, total_jobs=len(jobs),
                   lease_duration=dist.lease_duration,
@@ -1062,10 +1306,13 @@ def run_coordinator(executor, resume: bool = False) -> CampaignReport:
     terminal.sort(key=lambda result: result.job_index)
     executor._merge(report, jobs, terminal)
     report.metrics.merge(queue.metrics)
+    merged_dir = dist.queue_dir or config.checkpoint_dir \
+        or tempfile.mkdtemp(prefix="repro-dist-corpus-")
     merged_entries = merge_corpus_journals(
-        queue, os.path.join(dist.queue_dir, MERGED_CORPUS_NAME))
+        queue, os.path.join(merged_dir, MERGED_CORPUS_NAME))
     if merged_entries:
         report.metrics.count("dist.corpus.merged_entries", merged_entries)
+    queue.close()
     report.resumed_jobs = len(cached)
     report.interrupted = stop.requested
     report.interrupt_signal = stop.signal_name

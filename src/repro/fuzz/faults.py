@@ -37,10 +37,12 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from .dist import WorkQueue
+from .net import SocketQueue
 from .parallel import ShardJob, ShardResult, execute_job
+from .wire import TAG_RESULT, encode_frame
 
-__all__ = ["ChaosQueue", "FaultInjected", "FaultSpec", "FaultyRunner",
-           "damage_journal", "torn_write"]
+__all__ = ["ChaosQueue", "ChaosSocketQueue", "FaultInjected", "FaultSpec",
+           "FaultyRunner", "damage_journal", "torn_write"]
 
 
 class FaultInjected(RuntimeError):
@@ -246,3 +248,65 @@ class ChaosQueue(WorkQueue):
             self.metrics.count("chaos.results.torn")
             return False
         return super().publish_result(result, fingerprint, attempt=attempt)
+
+
+class ChaosSocketQueue(SocketQueue):
+    """A :class:`~repro.fuzz.net.SocketQueue` with wire-level chaos.
+
+    Each injection models one network failure the socket transport
+    claims to survive, applied deterministically by request count:
+
+    * ``drop_every`` — every Nth request finds its connection already
+      dead (dropped client-side just before sending), exercising the
+      reconnect-and-retry path mid-protocol;
+    * ``torn_every`` — every Nth request first sends *half* a frame on
+      a throwaway connection and abandons it, leaving the broker to
+      detect the torn frame and kill that connection (the client then
+      completes the request normally on a fresh one);
+    * ``duplicate_results`` — the first N result publishes are sent
+      twice, the classic at-least-once duplicate; the broker's
+      first-writer-wins dedup must report the echo as unpublished.
+
+    All of these must leave findings and ``deterministic()`` metrics
+    identical to a chaos-free run — that invariance is what the chaos
+    campaign tests assert.
+    """
+
+    def __init__(self, address: str, node: str = "",
+                 drop_every: int = 0, torn_every: int = 0,
+                 duplicate_results: int = 0, **kwargs) -> None:
+        super().__init__(address, node=node, **kwargs)
+        self.drop_every = drop_every
+        self.torn_every = torn_every
+        self.duplicate_results = duplicate_results
+        self._request_count = 0
+
+    def _request(self, tag, header, blobs=()):
+        with self._lock:
+            self._request_count += 1
+            count = self._request_count
+            if self.drop_every and count % self.drop_every == 0:
+                self._drop()
+                self.metrics.count("chaos.net.dropped_connections")
+            if self.torn_every and count % self.torn_every == 0:
+                self._send_torn_frame(tag, header, blobs)
+            reply = super()._request(tag, header, blobs)
+            if tag == TAG_RESULT and self.duplicate_results > 0:
+                self.duplicate_results -= 1
+                # Re-send the identical result; the broker's
+                # first-writer-wins dedup must drop the echo.
+                super()._request(tag, header, blobs)
+                self.metrics.count("chaos.net.duplicate_results")
+            return reply
+
+    def _send_torn_frame(self, tag, header, blobs) -> None:
+        """Half a frame on a sacrificial connection, then silence."""
+        try:
+            stream = self._connect()
+            frame = encode_frame(tag, header, blobs)
+            stream.sock.sendall(frame[:max(1, len(frame) // 2)])
+        except OSError:
+            pass
+        finally:
+            self._drop()
+        self.metrics.count("chaos.net.torn_frames")

@@ -107,6 +107,12 @@ class BugLog:
         (whole-file text decode would raise ``UnicodeDecodeError``
         before any tolerance logic could run).  Damage anywhere else is
         real corruption and still raises.
+
+        Well-formed JSON objects that are not findings — headers,
+        format markers, records a newer writer may interleave (the
+        corpus journals already mix text and bitcode records this way)
+        — are skipped rather than treated as corruption, so old and
+        new logs resume cleanly under either reader.
         """
         log = cls()
         with open(path, "rb") as stream:
@@ -116,12 +122,22 @@ class BugLog:
         for position, line in enumerate(lines):
             last = position == len(lines) - 1
             try:
-                finding = Finding.from_json(line.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError, KeyError):
+                data = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
                 if last:
                     break  # truncated trailing record: crash mid-append
                 raise
             if last and not ends_complete:
                 break  # complete-looking JSON but the newline never landed
+            if not isinstance(data, dict):
+                continue
+            if "kind" not in data or "seed" not in data:
+                continue  # header/format/foreign record, not a finding
+            try:
+                finding = Finding.from_json(line.decode("utf-8"))
+            except KeyError:
+                if last:
+                    break
+                raise
             log.findings.append(finding)
         return log

@@ -231,7 +231,13 @@ class MetricsRegistry:
         ``opt.incremental.*`` covers the incremental optimizer's
         skip/worklist bookkeeping, which varies with memo warmth and the
         ``--no-incremental-opt`` ablation while the optimized IR, stats,
-        and findings it produces stay bit-identical.
+        and findings it produces stay bit-identical.  ``wire.*`` /
+        ``bitcode.*`` / ``net.*`` cover the transport tier — frames and
+        bytes on the socket, blob-store and decode-cache hit rates,
+        broker bookkeeping — which varies with the transport choice
+        (shared dir vs socket), the payload format (text vs bitcode),
+        and reconnect/retry history, while the findings the transported
+        modules produce are bit-identical by the print∘parse fixpoint.
         """
 
         def varies(name: str) -> bool:
@@ -244,6 +250,9 @@ class MetricsRegistry:
                 or name.startswith("dist.")
                 or name.startswith("chaos.")
                 or name.startswith("opt.incremental.")
+                or name.startswith("wire.")
+                or name.startswith("bitcode.")
+                or name.startswith("net.")
             )
 
         return {

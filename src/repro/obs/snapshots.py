@@ -80,6 +80,13 @@ class ThroughputSnapshot:
     incremental_skip_rate: float = 0.0
     incremental_worklist_runs: int = 0
     pass_seconds: Dict[str, float] = field(default_factory=dict)
+    # Transport tier (repro.fuzz.wire / repro.fuzz.net): bytes on the
+    # socket, the per-node blob-transfer cache's hit rate, and the
+    # decode LRU's hit rate.  All 0 on single-host campaigns or the
+    # shared-dir transport with text payloads.
+    wire_bytes_sent: int = 0
+    blob_hit_rate: float = 0.0
+    decode_hit_rate: float = 0.0
 
     @classmethod
     def from_metrics(
@@ -120,6 +127,12 @@ class ThroughputSnapshot:
             for name, seconds in metrics.counters_with_prefix(prefix).items()
             if name.endswith(suffix)
         }
+        blob_hits = metrics.counter("wire.blob_cache.hit")
+        blob_total = blob_hits + metrics.counter("wire.blob_cache.miss")
+        decode_hits = metrics.counter("bitcode.decode_cache.hit")
+        decode_total = decode_hits + metrics.counter(
+            "bitcode.decode_cache.miss"
+        )
 
         return cls(
             elapsed=elapsed,
@@ -157,6 +170,11 @@ class ThroughputSnapshot:
                 metrics.counter("opt.incremental.worklist_runs")
             ),
             pass_seconds=pass_seconds,
+            wire_bytes_sent=int(metrics.counter("wire.bytes.sent")),
+            blob_hit_rate=blob_hits / blob_total if blob_total else 0.0,
+            decode_hit_rate=(
+                decode_hits / decode_total if decode_total else 0.0
+            ),
         )
 
     def to_dict(self) -> dict:
@@ -193,6 +211,9 @@ class ThroughputSnapshot:
                 name: round(seconds, 6)
                 for name, seconds in sorted(self.pass_seconds.items())
             },
+            "wire_bytes_sent": self.wire_bytes_sent,
+            "blob_hit_rate": round(self.blob_hit_rate, 6),
+            "decode_hit_rate": round(self.decode_hit_rate, 6),
         }
 
     def progress_line(self) -> str:
@@ -223,6 +244,12 @@ class ThroughputSnapshot:
             )
         if self.corpus_size or self.features_covered:
             line += f" | corpus {self.corpus_size} ({self.features_covered} feats)"
+        if self.wire_bytes_sent:
+            line += (
+                f" | wire {self.wire_bytes_sent / 1024.0:.1f}KiB"
+                f" blob {self.blob_hit_rate:.0%}"
+                f" dec {self.decode_hit_rate:.0%}"
+            )
         if self.retries or self.quarantined:
             line += (
                 f" | {self.retries} retries, "

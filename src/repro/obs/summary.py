@@ -78,6 +78,9 @@ def campaign_summary(report, name: str = "campaign") -> dict:
             name: round(seconds, 6)
             for name, seconds in sorted(snapshot.pass_seconds.items())
         },
+        "wire_bytes_sent": snapshot.wire_bytes_sent,
+        "blob_hit_rate": round(snapshot.blob_hit_rate, 6),
+        "decode_hit_rate": round(snapshot.decode_hit_rate, 6),
     }
 
 

@@ -244,3 +244,90 @@ class TestSeedsMoveShim:
         import repro.fuzz.corpus as corpus_module
         with pytest.raises(AttributeError):
             corpus_module.no_such_name
+
+
+# ---------------------------------------------------------------------------
+# Bitcode journal records.
+# ---------------------------------------------------------------------------
+
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+
+
+def ir_entry(index, features):
+    # Corpus text is always printed-module text in real campaigns, so
+    # these entries round-trip through bitcode records exactly.
+    text = print_module(parse_module(
+        f"define i32 @f{index}(i32 %x) {{\n"
+        f"  %r = add i32 %x, {index + 1}\n"
+        f"  ret i32 %r\n}}\n"))
+    return CorpusEntry(text=text, fingerprint=module_fingerprint(text),
+                       features=frozenset(features), seed=index)
+
+
+class TestBitcodeJournal:
+    def path(self, tmp_path):
+        return str(tmp_path / "run.corpus.jsonl")
+
+    def test_bitcode_records_round_trip(self, tmp_path):
+        path = self.path(tmp_path)
+        with CorpusJournal(path, payload_format="bitcode") as journal:
+            corpus = Corpus(max_size=8, journal=journal)
+            for index, features in enumerate([{"a"}, {"b"}]):
+                corpus.consider(ir_entry(index, features))
+        with open(path) as stream:
+            records = [json.loads(line) for line in stream]
+        assert records[0]["format"] == "bitcode"  # header advertises it
+        body = [r for r in records if r.get("kind") == "entry"]
+        assert all(r.get("format") == "bitcode" and "text" not in r
+                   for r in body)
+        loaded = Corpus.load(path)
+        assert [e.text for e in loaded.entries()] == \
+            [e.text for e in corpus.entries()]
+        assert [e.fingerprint for e in loaded.entries()] == \
+            [e.fingerprint for e in corpus.entries()]
+
+    def test_unencodable_text_falls_back_to_text_record(self, tmp_path):
+        path = self.path(tmp_path)
+        with CorpusJournal(path, payload_format="bitcode") as journal:
+            corpus = Corpus(max_size=8, journal=journal)
+            corpus.consider(entry(0, {"a"}))  # "module 0" is not IR
+        loaded = Corpus.load(path)
+        assert loaded.entries()[0].text == "module 0"
+
+    def test_mixed_format_journal_loads(self, tmp_path):
+        path = self.path(tmp_path)
+        first, second = ir_entry(0, {"a"}), ir_entry(1, {"b"})
+        with open(path, "w") as stream:
+            stream.write(json.dumps(first.to_dict("text")) + "\n")
+            stream.write(json.dumps(second.to_dict("bitcode")) + "\n")
+        loaded = Corpus.load(path)
+        assert [e.text for e in loaded.entries()] == \
+            [first.text, second.text]
+
+    def test_torn_bitcode_tail_is_dropped(self, tmp_path):
+        path = self.path(tmp_path)
+        with CorpusJournal(path, payload_format="bitcode") as journal:
+            corpus = Corpus(max_size=8, journal=journal)
+            corpus.consider(ir_entry(0, {"a"}))
+        record = ir_entry(1, {"b"}).to_dict("bitcode")
+        record["data"] = record["data"][:8]  # truncated base64 payload
+        with open(path, "a") as stream:
+            stream.write(json.dumps(record) + "\n")
+        loaded = Corpus.load(path)
+        assert loaded.covered == {"a"}
+
+    def test_torn_bitcode_mid_journal_is_loud(self, tmp_path):
+        path = self.path(tmp_path)
+        record = ir_entry(0, {"a"}).to_dict("bitcode")
+        record["data"] = record["data"][:8]
+        with open(path, "w") as stream:
+            stream.write(json.dumps(record) + "\n")
+            stream.write(json.dumps(
+                ir_entry(1, {"b"}).to_dict("bitcode")) + "\n")
+        with pytest.raises(ValueError):
+            Corpus.load(path)
+
+    def test_journal_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError):
+            CorpusJournal(self.path(tmp_path), payload_format="morse")

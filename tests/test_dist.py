@@ -644,3 +644,68 @@ class TestMergeCorpusJournals:
         loaded = Corpus.load(out, max_size=16)
         # Job-index order decides the surviving witness deterministically.
         assert [e.fingerprint for e in loaded.entries()] == ["fp0"]
+
+
+# ---------------------------------------------------------------------------
+# Binary payloads and deduplicated job records.
+# ---------------------------------------------------------------------------
+
+
+class TestWirePayloads:
+    def test_config_requires_exactly_one_transport(self):
+        with pytest.raises(ValueError):
+            DistConfig().validate()
+        with pytest.raises(ValueError):
+            DistConfig(queue_dir="/tmp/q",
+                       queue_addr="127.0.0.1:1").validate()
+        with pytest.raises(ValueError):
+            DistConfig(queue_dir="/tmp/q",
+                       payload_format="morse").validate()
+        assert DistConfig(queue_addr="127.0.0.1:1").validate()
+
+    def test_identical_modules_share_one_blob(self, tmp_path):
+        # make_jobs() publishes three jobs over the same module text:
+        # content addressing stores the bitcode exactly once.
+        queue, _ = published_queue(tmp_path)
+        assert len(queue.blobs.digests()) == 1
+
+    def test_unchanged_republish_skips_serialization(self, tmp_path):
+        queue, fingerprint = published_queue(tmp_path)
+        coordinator = WorkQueue(str(tmp_path), node="coordinator")
+        coordinator.publish(make_jobs(), fingerprint)
+        assert coordinator.metrics.counter("dist.jobs.unchanged") == 3
+        assert coordinator.metrics.counter("dist.jobs.published") == 0
+        assert queue.published_indexes() == [0, 1, 2]
+
+    def test_legacy_inline_text_record_still_loads(self, tmp_path):
+        # Queue version 1 wrote self-contained records with inline text
+        # and full config; old queue directories must drain cleanly.
+        queue, fingerprint = published_queue(tmp_path)
+        legacy = make_jobs(1)[0]
+        queue._write_atomic(queue.job_path(0), {
+            "kind": "job",
+            "fingerprint": fingerprint,
+            "job": job_to_dict(legacy),
+        })
+        queue._job_cache.pop(0, None)
+        loaded = queue.load_job(0)
+        assert loaded is not None
+        assert loaded.text == legacy.text
+        assert loaded.config.base_seed == legacy.config.base_seed
+
+    def test_text_payload_campaign_matches_single_host(self, tmp_path,
+                                                       reference):
+        config = dist_config(tmp_path,
+                             dist=dict(payload_format="text"))
+        report, _nodes = run_distributed(config)
+        assert report_key(report) == report_key(reference)
+        assert report.metrics.deterministic() == \
+            reference.metrics.deterministic()
+        assert report.metrics.counter("bitcode.encode.count") == 0
+
+    def test_bitcode_payload_travels_by_default(self, tmp_path,
+                                                reference):
+        config = dist_config(tmp_path)
+        report, _nodes = run_distributed(config)
+        assert report_key(report) == report_key(reference)
+        assert report.metrics.counter("bitcode.encode.count") > 0

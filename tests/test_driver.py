@@ -211,6 +211,23 @@ class TestFindings:
         loaded = BugLog.load(path)
         assert [f.seed for f in loaded.findings] == [1]
 
+    def test_bug_log_load_skips_foreign_records(self, tmp_path):
+        # Headers, format markers, or records from a newer writer may
+        # interleave with findings (the corpus journals already mix
+        # record kinds this way); they are metadata, not corruption.
+        path = str(tmp_path / "findings.jsonl")
+        log = BugLog(path)
+        with open(path, "w") as stream:
+            stream.write('{"kind": "header", "version": 2}\n')
+            stream.write('"not even an object"\n')
+        log.record(Finding(kind=CRASH, seed=1, bug_ids=["52884"]))
+        with open(path, "a") as stream:
+            stream.write('{"format": "bitcode", "data": "AAAA"}\n')
+        log.record(Finding(kind=MISCOMPILATION, seed=2, bug_ids=["53252"]))
+        loaded = BugLog.load(path)
+        assert [f.seed for f in loaded.findings] == [1, 2]
+        assert len(loaded.crashes()) == 1
+
     def test_bug_log_load_raises_on_middle_corruption(self, tmp_path):
         path = str(tmp_path / "findings.jsonl")
         log = BugLog(path)

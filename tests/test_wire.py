@@ -1,0 +1,190 @@
+"""The wire tier: frames, the blob store, and the decode cache."""
+
+from __future__ import annotations
+
+import io
+import os
+
+import pytest
+
+from repro.fuzz.wire import (BlobStore, DecodeCache, FrameError, WireError,
+                             blob_digest, decode_frame, decode_payload,
+                             encode_frame, encode_payload, read_frame,
+                             TAG_CLAIM, TAG_PUBLISH)
+from repro.obs import MetricsRegistry
+
+IR = """define i32 @f(i32 %a) {
+entry:
+  %t = add i32 %a, 1
+  ret i32 %t
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Frames.
+# ---------------------------------------------------------------------------
+
+
+class TestFrames:
+    def test_round_trip(self):
+        header = {"fingerprint": "abc", "jobs": [1, 2, 3]}
+        blobs = [b"first blob", b"", b"\x00\x80\xff" * 100]
+        frame = encode_frame(TAG_PUBLISH, header, blobs)
+        tag, got_header, got_blobs = decode_frame(frame)
+        assert tag == TAG_PUBLISH
+        assert got_header == header
+        assert got_blobs == blobs
+
+    def test_empty_header_and_no_blobs(self):
+        tag, header, blobs = decode_frame(encode_frame(TAG_CLAIM, {}))
+        assert (tag, header, blobs) == (TAG_CLAIM, {}, [])
+
+    def test_back_to_back_frames_on_one_stream(self):
+        data = encode_frame(1, {"n": 1}) + encode_frame(2, {"n": 2},
+                                                        [b"blob"])
+        stream = io.BytesIO(data)
+        assert read_frame(stream.read)[1] == {"n": 1}
+        tag, header, blobs = read_frame(stream.read)
+        assert (tag, header, blobs) == (2, {"n": 2}, [b"blob"])
+
+    @pytest.mark.parametrize("cut", [1, 3, 7, -1])
+    def test_torn_frame_raises_never_truncates(self, cut):
+        frame = encode_frame(TAG_PUBLISH, {"key": "value"}, [b"payload"])
+        torn = frame[:cut] if cut > 0 else frame[:len(frame) // 2]
+        with pytest.raises(FrameError):
+            read_frame(io.BytesIO(torn).read)
+
+    def test_eof_mid_varint_raises(self):
+        with pytest.raises(FrameError):
+            read_frame(io.BytesIO(b"").read)
+
+    def test_oversized_length_prefix_rejected(self):
+        out = bytearray()
+        # varint for 2**40: far past MAX_FRAME_BYTES.
+        value = 2 ** 40
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            out.append(byte | 0x80 if value else byte)
+            if not value:
+                break
+        with pytest.raises(FrameError):
+            read_frame(io.BytesIO(bytes(out)).read)
+
+    def test_garbage_header_rejected(self):
+        frame = bytearray(encode_frame(TAG_CLAIM, {"x": 1}))
+        # Corrupt the JSON header region (past the 3 leading varints).
+        frame[4] ^= 0xFF
+        with pytest.raises(FrameError):
+            decode_frame(bytes(frame))
+
+
+# ---------------------------------------------------------------------------
+# The blob store.
+# ---------------------------------------------------------------------------
+
+
+class TestBlobStore:
+    def test_memory_put_get_contains(self):
+        store = BlobStore()
+        digest = store.put(b"module bytes")
+        assert digest == blob_digest(b"module bytes")
+        assert digest in store
+        assert store.get(digest) == b"module bytes"
+        assert store.get("0" * 64) is None
+
+    def test_put_is_idempotent(self):
+        metrics = MetricsRegistry()
+        store = BlobStore(metrics=metrics)
+        first = store.put(b"data")
+        second = store.put(b"data")
+        assert first == second
+        assert metrics.counter("wire.blob.stored") == 1
+
+    def test_directory_store_survives_reopen(self, tmp_path):
+        directory = str(tmp_path / "blobs")
+        digest = BlobStore(directory).put(b"persisted")
+        reopened = BlobStore(directory)
+        assert digest in reopened
+        assert reopened.get(digest) == b"persisted"
+        assert reopened.digests() == [digest]
+
+    def test_corrupted_blob_reads_as_absent(self, tmp_path):
+        directory = str(tmp_path / "blobs")
+        store = BlobStore(directory)
+        digest = store.put(b"good bytes")
+        with open(os.path.join(directory, digest), "wb") as stream:
+            stream.write(b"evil bytes")
+        assert store.get(digest) is None
+
+
+# ---------------------------------------------------------------------------
+# The payload codec and decode cache.
+# ---------------------------------------------------------------------------
+
+
+class TestPayloadCodec:
+    def test_bitcode_round_trip_is_canonical(self):
+        from repro.ir.parser import parse_module
+        from repro.ir.printer import print_module
+        canonical = print_module(parse_module(IR))
+        data, fmt = encode_payload(IR, "bitcode")
+        assert fmt == "bitcode"
+        assert decode_payload(data, fmt) == canonical
+
+    def test_bitcode_is_smaller_than_text(self):
+        data, _fmt = encode_payload(IR, "bitcode")
+        assert len(data) < len(IR.encode())
+
+    def test_unparseable_text_falls_back_to_text(self):
+        broken = "this is not IR at all {{{"
+        data, fmt = encode_payload(broken, "bitcode")
+        assert fmt == "text"
+        assert decode_payload(data, fmt) == broken
+
+    def test_text_format_ships_verbatim(self):
+        data, fmt = encode_payload(IR, "text")
+        assert (data, fmt) == (IR.encode(), "text")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(WireError):
+            encode_payload(IR, "carrier-pigeon")
+        with pytest.raises(WireError):
+            decode_payload(b"x", "carrier-pigeon")
+
+    def test_undecodable_bitcode_raises(self):
+        with pytest.raises(WireError):
+            decode_payload(b"\xff\xfe not bitcode", "bitcode")
+
+
+class TestDecodeCache:
+    def test_repeat_decodes_hit(self):
+        metrics = MetricsRegistry()
+        cache = DecodeCache(metrics=metrics)
+        data, fmt = encode_payload(IR, "bitcode")
+        digest = blob_digest(data)
+        first = cache.text(digest, data, fmt)
+        second = cache.text(digest, data, fmt)
+        assert first == second
+        assert metrics.counter("bitcode.decode_cache.miss") == 1
+        assert metrics.counter("bitcode.decode_cache.hit") == 1
+        assert metrics.counter("bitcode.decode.count") == 1
+
+    def test_lru_eviction_is_bounded(self):
+        cache = DecodeCache(capacity=2)
+        texts = [f"define i32 @f{i}() {{\n  ret i32 {i}\n}}\n"
+                 for i in range(3)]
+        digests = []
+        for text in texts:
+            data, fmt = encode_payload(text, "bitcode")
+            digests.append((blob_digest(data), data, fmt))
+            cache.text(*digests[-1])
+        assert len(cache) == 2
+        # The first entry was evicted; re-requesting it re-decodes.
+        metrics_free = cache.text(*digests[0])
+        assert "@f0" in metrics_free
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DecodeCache(capacity=0)
